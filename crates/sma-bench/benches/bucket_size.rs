@@ -1,0 +1,28 @@
+//! A1 — ablation: the §4 bucket-size trade-off.
+//!
+//! Small buckets → more SMA entries to scan; large buckets → more
+//! ambivalent buckets under imperfect (diagonal) clustering. The sweep
+//! shows the U-shape the paper describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sma_bench::{bench_table, q1, q1_smas};
+use sma_tpcd::Clustering;
+
+fn bench_bucket_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_bucket_size");
+    group.sample_size(15);
+    for bucket_pages in [1u32, 2, 4, 8, 16, 32] {
+        let table = bench_table(Clustering::diagonal_default(), bucket_pages);
+        let smas = q1_smas(&table);
+        group.bench_with_input(
+            BenchmarkId::new("q1_sma_plan", bucket_pages),
+            &bucket_pages,
+            |b, _| b.iter(|| q1(&table, Some(&smas), false)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket_size);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmark: the grading algebra itself (§3.1).
+//!
+//! Grading is the hot inner loop of every SMA plan — the paper's "< 2 %
+//! overhead even when erroneously applied" hinges on it being nearly free
+//! compared to a page read. This measures single-bucket grades and the
+//! full classification pass for atomic and composite predicates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_bench::{bench_table, q1_smas};
+use sma_core::{BucketPred, Classification, CmpOp};
+use sma_exec::cutoff;
+use sma_tpcd::{schema::lineitem as li, Clustering};
+use sma_types::Value;
+
+fn bench_grading(c: &mut Criterion) {
+    let table = bench_table(Clustering::diagonal_default(), 1);
+    let smas = q1_smas(&table);
+    let atomic = BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(cutoff(90)));
+    let composite = BucketPred::Or(vec![
+        BucketPred::And(vec![
+            atomic.clone(),
+            BucketPred::cmp(li::SHIPDATE, CmpOp::Ge, Value::Date(cutoff(2000))),
+        ]),
+        BucketPred::cmp(li::SHIPDATE, CmpOp::Eq, Value::Date(cutoff(0))),
+    ]);
+    let n = table.bucket_count();
+
+    let mut group = c.benchmark_group("grading");
+    group.bench_function("grade_one_bucket_atomic", |b| {
+        let mut bucket = 0u32;
+        b.iter(|| {
+            bucket = (bucket + 1) % n;
+            atomic.grade(bucket, &smas)
+        })
+    });
+    group.bench_function("classify_all_atomic", |b| {
+        b.iter(|| Classification::classify(&atomic, n, &smas))
+    });
+    group.bench_function("classify_all_composite", |b| {
+        b.iter(|| Classification::classify(&composite, n, &smas))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grading);
+criterion_main!(benches);

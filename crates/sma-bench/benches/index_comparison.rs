@@ -1,0 +1,77 @@
+//! A5 — index-family comparison: SMA vs projection index vs bitmap index
+//! vs B+ tree on the structures' home turf and away games.
+//!
+//! The paper's introduction surveys traditional indexes, bitmaps and
+//! projection indexes before arguing SMAs fill the low-selectivity gap.
+//! This bench runs one representative task per structure over the same
+//! LINEITEM data:
+//!
+//! * count of `L_SHIPDATE <= cutoff` at ~96 % selectivity (SMA turf),
+//! * point lookup of one ship date (B+ tree turf),
+//! * count of `L_RETURNFLAG = 'R'` (bitmap turf),
+//! * exact per-tuple selection ordinals (projection-index turf).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_bench::{bench_table, q1_smas};
+use sma_core::{col, CmpOp, ProjectionIndex};
+use sma_cube::{page_sized_order, BPlusTree, BitmapIndex};
+use sma_exec::{collect, cutoff, AggSpec, SmaGAggr};
+use sma_core::BucketPred;
+use sma_tpcd::{schema::lineitem as li, Clustering};
+use sma_types::Value;
+
+fn bench_index_comparison(c: &mut Criterion) {
+    let table = bench_table(Clustering::SortedByShipdate, 1);
+    let smas = q1_smas(&table);
+    let projection = ProjectionIndex::build(&table, col(li::SHIPDATE)).expect("build");
+    let bitmap = BitmapIndex::build(&table, li::RETURNFLAG).expect("build");
+    let rows = table.scan().expect("scan");
+    let mut pairs: Vec<(i32, u64)> = rows
+        .iter()
+        .map(|(tid, t)| {
+            (
+                t[li::SHIPDATE].as_date().expect("typed").days(),
+                (tid.page as u64) << 16 | tid.slot as u64,
+            )
+        })
+        .collect();
+    pairs.sort_by_key(|&(k, _)| k);
+    let tree = BPlusTree::bulk_load(page_sized_order(4, 8), pairs);
+    let cut = cutoff(90);
+    let probe_day = cut.days();
+
+    let mut group = c.benchmark_group("a5_index_comparison");
+    group.bench_function("count_le_cutoff/sma_gaggr", |b| {
+        b.iter(|| {
+            let mut op = SmaGAggr::new(
+                &table,
+                BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(cut)),
+                vec![],
+                vec![AggSpec::CountStar],
+                &smas,
+            )
+            .expect("op");
+            collect(&mut op).expect("collect")
+        })
+    });
+    group.bench_function("count_le_cutoff/projection_index", |b| {
+        b.iter(|| projection.count(CmpOp::Le, &Value::Date(cut)))
+    });
+    group.bench_function("count_le_cutoff/btree_range", |b| {
+        b.iter(|| tree.range(&i32::MIN, &probe_day).len())
+    });
+    group.bench_function("point_lookup/btree", |b| {
+        b.iter(|| tree.get(&probe_day))
+    });
+    group.bench_function("point_lookup/projection_index", |b| {
+        b.iter(|| projection.count(CmpOp::Eq, &Value::Date(cut)))
+    });
+    group.bench_function("flag_eq/bitmap", |b| {
+        b.iter(|| BitmapIndex::count(&bitmap.eq(&Value::Char(b'R'))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_comparison);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! A3 — ablation: join SMAs / semi-join input reduction, §4.
+//!
+//! `LINEITEM ⋉ ORDERS on L_SHIPDATE <= O_ORDERDATE` with ORDERS narrowed
+//! to early dates so the reduction has something to skip: naive semi-join
+//! (every R bucket read) vs SMA-reduced (graded buckets skipped).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_bench::{bench_scale_factor, bench_table};
+use sma_core::{col, AggFn, CmpOp, SmaDefinition, SmaSet};
+use sma_exec::{collect, SemiJoin};
+use sma_tpcd::{
+    generate, load_orders, schema::lineitem as li, schema::orders as o, start_date, Clustering,
+    GenConfig,
+};
+
+fn bench_join_sma(c: &mut Criterion) {
+    let lineitem = bench_table(Clustering::SortedByShipdate, 1);
+    let cfg = GenConfig::scale_factor(bench_scale_factor(), Clustering::SortedByShipdate);
+    let (orders, _) = generate(&cfg);
+    let early: Vec<_> = orders
+        .into_iter()
+        .filter(|ord| ord.orderdate <= start_date().add_days(90))
+        .collect();
+    let orders_table = load_orders(&early, 1, 1 << 14);
+    let smas = SmaSet::build(
+        &lineitem,
+        vec![
+            SmaDefinition::new("min", AggFn::Min, col(li::SHIPDATE)),
+            SmaDefinition::new("max", AggFn::Max, col(li::SHIPDATE)),
+        ],
+    )
+    .expect("build");
+
+    let mut group = c.benchmark_group("a3_join_sma");
+    group.sample_size(15);
+    group.bench_function("naive_semijoin", |b| {
+        b.iter(|| {
+            let mut j = SemiJoin::new(
+                &lineitem,
+                li::SHIPDATE,
+                CmpOp::Le,
+                &orders_table,
+                o::ORDERDATE,
+                None,
+            );
+            collect(&mut j).expect("join")
+        })
+    });
+    group.bench_function("sma_reduced_semijoin", |b| {
+        b.iter(|| {
+            let mut j = SemiJoin::new(
+                &lineitem,
+                li::SHIPDATE,
+                CmpOp::Le,
+                &orders_table,
+                o::ORDERDATE,
+                Some(&smas),
+            );
+            collect(&mut j).expect("join")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_sma);
+criterion_main!(benches);

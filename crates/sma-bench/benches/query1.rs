@@ -1,0 +1,35 @@
+//! E3 — Query 1 response time (the §2.4 table).
+//!
+//! Warm runs of Query 1 with and without the Fig. 4 SMA set, over sorted,
+//! diagonal and shuffled LINEITEM. The paper's cold numbers are modeled
+//! deterministically by `paper_tables e3` (see `DESIGN.md`); wall-clock
+//! here shows the same *shape*: the SMA plan wins by a widening margin as
+//! clustering improves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_bench::{q1, q1_smas, bench_table};
+use sma_tpcd::Clustering;
+
+fn bench_query1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_query1");
+    group.sample_size(20);
+    for (name, clustering) in [
+        ("sorted", Clustering::SortedByShipdate),
+        ("diagonal", Clustering::diagonal_default()),
+        ("shuffled", Clustering::Shuffled),
+    ] {
+        let table = bench_table(clustering, 1);
+        let smas = q1_smas(&table);
+        group.bench_function(format!("{name}/without_smas"), |b| {
+            b.iter(|| q1(&table, None, false))
+        });
+        group.bench_function(format!("{name}/with_smas"), |b| {
+            b.iter(|| q1(&table, Some(&smas), false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query1);
+criterion_main!(benches);

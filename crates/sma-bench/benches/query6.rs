@@ -1,0 +1,37 @@
+//! E7 — Query 6: the conjunctive-predicate workload (§3.1 `and` rules).
+//!
+//! Not a table in the paper, but the query class its §3.1 algebra is
+//! built for: three attributes restricted at once. On time-clustered data
+//! the ship-date window disqualifies most buckets without I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_bench::bench_table;
+use sma_core::SmaSet;
+use sma_exec::{query6_sma_definitions, run_query6, PlannerConfig, Q6Params};
+use sma_tpcd::Clustering;
+
+fn bench_query6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_query6");
+    group.sample_size(20);
+    for (name, clustering) in [
+        ("sorted", Clustering::SortedByShipdate),
+        ("diagonal", Clustering::diagonal_default()),
+        ("shuffled", Clustering::Shuffled),
+    ] {
+        let table = bench_table(clustering, 1);
+        let smas =
+            SmaSet::build(&table, query6_sma_definitions(&table).expect("defs")).expect("build");
+        let p = Q6Params::default();
+        group.bench_function(format!("{name}/without_smas"), |b| {
+            b.iter(|| run_query6(&table, None, &p, &PlannerConfig::default()).expect("q6"))
+        });
+        group.bench_function(format!("{name}/with_smas"), |b| {
+            b.iter(|| run_query6(&table, Some(&smas), &p, &PlannerConfig::default()).expect("q6"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query6);
+criterion_main!(benches);

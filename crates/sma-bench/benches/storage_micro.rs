@@ -1,0 +1,87 @@
+//! Microbenchmarks of the storage substrate: tuple codec, slotted-page
+//! operations, and buffer-pool hit paths. These bound the constant factors
+//! under every experiment (a SMA plan's win is page-skipping, so the
+//! per-page costs here are the currency of all the other numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sma_storage::{BufferPool, MemStore, PageStore, SlottedPage};
+use sma_tpcd::{generate, Clustering, GenConfig};
+use sma_types::row;
+
+fn bench_storage(c: &mut Criterion) {
+    let (_, items) = generate(&GenConfig::tiny(Clustering::Uniform));
+    let schema = sma_tpcd::lineitem_schema();
+    let tuple = items[0].to_tuple();
+    let mut image = Vec::new();
+    row::encode(&schema, &tuple, &mut image);
+
+    let mut group = c.benchmark_group("storage_micro");
+    group.bench_function("codec/encode_lineitem", |b| {
+        let mut buf = Vec::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            row::encode(&schema, &tuple, &mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("codec/decode_lineitem", |b| {
+        b.iter(|| row::decode(&schema, &image).expect("valid image"))
+    });
+    group.bench_function("page/insert_until_full", |b| {
+        b.iter(|| {
+            let mut p = SlottedPage::new();
+            let mut n = 0;
+            while p.insert(&image).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("page/iterate_full_page", |b| {
+        let mut p = SlottedPage::new();
+        while p.insert(&image).is_some() {}
+        b.iter(|| p.iter().map(|(_, img)| img.len()).sum::<usize>())
+    });
+    group.bench_function("page/from_bytes_validate", |b| {
+        let mut p = SlottedPage::new();
+        while p.insert(&image).is_some() {}
+        let bytes = *p.as_bytes();
+        b.iter(|| SlottedPage::from_bytes(&bytes).expect("valid page"))
+    });
+    group.bench_function("pool/warm_hit", |b| {
+        let pool = {
+            let mut store = MemStore::new();
+            for _ in 0..64 {
+                store.allocate().unwrap();
+            }
+            BufferPool::new(Box::new(store), 128)
+        };
+        for p in 0..64 {
+            pool.with_page(p, |_| ()).unwrap();
+        }
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            pool.with_page(p, |d| d[0]).unwrap()
+        })
+    });
+    group.bench_function("pool/cold_miss_with_eviction", |b| {
+        let pool = {
+            let mut store = MemStore::new();
+            for _ in 0..64 {
+                store.allocate().unwrap();
+            }
+            BufferPool::new(Box::new(store), 8)
+        };
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 9) % 64; // stride defeats the 8-frame pool
+            pool.with_page(p, |d| d[0]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

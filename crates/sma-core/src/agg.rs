@@ -1,0 +1,281 @@
+//! Aggregate functions and incremental accumulators.
+//!
+//! The paper allows exactly `min`, `max`, `sum`, and `count` in a SMA
+//! definition (§2.1); `avg` in queries is derived as `sum / count` during
+//! post-processing (§3.3), so it never appears here.
+
+use std::fmt;
+
+use sma_types::{DataType, Value};
+
+/// The aggregate functions a SMA may materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Minimum of the input expression.
+    Min,
+    /// Maximum of the input expression.
+    Max,
+    /// Sum of the input expression.
+    Sum,
+    /// Row count (`count(*)`; ignores any input expression).
+    Count,
+}
+
+impl AggFn {
+    /// Result type given the input expression's type (`None` for `count(*)`).
+    pub fn result_type(self, input: Option<DataType>) -> DataType {
+        match self {
+            AggFn::Count => DataType::Int,
+            AggFn::Min | AggFn::Max | AggFn::Sum => {
+                input.expect("min/max/sum require an input expression")
+            }
+        }
+    }
+
+    /// Bytes one materialized aggregate value occupies in a SMA-file.
+    /// Matches the paper's accounting: 4 bytes for counts and dates,
+    /// 8 bytes for everything else (§2.4).
+    pub fn entry_bytes(self, input: Option<DataType>) -> usize {
+        match self.result_type(input) {
+            DataType::Date => 4,
+            DataType::Int if self == AggFn::Count => 4,
+            _ => 8,
+        }
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Sum => "sum",
+            AggFn::Count => "count",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Incremental accumulator for one aggregate over one bucket (or group).
+///
+/// Starts at the aggregate's identity: `Null` for min/max/sum (no input
+/// seen — the paper's "not defined" case), `0` for count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accumulator {
+    agg: AggFn,
+    state: Value,
+}
+
+impl Accumulator {
+    /// A fresh accumulator for `agg`.
+    pub fn new(agg: AggFn) -> Accumulator {
+        let state = match agg {
+            AggFn::Count => Value::Int(0),
+            _ => Value::Null,
+        };
+        Accumulator { agg, state }
+    }
+
+    /// Folds in one input value. `Null` inputs are ignored by min/max/sum
+    /// (SQL semantics) but still counted by `count(*)`.
+    pub fn update(&mut self, v: &Value) {
+        match self.agg {
+            AggFn::Count => {
+                self.state = Value::Int(self.state.as_int().expect("count state") + 1);
+            }
+            AggFn::Min => self.state = self.state.min_value(v),
+            AggFn::Max => self.state = self.state.max_value(v),
+            AggFn::Sum => {
+                self.state = self
+                    .state
+                    .checked_add(v)
+                    .expect("sum input type consistent and within i64 range");
+            }
+        }
+    }
+
+    /// Folds in an already-aggregated value (e.g. a SMA entry for a whole
+    /// bucket). For `count`, `v` is the bucket's count. `Null` merges are
+    /// no-ops for min/max/sum and invalid for count.
+    pub fn merge(&mut self, v: &Value) {
+        match self.agg {
+            AggFn::Count => {
+                let n = v.as_int().expect("count merge needs an Int");
+                self.state = Value::Int(self.state.as_int().expect("count state") + n);
+            }
+            AggFn::Min => self.state = self.state.min_value(v),
+            AggFn::Max => self.state = self.state.max_value(v),
+            AggFn::Sum => {
+                self.state = self
+                    .state
+                    .checked_add(v)
+                    .expect("sum merge type consistent and within i64 range");
+            }
+        }
+    }
+
+    /// Removes one previously-added input value. Exact for sum and count;
+    /// **not supported** for min/max (deletion there needs a bucket
+    /// recompute — see `maintain`).
+    pub fn retract(&mut self, v: &Value) -> Result<(), RetractError> {
+        match self.agg {
+            AggFn::Count => {
+                self.state = Value::Int(self.state.as_int().expect("count state") - 1);
+                Ok(())
+            }
+            AggFn::Sum => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                let negated = match v {
+                    Value::Int(n) => Value::Int(-n),
+                    Value::Decimal(d) => Value::Decimal(-*d),
+                    other => {
+                        return Err(RetractError(format!("cannot retract {other} from sum")))
+                    }
+                };
+                self.state = self
+                    .state
+                    .checked_add(&negated)
+                    .expect("sum retract within range");
+                Ok(())
+            }
+            AggFn::Min | AggFn::Max => Err(RetractError(
+                "min/max cannot retract; recompute the bucket".into(),
+            )),
+        }
+    }
+
+    /// The aggregate's current value.
+    pub fn value(&self) -> &Value {
+        &self.state
+    }
+
+    /// Consumes the accumulator, yielding the final value.
+    pub fn finish(self) -> Value {
+        self.state
+    }
+}
+
+/// Error produced by unsupported retractions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetractError(pub String);
+
+impl fmt::Display for RetractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "retract error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RetractError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_types::{Date, Decimal};
+
+    fn dec(s: &str) -> Value {
+        Value::Decimal(Decimal::parse(s).unwrap())
+    }
+
+    #[test]
+    fn count_counts_everything_including_null() {
+        let mut a = Accumulator::new(AggFn::Count);
+        a.update(&Value::Int(5));
+        a.update(&Value::Null);
+        a.update(&dec("1.00"));
+        assert_eq!(a.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn min_max_over_dates() {
+        let d1 = Value::Date(Date::parse("1997-02-02").unwrap());
+        let d2 = Value::Date(Date::parse("1997-04-22").unwrap());
+        let mut lo = Accumulator::new(AggFn::Min);
+        let mut hi = Accumulator::new(AggFn::Max);
+        for v in [&d2, &Value::Null, &d1] {
+            lo.update(v);
+            hi.update(v);
+        }
+        assert_eq!(lo.finish(), d1);
+        assert_eq!(hi.finish(), d2);
+    }
+
+    #[test]
+    fn empty_min_max_sum_are_null() {
+        assert_eq!(Accumulator::new(AggFn::Min).finish(), Value::Null);
+        assert_eq!(Accumulator::new(AggFn::Max).finish(), Value::Null);
+        assert_eq!(Accumulator::new(AggFn::Sum).finish(), Value::Null);
+        assert_eq!(Accumulator::new(AggFn::Count).finish(), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_decimals_ignores_null() {
+        let mut a = Accumulator::new(AggFn::Sum);
+        a.update(&dec("1.50"));
+        a.update(&Value::Null);
+        a.update(&dec("2.25"));
+        assert_eq!(a.finish(), dec("3.75"));
+    }
+
+    #[test]
+    fn merge_combines_bucket_aggregates() {
+        let mut sum = Accumulator::new(AggFn::Sum);
+        sum.merge(&dec("10.00"));
+        sum.merge(&dec("5.00"));
+        sum.merge(&Value::Null); // empty bucket
+        assert_eq!(sum.finish(), dec("15.00"));
+
+        let mut count = Accumulator::new(AggFn::Count);
+        count.merge(&Value::Int(120));
+        count.merge(&Value::Int(3));
+        assert_eq!(count.finish(), Value::Int(123));
+
+        let mut min = Accumulator::new(AggFn::Min);
+        min.merge(&Value::Int(5));
+        min.merge(&Value::Int(2));
+        assert_eq!(min.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn retract_sum_and_count() {
+        let mut sum = Accumulator::new(AggFn::Sum);
+        sum.update(&Value::Int(10));
+        sum.update(&Value::Int(7));
+        sum.retract(&Value::Int(10)).unwrap();
+        assert_eq!(sum.finish(), Value::Int(7));
+
+        let mut count = Accumulator::new(AggFn::Count);
+        count.update(&Value::Int(1));
+        count.retract(&Value::Int(1)).unwrap();
+        assert_eq!(count.finish(), Value::Int(0));
+    }
+
+    #[test]
+    fn retract_minmax_rejected() {
+        let mut m = Accumulator::new(AggFn::Min);
+        m.update(&Value::Int(1));
+        assert!(m.retract(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn entry_bytes_match_paper() {
+        // §2.4: "For counts and dates, 4 bytes are needed. For all other
+        // aggregate values we used 8 bytes."
+        assert_eq!(AggFn::Count.entry_bytes(None), 4);
+        assert_eq!(AggFn::Min.entry_bytes(Some(DataType::Date)), 4);
+        assert_eq!(AggFn::Max.entry_bytes(Some(DataType::Date)), 4);
+        assert_eq!(AggFn::Sum.entry_bytes(Some(DataType::Decimal)), 8);
+        assert_eq!(AggFn::Sum.entry_bytes(Some(DataType::Int)), 8);
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(AggFn::Count.result_type(None), DataType::Int);
+        assert_eq!(AggFn::Min.result_type(Some(DataType::Date)), DataType::Date);
+        assert_eq!(
+            AggFn::Sum.result_type(Some(DataType::Decimal)),
+            DataType::Decimal
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The SMA catalog: named SMAs per relation, driven by `define sma`.
+//!
+//! The paper's workflow is declarative — the DBA issues `define sma …`
+//! statements and the system builds and maintains the files. The catalog
+//! is that registry: it parses definitions, bulkloads them over the
+//! registered relation, routes maintenance, and serves each relation's
+//! [`SmaSet`] to the planner.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sma_storage::{BucketNo, Table};
+use sma_types::Tuple;
+
+use crate::parse::{parse_define_sma, ParseError};
+use crate::set::SmaSet;
+use crate::sma::{Sma, SmaError};
+
+/// Errors from catalog operations.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// The statement failed to parse.
+    Parse(ParseError),
+    /// Building or maintaining the SMA failed.
+    Sma(SmaError),
+    /// The statement referenced an unknown relation.
+    UnknownRelation(String),
+    /// A SMA with this name already exists on the relation.
+    DuplicateSma {
+        /// Relation name.
+        relation: String,
+        /// SMA name.
+        sma: String,
+    },
+    /// No SMA with this name exists on the relation.
+    UnknownSma {
+        /// Relation name.
+        relation: String,
+        /// SMA name.
+        sma: String,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Parse(e) => write!(f, "{e}"),
+            CatalogError::Sma(e) => write!(f, "{e}"),
+            CatalogError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            CatalogError::DuplicateSma { relation, sma } => {
+                write!(f, "sma {sma:?} already defined on {relation:?}")
+            }
+            CatalogError::UnknownSma { relation, sma } => {
+                write!(f, "no sma {sma:?} on {relation:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<ParseError> for CatalogError {
+    fn from(e: ParseError) -> CatalogError {
+        CatalogError::Parse(e)
+    }
+}
+
+impl From<SmaError> for CatalogError {
+    fn from(e: SmaError) -> CatalogError {
+        CatalogError::Sma(e)
+    }
+}
+
+/// Registry of SMA sets, one per relation name.
+#[derive(Debug, Default)]
+pub struct SmaCatalog {
+    sets: BTreeMap<String, SmaSet>,
+}
+
+impl SmaCatalog {
+    /// An empty catalog.
+    pub fn new() -> SmaCatalog {
+        SmaCatalog::default()
+    }
+
+    /// Executes a `define sma` statement against `table`, bulkloading the
+    /// SMA and registering it under the statement's `from` relation. The
+    /// relation name in the statement must match `table.name()`.
+    pub fn execute_define(
+        &mut self,
+        statement: &str,
+        table: &Table,
+    ) -> Result<&Sma, CatalogError> {
+        let (def, relation) = parse_define_sma(statement, table.schema())?;
+        if !relation.eq_ignore_ascii_case(table.name()) {
+            return Err(CatalogError::UnknownRelation(relation));
+        }
+        let rel_key = table.name().to_string();
+        let set = self.sets.entry(rel_key.clone()).or_default();
+        if set.by_name(&def.name).is_some() {
+            return Err(CatalogError::DuplicateSma { relation: rel_key, sma: def.name });
+        }
+        let name = def.name.clone();
+        let sma = Sma::build(table, def)?;
+        set.push(sma);
+        Ok(set.by_name(&name).expect("just pushed"))
+    }
+
+    /// The SMA set for `relation`, if any SMAs are defined on it.
+    pub fn set_for(&self, relation: &str) -> Option<&SmaSet> {
+        self.sets.get(relation)
+    }
+
+    /// Drops the SMA named `sma` from `relation` — the cheap operation the
+    /// paper contrasts with a data cube's all-or-nothing rigidity.
+    pub fn drop_sma(&mut self, relation: &str, sma: &str) -> Result<(), CatalogError> {
+        let set = self
+            .sets
+            .get_mut(relation)
+            .ok_or_else(|| CatalogError::UnknownRelation(relation.to_string()))?;
+        let mut kept = SmaSet::new();
+        let mut found = false;
+        for s in set.smas() {
+            if s.def().name == sma {
+                found = true;
+            } else {
+                kept.push(s.clone());
+            }
+        }
+        if !found {
+            return Err(CatalogError::UnknownSma {
+                relation: relation.to_string(),
+                sma: sma.to_string(),
+            });
+        }
+        *set = kept;
+        Ok(())
+    }
+
+    /// Relations with at least one SMA.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.sets.keys().map(String::as_str)
+    }
+
+    /// Routes a table insert to the relation's SMAs (no-op when none).
+    pub fn note_insert(
+        &mut self,
+        relation: &str,
+        bucket: BucketNo,
+        tuple: &Tuple,
+    ) -> Result<(), CatalogError> {
+        if let Some(set) = self.sets.get_mut(relation) {
+            set.note_insert(bucket, tuple)?;
+        }
+        Ok(())
+    }
+
+    /// Routes a table delete to the relation's SMAs (no-op when none).
+    pub fn note_delete(
+        &mut self,
+        relation: &str,
+        bucket: BucketNo,
+        tuple: &Tuple,
+    ) -> Result<(), CatalogError> {
+        if let Some(set) = self.sets.get_mut(relation) {
+            set.note_delete(bucket, tuple)?;
+        }
+        Ok(())
+    }
+
+    /// Refreshes stale min/max buckets on every SMA of `relation` that
+    /// reports staleness, reading each affected bucket once.
+    pub fn refresh_stale(&mut self, relation: &str, table: &Table) -> Result<usize, CatalogError> {
+        let Some(set) = self.sets.get_mut(relation) else {
+            return Ok(0);
+        };
+        let mut refreshed = 0;
+        for b in 0..table.bucket_count() {
+            if set.smas().iter().any(|s| s.is_stale(b)) {
+                set.refresh_bucket(table, b)?;
+                refreshed += 1;
+            }
+        }
+        Ok(refreshed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_types::{Column, DataType, Date, Schema, Value};
+    use std::sync::Arc;
+
+    fn lineitem_like() -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("L_SHIPDATE", DataType::Date),
+            Column::new("L_RETURNFLAG", DataType::Char),
+        ]));
+        let mut t = Table::in_memory("LINEITEM", schema, 1);
+        for i in 0..20i64 {
+            t.append(&vec![
+                Value::Date(Date::from_days(9000 + i as i32)),
+                Value::Char(b'A' + (i % 2) as u8),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn define_builds_and_registers() {
+        let t = lineitem_like();
+        let mut cat = SmaCatalog::new();
+        let sma = cat
+            .execute_define(
+                "define sma min select min(L_SHIPDATE) from LINEITEM",
+                &t,
+            )
+            .unwrap();
+        assert_eq!(sma.def().name, "min");
+        assert!(cat.set_for("LINEITEM").unwrap().by_name("min").is_some());
+        assert_eq!(cat.relations().collect::<Vec<_>>(), vec!["LINEITEM"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let t = lineitem_like();
+        let mut cat = SmaCatalog::new();
+        cat.execute_define("define sma m select min(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap();
+        let err = cat
+            .execute_define("define sma m select max(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateSma { .. }));
+    }
+
+    #[test]
+    fn relation_must_match() {
+        let t = lineitem_like();
+        let mut cat = SmaCatalog::new();
+        let err = cat
+            .execute_define("define sma m select min(L_SHIPDATE) from ORDERS", &t)
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn drop_sma_removes_only_the_named_one() {
+        let t = lineitem_like();
+        let mut cat = SmaCatalog::new();
+        cat.execute_define("define sma a select min(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap();
+        cat.execute_define("define sma b select max(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap();
+        cat.drop_sma("LINEITEM", "a").unwrap();
+        let set = cat.set_for("LINEITEM").unwrap();
+        assert!(set.by_name("a").is_none());
+        assert!(set.by_name("b").is_some());
+        assert!(matches!(
+            cat.drop_sma("LINEITEM", "a"),
+            Err(CatalogError::UnknownSma { .. })
+        ));
+        assert!(matches!(
+            cat.drop_sma("NOPE", "a"),
+            Err(CatalogError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn maintenance_routes_and_refreshes() {
+        let mut t = lineitem_like();
+        let mut cat = SmaCatalog::new();
+        cat.execute_define("define sma mx select max(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap();
+        // Delete the global max; the SMA goes stale but stays sound.
+        let rows = t.scan().unwrap();
+        let (tid, tuple) = rows.last().unwrap().clone();
+        let bucket = t.bucket_of_page(tid.page);
+        t.delete(tid).unwrap();
+        cat.note_delete("LINEITEM", bucket, &tuple).unwrap();
+        assert!(cat.set_for("LINEITEM").unwrap().smas()[0].is_stale(bucket));
+        let refreshed = cat.refresh_stale("LINEITEM", &t).unwrap();
+        assert_eq!(refreshed, 1);
+        assert!(!cat.set_for("LINEITEM").unwrap().smas()[0].is_stale(bucket));
+        // Inserts route too (and unknown relations are no-ops).
+        cat.note_insert("LINEITEM", bucket, &tuple).unwrap();
+        cat.note_insert("ELSEWHERE", 0, &tuple).unwrap();
+        assert_eq!(cat.refresh_stale("ELSEWHERE", &t).unwrap(), 0);
+    }
+}

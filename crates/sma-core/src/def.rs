@@ -1,0 +1,274 @@
+//! SMA definitions — the `define sma` statement of §2.1/§2.3.
+//!
+//! A definition names the SMA, gives the single aggregate in its select
+//! clause (the paper: "the select clause may contain only a single
+//! entry"), the input expression, and an optional `group by` column list.
+
+use std::fmt;
+
+use sma_types::{DataType, Schema, Value};
+
+use crate::agg::AggFn;
+use crate::expr::{ExprError, ScalarExpr};
+
+/// A SMA definition, e.g. `define sma min select min(L_SHIPDATE) from
+/// LINEITEM` or `define sma extdis select sum(EXTPRICE * (1-DIS)) …
+/// group by L_RETFLAG, L_LINESTAT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmaDefinition {
+    /// SMA name, unique within a catalog.
+    pub name: String,
+    /// The aggregate function.
+    pub agg: AggFn,
+    /// Input expression; `None` only for `count(*)`.
+    pub input: Option<ScalarExpr>,
+    /// Grouping columns (indexes into the table schema); empty = ungrouped.
+    pub group_by: Vec<usize>,
+}
+
+impl SmaDefinition {
+    /// `define sma <name> select <agg>(<input>) from R`.
+    pub fn new(name: impl Into<String>, agg: AggFn, input: ScalarExpr) -> SmaDefinition {
+        assert!(
+            agg != AggFn::Count,
+            "use SmaDefinition::count for count(*) SMAs"
+        );
+        SmaDefinition {
+            name: name.into(),
+            agg,
+            input: Some(input),
+            group_by: Vec::new(),
+        }
+    }
+
+    /// `define sma <name> select count(*) from R`.
+    pub fn count(name: impl Into<String>) -> SmaDefinition {
+        SmaDefinition {
+            name: name.into(),
+            agg: AggFn::Count,
+            input: None,
+            group_by: Vec::new(),
+        }
+    }
+
+    /// Adds a `group by` clause (builder style).
+    #[must_use]
+    pub fn group_by(mut self, cols: Vec<usize>) -> SmaDefinition {
+        self.group_by = cols;
+        self
+    }
+
+    /// Checks the definition against `schema` and returns the entry type.
+    pub fn validate(&self, schema: &Schema) -> Result<DataType, DefError> {
+        for &g in &self.group_by {
+            if g >= schema.len() {
+                return Err(DefError(format!(
+                    "sma {:?}: group-by column {g} out of range",
+                    self.name
+                )));
+            }
+        }
+        if self.group_by.len()
+            != self
+                .group_by
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        {
+            return Err(DefError(format!(
+                "sma {:?}: duplicate group-by column",
+                self.name
+            )));
+        }
+        match (self.agg, &self.input) {
+            (AggFn::Count, None) => Ok(DataType::Int),
+            (AggFn::Count, Some(_)) => Err(DefError(format!(
+                "sma {:?}: count(*) takes no input expression",
+                self.name
+            ))),
+            (_, None) => Err(DefError(format!(
+                "sma {:?}: {} requires an input expression",
+                self.name, self.agg
+            ))),
+            (agg, Some(expr)) => {
+                let ty = expr.result_type(schema).map_err(|e| {
+                    DefError(format!("sma {:?}: {e}", self.name))
+                })?;
+                if agg == AggFn::Sum && !matches!(ty, DataType::Int | DataType::Decimal) {
+                    return Err(DefError(format!(
+                        "sma {:?}: sum over non-numeric type {ty}",
+                        self.name
+                    )));
+                }
+                if matches!(ty, DataType::Str) && agg == AggFn::Sum {
+                    unreachable!("covered above");
+                }
+                Ok(ty)
+            }
+        }
+    }
+
+    /// Bytes one entry occupies in a SMA-file (paper's 4/8-byte rule).
+    pub fn entry_bytes(&self, schema: &Schema) -> Result<usize, DefError> {
+        let ty = self.validate(schema)?;
+        Ok(self.agg.entry_bytes(match self.agg {
+            AggFn::Count => None,
+            _ => Some(ty),
+        }))
+    }
+
+    /// Evaluates the input expression on a tuple (`count(*)` yields a
+    /// placeholder that the accumulator ignores).
+    pub fn input_value(&self, tuple: &[Value]) -> Result<Value, ExprError> {
+        match &self.input {
+            Some(e) => e.eval(tuple),
+            None => Ok(Value::Int(1)),
+        }
+    }
+
+    /// The group key of a tuple under this definition's `group_by`.
+    pub fn group_key(&self, tuple: &[Value]) -> Vec<Value> {
+        self.group_by.iter().map(|&g| tuple[g].clone()).collect()
+    }
+
+    /// True iff this SMA is a plain (ungrouped) `min(col)` / `max(col)`
+    /// over a bare column — the kind usable for selection grading.
+    pub fn minmax_column(&self) -> Option<(AggFn, usize)> {
+        match (self.agg, &self.input) {
+            (AggFn::Min | AggFn::Max, Some(ScalarExpr::Column(c))) => Some((self.agg, *c)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SmaDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "define sma {} select {}(", self.name, self.agg)?;
+        match &self.input {
+            Some(e) => write!(f, "{e}")?,
+            None => write!(f, "*")?,
+        }
+        write!(f, ")")?;
+        if !self.group_by.is_empty() {
+            write!(f, " group by ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "${g}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error produced by definition validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefError(pub String);
+
+impl fmt::Display for DefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sma definition error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DefError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, dec_lit};
+    use sma_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("FLAG", DataType::Char),
+            Column::new("PRICE", DataType::Decimal),
+            Column::new("SHIP", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn minmax_on_date_is_four_bytes() {
+        let s = schema();
+        let d = SmaDefinition::new("min", AggFn::Min, col(2));
+        assert_eq!(d.validate(&s).unwrap(), DataType::Date);
+        assert_eq!(d.entry_bytes(&s).unwrap(), 4);
+        assert_eq!(d.minmax_column(), Some((AggFn::Min, 2)));
+    }
+
+    #[test]
+    fn grouped_sum_expression() {
+        let s = schema();
+        let d = SmaDefinition::new(
+            "extdis",
+            AggFn::Sum,
+            col(1).mul(dec_lit("1.00").sub(dec_lit("0.05"))),
+        )
+        .group_by(vec![0]);
+        assert_eq!(d.validate(&s).unwrap(), DataType::Decimal);
+        assert_eq!(d.entry_bytes(&s).unwrap(), 8);
+        assert_eq!(d.minmax_column(), None);
+    }
+
+    #[test]
+    fn count_star() {
+        let s = schema();
+        let d = SmaDefinition::count("count").group_by(vec![0]);
+        assert_eq!(d.validate(&s).unwrap(), DataType::Int);
+        assert_eq!(d.entry_bytes(&s).unwrap(), 4);
+    }
+
+    #[test]
+    fn invalid_definitions() {
+        let s = schema();
+        assert!(SmaDefinition::new("x", AggFn::Sum, col(2))
+            .validate(&s)
+            .is_err()); // sum over DATE
+        assert!(SmaDefinition::new("x", AggFn::Min, col(9))
+            .validate(&s)
+            .is_err()); // bad column
+        assert!(SmaDefinition::count("x")
+            .group_by(vec![0, 0])
+            .validate(&s)
+            .is_err()); // dup group col
+        assert!(SmaDefinition::count("x")
+            .group_by(vec![5])
+            .validate(&s)
+            .is_err()); // bad group col
+        let mut bad = SmaDefinition::count("x");
+        bad.input = Some(col(0));
+        assert!(bad.validate(&s).is_err()); // count with input
+        let mut bad2 = SmaDefinition::new("x", AggFn::Min, col(0));
+        bad2.input = None;
+        assert!(bad2.validate(&s).is_err()); // min without input
+    }
+
+    #[test]
+    #[should_panic(expected = "use SmaDefinition::count")]
+    fn new_rejects_count() {
+        let _ = SmaDefinition::new("x", AggFn::Count, col(0));
+    }
+
+    #[test]
+    fn group_key_extracts() {
+        let d = SmaDefinition::count("c").group_by(vec![0, 2]);
+        let t = vec![
+            Value::Char(b'R'),
+            Value::Int(5),
+            Value::Char(b'F'),
+        ];
+        assert_eq!(d.group_key(&t), vec![Value::Char(b'R'), Value::Char(b'F')]);
+    }
+
+    #[test]
+    fn display_reads_like_the_paper() {
+        let d = SmaDefinition::new("min", AggFn::Min, col(2));
+        assert_eq!(d.to_string(), "define sma min select min($2)");
+        let g = SmaDefinition::count("count").group_by(vec![0, 1]);
+        assert_eq!(
+            g.to_string(),
+            "define sma count select count(*) group by $0, $1"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! SMA-files: the sequential per-bucket aggregate vectors of §2.1.
+//!
+//! "For all buckets, the resulting values are materialized in a separate
+//! SMA-file. The SMA-file is sequentially organized: the value for the
+//! first bucket is the first value in the SMA-file … a SMA-file does not
+//! contain any other additional information."
+//!
+//! Entries live in memory as [`Value`]s; the *physical* footprint (what
+//! the paper's space numbers measure) is tracked via the per-entry byte
+//! width, and [`SmaFile::size_pages`] reports the file's size in 4 KiB
+//! pages — the unit every experiment reports.
+
+use sma_storage::PAGE_SIZE;
+use sma_types::Value;
+
+/// One sequentially-organized SMA-file: entry *i* summarizes bucket *i*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmaFile {
+    entries: Vec<Value>,
+    entry_bytes: usize,
+}
+
+impl SmaFile {
+    /// Creates an empty file whose entries occupy `entry_bytes` on disk.
+    pub fn new(entry_bytes: usize) -> SmaFile {
+        assert!(entry_bytes > 0, "entries must have positive width");
+        SmaFile { entries: Vec::new(), entry_bytes }
+    }
+
+    /// Creates a file pre-sized to `n` buckets of `fill`.
+    pub fn filled(entry_bytes: usize, n: usize, fill: Value) -> SmaFile {
+        SmaFile {
+            entries: vec![fill; n],
+            entry_bytes,
+        }
+    }
+
+    /// Appends the entry for the next bucket.
+    pub fn push(&mut self, v: Value) {
+        self.entries.push(v);
+    }
+
+    /// The entry for bucket `i` (`None` past the end).
+    pub fn get(&self, i: u32) -> Option<&Value> {
+        self.entries.get(i as usize)
+    }
+
+    /// Overwrites the entry for bucket `i`, extending the file with `Null`
+    /// if the table has grown.
+    pub fn set(&mut self, i: u32, v: Value) {
+        if i as usize >= self.entries.len() {
+            self.entries.resize(i as usize + 1, Value::Null);
+        }
+        self.entries[i as usize] = v;
+    }
+
+    /// Number of bucket entries.
+    pub fn len(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// True iff the file has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in bucket order.
+    pub fn entries(&self) -> &[Value] {
+        &self.entries
+    }
+
+    /// Bytes per entry (the paper's 4/8-byte accounting).
+    pub fn entry_bytes(&self) -> usize {
+        self.entry_bytes
+    }
+
+    /// Physical size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * self.entry_bytes
+    }
+
+    /// Physical size in 4 KiB pages (what the paper's table reports).
+    pub fn size_pages(&self) -> usize {
+        self.size_bytes().div_ceil(PAGE_SIZE)
+    }
+
+    /// Entries per page — how many buckets one SMA page summarizes. The
+    /// paper's headline ratio: 1000 date entries per 4 K page.
+    pub fn entries_per_page(&self) -> usize {
+        PAGE_SIZE / self.entry_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_types::Date;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut f = SmaFile::new(4);
+        f.push(Value::Int(1));
+        f.push(Value::Int(2));
+        assert_eq!(f.get(0), Some(&Value::Int(1)));
+        assert_eq!(f.get(1), Some(&Value::Int(2)));
+        assert_eq!(f.get(2), None);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn set_extends_with_null() {
+        let mut f = SmaFile::new(4);
+        f.set(3, Value::Int(9));
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.get(0), Some(&Value::Null));
+        assert_eq!(f.get(3), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn space_accounting_matches_paper_ratio() {
+        // §2.1: a date-min SMA over 4 K pages with 4-byte entries is
+        // 1/1000th of the data — 1024 entries per page.
+        let mut f = SmaFile::new(4);
+        for d in 0..1024 {
+            f.push(Value::Date(Date::from_days(d)));
+        }
+        assert_eq!(f.entries_per_page(), 1024);
+        assert_eq!(f.size_pages(), 1);
+        f.push(Value::Date(Date::from_days(0)));
+        assert_eq!(f.size_pages(), 2, "1025 entries spill to a second page");
+    }
+
+    #[test]
+    fn eight_byte_entries() {
+        let f = SmaFile::filled(8, 512, Value::Int(0));
+        assert_eq!(f.size_bytes(), 4096);
+        assert_eq!(f.size_pages(), 1);
+        assert_eq!(f.entries_per_page(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn zero_width_rejected() {
+        SmaFile::new(0);
+    }
+}

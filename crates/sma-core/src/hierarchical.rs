@@ -1,0 +1,322 @@
+//! Hierarchical (two-level) SMAs — §4.
+//!
+//! "Every SMA-file is again partitioned into buckets and for each bucket a
+//! second level SMA is computed. […] If a second level bucket qualifies or
+//! disqualifies, the first level SMA-file need not be accessed, which
+//! saves some I/O."
+//!
+//! We implement exactly the two levels the paper recommends ("since second
+//! level SMA-files will be very small we do not think that higher levels
+//! are useful"): a level-2 entry covers `fanout` consecutive level-1
+//! (per-data-bucket) min/max entries.
+
+use sma_storage::BucketNo;
+use sma_types::Value;
+
+use crate::grade::{BucketPred, Grade, StatsProvider};
+use crate::sma::Sma;
+
+/// Two-level min/max index over one column.
+#[derive(Debug, Clone)]
+pub struct HierarchicalMinMax {
+    column: usize,
+    fanout: u32,
+    /// Level-1 bounds per data bucket; `None` for undefined entries.
+    l1: Vec<Option<(Value, Value)>>,
+    /// Per data bucket: whether a `Null` input was seen.
+    l1_null: Vec<bool>,
+    /// Level-2 bounds per super-bucket of `fanout` level-1 entries.
+    l2: Vec<Option<(Value, Value)>>,
+    /// Per super-bucket: whether any covered bucket saw `Null`.
+    l2_null: Vec<bool>,
+}
+
+/// Classification produced by a hierarchical prune, with the I/O
+/// accounting the §4 trade-off discussion is about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchicalPrune {
+    /// Grade per data bucket.
+    pub grades: Vec<Grade>,
+    /// Level-2 entries inspected (always all of them).
+    pub l2_inspected: usize,
+    /// Level-1 entries inspected (only inside ambivalent super-buckets).
+    pub l1_inspected: usize,
+    /// Level-1 entries skipped thanks to level 2.
+    pub l1_skipped: usize,
+}
+
+impl HierarchicalMinMax {
+    /// Builds the two-level structure from built `min` and `max` SMAs over
+    /// the same bare column. `fanout` is the number of level-1 entries one
+    /// level-2 entry covers.
+    pub fn from_smas(min_sma: &Sma, max_sma: &Sma, fanout: u32) -> HierarchicalMinMax {
+        assert!(fanout >= 2, "a fanout below 2 adds a level without pruning");
+        let (min_agg, col) = min_sma
+            .def()
+            .minmax_column()
+            .expect("min SMA over a bare column");
+        let (max_agg, col2) = max_sma
+            .def()
+            .minmax_column()
+            .expect("max SMA over a bare column");
+        assert_eq!(col, col2, "min and max SMAs must cover the same column");
+        assert_eq!(min_agg, crate::agg::AggFn::Min);
+        assert_eq!(max_agg, crate::agg::AggFn::Max);
+        let n = min_sma.n_buckets().max(max_sma.n_buckets());
+        let mut l1 = Vec::with_capacity(n as usize);
+        let mut l1_null = Vec::with_capacity(n as usize);
+        for b in 0..n {
+            let lo = min_sma.bucket_value_across_groups(b);
+            let hi = max_sma.bucket_value_across_groups(b);
+            l1.push(match (lo, hi) {
+                (Value::Null, _) | (_, Value::Null) => None,
+                (lo, hi) => Some((lo, hi)),
+            });
+            l1_null.push(min_sma.saw_null(b) || max_sma.saw_null(b));
+        }
+        let mut out = HierarchicalMinMax {
+            column: col,
+            fanout,
+            l1,
+            l1_null,
+            l2: Vec::new(),
+            l2_null: Vec::new(),
+        };
+        out.rebuild_l2();
+        out
+    }
+
+    fn rebuild_l2(&mut self) {
+        self.l2.clear();
+        self.l2_null.clear();
+        for chunk in self.l1.chunks(self.fanout as usize) {
+            let mut bounds: Option<(Value, Value)> = None;
+            for entry in chunk.iter().flatten() {
+                bounds = Some(match bounds {
+                    None => entry.clone(),
+                    Some((lo, hi)) => (lo.min_value(&entry.0), hi.max_value(&entry.1)),
+                });
+            }
+            self.l2.push(bounds);
+        }
+        for (chunk, _) in self
+            .l1_null
+            .chunks(self.fanout as usize)
+            .zip(self.l2.iter())
+        {
+            self.l2_null.push(chunk.iter().any(|&b| b));
+        }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Level-1 entries covered per level-2 entry.
+    pub fn fanout(&self) -> u32 {
+        self.fanout
+    }
+
+    /// Number of level-2 entries.
+    pub fn l2_len(&self) -> usize {
+        self.l2.len()
+    }
+
+    /// Grades all data buckets against `pred`, touching level-1 entries
+    /// only inside ambivalent super-buckets.
+    ///
+    /// `pred` must reference only this structure's column; predicates over
+    /// other columns grade everything ambivalent (sound).
+    pub fn prune(&self, pred: &BucketPred) -> HierarchicalPrune {
+        let mut grades = vec![Grade::Ambivalent; self.l1.len()];
+        let mut l1_inspected = 0;
+        let mut l1_skipped = 0;
+        for (sb, bounds) in self.l2.iter().enumerate() {
+            let start = sb * self.fanout as usize;
+            let end = ((sb + 1) * self.fanout as usize).min(self.l1.len());
+            let l2_stats = SingleBucketStats {
+                column: self.column,
+                bounds: bounds.clone(),
+                null_free: !self.l2_null[sb],
+            };
+            let l2_grade = pred.grade(0, &l2_stats);
+            match l2_grade {
+                Grade::Qualifies | Grade::Disqualifies => {
+                    // The whole super-bucket resolves; level 1 not touched.
+                    for g in &mut grades[start..end] {
+                        *g = l2_grade;
+                    }
+                    l1_skipped += end - start;
+                }
+                Grade::Ambivalent => {
+                    for (i, g) in grades[start..end].iter_mut().enumerate() {
+                        let b = start + i;
+                        l1_inspected += 1;
+                        let l1_stats = SingleBucketStats {
+                            column: self.column,
+                            bounds: self.l1[b].clone(),
+                            null_free: !self.l1_null[b],
+                        };
+                        *g = pred.grade(0, &l1_stats);
+                    }
+                }
+            }
+        }
+        HierarchicalPrune {
+            grades,
+            l2_inspected: self.l2.len(),
+            l1_inspected,
+            l1_skipped,
+        }
+    }
+}
+
+/// Adapter presenting one bounds pair as a [`StatsProvider`] for an
+/// arbitrary bucket number (the grader always asks about bucket 0 here).
+struct SingleBucketStats {
+    column: usize,
+    bounds: Option<(Value, Value)>,
+    null_free: bool,
+}
+
+impl StatsProvider for SingleBucketStats {
+    fn min_of(&self, col: usize, _: BucketNo) -> Option<Value> {
+        (col == self.column)
+            .then(|| self.bounds.as_ref().map(|(lo, _)| lo.clone()))
+            .flatten()
+    }
+    fn max_of(&self, col: usize, _: BucketNo) -> Option<Value> {
+        (col == self.column)
+            .then(|| self.bounds.as_ref().map(|(_, hi)| hi.clone()))
+            .flatten()
+    }
+    fn null_free(&self, col: usize, _: BucketNo) -> bool {
+        col == self.column && self.null_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::def::SmaDefinition;
+    use crate::expr::col;
+    use crate::grade::CmpOp;
+    use sma_storage::Table;
+    use sma_types::{Column, DataType, Schema};
+    use std::sync::Arc;
+
+    /// A sorted integer table: value = tuple index, 2 tuples per page.
+    fn sorted_table(n: i64) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(1800);
+        for k in 0..n {
+            t.append(&vec![Value::Int(k), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    fn hier(t: &Table, fanout: u32) -> HierarchicalMinMax {
+        let min = Sma::build(t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
+        let max = Sma::build(t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
+        HierarchicalMinMax::from_smas(&min, &max, fanout)
+    }
+
+    #[test]
+    fn grades_match_flat_grading() {
+        let t = sorted_table(64); // 32 buckets of 2
+        let h = hier(&t, 4);
+        let set = crate::set::SmaSet::build(
+            &t,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+            ],
+        )
+        .unwrap();
+        for c in [0i64, 10, 31, 32, 63, 100] {
+            let pred = BucketPred::cmp(0, CmpOp::Le, c);
+            let flat: Vec<Grade> = (0..t.bucket_count()).map(|b| pred.grade(b, &set)).collect();
+            let pruned = h.prune(&pred);
+            assert_eq!(pruned.grades, flat, "cutoff {c}");
+        }
+    }
+
+    #[test]
+    fn l2_skips_l1_on_clustered_data() {
+        let t = sorted_table(128); // 64 buckets, fanout 8 → 8 super-buckets
+        let h = hier(&t, 8);
+        assert_eq!(h.l2_len(), 8);
+        // Highly selective predicate: only the first super-bucket is
+        // ambivalent-or-qualifying; the other 7 resolve at level 2.
+        let pred = BucketPred::cmp(0, CmpOp::Le, 5i64);
+        let p = h.prune(&pred);
+        assert_eq!(p.l2_inspected, 8);
+        assert!(
+            p.l1_inspected <= 8,
+            "only one super-bucket opened, saw {}",
+            p.l1_inspected
+        );
+        assert!(p.l1_skipped >= 56);
+        // Low selectivity mirror image.
+        let pred = BucketPred::cmp(0, CmpOp::Ge, 120i64);
+        let p = h.prune(&pred);
+        assert!(p.l1_inspected <= 8);
+    }
+
+    #[test]
+    fn unclustered_data_defeats_l2_but_stays_correct() {
+        // Interleave small and large keys so every super-bucket spans the
+        // whole domain: level 2 resolves nothing.
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(1800);
+        for k in 0..64i64 {
+            let v = if k % 2 == 0 { k } else { 1000 + k };
+            t.append(&vec![Value::Int(v), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        let h = hier(&t, 4);
+        let pred = BucketPred::cmp(0, CmpOp::Le, 500i64);
+        let p = h.prune(&pred);
+        assert_eq!(p.l1_skipped, 0, "no super-bucket resolves");
+        assert_eq!(p.l1_inspected, t.bucket_count() as usize);
+        // Every bucket holds both a passing and a failing value.
+        assert!(p.grades.iter().all(|&g| g == Grade::Ambivalent));
+    }
+
+    #[test]
+    fn predicate_on_other_column_is_ambivalent() {
+        let t = sorted_table(16);
+        let h = hier(&t, 4);
+        let p = h.prune(&BucketPred::cmp(1, CmpOp::Le, 0i64));
+        assert!(p.grades.iter().all(|&g| g == Grade::Ambivalent));
+    }
+
+    #[test]
+    fn partial_last_superbucket() {
+        let t = sorted_table(18); // 9 buckets, fanout 4 → 3 super-buckets (4+4+1)
+        let h = hier(&t, 4);
+        assert_eq!(h.l2_len(), 3);
+        let pred = BucketPred::cmp(0, CmpOp::Ge, 16i64);
+        let p = h.prune(&pred);
+        assert_eq!(p.grades.len(), 9);
+        assert_eq!(*p.grades.last().unwrap(), Grade::Qualifies);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn fanout_one_rejected() {
+        let t = sorted_table(8);
+        hier(&t, 1);
+    }
+}

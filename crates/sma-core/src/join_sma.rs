@@ -1,0 +1,250 @@
+//! Join SMAs: semi-join input reduction — §4.
+//!
+//! For query patterns `select R.* from R, S where R.A θ S.B`, the paper
+//! proposes associating "a minimax value of the S.B values with each
+//! bucket of R" to shrink the semi-join input. With existential (semi-join)
+//! semantics a tuple `r` qualifies iff `∃ s : r.A θ s.B`, which for the
+//! ordering operators depends only on `min(S.B)` / `max(S.B)`:
+//!
+//! * `r.A <  s.B` for some s  ⇔  `r.A <  max(S.B)`
+//! * `r.A <= s.B` for some s  ⇔  `r.A <= max(S.B)`
+//! * `r.A >  s.B` for some s  ⇔  `r.A >  min(S.B)`
+//! * `r.A >= s.B` for some s  ⇔  `r.A >= min(S.B)`
+//! * `r.A =  s.B` for some s  ⇒  `min(S.B) <= r.A <= max(S.B)` (necessary)
+//!
+//! So grading R's buckets reduces to the constant-comparison rules of
+//! §3.1 against S's global minimax — which this module materializes.
+
+use sma_storage::{BucketNo, Table, TableError};
+use sma_types::Value;
+
+use crate::grade::{BucketPred, Classification, CmpOp, Grade, StatsProvider};
+
+/// Global min/max of one column of the inner relation `S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimaxOf {
+    /// Column of `S` this summarizes.
+    pub column: usize,
+    /// `min(S.B)`; `None` when S is empty or all-Null.
+    pub min: Option<Value>,
+    /// `max(S.B)`.
+    pub max: Option<Value>,
+}
+
+impl MinimaxOf {
+    /// Computes the minimax of `column` by scanning `s`.
+    pub fn scan(s: &Table, column: usize) -> Result<MinimaxOf, TableError> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let mut rows = Vec::new();
+        for page in 0..s.page_count() {
+            rows.clear();
+            s.scan_page_into(page, &mut rows)?;
+            for (_, t) in &rows {
+                let v = &t[column];
+                if v.is_null() {
+                    continue;
+                }
+                min = Some(match min {
+                    None => v.clone(),
+                    Some(m) => m.min_value(v),
+                });
+                max = Some(match max {
+                    None => v.clone(),
+                    Some(m) => m.max_value(v),
+                });
+            }
+        }
+        Ok(MinimaxOf { column, min, max })
+    }
+
+    /// Derives the existential predicate on `R.A` equivalent to
+    /// `∃ s : A θ S.B` (for `=`, a sound necessary range condition).
+    /// Returns `None` when S's bounds are unknown (empty S: for the
+    /// ordering operators and `=` the semi-join output is empty, which the
+    /// caller handles via [`semijoin_prune`]).
+    pub fn reduction_pred(&self, a_col: usize, theta: CmpOp) -> Option<BucketPred> {
+        let min = self.min.clone();
+        let max = self.max.clone();
+        Some(match theta {
+            CmpOp::Lt => BucketPred::cmp(a_col, CmpOp::Lt, max?),
+            CmpOp::Le => BucketPred::cmp(a_col, CmpOp::Le, max?),
+            CmpOp::Gt => BucketPred::cmp(a_col, CmpOp::Gt, min?),
+            CmpOp::Ge => BucketPred::cmp(a_col, CmpOp::Ge, min?),
+            CmpOp::Eq => BucketPred::And(vec![
+                BucketPred::cmp(a_col, CmpOp::Ge, min?),
+                BucketPred::cmp(a_col, CmpOp::Le, max?),
+            ]),
+        })
+    }
+}
+
+/// Grades R's buckets for the semi-join `R.A θ S.B` using R's min/max SMAs
+/// (via `stats`) and S's global minimax.
+///
+/// For `=` the *qualifying* grade is demoted to ambivalent: the range
+/// condition is necessary but not sufficient (S need not contain every
+/// value in the range), so only disqualification is exact.
+pub fn semijoin_prune(
+    a_col: usize,
+    theta: CmpOp,
+    s_minimax: &MinimaxOf,
+    n_buckets: BucketNo,
+    stats: &dyn StatsProvider,
+) -> Classification {
+    match s_minimax.reduction_pred(a_col, theta) {
+        None => Classification {
+            // Empty/unknown S: no tuple can have a partner.
+            grades: vec![Grade::Disqualifies; n_buckets as usize],
+        },
+        Some(pred) => {
+            let mut c = Classification::classify(&pred, n_buckets, stats);
+            if theta == CmpOp::Eq {
+                for g in &mut c.grades {
+                    if *g == Grade::Qualifies {
+                        *g = Grade::Ambivalent;
+                    }
+                }
+            }
+            c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::def::SmaDefinition;
+    use crate::expr::col;
+    use crate::set::SmaSet;
+    use sma_storage::Table;
+    use sma_types::{Column, DataType, Schema};
+    use std::sync::Arc;
+
+    fn int_table(name: &str, values: &[i64]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory(name, schema, 1);
+        let pad = "p".repeat(1800); // 2 per page
+        for &v in values {
+            t.append(&vec![Value::Int(v), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    fn minmax_set(t: &Table) -> SmaSet {
+        SmaSet::build(
+            t,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_computes_global_bounds() {
+        let s = int_table("S", &[30, 10, 20]);
+        let mm = MinimaxOf::scan(&s, 0).unwrap();
+        assert_eq!(mm.min, Some(Value::Int(10)));
+        assert_eq!(mm.max, Some(Value::Int(30)));
+    }
+
+    #[test]
+    fn scan_skips_nulls_and_handles_empty() {
+        let schema = Arc::new(Schema::new(vec![Column::new("K", DataType::Int)]));
+        let mut s = Table::in_memory("S", schema.clone(), 1);
+        s.append(&vec![Value::Null]).unwrap();
+        s.append(&vec![Value::Int(5)]).unwrap();
+        let mm = MinimaxOf::scan(&s, 0).unwrap();
+        assert_eq!(mm.min, Some(Value::Int(5)));
+        let empty = Table::in_memory("E", schema, 1);
+        let mm = MinimaxOf::scan(&empty, 0).unwrap();
+        assert_eq!(mm.min, None);
+        assert_eq!(mm.max, None);
+    }
+
+    #[test]
+    fn reduction_predicates_match_semantics() {
+        let mm = MinimaxOf {
+            column: 0,
+            min: Some(Value::Int(10)),
+            max: Some(Value::Int(30)),
+        };
+        // Brute-force oracle: r.A θ some s in {10..=30 endpoints only
+        // matter for ordering ops}.
+        let s_vals = [10i64, 30];
+        for theta in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let pred = mm.reduction_pred(0, theta).unwrap();
+            for a in [5i64, 10, 20, 30, 35] {
+                let expected = s_vals.iter().any(|&s| theta.eval(&Value::Int(a), &Value::Int(s)));
+                assert_eq!(
+                    pred.eval_tuple(&[Value::Int(a)]),
+                    expected,
+                    "theta {theta:?} a {a}"
+                );
+            }
+        }
+        // Equality: range condition.
+        let pred = mm.reduction_pred(0, CmpOp::Eq).unwrap();
+        assert!(pred.eval_tuple(&[Value::Int(10)]));
+        assert!(pred.eval_tuple(&[Value::Int(20)]));
+        assert!(!pred.eval_tuple(&[Value::Int(9)]));
+        assert!(!pred.eval_tuple(&[Value::Int(31)]));
+    }
+
+    #[test]
+    fn prune_reduces_semijoin_input() {
+        // R sorted 0..40 (20 buckets of 2); S.B spans [30, 35].
+        let r = int_table("R", &(0..40).collect::<Vec<_>>());
+        let set = minmax_set(&r);
+        let s = int_table("S", &[30, 35]);
+        let mm = MinimaxOf::scan(&s, 0).unwrap();
+        // R.A > S.B (some): qualifies iff A > 30.
+        let c = semijoin_prune(0, CmpOp::Gt, &mm, r.bucket_count(), &set);
+        // Buckets are pairs (0,1), (2,3) … (38,39): bucket 15 = {30,31} is
+        // ambivalent, buckets 16+ qualify, buckets < 15 disqualify.
+        assert_eq!(c.grades[14], Grade::Disqualifies);
+        assert_eq!(c.grades[15], Grade::Ambivalent);
+        assert_eq!(c.grades[16], Grade::Qualifies);
+        assert_eq!(c.grades[19], Grade::Qualifies);
+        // Sanity against the tuple-level oracle.
+        let pred = mm.reduction_pred(0, CmpOp::Gt).unwrap();
+        for (b, grade) in c.grades.iter().enumerate() {
+            let rows = r.scan_bucket(b as u32).unwrap();
+            let passing = rows.iter().filter(|(_, t)| pred.eval_tuple(t)).count();
+            match grade {
+                Grade::Qualifies => assert_eq!(passing, rows.len()),
+                Grade::Disqualifies => assert_eq!(passing, 0),
+                Grade::Ambivalent => {}
+            }
+        }
+    }
+
+    #[test]
+    fn equality_never_qualifies_wholesale() {
+        let r = int_table("R", &(0..8).collect::<Vec<_>>());
+        let set = minmax_set(&r);
+        // S covers the whole R domain, so the range condition alone would
+        // mark every bucket qualifying — which is unsound for `=`.
+        let s = int_table("S", &[0, 7]);
+        let mm = MinimaxOf::scan(&s, 0).unwrap();
+        let c = semijoin_prune(0, CmpOp::Eq, &mm, r.bucket_count(), &set);
+        assert!(c.grades.iter().all(|&g| g != Grade::Qualifies));
+        assert!(c.grades.contains(&Grade::Ambivalent));
+    }
+
+    #[test]
+    fn empty_s_disqualifies_everything() {
+        let r = int_table("R", &(0..8).collect::<Vec<_>>());
+        let set = minmax_set(&r);
+        let mm = MinimaxOf { column: 0, min: None, max: None };
+        let c = semijoin_prune(0, CmpOp::Lt, &mm, r.bucket_count(), &set);
+        assert!(c.grades.iter().all(|&g| g == Grade::Disqualifies));
+    }
+}

@@ -1,0 +1,507 @@
+//! Parser for the paper's `define sma` statement (§2.1 / §2.3):
+//!
+//! ```sql
+//! define sma extdis
+//! select sum(L_EXTENDEDPRICE * (1 - L_DISCOUNT))
+//! from LINEITEM
+//! group by L_RETURNFLAG, L_LINESTATUS
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! stmt    := DEFINE SMA name SELECT agg '(' input ')' FROM table [GROUP BY cols]
+//! agg     := MIN | MAX | SUM | COUNT
+//! input   := '*' (count only) | expr
+//! expr    := term (('+'|'-') term)*
+//! term    := factor ('*' factor)*
+//! factor  := column | number | date-literal | '(' expr ')'
+//! ```
+//!
+//! Column names resolve against a provided [`Schema`]; numbers with a
+//! decimal point become [`Decimal`] literals, bare integers become `Int`
+//! literals, and single-quoted `'YYYY-MM-DD'` strings become dates. The
+//! paper's single-entry select clause and single-relation from clause are
+//! enforced.
+
+use std::fmt;
+
+use sma_types::{Date, Decimal, Schema, Value};
+
+use crate::agg::AggFn;
+use crate::def::SmaDefinition;
+use crate::expr::ScalarExpr;
+
+/// Error produced by the `define sma` parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sma parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    Quoted(String),
+    Star,
+    Plus,
+    Minus,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut it = input.chars().peekable();
+    while let Some(&ch) = it.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                it.next();
+            }
+            '(' => {
+                it.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                it.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                it.next();
+                toks.push(Tok::Comma);
+            }
+            '*' => {
+                it.next();
+                toks.push(Tok::Star);
+            }
+            '+' => {
+                it.next();
+                toks.push(Tok::Plus);
+            }
+            '-' => {
+                it.next();
+                toks.push(Tok::Minus);
+            }
+            '\'' => {
+                it.next();
+                let mut s = String::new();
+                loop {
+                    match it.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError("unterminated string literal".into())),
+                    }
+                }
+                toks.push(Tok::Quoted(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = it.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        s.push(c);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Number(s));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = it.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(ParseError(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn column(&mut self) -> Result<usize, ParseError> {
+        let name = self.ident("column name")?;
+        self.schema
+            .index_of(&name)
+            .or_else(|| {
+                // Case-insensitive fallback, since SQL is.
+                self.schema
+                    .columns()
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(&name))
+            })
+            .ok_or_else(|| ParseError(format!("unknown column {name:?}")))
+    }
+
+    fn expr(&mut self) -> Result<ScalarExpr, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    left = left.add(self.term()?);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    left = left.sub(self.term()?);
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<ScalarExpr, ParseError> {
+        let mut left = self.factor()?;
+        while matches!(self.peek(), Some(Tok::Star)) {
+            self.pos += 1;
+            left = left.mul(self.factor()?);
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<ScalarExpr, ParseError> {
+        match self.next() {
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                match self.next() {
+                    Some(Tok::RParen) => Ok(e),
+                    other => Err(ParseError(format!("expected ')', found {other:?}"))),
+                }
+            }
+            Some(Tok::Number(s)) => {
+                if s.contains('.') {
+                    let d = Decimal::parse(&s)
+                        .map_err(|e| ParseError(format!("bad decimal literal: {e}")))?;
+                    Ok(ScalarExpr::Literal(Value::Decimal(d)))
+                } else {
+                    let n: i64 = s
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad integer literal {s:?}")))?;
+                    // SQL arithmetic like `1 - L_DISCOUNT` mixes integer
+                    // literals with DECIMAL columns; coerce bare integers
+                    // to decimals so the common pattern type-checks.
+                    Ok(ScalarExpr::Literal(Value::Decimal(Decimal::from_int(n))))
+                }
+            }
+            Some(Tok::Quoted(s)) => {
+                let d = Date::parse(&s)
+                    .map_err(|e| ParseError(format!("bad date literal: {e}")))?;
+                Ok(ScalarExpr::Literal(Value::Date(d)))
+            }
+            Some(Tok::Ident(_)) => {
+                self.pos -= 1;
+                let c = self.column()?;
+                Ok(ScalarExpr::Column(c))
+            }
+            other => Err(ParseError(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a `define sma` statement against `schema`, returning the
+/// definition and the relation name from the `from` clause.
+pub fn parse_define_sma(
+    input: &str,
+    schema: &Schema,
+) -> Result<(SmaDefinition, String), ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, schema };
+    p.expect_keyword("define")?;
+    p.expect_keyword("sma")?;
+    let name = p.ident("sma name")?;
+    p.expect_keyword("select")?;
+    let agg_name = p.ident("aggregate function")?;
+    let agg = match agg_name.to_ascii_lowercase().as_str() {
+        "min" => AggFn::Min,
+        "max" => AggFn::Max,
+        "sum" => AggFn::Sum,
+        "count" => AggFn::Count,
+        other => {
+            return Err(ParseError(format!(
+                "unknown aggregate {other:?} (the paper allows min, max, sum, count)"
+            )))
+        }
+    };
+    match p.next() {
+        Some(Tok::LParen) => {}
+        other => return Err(ParseError(format!("expected '(', found {other:?}"))),
+    }
+    let input_expr = if matches!(p.peek(), Some(Tok::Star)) {
+        p.pos += 1;
+        None
+    } else {
+        Some(p.expr()?)
+    };
+    match p.next() {
+        Some(Tok::RParen) => {}
+        other => return Err(ParseError(format!("expected ')', found {other:?}"))),
+    }
+    // "The select clause may contain only a single entry."
+    if matches!(p.peek(), Some(Tok::Comma)) {
+        return Err(ParseError(
+            "the select clause may contain only a single entry (§2.1)".into(),
+        ));
+    }
+    p.expect_keyword("from")?;
+    let relation = p.ident("relation name")?;
+    // "We allow only for a single entry within the from clause."
+    if matches!(p.peek(), Some(Tok::Comma)) {
+        return Err(ParseError(
+            "joins are not allowed in a SMA definition (§2.1; see §4 for join SMAs)".into(),
+        ));
+    }
+    let mut group_by = Vec::new();
+    if p.keyword_is("group") {
+        p.pos += 1;
+        p.expect_keyword("by")?;
+        loop {
+            group_by.push(p.column()?);
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    if p.keyword_is("order") {
+        return Err(ParseError(
+            "order specifications are not allowed in a SMA definition (§2.1)".into(),
+        ));
+    }
+    if let Some(t) = p.peek() {
+        return Err(ParseError(format!("trailing input at {t:?}")));
+    }
+    let def = match (agg, input_expr) {
+        (AggFn::Count, None) => SmaDefinition::count(name).group_by(group_by),
+        (AggFn::Count, Some(_)) => {
+            return Err(ParseError("count takes '*' in a SMA definition".into()))
+        }
+        (_, None) => {
+            return Err(ParseError(format!("{agg} requires an input expression")))
+        }
+        (agg, Some(e)) => SmaDefinition::new(name, agg, e).group_by(group_by),
+    };
+    Ok((def, relation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, dec_lit};
+    use sma_types::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("L_SHIPDATE", DataType::Date),
+            Column::new("L_RETURNFLAG", DataType::Char),
+            Column::new("L_LINESTATUS", DataType::Char),
+            Column::new("L_EXTENDEDPRICE", DataType::Decimal),
+            Column::new("L_DISCOUNT", DataType::Decimal),
+            Column::new("L_TAX", DataType::Decimal),
+        ])
+    }
+
+    #[test]
+    fn parses_the_papers_min_example() {
+        // Verbatim from §2.1.
+        let (def, rel) = parse_define_sma(
+            "define sma min select min(L_SHIPDATE) from LINEITEM",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(rel, "LINEITEM");
+        assert_eq!(def, SmaDefinition::new("min", AggFn::Min, col(0)));
+    }
+
+    #[test]
+    fn parses_grouped_count() {
+        let (def, _) = parse_define_sma(
+            "define sma count select count(*) from LINEITEM \
+             group by L_RETURNFLAG, L_LINESTATUS",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(def, SmaDefinition::count("count").group_by(vec![1, 2]));
+    }
+
+    #[test]
+    fn parses_the_extdistax_expression() {
+        // Fig. 4: sum(EXTPRICE * (1-DIS) * (1+TAX)).
+        let (def, _) = parse_define_sma(
+            "define sma extdistax \
+             select sum(L_EXTENDEDPRICE * (1 - L_DISCOUNT) * (1 + L_TAX)) \
+             from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+            &schema(),
+        )
+        .unwrap();
+        let expected = SmaDefinition::new(
+            "extdistax",
+            AggFn::Sum,
+            col(3)
+                .mul(dec_lit("1.00").sub(col(4)))
+                .mul(dec_lit("1.00").add(col(5))),
+        )
+        .group_by(vec![1, 2]);
+        assert_eq!(def, expected);
+        assert!(def.validate(&schema()).is_ok());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let (def, _) = parse_define_sma(
+            "DEFINE SMA m SELECT MAX(l_shipdate) FROM L GROUP BY l_returnflag",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(def.agg, AggFn::Max);
+        assert_eq!(def.group_by, vec![1]);
+    }
+
+    #[test]
+    fn date_literals() {
+        let (def, _) = parse_define_sma(
+            "define sma d select min(L_SHIPDATE - 90) from L",
+            &schema(),
+        )
+        .unwrap();
+        // 90 coerces to Decimal… which would be ill-typed for DATE - n.
+        // Date arithmetic needs integer days; validate() rejects it, which
+        // is the correct diagnosis for this odd definition.
+        assert!(def.validate(&schema()).is_err());
+        // Quoted dates parse as dates.
+        let (def, _) = parse_define_sma(
+            "define sma d select max('1998-12-01') from L",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(
+            def.input,
+            Some(ScalarExpr::Literal(Value::Date(
+                Date::parse("1998-12-01").unwrap()
+            )))
+        );
+    }
+
+    #[test]
+    fn rejects_the_papers_restrictions() {
+        let s = schema();
+        // Multiple select entries.
+        assert!(parse_define_sma(
+            "define sma x select min(L_SHIPDATE), max(L_SHIPDATE) from L",
+            &s
+        )
+        .is_err());
+        // Joins.
+        assert!(
+            parse_define_sma("define sma x select min(L_SHIPDATE) from L, O", &s).is_err()
+        );
+        // Order specification.
+        assert!(parse_define_sma(
+            "define sma x select min(L_SHIPDATE) from L order by L_SHIPDATE",
+            &s
+        )
+        .is_err());
+        // Unsupported aggregate.
+        assert!(parse_define_sma("define sma x select avg(L_TAX) from L", &s).is_err());
+        // count with an expression.
+        assert!(parse_define_sma("define sma x select count(L_TAX) from L", &s).is_err());
+        // min without an expression.
+        assert!(parse_define_sma("define sma x select min(*) from L", &s).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let s = schema();
+        assert!(parse_define_sma("", &s).is_err());
+        assert!(parse_define_sma("define sma", &s).is_err());
+        assert!(parse_define_sma("define sma x select min(NOPE) from L", &s).is_err());
+        assert!(parse_define_sma("define sma x select min(L_SHIPDATE from L", &s).is_err());
+        assert!(parse_define_sma(
+            "define sma x select min(L_SHIPDATE) from L trailing",
+            &s
+        )
+        .is_err());
+        assert!(parse_define_sma("define sma x select min('oops') from L", &s).is_err());
+        assert!(parse_define_sma("define sma x select min('unterminated from L", &s).is_err());
+        assert!(parse_define_sma("define sma x select min(1.2.3) from L", &s).is_err());
+        assert!(parse_define_sma("define sma x select min(@) from L", &s).is_err());
+    }
+
+    #[test]
+    fn parsed_definitions_build_and_answer() {
+        use crate::set::SmaSet;
+        use sma_storage::Table;
+        use std::sync::Arc;
+        let s = Arc::new(schema());
+        let mut t = Table::in_memory("L", s.clone(), 1);
+        for i in 0..10i64 {
+            t.append(&vec![
+                Value::Date(Date::from_days(100 + i as i32)),
+                Value::Char(b'A' + (i % 2) as u8),
+                Value::Char(b'F'),
+                Value::Decimal(Decimal::from_int(100 * i)),
+                Value::Decimal(Decimal::from_cents(5)),
+                Value::Decimal(Decimal::from_cents(3)),
+            ])
+            .unwrap();
+        }
+        let (def, _) = parse_define_sma(
+            "define sma ext select sum(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) \
+             from L group by L_RETURNFLAG",
+            &s,
+        )
+        .unwrap();
+        let set = SmaSet::build(&t, vec![def]).unwrap();
+        assert_eq!(set.smas().len(), 1);
+        assert_eq!(set.smas()[0].file_count(), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Projection indexes — the structure SMAs generalize.
+//!
+//! §1: "SMAs can be seen as a generalization of projection indexes. In a
+//! projection index on a certain attribute, for all tuples in the relation
+//! to index, the attribute value is stored sequentially in a file. SMAs
+//! generalize this approach in that an aggregate value is stored for a set
+//! of tuples instead of mere projection values." And §2.2: "for the case
+//! where a bucket contains exactly a single tuple, a SMA degenerates to a
+//! projection index."
+//!
+//! This module provides the [`ProjectionIndex`] (\[16\], O'Neil & Quass) as
+//! a first-class structure: the indexed expression's value for *every*
+//! tuple, in physical order, grouped by bucket so positions map back to
+//! tuples. It supports exact selection evaluation without touching the
+//! relation, at a per-tuple (not per-bucket) storage cost — the trade SMAs
+//! improve on.
+
+use sma_storage::{BucketNo, Table, PAGE_SIZE};
+use sma_types::{DataType, Value};
+
+use crate::def::DefError;
+use crate::expr::ScalarExpr;
+use crate::grade::{BucketPred, CmpOp};
+use crate::sma::SmaError;
+
+/// A projection index: one stored value per tuple, in physical order.
+#[derive(Debug, Clone)]
+pub struct ProjectionIndex {
+    expr: ScalarExpr,
+    entry_bytes: usize,
+    /// Per bucket: the projected values of its live tuples, in slot order.
+    buckets: Vec<Vec<Value>>,
+}
+
+impl ProjectionIndex {
+    /// Builds the index for `expr` by one sequential scan of `table`.
+    pub fn build(table: &Table, expr: ScalarExpr) -> Result<ProjectionIndex, SmaError> {
+        let ty = expr
+            .result_type(table.schema())
+            .map_err(|e| SmaError::Def(DefError(e.to_string())))?;
+        let entry_bytes = match ty {
+            DataType::Date => 4,
+            DataType::Char => 1,
+            DataType::Str => 16, // the paper's structures index fixed-width values
+            _ => 8,
+        };
+        let mut buckets = Vec::with_capacity(table.bucket_count() as usize);
+        let mut rows = Vec::new();
+        for b in 0..table.bucket_count() {
+            rows.clear();
+            for page in table.bucket_range(b) {
+                table.scan_page_into(page, &mut rows)?;
+            }
+            let mut vals = Vec::with_capacity(rows.len());
+            for (_, t) in &rows {
+                vals.push(expr.eval(t)?);
+            }
+            buckets.push(vals);
+            rows.clear();
+        }
+        Ok(ProjectionIndex { expr, entry_bytes, buckets })
+    }
+
+    /// The indexed expression.
+    pub fn expr(&self) -> &ScalarExpr {
+        &self.expr
+    }
+
+    /// Total entries (= live tuples at build time).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True iff the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical size in bytes — `len × entry_bytes`, the per-tuple cost
+    /// the paper contrasts with SMAs' per-bucket cost.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.entry_bytes
+    }
+
+    /// Physical size in 4 KiB pages.
+    pub fn size_pages(&self) -> usize {
+        self.size_bytes().div_ceil(PAGE_SIZE)
+    }
+
+    /// The projected values of `bucket`'s tuples.
+    pub fn bucket_values(&self, b: BucketNo) -> &[Value] {
+        &self.buckets[b as usize]
+    }
+
+    /// Evaluates `value op c` over the whole index, returning per bucket
+    /// the ordinals (within the bucket's live tuples) that satisfy it —
+    /// exact selection without touching the relation.
+    pub fn select(&self, op: CmpOp, c: &Value) -> Vec<(BucketNo, Vec<usize>)> {
+        let mut out = Vec::new();
+        for (b, vals) in self.buckets.iter().enumerate() {
+            let hits: Vec<usize> = vals
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| op.eval(v, c))
+                .map(|(i, _)| i)
+                .collect();
+            if !hits.is_empty() {
+                out.push((b as BucketNo, hits));
+            }
+        }
+        out
+    }
+
+    /// Counts tuples satisfying `op c` — a count query answered entirely
+    /// from the index.
+    pub fn count(&self, op: CmpOp, c: &Value) -> usize {
+        self.buckets
+            .iter()
+            .flatten()
+            .filter(|v| op.eval(v, c))
+            .count()
+    }
+
+    /// Degenerates this index into the SMA view of the same data: treats
+    /// each *tuple* as its own bucket and yields its min=max=value bounds.
+    /// This is the §2.2 degeneration made literal, used by tests to show
+    /// the structures coincide at bucket size one.
+    pub fn as_singleton_bounds(&self) -> Vec<Option<(Value, Value)>> {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|v| {
+                if v.is_null() {
+                    None
+                } else {
+                    Some((v.clone(), v.clone()))
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates an arbitrary single-column predicate over the index,
+    /// provided every atom references the indexed expression's column(s)
+    /// only — returns `None` when the predicate involves other columns.
+    pub fn eval_pred_counts(&self, pred: &BucketPred) -> Option<usize> {
+        let idx_cols = self.expr.referenced_columns();
+        if pred
+            .referenced_columns()
+            .iter()
+            .any(|c| !idx_cols.contains(c))
+        {
+            return None;
+        }
+        // Only valid when the expression IS the bare column (otherwise the
+        // predicate's column values are not what we stored).
+        let ScalarExpr::Column(col) = self.expr else { return None };
+        let mut n = 0;
+        for v in self.buckets.iter().flatten() {
+            // Build a sparse tuple exposing only the indexed column.
+            let mut t = vec![Value::Null; col + 1];
+            t[col] = v.clone();
+            if pred.eval_tuple(&t) {
+                n += 1;
+            }
+        }
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+    use sma_storage::Table;
+    use sma_types::{Column, Schema};
+    use std::sync::Arc;
+
+    fn table(values: &[i64]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(1800); // 2 per page
+        for &v in values {
+            t.append(&vec![Value::Int(v), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn stores_every_tuple_in_order() {
+        let t = table(&[5, 3, 8, 1]);
+        let idx = ProjectionIndex::build(&t, col(0)).unwrap();
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.bucket_values(0), &[Value::Int(5), Value::Int(3)]);
+        assert_eq!(idx.bucket_values(1), &[Value::Int(8), Value::Int(1)]);
+    }
+
+    #[test]
+    fn select_and_count_are_exact() {
+        let t = table(&[5, 3, 8, 1, 9, 2]);
+        let idx = ProjectionIndex::build(&t, col(0)).unwrap();
+        assert_eq!(idx.count(CmpOp::Le, &Value::Int(3)), 3);
+        let sel = idx.select(CmpOp::Le, &Value::Int(3));
+        assert_eq!(
+            sel,
+            vec![(0, vec![1]), (1, vec![1]), (2, vec![1])],
+            "second tuple of every bucket"
+        );
+        assert_eq!(idx.count(CmpOp::Gt, &Value::Int(100)), 0);
+        assert!(idx.select(CmpOp::Gt, &Value::Int(100)).is_empty());
+    }
+
+    #[test]
+    fn degenerates_to_singleton_smas() {
+        // §2.2: a SMA with one-tuple buckets IS a projection index. The
+        // singleton bounds say min=max=value for every tuple.
+        let t = table(&[7, 7, 2]);
+        let idx = ProjectionIndex::build(&t, col(0)).unwrap();
+        let bounds = idx.as_singleton_bounds();
+        assert_eq!(bounds.len(), 3);
+        assert_eq!(bounds[0], Some((Value::Int(7), Value::Int(7))));
+        assert_eq!(bounds[2], Some((Value::Int(2), Value::Int(2))));
+    }
+
+    #[test]
+    fn per_tuple_vs_per_bucket_cost() {
+        // The storage trade the paper describes: a projection index costs
+        // one entry per tuple; an ungrouped SMA costs one per bucket.
+        use crate::agg::AggFn;
+        use crate::def::SmaDefinition;
+        use crate::sma::Sma;
+        let t = table(&(0..200).collect::<Vec<_>>());
+        let idx = ProjectionIndex::build(&t, col(0)).unwrap();
+        let sma = Sma::build(&t, SmaDefinition::new("m", AggFn::Min, col(0))).unwrap();
+        assert_eq!(idx.len(), 200);
+        assert_eq!(sma.n_buckets(), 100);
+        assert!(idx.size_bytes() > sma.total_bytes());
+    }
+
+    #[test]
+    fn expression_indexes_work() {
+        let t = table(&[1, 2, 3, 4]);
+        let idx = ProjectionIndex::build(&t, col(0).mul(crate::expr::lit(10i64))).unwrap();
+        assert_eq!(idx.count(CmpOp::Ge, &Value::Int(30)), 2);
+        // Predicate evaluation over non-bare-column expressions is refused
+        // (the stored values are not the column's).
+        assert_eq!(
+            idx.eval_pred_counts(&BucketPred::cmp(0, CmpOp::Ge, 3i64)),
+            None
+        );
+    }
+
+    #[test]
+    fn eval_pred_counts_on_bare_column() {
+        let t = table(&[1, 5, 9, 13]);
+        let idx = ProjectionIndex::build(&t, col(0)).unwrap();
+        let pred = BucketPred::Or(vec![
+            BucketPred::cmp(0, CmpOp::Lt, 5i64),
+            BucketPred::cmp(0, CmpOp::Gt, 9i64),
+        ]);
+        assert_eq!(idx.eval_pred_counts(&pred), Some(2));
+        // Predicates over other columns are refused.
+        assert_eq!(
+            idx.eval_pred_counts(&BucketPred::cmp(1, CmpOp::Lt, 5i64)),
+            None
+        );
+    }
+
+    #[test]
+    fn nulls_fail_predicates_and_bounds() {
+        let schema = Arc::new(Schema::new(vec![Column::new("K", DataType::Int)]));
+        let mut t = Table::in_memory("t", schema, 1);
+        t.append(&vec![Value::Int(1)]).unwrap();
+        t.append(&vec![Value::Null]).unwrap();
+        let idx = ProjectionIndex::build(&t, col(0)).unwrap();
+        assert_eq!(idx.count(CmpOp::Le, &Value::Int(100)), 1);
+        assert_eq!(idx.as_singleton_bounds()[1], None);
+    }
+
+    #[test]
+    fn ill_typed_expression_rejected() {
+        let t = table(&[1]);
+        assert!(ProjectionIndex::build(&t, col(0).add(col(1))).is_err());
+    }
+}

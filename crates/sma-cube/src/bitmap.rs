@@ -1,0 +1,195 @@
+//! Bitmap indexes — the other index family the paper's introduction
+//! surveys (\[15\], O'Neil & Quass) before arguing for SMAs.
+//!
+//! A bitmap index keeps, per distinct value of a low-cardinality column,
+//! one bit per tuple. It answers equality and membership predicates with
+//! bit operations — ideal for `L_RETURNFLAG`-style flags — but costs one
+//! bit per tuple per value and, like any per-tuple index over a
+//! low-selectivity predicate, still leads to reading nearly every data
+//! page. The comparison tests show where each structure wins.
+
+use std::collections::BTreeMap;
+
+use sma_storage::{Table, TableError, PAGE_SIZE};
+use sma_types::Value;
+
+/// A value-list bitmap index over one column.
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    column: usize,
+    n_tuples: usize,
+    /// One bitmap per distinct value, each `ceil(n_tuples/64)` words.
+    bitmaps: BTreeMap<Value, Vec<u64>>,
+}
+
+impl BitmapIndex {
+    /// Builds the index over `column` with one sequential scan.
+    pub fn build(table: &Table, column: usize) -> Result<BitmapIndex, TableError> {
+        let mut bitmaps: BTreeMap<Value, Vec<u64>> = BTreeMap::new();
+        let mut rows = Vec::new();
+        let mut pos = 0usize;
+        for page in 0..table.page_count() {
+            rows.clear();
+            table.scan_page_into(page, &mut rows)?;
+            for (_, t) in &rows {
+                let v = t[column].clone();
+                if !v.is_null() {
+                    let bm = bitmaps.entry(v).or_default();
+                    let word = pos / 64;
+                    if bm.len() <= word {
+                        bm.resize(word + 1, 0);
+                    }
+                    bm[word] |= 1 << (pos % 64);
+                }
+                pos += 1;
+            }
+        }
+        let words = pos.div_ceil(64);
+        for bm in bitmaps.values_mut() {
+            bm.resize(words, 0);
+        }
+        Ok(BitmapIndex { column, n_tuples: pos, bitmaps })
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Tuples covered.
+    pub fn len(&self) -> usize {
+        self.n_tuples
+    }
+
+    /// True iff no tuples are covered.
+    pub fn is_empty(&self) -> bool {
+        self.n_tuples == 0
+    }
+
+    /// Distinct indexed values.
+    pub fn cardinality(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Physical size in bytes: one bit per tuple per distinct value.
+    pub fn size_bytes(&self) -> usize {
+        self.bitmaps.len() * self.n_tuples.div_ceil(8)
+    }
+
+    /// Physical size in 4 KiB pages.
+    pub fn size_pages(&self) -> usize {
+        self.size_bytes().div_ceil(PAGE_SIZE)
+    }
+
+    /// The bitmap for `= value`, or all-zeros when the value never occurs.
+    pub fn eq(&self, value: &Value) -> Vec<u64> {
+        self.bitmaps
+            .get(value)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.n_tuples.div_ceil(64)])
+    }
+
+    /// The bitmap for `IN (values…)` — a union of per-value bitmaps.
+    pub fn is_in(&self, values: &[Value]) -> Vec<u64> {
+        let mut out = vec![0u64; self.n_tuples.div_ceil(64)];
+        for v in values {
+            for (o, w) in out.iter_mut().zip(self.eq(v)) {
+                *o |= w;
+            }
+        }
+        out
+    }
+
+    /// Number of set bits in a result bitmap.
+    pub fn count(bitmap: &[u64]) -> usize {
+        bitmap.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Intersection of two result bitmaps (`AND` of predicates).
+    pub fn and(a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().zip(b).map(|(x, y)| x & y).collect()
+    }
+
+    /// Union of two result bitmaps (`OR` of predicates).
+    pub fn or(a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().zip(b).map(|(x, y)| x | y).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_types::{Column, DataType, Schema};
+    use std::sync::Arc;
+
+    fn flags_table(flags: &[u8]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("F", DataType::Char),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(900);
+        for &f in flags {
+            t.append(&vec![Value::Char(f), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn eq_and_in_and_counts() {
+        let t = flags_table(b"ARANRA");
+        let idx = BitmapIndex::build(&t, 0).unwrap();
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.cardinality(), 3);
+        assert_eq!(BitmapIndex::count(&idx.eq(&Value::Char(b'A'))), 3);
+        assert_eq!(BitmapIndex::count(&idx.eq(&Value::Char(b'Z'))), 0);
+        let rn = idx.is_in(&[Value::Char(b'R'), Value::Char(b'N')]);
+        assert_eq!(BitmapIndex::count(&rn), 3);
+        // Boolean algebra on result bitmaps.
+        let a = idx.eq(&Value::Char(b'A'));
+        assert_eq!(BitmapIndex::count(&BitmapIndex::and(&a, &rn)), 0);
+        assert_eq!(BitmapIndex::count(&BitmapIndex::or(&a, &rn)), 6);
+    }
+
+    #[test]
+    fn bit_positions_match_physical_order() {
+        let t = flags_table(b"ARA");
+        let idx = BitmapIndex::build(&t, 0).unwrap();
+        let a = idx.eq(&Value::Char(b'A'));
+        assert_eq!(a[0] & 0b111, 0b101, "tuples 0 and 2 are 'A'");
+    }
+
+    #[test]
+    fn nulls_are_in_no_bitmap() {
+        let schema = Arc::new(Schema::new(vec![Column::new("F", DataType::Char)]));
+        let mut t = Table::in_memory("t", schema, 1);
+        t.append(&vec![Value::Char(b'A')]).unwrap();
+        t.append(&vec![Value::Null]).unwrap();
+        let idx = BitmapIndex::build(&t, 0).unwrap();
+        assert_eq!(idx.len(), 2);
+        let union = idx.is_in(&[Value::Char(b'A')]);
+        assert_eq!(BitmapIndex::count(&union), 1);
+    }
+
+    #[test]
+    fn size_grows_per_tuple_unlike_smas() {
+        let many = flags_table(&vec![b'A'; 600]);
+        let idx = BitmapIndex::build(&many, 0).unwrap();
+        assert_eq!(idx.size_bytes(), 75, "600 bits for one value");
+        // One bit per tuple per value: doubles with a second value.
+        let mixed: Vec<u8> = (0..600).map(|i| if i % 2 == 0 { b'A' } else { b'R' }).collect();
+        let t2 = flags_table(&mixed);
+        let idx2 = BitmapIndex::build(&t2, 0).unwrap();
+        assert_eq!(idx2.size_bytes(), 150);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = flags_table(&[]);
+        let idx = BitmapIndex::build(&t, 0).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.cardinality(), 0);
+        assert!(idx.eq(&Value::Char(b'A')).is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! A from-scratch B+ tree — the traditional-index comparator of §2.4.
+//!
+//! The paper measures a B+ tree on `L_SHIPDATE`: ~230 MB at SF 1 (vs.
+//! 33.8 MB for all eight Query 1 SMAs), creation "far beyond" the
+//! 15 minutes all SMAs need — and it is useless for Query 1, whose 95 %+
+//! selectivity turns index access into random I/O over nearly every page.
+//!
+//! Secondary-index semantics: duplicate keys allowed (a TPC-D ship date
+//! recurs thousands of times), values are opaque (typically row ids).
+
+use std::fmt::Debug;
+
+/// Arena-allocated B+ tree with linked leaves.
+pub struct BPlusTree<K: Ord + Clone, V: Clone> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    /// Maximum keys per node; nodes split when they exceed it.
+    order: usize,
+    len: usize,
+}
+
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+        next: Option<usize>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (≥ key).
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
+    /// Creates an empty tree with at most `order` keys per node.
+    pub fn new(order: usize) -> BPlusTree<K, V> {
+        assert!(order >= 3, "order must be at least 3");
+        BPlusTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None }],
+            root: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes — the tree's page count when one node fills a page.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[n] {
+            n = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Inserts `key → val`; duplicates are kept.
+    pub fn insert(&mut self, key: K, val: V) {
+        if let Some((sep, right)) = self.insert_into(self.root, key, val) {
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+    }
+
+    fn insert_into(&mut self, node: usize, key: K, val: V) -> Option<(K, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, vals, .. } => {
+                let pos = keys.partition_point(|k| k <= &key);
+                keys.insert(pos, key);
+                vals.insert(pos, val);
+                if keys.len() > self.order {
+                    return Some(self.split_leaf(node));
+                }
+                None
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= &key);
+                let child = children[idx];
+                if let Some((sep, right)) = self.insert_into(child, key, val) {
+                    let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                        unreachable!("node kind is stable");
+                    };
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > self.order {
+                        return Some(self.split_internal(node));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (K, usize) {
+        let new_idx = self.nodes.len();
+        let Node::Leaf { keys, vals, next } = &mut self.nodes[node] else {
+            unreachable!("split_leaf on a leaf");
+        };
+        let mid = keys.len() / 2;
+        let right_keys = keys.split_off(mid);
+        let right_vals = vals.split_off(mid);
+        let sep = right_keys[0].clone();
+        let right = Node::Leaf {
+            keys: right_keys,
+            vals: right_vals,
+            next: *next,
+        };
+        *next = Some(new_idx);
+        self.nodes.push(right);
+        (sep, new_idx)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (K, usize) {
+        let new_idx = self.nodes.len();
+        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+            unreachable!("split_internal on an internal node");
+        };
+        let mid = keys.len() / 2;
+        let sep = keys[mid].clone();
+        let right_keys = keys.split_off(mid + 1);
+        keys.pop(); // the separator moves up
+        let right_children = children.split_off(mid + 1);
+        self.nodes.push(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        (sep, new_idx)
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        // Equal keys may span leaves; start at the first candidate leaf.
+        let mut n = self.first_leaf_for(key);
+        loop {
+            let Node::Leaf { keys, vals, next } = &self.nodes[n] else {
+                unreachable!("leaf chain holds leaves");
+            };
+            let pos = keys.partition_point(|k| k < key);
+            if pos < keys.len() && &keys[pos] == key {
+                return Some(&vals[pos]);
+            }
+            if pos < keys.len() || next.is_none() {
+                return None;
+            }
+            n = next.unwrap();
+        }
+    }
+
+    /// Leftmost leaf that could contain `key` (descend by `<`, not `<=`).
+    fn first_leaf_for(&self, key: &K) -> usize {
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Leaf { .. } => return n,
+                Node::Internal { keys, children } => {
+                    n = children[keys.partition_point(|k| k < key)];
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo <= key <= hi`, in key order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if lo > hi || self.len == 0 {
+            return out;
+        }
+        let mut n = self.first_leaf_for(lo);
+        loop {
+            let Node::Leaf { keys, vals, next } = &self.nodes[n] else {
+                unreachable!("leaf chain holds leaves");
+            };
+            for (k, v) in keys.iter().zip(vals) {
+                if k < lo {
+                    continue;
+                }
+                if k > hi {
+                    return out;
+                }
+                out.push((k.clone(), v.clone()));
+            }
+            match next {
+                Some(nx) => n = *nx,
+                None => return out,
+            }
+        }
+    }
+
+    /// Bulk-loads from key-sorted pairs (panics if unsorted) — the fair
+    /// comparison against SMA bulkloading.
+    pub fn bulk_load(order: usize, pairs: Vec<(K, V)>) -> BPlusTree<K, V> {
+        assert!(order >= 3, "order must be at least 3");
+        assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_load requires key-sorted input"
+        );
+        let mut tree = BPlusTree::new(order);
+        if pairs.is_empty() {
+            return tree;
+        }
+        tree.len = pairs.len();
+        tree.nodes.clear();
+        // Fill leaves to ~2/3 so subsequent inserts don't cascade splits.
+        let per_leaf = (order * 2 / 3).max(2).min(order);
+        let mut level: Vec<(K, usize)> = Vec::new(); // (lowest key, node)
+        let mut iter = pairs.into_iter().peekable();
+        let mut prev_leaf: Option<usize> = None;
+        while iter.peek().is_some() {
+            let mut keys = Vec::with_capacity(per_leaf);
+            let mut vals = Vec::with_capacity(per_leaf);
+            for _ in 0..per_leaf {
+                match iter.next() {
+                    Some((k, v)) => {
+                        keys.push(k);
+                        vals.push(v);
+                    }
+                    None => break,
+                }
+            }
+            let idx = tree.nodes.len();
+            level.push((keys[0].clone(), idx));
+            tree.nodes.push(Node::Leaf { keys, vals, next: None });
+            if let Some(p) = prev_leaf {
+                let Node::Leaf { next, .. } = &mut tree.nodes[p] else {
+                    unreachable!("previous node is a leaf");
+                };
+                *next = Some(idx);
+            }
+            prev_leaf = Some(idx);
+        }
+        // Build internal levels bottom-up. Chunk sizes are adjusted so no
+        // node ends up with a single child (which would also give its
+        // subtree a shorter path and break uniform leaf depth).
+        let per_node = per_leaf + 1;
+        while level.len() > 1 {
+            let mut upper: Vec<(K, usize)> = Vec::new();
+            let n = level.len();
+            let mut i = 0;
+            while i < n {
+                let mut take = per_node.min(n - i);
+                if n - i - take == 1 {
+                    take -= 1; // leave two for the final chunk
+                }
+                let chunk = &level[i..i + take];
+                debug_assert!(chunk.len() >= 2);
+                let keys: Vec<K> = chunk[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children: Vec<usize> = chunk.iter().map(|&(_, c)| c).collect();
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node::Internal { keys, children });
+                upper.push((chunk[0].0.clone(), idx));
+                i += take;
+            }
+            level = upper;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    /// Checks the structural invariants (tests call this after mutations):
+    /// sorted keys everywhere, children in range, uniform leaf depth, and
+    /// the leaf chain enumerating exactly `len` entries in order.
+    pub fn check_invariants(&self) {
+        let mut leaf_depths = Vec::new();
+        self.check_node(self.root, None, None, 1, &mut leaf_depths);
+        assert!(
+            leaf_depths.windows(2).all(|w| w[0] == w[1]),
+            "leaves at unequal depths: {leaf_depths:?}"
+        );
+        // Walk the chain from the leftmost leaf.
+        let mut n = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[n] {
+            n = children[0];
+        }
+        let mut seen = 0;
+        let mut last: Option<K> = None;
+        loop {
+            let Node::Leaf { keys, next, .. } = &self.nodes[n] else {
+                unreachable!("chain holds leaves");
+            };
+            for k in keys {
+                if let Some(l) = &last {
+                    assert!(l <= k, "leaf chain out of order");
+                }
+                last = Some(k.clone());
+                seen += 1;
+            }
+            match next {
+                Some(nx) => n = *nx,
+                None => break,
+            }
+        }
+        assert_eq!(seen, self.len, "leaf chain length mismatch");
+    }
+
+    fn check_node(
+        &self,
+        n: usize,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+    ) {
+        match &self.nodes[n] {
+            Node::Leaf { keys, vals, .. } => {
+                assert_eq!(keys.len(), vals.len());
+                assert!(keys.windows(2).all(|w| w[0] <= w[1]), "unsorted leaf");
+                for k in keys {
+                    if let Some(lo) = lo {
+                        assert!(k >= lo, "leaf key below separator");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(k <= hi, "leaf key above separator");
+                    }
+                }
+                leaf_depths.push(depth);
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "fanout mismatch");
+                assert!(keys.windows(2).all(|w| w[0] <= w[1]), "unsorted internal");
+                for (i, &c) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    self.check_node(c, child_lo, child_hi, depth + 1, leaf_depths);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BPlusTree::new(4);
+        for k in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            t.insert(k, k * 10);
+        }
+        t.check_invariants();
+        for k in 0..10 {
+            assert_eq!(t.get(&k), Some(&(k * 10)));
+        }
+        assert_eq!(t.get(&42), None);
+        assert_eq!(t.len(), 10);
+        assert!(t.height() > 1, "order 4 with 10 keys must have split");
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..20 {
+            t.insert(7, i);
+        }
+        t.insert(3, 100);
+        t.insert(9, 200);
+        t.check_invariants();
+        assert_eq!(t.len(), 22);
+        let sevens = t.range(&7, &7);
+        assert_eq!(sevens.len(), 20);
+        assert!(t.get(&7).is_some());
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..100 {
+            t.insert(k, k);
+        }
+        let r = t.range(&10, &20);
+        assert_eq!(r.len(), 11);
+        assert_eq!(r[0], (10, 10));
+        assert_eq!(r[10], (20, 20));
+        assert!(t.range(&50, &40).is_empty());
+        assert_eq!(t.range(&-5, &1000).len(), 100);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i64, ()> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert!(t.range(&0, &10).is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let pairs: Vec<(i64, i64)> = (0..500).map(|k| (k, k * 2)).collect();
+        let loaded = BPlusTree::bulk_load(16, pairs.clone());
+        loaded.check_invariants();
+        let mut inserted = BPlusTree::new(16);
+        for (k, v) in pairs {
+            inserted.insert(k, v);
+        }
+        inserted.check_invariants();
+        assert_eq!(loaded.len(), inserted.len());
+        for k in 0..500i64 {
+            assert_eq!(loaded.get(&k), inserted.get(&k));
+        }
+        // Bulk loading packs tighter than random inserts.
+        assert!(loaded.node_count() <= inserted.node_count());
+    }
+
+    #[test]
+    fn bulk_load_then_insert() {
+        let pairs: Vec<(i64, i64)> = (0..100).map(|k| (k * 2, k)).collect();
+        let mut t = BPlusTree::bulk_load(8, pairs);
+        for k in 0..100 {
+            t.insert(k * 2 + 1, -k);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.range(&0, &399).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "key-sorted")]
+    fn bulk_load_rejects_unsorted() {
+        BPlusTree::bulk_load(8, vec![(2, ()), (1, ())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_order_rejected() {
+        let _: BPlusTree<i64, ()> = BPlusTree::new(2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn model_check(keys in proptest::collection::vec(0i64..200, 0..400), order in 3usize..32) {
+            let mut tree = BPlusTree::new(order);
+            let mut model: Vec<(i64, usize)> = Vec::new();
+            for (i, k) in keys.iter().enumerate() {
+                tree.insert(*k, i);
+                model.push((*k, i));
+            }
+            tree.check_invariants();
+            model.sort_by_key(|&(k, _)| k);
+            // Every key found; ranges match the model.
+            for &(k, _) in &model {
+                prop_assert!(tree.get(&k).is_some());
+            }
+            let (lo, hi) = (40i64, 120i64);
+            let expected: Vec<i64> =
+                model.iter().filter(|&&(k, _)| k >= lo && k <= hi).map(|&(k, _)| k).collect();
+            let got: Vec<i64> = tree.range(&lo, &hi).into_iter().map(|(k, _)| k).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn bulk_load_model(mut keys in proptest::collection::vec(0i64..1000, 1..300), order in 3usize..24) {
+            keys.sort();
+            let pairs: Vec<(i64, i64)> = keys.iter().map(|&k| (k, k)).collect();
+            let tree = BPlusTree::bulk_load(order, pairs);
+            tree.check_invariants();
+            prop_assert_eq!(tree.len(), keys.len());
+            let got: Vec<i64> =
+                tree.range(&0, &1000).into_iter().map(|(k, _)| k).collect();
+            prop_assert_eq!(got, keys);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The data-cube storage model of §2.4.
+//!
+//! The paper compares SMA space against a materialized data cube whose
+//! grouping must include every *selection* attribute: for Query 1 that is
+//! the two flags (4 combinations) plus one to three date dimensions of
+//! 2556 days each, at 6 aggregates × 8 bytes = 48 bytes per entry:
+//!
+//! * 1 date dim:  2556¹ × 4 × 48 B = 479.25 KB
+//! * 2 date dims: 2556² × 4 × 48 B = 1196.25 MB
+//! * 3 date dims: 2556³ × 4 × 48 B = 2985.95 GB
+
+/// Parameters of a dense materialized data cube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeModel {
+    /// Cardinality of each dimension.
+    pub dimension_cardinalities: Vec<u64>,
+    /// Number of materialized aggregates per entry.
+    pub aggregates: u64,
+    /// Bytes per aggregate value (the paper uses 8).
+    pub bytes_per_aggregate: u64,
+}
+
+impl CubeModel {
+    /// The paper's Query 1 cube with `date_dims` date dimensions
+    /// (1 ≤ `date_dims` ≤ 3): flags contribute a factor of 4, each date a
+    /// factor of 2556.
+    pub fn query1(date_dims: u32) -> CubeModel {
+        assert!((1..=3).contains(&date_dims));
+        let mut dims = vec![4u64]; // L_RETURNFLAG × L_LINESTATUS combinations
+        dims.extend(std::iter::repeat_n(2556, date_dims as usize));
+        CubeModel {
+            dimension_cardinalities: dims,
+            aggregates: 6,
+            bytes_per_aggregate: 8,
+        }
+    }
+
+    /// Number of cube entries (product of the dimension cardinalities).
+    pub fn entries(&self) -> u64 {
+        self.dimension_cardinalities.iter().product()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.entries() * self.aggregates * self.bytes_per_aggregate
+    }
+
+    /// Size in binary KB / MB / GB as the paper reports them.
+    pub fn size_kb(&self) -> f64 {
+        self.size_bytes() as f64 / 1024.0
+    }
+
+    /// Size in binary MB.
+    pub fn size_mb(&self) -> f64 {
+        self.size_kb() / 1024.0
+    }
+
+    /// Size in binary GB.
+    pub fn size_gb(&self) -> f64 {
+        self.size_mb() / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce_exactly() {
+        // §2.4's three bullet points.
+        assert!((CubeModel::query1(1).size_kb() - 479.25).abs() < 0.01);
+        assert!((CubeModel::query1(2).size_mb() - 1196.25).abs() < 0.26);
+        assert!((CubeModel::query1(3).size_gb() - 2985.95).abs() < 0.65);
+    }
+
+    #[test]
+    fn entries_multiply() {
+        let m = CubeModel::query1(1);
+        assert_eq!(m.entries(), 4 * 2556);
+        assert_eq!(m.size_bytes(), 4 * 2556 * 48);
+        let m3 = CubeModel::query1(3);
+        assert_eq!(m3.entries(), 4 * 2556 * 2556 * 2556);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_date_dims_rejected() {
+        CubeModel::query1(0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Baseline operators: sequential scan, filter, project.
+//!
+//! These are the plans a SMA-less system runs — the paper's "without
+//! SMAs" comparison points.
+
+use sma_core::{BucketPred, ScalarExpr};
+use sma_storage::{Table, TupleId};
+use sma_types::Tuple;
+
+use crate::op::{ExecError, PhysicalOp};
+
+/// Full sequential scan of a table, page by page in physical order.
+pub struct SeqScan<'a> {
+    table: &'a Table,
+    buffer: Vec<(TupleId, Tuple)>,
+    buffer_pos: usize,
+    next_page: u32,
+    opened: bool,
+}
+
+impl<'a> SeqScan<'a> {
+    /// Creates a scan over `table`.
+    pub fn new(table: &'a Table) -> SeqScan<'a> {
+        SeqScan {
+            table,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            next_page: 0,
+            opened: false,
+        }
+    }
+}
+
+impl PhysicalOp for SeqScan<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.buffer.clear();
+        self.buffer_pos = 0;
+        self.next_page = 0;
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        debug_assert!(self.opened, "next before open");
+        loop {
+            if self.buffer_pos < self.buffer.len() {
+                let t = std::mem::take(&mut self.buffer[self.buffer_pos].1);
+                self.buffer_pos += 1;
+                return Ok(Some(t));
+            }
+            if self.next_page >= self.table.page_count() {
+                return Ok(None);
+            }
+            self.buffer.clear();
+            self.buffer_pos = 0;
+            self.table.scan_page_into(self.next_page, &mut self.buffer)?;
+            self.next_page += 1;
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+        self.opened = false;
+    }
+
+    fn describe(&self) -> String {
+        format!("SeqScan({})", self.table.name())
+    }
+}
+
+/// Tuple-at-a-time filter over a child operator.
+pub struct Filter<'a> {
+    child: Box<dyn PhysicalOp + 'a>,
+    pred: BucketPred,
+}
+
+impl<'a> Filter<'a> {
+    /// Creates a filter evaluating `pred` on each child tuple.
+    pub fn new(child: Box<dyn PhysicalOp + 'a>, pred: BucketPred) -> Filter<'a> {
+        Filter { child, pred }
+    }
+}
+
+impl PhysicalOp for Filter<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        while let Some(t) = self.child.next()? {
+            if self.pred.eval_tuple(&t) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn describe(&self) -> String {
+        format!("Filter({:?}) <- {}", self.pred, self.child.describe())
+    }
+}
+
+/// Projection: evaluates one expression per output column.
+pub struct Project<'a> {
+    child: Box<dyn PhysicalOp + 'a>,
+    exprs: Vec<ScalarExpr>,
+}
+
+impl<'a> Project<'a> {
+    /// Creates a projection computing `exprs` over each child tuple.
+    pub fn new(child: Box<dyn PhysicalOp + 'a>, exprs: Vec<ScalarExpr>) -> Project<'a> {
+        Project { child, exprs }
+    }
+}
+
+impl PhysicalOp for Project<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        match self.child.next()? {
+            None => Ok(None),
+            Some(t) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(&t)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn describe(&self) -> String {
+        format!("Project[{}] <- {}", self.exprs.len(), self.child.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::collect;
+    use sma_core::{col, lit, CmpOp};
+    use sma_types::{Column, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn table(values: &[i64]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(700);
+        for &v in values {
+            t.append(&vec![Value::Int(v), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn seqscan_yields_physical_order() {
+        let t = table(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let rows = collect(&mut SeqScan::new(&t)).unwrap();
+        let ks: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ks, vec![3, 1, 4, 1, 5, 9, 2, 6]);
+    }
+
+    #[test]
+    fn seqscan_empty_table() {
+        let t = table(&[]);
+        assert!(collect(&mut SeqScan::new(&t)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn seqscan_reopens() {
+        let t = table(&[1, 2, 3]);
+        let mut s = SeqScan::new(&t);
+        assert_eq!(collect(&mut s).unwrap().len(), 3);
+        assert_eq!(collect(&mut s).unwrap().len(), 3, "re-open restarts");
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let t = table(&[1, 5, 2, 8, 3]);
+        let pred = BucketPred::cmp(0, CmpOp::Le, 3i64);
+        let mut f = Filter::new(Box::new(SeqScan::new(&t)), pred);
+        let rows = collect(&mut f).unwrap();
+        let ks: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let t = table(&[10, 20]);
+        let mut p = Project::new(
+            Box::new(SeqScan::new(&t)),
+            vec![col(0).add(lit(1i64)), col(0).mul(lit(2i64))],
+        );
+        let rows = collect(&mut p).unwrap();
+        assert_eq!(rows[0], vec![Value::Int(11), Value::Int(20)]);
+        assert_eq!(rows[1], vec![Value::Int(21), Value::Int(40)]);
+    }
+
+    #[test]
+    fn describe_nests() {
+        let t = table(&[1]);
+        let f = Filter::new(
+            Box::new(SeqScan::new(&t)),
+            BucketPred::cmp(0, CmpOp::Le, 3i64),
+        );
+        assert!(f.describe().contains("SeqScan"));
+        assert!(f.describe().starts_with("Filter"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Grouping with aggregation — Dayal's GAggr operator (\[4\] in the paper),
+//! implemented as a hash aggregation over any child operator. This is the
+//! plain (SMA-less) baseline `SMA_GAggr` is measured against.
+
+use std::collections::BTreeMap;
+
+use sma_core::{Accumulator, AggFn, ScalarExpr};
+use sma_types::{Tuple, Value};
+
+use crate::op::{ExecError, PhysicalOp};
+
+/// One aggregate in a query's select clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggSpec {
+    /// `min(expr)`
+    Min(ScalarExpr),
+    /// `max(expr)`
+    Max(ScalarExpr),
+    /// `sum(expr)`
+    Sum(ScalarExpr),
+    /// `count(*)`
+    CountStar,
+    /// `avg(expr)` — computed as `sum(expr) / count(*)` in a
+    /// post-processing phase, exactly as §3.3 prescribes.
+    Avg(ScalarExpr),
+}
+
+impl AggSpec {
+    /// The input expression, if any.
+    pub fn input(&self) -> Option<&ScalarExpr> {
+        match self {
+            AggSpec::Min(e) | AggSpec::Max(e) | AggSpec::Sum(e) | AggSpec::Avg(e) => Some(e),
+            AggSpec::CountStar => None,
+        }
+    }
+
+    /// The base aggregate function accumulated at runtime (`avg` → `sum`).
+    pub fn base_fn(&self) -> AggFn {
+        match self {
+            AggSpec::Min(_) => AggFn::Min,
+            AggSpec::Max(_) => AggFn::Max,
+            AggSpec::Sum(_) | AggSpec::Avg(_) => AggFn::Sum,
+            AggSpec::CountStar => AggFn::Count,
+        }
+    }
+
+    /// Whether post-processing divides by the group count.
+    pub fn is_avg(&self) -> bool {
+        matches!(self, AggSpec::Avg(_))
+    }
+}
+
+/// Per-group accumulation state shared by both GAggr variants.
+#[derive(Debug)]
+pub(crate) struct GroupState {
+    pub accs: Vec<Accumulator>,
+    /// Hidden `count(*)` — §3.3: "if the result aggregates do not contain
+    /// a count(*) and if averages are demanded by the query, we add it".
+    /// We always keep it: it also decides group existence.
+    pub hidden_count: i64,
+}
+
+impl GroupState {
+    pub fn new(specs: &[AggSpec]) -> GroupState {
+        GroupState {
+            accs: specs.iter().map(|s| Accumulator::new(s.base_fn())).collect(),
+            hidden_count: 0,
+        }
+    }
+
+    /// Folds one tuple into every aggregate.
+    pub fn update(&mut self, specs: &[AggSpec], tuple: &[Value]) -> Result<(), ExecError> {
+        for (spec, acc) in specs.iter().zip(&mut self.accs) {
+            match spec.input() {
+                Some(e) => acc.update(&e.eval(tuple)?),
+                None => acc.update(&Value::Int(1)),
+            }
+        }
+        self.hidden_count += 1;
+        Ok(())
+    }
+
+    /// Final output values (averages divided by the count).
+    pub fn finish(self, specs: &[AggSpec]) -> Vec<Value> {
+        let n = self.hidden_count;
+        specs
+            .iter()
+            .zip(self.accs)
+            .map(|(spec, acc)| {
+                let v = acc.finish();
+                if spec.is_avg() && n > 0 {
+                    match v {
+                        Value::Decimal(d) => Value::Decimal(d.div_count(n)),
+                        Value::Int(i) => Value::Int(i / n),
+                        other => other,
+                    }
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+/// Hash (well, ordered-map) aggregation: a pipeline breaker computing all
+/// groups in `open`, then streaming `group key ++ aggregates` rows sorted
+/// by group key.
+pub struct HashGAggr<'a> {
+    child: Box<dyn PhysicalOp + 'a>,
+    group_by: Vec<usize>,
+    specs: Vec<AggSpec>,
+    results: Vec<Tuple>,
+    pos: usize,
+}
+
+impl<'a> HashGAggr<'a> {
+    /// Creates the operator: group `child`'s output by the `group_by`
+    /// columns and compute `specs`.
+    pub fn new(
+        child: Box<dyn PhysicalOp + 'a>,
+        group_by: Vec<usize>,
+        specs: Vec<AggSpec>,
+    ) -> HashGAggr<'a> {
+        HashGAggr {
+            child,
+            group_by,
+            specs,
+            results: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl PhysicalOp for HashGAggr<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.results.clear();
+        self.pos = 0;
+        self.child.open()?;
+        let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+        while let Some(t) = self.child.next()? {
+            let key: Vec<Value> = self.group_by.iter().map(|&g| t[g].clone()).collect();
+            groups
+                .entry(key)
+                .or_insert_with(|| GroupState::new(&self.specs))
+                .update(&self.specs, &t)?;
+        }
+        self.child.close();
+        for (key, state) in groups {
+            let mut row = key;
+            row.extend(state.finish(&self.specs));
+            self.results.push(row);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.pos < self.results.len() {
+            let t = std::mem::take(&mut self.results[self.pos]);
+            self.pos += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.results.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "HashGAggr(by={:?}, aggs={}) <- {}",
+            self.group_by,
+            self.specs.len(),
+            self.child.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::SeqScan;
+    use crate::op::collect;
+    use sma_core::col;
+    use sma_storage::Table;
+    use sma_types::{Column, DataType, Decimal, Schema};
+    use std::sync::Arc;
+
+    fn table(rows: &[(u8, i64, &str)]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("G", DataType::Char),
+            Column::new("N", DataType::Int),
+            Column::new("P", DataType::Decimal),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        for &(g, n, p) in rows {
+            t.append(&vec![
+                Value::Char(g),
+                Value::Int(n),
+                Value::Decimal(Decimal::parse(p).unwrap()),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn groups_and_aggregates() {
+        let t = table(&[
+            (b'A', 1, "1.00"),
+            (b'B', 10, "5.00"),
+            (b'A', 2, "3.00"),
+            (b'B', 20, "7.00"),
+            (b'A', 3, "2.00"),
+        ]);
+        let mut g = HashGAggr::new(
+            Box::new(SeqScan::new(&t)),
+            vec![0],
+            vec![
+                AggSpec::CountStar,
+                AggSpec::Sum(col(1)),
+                AggSpec::Min(col(1)),
+                AggSpec::Max(col(1)),
+                AggSpec::Avg(col(2)),
+            ],
+        );
+        let rows = collect(&mut g).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::Char(b'A'),
+                Value::Int(3),
+                Value::Int(6),
+                Value::Int(1),
+                Value::Int(3),
+                Value::Decimal(Decimal::parse("2.00").unwrap()),
+            ]
+        );
+        assert_eq!(rows[1][0], Value::Char(b'B'));
+        assert_eq!(rows[1][1], Value::Int(2));
+        assert_eq!(
+            rows[1][5],
+            Value::Decimal(Decimal::parse("6.00").unwrap())
+        );
+    }
+
+    #[test]
+    fn global_aggregate_no_grouping() {
+        let t = table(&[(b'A', 1, "1.00"), (b'B', 2, "2.00")]);
+        let mut g = HashGAggr::new(
+            Box::new(SeqScan::new(&t)),
+            vec![],
+            vec![AggSpec::CountStar, AggSpec::Sum(col(1))],
+        );
+        let rows = collect(&mut g).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(2), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let t = table(&[]);
+        let mut g = HashGAggr::new(
+            Box::new(SeqScan::new(&t)),
+            vec![0],
+            vec![AggSpec::CountStar],
+        );
+        assert!(collect(&mut g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn avg_of_ints_truncates_like_sql() {
+        let t = table(&[(b'A', 1, "1.00"), (b'A', 2, "1.00")]);
+        let mut g = HashGAggr::new(
+            Box::new(SeqScan::new(&t)),
+            vec![0],
+            vec![AggSpec::Avg(col(1))],
+        );
+        let rows = collect(&mut g).unwrap();
+        assert_eq!(rows[0][1], Value::Int(1)); // (1+2)/2 = 1 in integer math
+    }
+
+    #[test]
+    fn output_sorted_by_group_key() {
+        let t = table(&[(b'C', 1, "1.00"), (b'A', 1, "1.00"), (b'B', 1, "1.00")]);
+        let mut g = HashGAggr::new(
+            Box::new(SeqScan::new(&t)),
+            vec![0],
+            vec![AggSpec::CountStar],
+        );
+        let rows = collect(&mut g).unwrap();
+        let order: Vec<u8> = rows.iter().map(|r| r[0].as_char().unwrap()).collect();
+        assert_eq!(order, vec![b'A', b'B', b'C']);
+    }
+
+    #[test]
+    fn spec_introspection() {
+        assert_eq!(AggSpec::CountStar.input(), None);
+        assert_eq!(AggSpec::Avg(col(1)).base_fn(), AggFn::Sum);
+        assert!(AggSpec::Avg(col(1)).is_avg());
+        assert!(!AggSpec::Sum(col(1)).is_avg());
+    }
+}

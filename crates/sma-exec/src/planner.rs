@@ -1,0 +1,433 @@
+//! Plan selection for aggregate queries in the presence of SMAs.
+//!
+//! §2.4 / Fig. 5: the SMA plan beats the full scan until roughly 25 % of
+//! the buckets are ambivalent; past the breakeven the full scan wins
+//! (though the SMA plan's overhead stays under 2 %). The planner estimates
+//! the ambivalent fraction *from the SMAs themselves* — grading is a pure
+//! in-memory pass over SMA entries, so the estimate is exact and costs no
+//! data I/O — then prices each candidate plan with the storage cost model
+//! (sequential vs. random page reads) and picks the cheapest:
+//!
+//! 1. `SmaGAggr` — reads the SMA files plus only ambivalent buckets;
+//! 2. `SmaScan` + `HashGAggr` — reads min/max SMAs plus qualifying and
+//!    ambivalent buckets;
+//! 3. plain `SeqScan` + `Filter` + `HashGAggr` — reads everything,
+//!    perfectly sequentially.
+//!
+//! An optional hard breakeven threshold reproduces the paper's simpler
+//! decision rule.
+
+use sma_core::{BucketPred, Classification, Grade, SmaSet};
+use sma_storage::{CostModel, Table};
+use sma_types::Tuple;
+
+use crate::basic::{Filter, SeqScan};
+use crate::gaggr::{AggSpec, HashGAggr};
+use crate::op::{collect, ExecError};
+use crate::scan::SmaScan;
+use crate::sma_gaggr::SmaGAggr;
+
+/// An aggregate query: `select <group_by>, <specs> from R where <pred>
+/// group by <group_by>` (output sorted by the group key).
+#[derive(Debug, Clone)]
+pub struct AggregateQuery {
+    /// Selection predicate.
+    pub pred: BucketPred,
+    /// Grouping columns.
+    pub group_by: Vec<usize>,
+    /// Aggregates to compute.
+    pub specs: Vec<AggSpec>,
+}
+
+/// Planner tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct PlannerConfig {
+    /// The I/O price list used to compare candidate plans.
+    pub cost_model: CostModel,
+    /// Optional hard rule on top of the cost comparison: when the
+    /// ambivalent fraction exceeds this, fall back to the full scan
+    /// outright (the paper's Fig. 5 rule with 0.25).
+    pub hard_breakeven: Option<f64>,
+}
+
+
+/// Which physical strategy the planner chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// `SmaGAggr`: aggregate + selection SMAs.
+    SmaGAggr,
+    /// `SmaScan` feeding a `HashGAggr`: selection SMAs only.
+    SmaScanGAggr,
+    /// Plain sequential scan + filter + aggregation.
+    FullScan,
+}
+
+/// Planner cost estimate, derived from grading the SMA entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Buckets in the relation.
+    pub n_buckets: u32,
+    /// Fraction of buckets a SMA plan must read and filter.
+    pub ambivalent_fraction: f64,
+    /// Fraction of buckets a SMA plan skips entirely.
+    pub skipped_fraction: f64,
+    /// Modeled cost of the full sequential scan, in ms.
+    pub full_scan_cost_ms: f64,
+    /// Modeled cost of `SmaGAggr` (`None` when aggregate SMAs are missing).
+    pub sma_gaggr_cost_ms: Option<f64>,
+    /// Modeled cost of `SmaScan` + aggregation.
+    pub sma_scan_cost_ms: f64,
+}
+
+/// A chosen plan, ready to execute.
+pub struct Plan<'a> {
+    table: &'a Table,
+    smas: Option<&'a SmaSet>,
+    query: AggregateQuery,
+    /// The chosen strategy.
+    pub kind: PlanKind,
+    /// The estimate that drove the choice (`None` without SMAs).
+    pub estimate: Option<Estimate>,
+}
+
+impl Plan<'_> {
+    /// Runs the plan to completion.
+    pub fn execute(&self) -> Result<Vec<Tuple>, ExecError> {
+        match self.kind {
+            PlanKind::SmaGAggr => {
+                let smas = self.smas.expect("kind implies SMAs");
+                let mut op = SmaGAggr::new(
+                    self.table,
+                    self.query.pred.clone(),
+                    self.query.group_by.clone(),
+                    self.query.specs.clone(),
+                    smas,
+                )?;
+                collect(&mut op)
+            }
+            PlanKind::SmaScanGAggr => {
+                let smas = self.smas.expect("kind implies SMAs");
+                let scan = SmaScan::new(self.table, self.query.pred.clone(), smas);
+                let mut op = HashGAggr::new(
+                    Box::new(scan),
+                    self.query.group_by.clone(),
+                    self.query.specs.clone(),
+                );
+                collect(&mut op)
+            }
+            PlanKind::FullScan => {
+                let scan = SeqScan::new(self.table);
+                let filtered = Filter::new(Box::new(scan), self.query.pred.clone());
+                let mut op = HashGAggr::new(
+                    Box::new(filtered),
+                    self.query.group_by.clone(),
+                    self.query.specs.clone(),
+                );
+                collect(&mut op)
+            }
+        }
+    }
+
+    /// EXPLAIN-style description of the choice and its rationale.
+    pub fn explain(&self) -> String {
+        let mut out = format!("plan: {:?}\n", self.kind);
+        match &self.estimate {
+            Some(e) => {
+                out.push_str(&format!(
+                    "  buckets: {} ({:.1}% skipped, {:.1}% ambivalent)\n",
+                    e.n_buckets,
+                    e.skipped_fraction * 100.0,
+                    e.ambivalent_fraction * 100.0
+                ));
+                out.push_str(&format!(
+                    "  modeled cost (ms): full={:.1} sma_scan={:.1} sma_gaggr={}\n",
+                    e.full_scan_cost_ms,
+                    e.sma_scan_cost_ms,
+                    e.sma_gaggr_cost_ms
+                        .map(|c| format!("{c:.1}"))
+                        .unwrap_or_else(|| "n/a".into()),
+                ));
+            }
+            None => out.push_str("  no SMAs available\n"),
+        }
+        out.push_str(&format!(
+            "  query: group_by={:?} aggs={} pred={:?}\n",
+            self.query.group_by,
+            self.query.specs.len(),
+            self.query.pred
+        ));
+        out
+    }
+}
+
+/// Whether `smas` can answer every aggregate of `query`.
+fn aggregates_covered(smas: &SmaSet, query: &AggregateQuery) -> bool {
+    let count_ok = smas
+        .find_aggregate(sma_core::AggFn::Count, None, &query.group_by)
+        .is_some();
+    count_ok
+        && query.specs.iter().all(|spec| {
+            smas.find_aggregate(spec.base_fn(), spec.input(), &query.group_by)
+                .is_some()
+        })
+}
+
+/// Models the cost of reading the buckets selected by `read`, charging a
+/// seek whenever the previous bucket was skipped (clustered ambivalent
+/// runs therefore price mostly sequentially — the reason the paper's
+/// breakeven sits as high as 25 %).
+fn bucket_read_cost(
+    grades: &[Grade],
+    bucket_pages: u32,
+    cm: &CostModel,
+    read: impl Fn(Grade) -> bool,
+) -> f64 {
+    let mut cost = 0.0;
+    let mut prev_read = false;
+    for &g in grades {
+        if read(g) {
+            cost += if prev_read {
+                cm.seq_read_ms * bucket_pages as f64
+            } else {
+                cm.rand_read_ms + cm.seq_read_ms * (bucket_pages.saturating_sub(1)) as f64
+            };
+            prev_read = true;
+        } else {
+            prev_read = false;
+        }
+    }
+    cost
+}
+
+/// Pages of the min/max and count SMAs usable for grading `pred`.
+fn selection_sma_pages(set: &SmaSet, pred: &BucketPred) -> usize {
+    pred.referenced_columns()
+        .into_iter()
+        .map(|c| {
+            set.min_sma_for(c).map(|s| s.total_pages()).unwrap_or(0)
+                + set.max_sma_for(c).map(|s| s.total_pages()).unwrap_or(0)
+                + set
+                    .count_sma_grouped_by(c)
+                    .map(|s| s.total_pages())
+                    .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Chooses a plan for `query` over `table` given the available SMAs.
+pub fn plan<'a>(
+    table: &'a Table,
+    query: AggregateQuery,
+    smas: Option<&'a SmaSet>,
+    cfg: &PlannerConfig,
+) -> Plan<'a> {
+    let Some(set) = smas else {
+        return Plan { table, smas, query, kind: PlanKind::FullScan, estimate: None };
+    };
+    let cm = &cfg.cost_model;
+    let grades =
+        Classification::classify(&query.pred, table.bucket_count(), set);
+    let n_pages = table.page_count() as f64;
+    let full_scan_cost_ms = if n_pages > 0.0 {
+        cm.rand_read_ms + cm.seq_read_ms * (n_pages - 1.0)
+    } else {
+        0.0
+    };
+    let sel_pages = selection_sma_pages(set, &query.pred) as f64;
+    let sma_scan_cost_ms = sel_pages * cm.seq_read_ms
+        + bucket_read_cost(&grades.grades, table.bucket_pages(), cm, |g| {
+            g != Grade::Disqualifies
+        });
+    let covered = aggregates_covered(set, &query);
+    let sma_gaggr_cost_ms = covered.then(|| {
+        // All SMA files are scanned sequentially "in sync" (§2.3).
+        set.total_pages() as f64 * cm.seq_read_ms
+            + bucket_read_cost(&grades.grades, table.bucket_pages(), cm, |g| {
+                g == Grade::Ambivalent
+            })
+    });
+    let estimate = Estimate {
+        n_buckets: table.bucket_count(),
+        ambivalent_fraction: grades.ambivalent_fraction(),
+        skipped_fraction: grades.skipped_fraction(),
+        full_scan_cost_ms,
+        sma_gaggr_cost_ms,
+        sma_scan_cost_ms,
+    };
+    let over_hard_breakeven = cfg
+        .hard_breakeven
+        .is_some_and(|b| estimate.ambivalent_fraction > b);
+    let kind = if over_hard_breakeven {
+        PlanKind::FullScan
+    } else {
+        let mut best = (PlanKind::FullScan, full_scan_cost_ms);
+        if sma_scan_cost_ms < best.1 {
+            best = (PlanKind::SmaScanGAggr, sma_scan_cost_ms);
+        }
+        if let Some(c) = sma_gaggr_cost_ms {
+            if c < best.1 {
+                best = (PlanKind::SmaGAggr, c);
+            }
+        }
+        best.0
+    };
+    Plan { table, smas, query, kind, estimate: Some(estimate) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_core::{col, AggFn, CmpOp, SmaDefinition};
+    use sma_types::{Column, DataType, Decimal, Schema, Value};
+    use std::sync::Arc;
+
+    fn make_table(n: i64, sorted: bool) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("G", DataType::Char),
+            Column::new("P", DataType::Decimal),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(1700);
+        for i in 0..n {
+            let k = if sorted { i } else { (i * 17 + 5) % n };
+            t.append(&vec![
+                Value::Int(k),
+                Value::Char(b'A' + (k % 2) as u8),
+                Value::Decimal(Decimal::from_int(k)),
+                Value::Str(pad.clone()),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn full_set(t: &Table) -> SmaSet {
+        SmaSet::build(
+            t,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+                SmaDefinition::count("count").group_by(vec![1]),
+                SmaDefinition::new("sum_p", AggFn::Sum, col(2)).group_by(vec![1]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn query(cutoff: i64) -> AggregateQuery {
+        AggregateQuery {
+            pred: BucketPred::cmp(0, CmpOp::Le, cutoff),
+            group_by: vec![1],
+            specs: vec![AggSpec::CountStar, AggSpec::Sum(col(2))],
+        }
+    }
+
+    #[test]
+    fn sorted_data_low_cutoff_uses_sma_gaggr() {
+        let t = make_table(60, true);
+        let set = full_set(&t);
+        let p = plan(&t, query(10), Some(&set), &PlannerConfig::default());
+        assert_eq!(p.kind, PlanKind::SmaGAggr);
+        let e = p.estimate.unwrap();
+        assert!(e.ambivalent_fraction <= 0.25, "{e:?}");
+        assert!(e.sma_gaggr_cost_ms.unwrap() < e.full_scan_cost_ms);
+        assert!(p.explain().contains("SmaGAggr"));
+    }
+
+    #[test]
+    fn shuffled_data_falls_back_to_full_scan() {
+        let t = make_table(60, false);
+        let set = full_set(&t);
+        // Mid-range cutoff on shuffled data: nearly every bucket straddles
+        // the cutoff, so the SMA plans pay random reads for almost all
+        // buckets and lose to the sequential scan.
+        let p = plan(&t, query(30), Some(&set), &PlannerConfig::default());
+        assert_eq!(p.kind, PlanKind::FullScan);
+        assert!(p.estimate.unwrap().ambivalent_fraction > 0.25);
+    }
+
+    #[test]
+    fn missing_aggregate_smas_degrade_to_smascan() {
+        let t = make_table(60, true);
+        let minmax_only = SmaSet::build(
+            &t,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+            ],
+        )
+        .unwrap();
+        let p = plan(&t, query(10), Some(&minmax_only), &PlannerConfig::default());
+        assert_eq!(p.kind, PlanKind::SmaScanGAggr);
+        assert!(p.estimate.unwrap().sma_gaggr_cost_ms.is_none());
+    }
+
+    #[test]
+    fn no_smas_full_scan() {
+        let t = make_table(20, true);
+        let p = plan(&t, query(10), None, &PlannerConfig::default());
+        assert_eq!(p.kind, PlanKind::FullScan);
+        assert!(p.estimate.is_none());
+        assert!(p.explain().contains("no SMAs"));
+    }
+
+    #[test]
+    fn all_plans_agree_on_the_answer() {
+        for sorted in [true, false] {
+            let t = make_table(60, sorted);
+            let set = full_set(&t);
+            for cutoff in [5i64, 30, 59] {
+                let q = query(cutoff);
+                let mut answers = Vec::new();
+                for kind in [PlanKind::SmaGAggr, PlanKind::SmaScanGAggr, PlanKind::FullScan] {
+                    let p = Plan {
+                        table: &t,
+                        smas: Some(&set),
+                        query: q.clone(),
+                        kind,
+                        estimate: None,
+                    };
+                    answers.push(p.execute().unwrap());
+                }
+                assert_eq!(answers[0], answers[1], "sorted={sorted} cutoff={cutoff}");
+                assert_eq!(answers[1], answers[2], "sorted={sorted} cutoff={cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_breakeven_forces_full_scan() {
+        let t = make_table(60, true);
+        let set = full_set(&t);
+        // Cutoff 8 splits bucket {8,9}: exactly one ambivalent bucket.
+        let cfg = PlannerConfig {
+            hard_breakeven: Some(0.0),
+            ..PlannerConfig::default()
+        };
+        let p = plan(&t, query(8), Some(&set), &cfg);
+        assert_eq!(p.kind, PlanKind::FullScan);
+        // Without the hard rule, the cost model picks the SMA plan.
+        let p = plan(&t, query(8), Some(&set), &PlannerConfig::default());
+        assert_eq!(p.kind, PlanKind::SmaGAggr);
+    }
+
+    #[test]
+    fn clustered_ambivalence_prices_sequentially() {
+        use Grade::*;
+        let cm = CostModel { seq_read_ms: 1.0, rand_read_ms: 10.0, write_ms: 0.0 };
+        // Contiguous run: 1 seek + 3 sequential.
+        let run = vec![Disqualifies, Ambivalent, Ambivalent, Ambivalent, Disqualifies];
+        let clustered = bucket_read_cost(&run, 1, &cm, |g| g == Ambivalent);
+        assert!((clustered - 12.0).abs() < 1e-9);
+        // Same count, scattered: 3 seeks.
+        let scattered = vec![Ambivalent, Disqualifies, Ambivalent, Disqualifies, Ambivalent];
+        let s = bucket_read_cost(&scattered, 1, &cm, |g| g == Ambivalent);
+        assert!((s - 30.0).abs() < 1e-9);
+        // Multi-page buckets amortize the seek.
+        let one = bucket_read_cost(&[Ambivalent], 4, &cm, |g| g == Ambivalent);
+        assert!((one - 13.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+//! The `SMA_Scan` operator — Fig. 6 of the paper.
+//!
+//! Scans a relation under a selection predicate, using SMAs to grade each
+//! bucket first: disqualified buckets are *skipped without I/O*, qualified
+//! buckets return their tuples without evaluating the predicate, and only
+//! ambivalent buckets pay per-tuple predicate evaluation.
+
+use sma_core::{BucketPred, Grade, SmaSet};
+use sma_storage::{Table, TupleId};
+use sma_types::Tuple;
+
+use crate::op::{ExecError, PhysicalOp};
+
+/// Bucket-level counters a finished scan reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounters {
+    /// Buckets whose every tuple qualified (read, no predicate evaluation).
+    pub qualified: u64,
+    /// Buckets skipped without reading any data page.
+    pub disqualified: u64,
+    /// Buckets read and filtered tuple-by-tuple.
+    pub ambivalent: u64,
+}
+
+impl ScanCounters {
+    /// Total buckets graded.
+    pub fn total(&self) -> u64 {
+        self.qualified + self.disqualified + self.ambivalent
+    }
+}
+
+/// The SMA-driven selection scan.
+pub struct SmaScan<'a> {
+    table: &'a Table,
+    pred: BucketPred,
+    smas: &'a SmaSet,
+    curr_grade: Grade,
+    next_bucket: u32,
+    buffer: Vec<(TupleId, Tuple)>,
+    pos: usize,
+    counters: ScanCounters,
+}
+
+impl<'a> SmaScan<'a> {
+    /// Creates the operator (the constructor signature of Fig. 6:
+    /// `SMA_Scan(R, pred, smas)`).
+    pub fn new(table: &'a Table, pred: BucketPred, smas: &'a SmaSet) -> SmaScan<'a> {
+        SmaScan {
+            table,
+            pred,
+            smas,
+            curr_grade: Grade::Ambivalent,
+            next_bucket: 0,
+            buffer: Vec::new(),
+            pos: 0,
+            counters: ScanCounters::default(),
+        }
+    }
+
+    /// Bucket-level counters (meaningful once the scan is drained).
+    pub fn counters(&self) -> ScanCounters {
+        self.counters
+    }
+
+    /// Fig. 6's `getBucket`: advances to the next qualifying or ambivalent
+    /// bucket and reads it. Returns `false` when no buckets remain.
+    fn get_bucket(&mut self) -> Result<bool, ExecError> {
+        loop {
+            if self.next_bucket >= self.table.bucket_count() {
+                return Ok(false);
+            }
+            let bucket = self.next_bucket;
+            self.next_bucket += 1;
+            self.curr_grade = self.pred.grade(bucket, self.smas);
+            match self.curr_grade {
+                Grade::Disqualifies => {
+                    self.counters.disqualified += 1;
+                    continue;
+                }
+                Grade::Qualifies => self.counters.qualified += 1,
+                Grade::Ambivalent => self.counters.ambivalent += 1,
+            }
+            self.buffer.clear();
+            self.pos = 0;
+            for page in self.table.bucket_range(bucket) {
+                self.table.scan_page_into(page, &mut self.buffer)?;
+            }
+            return Ok(true);
+        }
+    }
+}
+
+impl PhysicalOp for SmaScan<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.next_bucket = 0;
+        self.buffer.clear();
+        self.pos = 0;
+        self.counters = ScanCounters::default();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            while self.pos < self.buffer.len() {
+                let idx = self.pos;
+                self.pos += 1;
+                if self.curr_grade == Grade::Qualifies
+                    || self.pred.eval_tuple(&self.buffer[idx].1)
+                {
+                    return Ok(Some(std::mem::take(&mut self.buffer[idx].1)));
+                }
+            }
+            if !self.get_bucket()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "SmaScan({}, pred={:?}, smas={})",
+            self.table.name(),
+            self.pred,
+            self.smas.smas().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{Filter, SeqScan};
+    use crate::op::collect;
+    use sma_core::{col, AggFn, CmpOp, SmaDefinition};
+    use sma_types::{Column, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    /// Sorted table: value = index, 2 tuples per page, 1 page per bucket.
+    fn sorted_table(n: i64) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(1800);
+        for k in 0..n {
+            t.append(&vec![Value::Int(k), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    fn minmax(t: &Table) -> SmaSet {
+        SmaSet::build(
+            t,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn keys(rows: &[Tuple]) -> Vec<i64> {
+        rows.iter().map(|r| r[0].as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn matches_seqscan_filter_on_every_cutoff() {
+        let t = sorted_table(40);
+        let smas = minmax(&t);
+        for c in [-1i64, 0, 1, 7, 20, 38, 39, 100] {
+            for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq] {
+                let pred = BucketPred::cmp(0, op, c);
+                let mut sma_scan = SmaScan::new(&t, pred.clone(), &smas);
+                let fast = collect(&mut sma_scan).unwrap();
+                let mut slow_op = Filter::new(Box::new(SeqScan::new(&t)), pred);
+                let slow = collect(&mut slow_op).unwrap();
+                assert_eq!(keys(&fast), keys(&slow), "op {op:?} cutoff {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn skips_disqualified_buckets_without_io() {
+        let t = sorted_table(40); // 20 buckets
+        let smas = minmax(&t);
+        t.reset_io_stats();
+        let pred = BucketPred::cmp(0, CmpOp::Le, 5i64); // first 3 buckets only
+        let mut scan = SmaScan::new(&t, pred, &smas);
+        let rows = collect(&mut scan).unwrap();
+        assert_eq!(rows.len(), 6);
+        let c = scan.counters();
+        assert_eq!(c.total(), 20);
+        assert_eq!(c.disqualified, 17);
+        assert_eq!(c.qualified + c.ambivalent, 3);
+        // Only the 3 surviving pages were touched.
+        assert_eq!(t.io_stats().logical_reads, 3);
+    }
+
+    #[test]
+    fn qualifying_buckets_bypass_predicate() {
+        let t = sorted_table(8);
+        let smas = minmax(&t);
+        // Cutoff splits bucket 2 (values 4,5): ≤ 4.
+        let pred = BucketPred::cmp(0, CmpOp::Le, 4i64);
+        let mut scan = SmaScan::new(&t, pred, &smas);
+        let rows = collect(&mut scan).unwrap();
+        assert_eq!(keys(&rows), vec![0, 1, 2, 3, 4]);
+        let c = scan.counters();
+        assert_eq!(c.qualified, 2);
+        assert_eq!(c.ambivalent, 1);
+        assert_eq!(c.disqualified, 1);
+    }
+
+    #[test]
+    fn without_usable_smas_everything_is_ambivalent() {
+        let t = sorted_table(8);
+        let empty = SmaSet::new();
+        let pred = BucketPred::cmp(0, CmpOp::Le, 3i64);
+        let mut scan = SmaScan::new(&t, pred, &empty);
+        let rows = collect(&mut scan).unwrap();
+        assert_eq!(keys(&rows), vec![0, 1, 2, 3]);
+        assert_eq!(scan.counters().ambivalent, 4);
+        assert_eq!(scan.counters().disqualified, 0);
+    }
+
+    #[test]
+    fn reopen_resets_counters() {
+        let t = sorted_table(8);
+        let smas = minmax(&t);
+        let pred = BucketPred::cmp(0, CmpOp::Le, 3i64);
+        let mut scan = SmaScan::new(&t, pred, &smas);
+        collect(&mut scan).unwrap();
+        let first = scan.counters();
+        collect(&mut scan).unwrap();
+        assert_eq!(scan.counters(), first);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = sorted_table(0);
+        let smas = minmax(&t);
+        let mut scan = SmaScan::new(&t, BucketPred::cmp(0, CmpOp::Le, 3i64), &smas);
+        assert!(collect(&mut scan).unwrap().is_empty());
+        assert_eq!(scan.counters().total(), 0);
+    }
+}

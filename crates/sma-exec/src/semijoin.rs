@@ -1,0 +1,292 @@
+//! Semi-join with SMA input reduction — the §4 generalization.
+//!
+//! `select R.* from R, S where R.A θ S.B` under existential semantics.
+//! The same operator runs in two modes:
+//!
+//! * **naive** — scan every R bucket and test each tuple;
+//! * **SMA-reduced** — grade R's buckets against S's global minimax
+//!   first ([`sma_core::semijoin_prune`]), skipping disqualified buckets
+//!   and emitting qualified buckets wholesale.
+//!
+//! The per-tuple existence test uses S's bounds for the ordering
+//! operators (exact) and a hash set of S.B values for `=`.
+
+use std::collections::HashSet;
+
+use sma_core::{semijoin_prune, CmpOp, Grade, MinimaxOf, SmaSet};
+use sma_storage::Table;
+use sma_types::{Tuple, Value};
+
+use crate::op::{ExecError, PhysicalOp};
+use crate::scan::ScanCounters;
+
+/// Semi-join operator, optionally SMA-reduced.
+pub struct SemiJoin<'a> {
+    r: &'a Table,
+    a_col: usize,
+    theta: CmpOp,
+    s: &'a Table,
+    b_col: usize,
+    /// R's SMA set; `None` runs the naive mode.
+    smas: Option<&'a SmaSet>,
+    // Execution state:
+    minimax: Option<MinimaxOf>,
+    eq_set: HashSet<Value>,
+    grades: Vec<Grade>,
+    bucket: u32,
+    buffer: Vec<(sma_storage::TupleId, Tuple)>,
+    pos: usize,
+    curr_grade: Grade,
+    counters: ScanCounters,
+}
+
+impl<'a> SemiJoin<'a> {
+    /// Creates `R ⋉_(A θ B) S`; pass `smas` to enable bucket pruning.
+    pub fn new(
+        r: &'a Table,
+        a_col: usize,
+        theta: CmpOp,
+        s: &'a Table,
+        b_col: usize,
+        smas: Option<&'a SmaSet>,
+    ) -> SemiJoin<'a> {
+        SemiJoin {
+            r,
+            a_col,
+            theta,
+            s,
+            b_col,
+            smas,
+            minimax: None,
+            eq_set: HashSet::new(),
+            grades: Vec::new(),
+            bucket: 0,
+            buffer: Vec::new(),
+            pos: 0,
+            curr_grade: Grade::Ambivalent,
+            counters: ScanCounters::default(),
+        }
+    }
+
+    /// Bucket counters (meaningful once drained).
+    pub fn counters(&self) -> ScanCounters {
+        self.counters
+    }
+
+    fn tuple_has_partner(&self, t: &Tuple) -> bool {
+        let a = &t[self.a_col];
+        if a.is_null() {
+            return false;
+        }
+        let mm = self.minimax.as_ref().expect("opened");
+        match self.theta {
+            CmpOp::Eq => self.eq_set.contains(a),
+            CmpOp::Lt | CmpOp::Le => mm
+                .max
+                .as_ref()
+                .is_some_and(|hi| self.theta.eval(a, hi)),
+            CmpOp::Gt | CmpOp::Ge => mm
+                .min
+                .as_ref()
+                .is_some_and(|lo| self.theta.eval(a, lo)),
+        }
+    }
+}
+
+impl PhysicalOp for SemiJoin<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.counters = ScanCounters::default();
+        self.bucket = 0;
+        self.buffer.clear();
+        self.pos = 0;
+        // One pass over S for its minimax (and value set for `=`).
+        let mm = MinimaxOf::scan(self.s, self.b_col)?;
+        if self.theta == CmpOp::Eq {
+            self.eq_set.clear();
+            let mut rows = Vec::new();
+            for page in 0..self.s.page_count() {
+                rows.clear();
+                self.s.scan_page_into(page, &mut rows)?;
+                for (_, t) in &rows {
+                    if !t[self.b_col].is_null() {
+                        self.eq_set.insert(t[self.b_col].clone());
+                    }
+                }
+            }
+        }
+        self.grades = match self.smas {
+            Some(set) => {
+                semijoin_prune(self.a_col, self.theta, &mm, self.r.bucket_count(), set).grades
+            }
+            None => vec![Grade::Ambivalent; self.r.bucket_count() as usize],
+        };
+        self.minimax = Some(mm);
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            while self.pos < self.buffer.len() {
+                let idx = self.pos;
+                self.pos += 1;
+                if self.curr_grade == Grade::Qualifies
+                    || self.tuple_has_partner(&self.buffer[idx].1)
+                {
+                    return Ok(Some(std::mem::take(&mut self.buffer[idx].1)));
+                }
+            }
+            // Advance to the next non-disqualified bucket.
+            loop {
+                if self.bucket as usize >= self.grades.len() {
+                    return Ok(None);
+                }
+                let b = self.bucket;
+                self.bucket += 1;
+                self.curr_grade = self.grades[b as usize];
+                match self.curr_grade {
+                    Grade::Disqualifies => {
+                        self.counters.disqualified += 1;
+                    }
+                    Grade::Qualifies => {
+                        self.counters.qualified += 1;
+                        self.buffer.clear();
+                        self.pos = 0;
+                        for page in self.r.bucket_range(b) {
+                            self.r.scan_page_into(page, &mut self.buffer)?;
+                        }
+                        break;
+                    }
+                    Grade::Ambivalent => {
+                        self.counters.ambivalent += 1;
+                        self.buffer.clear();
+                        self.pos = 0;
+                        for page in self.r.bucket_range(b) {
+                            self.r.scan_page_into(page, &mut self.buffer)?;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+        self.eq_set.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "SemiJoin({}.{} {:?} {}.{}, {})",
+            self.r.name(),
+            self.a_col,
+            self.theta,
+            self.s.name(),
+            self.b_col,
+            if self.smas.is_some() { "sma-reduced" } else { "naive" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::collect;
+    use sma_core::{col, AggFn, SmaDefinition};
+    use sma_types::{Column, DataType, Schema};
+    use std::sync::Arc;
+
+    fn int_table(name: &str, values: &[i64]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory(name, schema, 1);
+        let pad = "p".repeat(1800);
+        for &v in values {
+            t.append(&vec![Value::Int(v), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        t
+    }
+
+    fn minmax(t: &Table) -> SmaSet {
+        SmaSet::build(
+            t,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn keys(rows: &[Tuple]) -> Vec<i64> {
+        rows.iter().map(|r| r[0].as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn sma_mode_matches_naive_for_all_operators() {
+        let r = int_table("R", &(0..30).collect::<Vec<_>>());
+        let s = int_table("S", &[7, 12, 12, 25]);
+        let smas = minmax(&r);
+        for theta in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+            let mut naive = SemiJoin::new(&r, 0, theta, &s, 0, None);
+            let mut fast = SemiJoin::new(&r, 0, theta, &s, 0, Some(&smas));
+            assert_eq!(
+                keys(&collect(&mut fast).unwrap()),
+                keys(&collect(&mut naive).unwrap()),
+                "theta {theta:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq_semantics_are_membership() {
+        let r = int_table("R", &[1, 2, 3, 4, 5]);
+        let s = int_table("S", &[2, 4, 4]);
+        let mut j = SemiJoin::new(&r, 0, CmpOp::Eq, &s, 0, None);
+        assert_eq!(keys(&collect(&mut j).unwrap()), vec![2, 4]);
+    }
+
+    #[test]
+    fn pruning_skips_buckets() {
+        let r = int_table("R", &(0..40).collect::<Vec<_>>()); // 20 buckets
+        let s = int_table("S", &[35, 38]);
+        let smas = minmax(&r);
+        r.reset_io_stats();
+        let mut j = SemiJoin::new(&r, 0, CmpOp::Ge, &s, 0, Some(&smas));
+        let rows = collect(&mut j).unwrap();
+        assert_eq!(keys(&rows), (35..40).collect::<Vec<_>>());
+        let c = j.counters();
+        assert!(c.disqualified >= 17, "most buckets skipped: {c:?}");
+        // Naive mode reads everything.
+        let mut naive = SemiJoin::new(&r, 0, CmpOp::Ge, &s, 0, None);
+        collect(&mut naive).unwrap();
+        assert_eq!(naive.counters().ambivalent, 20);
+    }
+
+    #[test]
+    fn empty_s_yields_nothing() {
+        let r = int_table("R", &[1, 2, 3]);
+        let s = int_table("S", &[]);
+        let set = minmax(&r);
+        for smas in [None, Some(&set)] {
+            let mut j = SemiJoin::new(&r, 0, CmpOp::Lt, &s, 0, smas);
+            assert!(collect(&mut j).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn null_r_values_never_match() {
+        let schema = Arc::new(Schema::new(vec![Column::new("K", DataType::Int)]));
+        let mut r = Table::in_memory("R", schema, 1);
+        r.append(&vec![Value::Null]).unwrap();
+        r.append(&vec![Value::Int(1)]).unwrap();
+        let s = int_table("S", &[0, 5]);
+        let mut j = SemiJoin::new(&r, 0, CmpOp::Le, &s, 0, None);
+        let rows = collect(&mut j).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+}

@@ -1,0 +1,219 @@
+//! Order-by and limit operators.
+//!
+//! Query 1 ends with `ORDER BY L_RETURNFLAG, L_LINESTATUS`; the GAggr
+//! operators happen to emit group-key order already, but a complete
+//! algebra needs explicit ordering (and its usual companion, `LIMIT`) for
+//! plans where the order isn't free.
+
+use sma_types::{Tuple, Value};
+
+use crate::op::{ExecError, PhysicalOp};
+
+/// Sort direction for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (SQL default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A pipeline-breaking sort by a list of `(column, order)` keys.
+/// Comparison uses [`Value`]'s storage order, which coincides with SQL
+/// order for same-typed columns; `Null` sorts first.
+pub struct Sort<'a> {
+    child: Box<dyn PhysicalOp + 'a>,
+    keys: Vec<(usize, SortOrder)>,
+    rows: Vec<Tuple>,
+    pos: usize,
+}
+
+impl<'a> Sort<'a> {
+    /// Creates a sort of `child`'s output by `keys`, significant first.
+    pub fn new(child: Box<dyn PhysicalOp + 'a>, keys: Vec<(usize, SortOrder)>) -> Sort<'a> {
+        Sort { child, keys, rows: Vec::new(), pos: 0 }
+    }
+}
+
+impl PhysicalOp for Sort<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows.clear();
+        self.pos = 0;
+        self.child.open()?;
+        while let Some(t) = self.child.next()? {
+            self.rows.push(t);
+        }
+        self.child.close();
+        let keys = self.keys.clone();
+        self.rows.sort_by(|a, b| {
+            for &(col, order) in &keys {
+                let (x, y): (&Value, &Value) = (&a[col], &b[col]);
+                let ord = x.cmp(y);
+                let ord = match order {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.pos < self.rows.len() {
+            let t = std::mem::take(&mut self.rows[self.pos]);
+            self.pos += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.rows.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!("Sort({:?}) <- {}", self.keys, self.child.describe())
+    }
+}
+
+/// Passes through at most `n` tuples.
+pub struct Limit<'a> {
+    child: Box<dyn PhysicalOp + 'a>,
+    n: usize,
+    emitted: usize,
+}
+
+impl<'a> Limit<'a> {
+    /// Creates a limit of `n` over `child`.
+    pub fn new(child: Box<dyn PhysicalOp + 'a>, n: usize) -> Limit<'a> {
+        Limit { child, n, emitted: 0 }
+    }
+}
+
+impl PhysicalOp for Limit<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.emitted = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.emitted >= self.n {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(t) => {
+                self.emitted += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn describe(&self) -> String {
+        format!("Limit({}) <- {}", self.n, self.child.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::SeqScan;
+    use crate::op::collect;
+    use sma_storage::Table;
+    use sma_types::{Column, DataType, Schema};
+    use std::sync::Arc;
+
+    fn table(rows: &[(i64, u8)]) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("G", DataType::Char),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        for &(k, g) in rows {
+            t.append(&vec![Value::Int(k), Value::Char(g)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sorts_single_key_asc_and_desc() {
+        let t = table(&[(3, b'a'), (1, b'b'), (2, b'c')]);
+        let mut s = Sort::new(Box::new(SeqScan::new(&t)), vec![(0, SortOrder::Asc)]);
+        let ks: Vec<i64> = collect(&mut s)
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ks, vec![1, 2, 3]);
+        let mut s = Sort::new(Box::new(SeqScan::new(&t)), vec![(0, SortOrder::Desc)]);
+        let ks: Vec<i64> = collect(&mut s)
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ks, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let t = table(&[(1, b'z'), (2, b'a'), (1, b'a'), (2, b'z')]);
+        let mut s = Sort::new(
+            Box::new(SeqScan::new(&t)),
+            vec![(0, SortOrder::Asc), (1, SortOrder::Desc)],
+        );
+        let rows = collect(&mut s).unwrap();
+        let pairs: Vec<(i64, u8)> = rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_char().unwrap()))
+            .collect();
+        assert_eq!(pairs, vec![(1, b'z'), (1, b'a'), (2, b'z'), (2, b'a')]);
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let schema = Arc::new(Schema::new(vec![Column::new("K", DataType::Int)]));
+        let mut t = Table::in_memory("t", schema, 1);
+        t.append(&vec![Value::Int(2)]).unwrap();
+        t.append(&vec![Value::Null]).unwrap();
+        t.append(&vec![Value::Int(1)]).unwrap();
+        let mut s = Sort::new(Box::new(SeqScan::new(&t)), vec![(0, SortOrder::Asc)]);
+        let rows = collect(&mut s).unwrap();
+        assert_eq!(rows[0][0], Value::Null);
+        assert_eq!(rows[1][0], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_truncates_and_reopens() {
+        let t = table(&[(1, b'a'), (2, b'b'), (3, b'c')]);
+        let mut l = Limit::new(Box::new(SeqScan::new(&t)), 2);
+        assert_eq!(collect(&mut l).unwrap().len(), 2);
+        assert_eq!(collect(&mut l).unwrap().len(), 2, "reopen resets");
+        let mut l0 = Limit::new(Box::new(SeqScan::new(&t)), 0);
+        assert!(collect(&mut l0).unwrap().is_empty());
+        let mut big = Limit::new(Box::new(SeqScan::new(&t)), 100);
+        assert_eq!(collect(&mut big).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn top_k_composition() {
+        let t = table(&[(5, b'a'), (9, b'b'), (1, b'c'), (7, b'd')]);
+        let sort = Sort::new(Box::new(SeqScan::new(&t)), vec![(0, SortOrder::Desc)]);
+        let mut topk = Limit::new(Box::new(sort), 2);
+        let ks: Vec<i64> = collect(&mut topk)
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ks, vec![9, 7]);
+        assert!(topk.describe().contains("Sort"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Paged storage engine for the SMA reproduction.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`page`] — slotted 4 KiB pages,
+//! * [`store`] — page stores ([`MemStore`], [`FileStore`]),
+//! * [`pool`] — LRU buffer pool with I/O accounting (cold vs. warm),
+//! * [`table`] — heap tables with positional *buckets*, the SMA granularity,
+//! * [`cost`] — deterministic pricing of observed I/O patterns.
+//!
+//! The paper (§2.1) requires buckets to be "sets of consecutive tuples on
+//! disk"; [`Table`] enforces this by appending strictly in physical order
+//! and keeping updates on their page.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod page;
+pub mod pool;
+pub mod store;
+pub mod table;
+pub mod test_util;
+
+pub use cost::CostModel;
+pub use page::{SlotId, SlottedPage, PAGE_SIZE};
+pub use pool::{BufferPool, IoStats};
+pub use store::{FileStore, MemStore, PageNo, PageStore, StoreError};
+pub use table::{BucketNo, Table, TableError, TupleId};

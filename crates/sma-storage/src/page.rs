@@ -1,0 +1,441 @@
+//! Slotted 4 KiB pages.
+//!
+//! The paper assumes "a bucket corresponds to a 4K-page" in its space
+//! arithmetic (§2.1), so pages here are fixed at [`PAGE_SIZE`] bytes with a
+//! classic slotted layout:
+//!
+//! ```text
+//! +--------+-----------------+ .... +----------------+
+//! | header | slot directory →|      |← tuple images  |
+//! +--------+-----------------+ .... +----------------+
+//! ```
+//!
+//! The slot directory grows upward from the header, tuple images grow
+//! downward from the end of the page. Deleting a tuple leaves a tombstone
+//! slot (`len == 0`), so slot ids stay stable — SMA maintenance relies on
+//! tuples not moving between buckets.
+
+use std::fmt;
+
+/// Page size in bytes (fixed, as in the paper's space accounting).
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER_LEN: usize = 4; // n_slots: u16, free_end: u16
+const SLOT_LEN: usize = 4; // offset: u16, len: u16
+
+/// Index of a slot within a page.
+pub type SlotId = u16;
+
+/// A fixed-size slotted page.
+///
+/// The page owns its bytes; the buffer pool hands out copies or closures
+/// over these. All offsets are validated on access so a corrupted image
+/// surfaces as a panic in debug and an error in [`SlottedPage::from_bytes`].
+#[derive(Clone)]
+pub struct SlottedPage {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl fmt::Debug for SlottedPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlottedPage")
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Default for SlottedPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlottedPage {
+    /// Creates an empty page.
+    pub fn new() -> SlottedPage {
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        // free_end starts at PAGE_SIZE.
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        SlottedPage { data }
+    }
+
+    /// Wraps a raw page image, validating the header and slot directory.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SlottedPage, PageError> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(PageError(format!("page image is {} bytes", bytes.len())));
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(bytes);
+        let page = SlottedPage { data };
+        let n = page.slot_count() as usize;
+        let free_end = page.free_end() as usize;
+        if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAGE_SIZE {
+            return Err(PageError(format!(
+                "corrupt header: {n} slots, free_end {free_end}"
+            )));
+        }
+        for s in 0..n as u16 {
+            let (off, len) = page.slot(s);
+            if len > 0 && (off as usize) < free_end {
+                return Err(PageError(format!(
+                    "slot {s} points into free space (off {off}, free_end {free_end})"
+                )));
+            }
+            if off as usize + len as usize > PAGE_SIZE {
+                return Err(PageError(format!("slot {s} overruns page")));
+            }
+        }
+        Ok(page)
+    }
+
+    /// The raw page image.
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    fn free_end(&self) -> u16 {
+        u16::from_le_bytes([self.data[2], self.data[3]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn set_free_end(&mut self, e: u16) {
+        self.data[2..4].copy_from_slice(&e.to_le_bytes());
+    }
+
+    fn slot(&self, id: SlotId) -> (u16, u16) {
+        let base = HEADER_LEN + id as usize * SLOT_LEN;
+        (
+            u16::from_le_bytes([self.data[base], self.data[base + 1]]),
+            u16::from_le_bytes([self.data[base + 2], self.data[base + 3]]),
+        )
+    }
+
+    fn set_slot(&mut self, id: SlotId, off: u16, len: u16) {
+        let base = HEADER_LEN + id as usize * SLOT_LEN;
+        self.data[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.data[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Number of slots ever allocated (including tombstones).
+    pub fn slots(&self) -> u16 {
+        self.slot_count()
+    }
+
+    /// Number of live (non-deleted) tuples.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count()).filter(|&s| self.slot(s).1 > 0).count()
+    }
+
+    /// Bytes available for one more insert (accounting for its slot entry).
+    pub fn free_space(&self) -> usize {
+        let used_top = HEADER_LEN + self.slot_count() as usize * SLOT_LEN;
+        (self.free_end() as usize)
+            .saturating_sub(used_top)
+            .saturating_sub(SLOT_LEN)
+    }
+
+    /// Inserts a tuple image, returning its slot, or `None` if it does not fit.
+    pub fn insert(&mut self, image: &[u8]) -> Option<SlotId> {
+        if image.len() > self.free_space() || image.is_empty() {
+            return None;
+        }
+        let id = self.slot_count();
+        let new_end = self.free_end() as usize - image.len();
+        self.data[new_end..new_end + image.len()].copy_from_slice(image);
+        self.set_slot(id, new_end as u16, image.len() as u16);
+        self.set_slot_count(id + 1);
+        self.set_free_end(new_end as u16);
+        Some(id)
+    }
+
+    /// Returns the tuple image in `slot`, or `None` for tombstones and
+    /// out-of-range slots.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if len == 0 {
+            return None;
+        }
+        Some(&self.data[off as usize..(off + len) as usize])
+    }
+
+    /// Deletes the tuple in `slot` (tombstoning it). Returns whether a live
+    /// tuple was removed. Space is not reclaimed until page rewrite —
+    /// matching the append-mostly warehouse workload the paper targets.
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.slot_count() || self.slot(slot).1 == 0 {
+            return false;
+        }
+        let (off, _) = self.slot(slot);
+        self.set_slot(slot, off, 0);
+        true
+    }
+
+    /// Overwrites the tuple in `slot` if the new image has the same length
+    /// (the common case for our fixed-width-heavy schema); otherwise
+    /// tombstones and re-inserts, returning the new slot.
+    pub fn update(&mut self, slot: SlotId, image: &[u8]) -> Option<SlotId> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if len == 0 {
+            return None;
+        }
+        if len as usize == image.len() {
+            self.data[off as usize..off as usize + image.len()].copy_from_slice(image);
+            return Some(slot);
+        }
+        self.delete(slot);
+        self.insert(image)
+    }
+
+    /// Iterates over `(slot, image)` for live tuples, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|img| (s, img)))
+    }
+
+    /// Bytes currently wasted by tombstoned tuples (reclaimable by
+    /// [`SlottedPage::compact`]).
+    pub fn dead_space(&self) -> usize {
+        let live: usize = self.iter().map(|(_, img)| img.len()).sum();
+        PAGE_SIZE - self.free_end() as usize - live
+    }
+
+    /// Rewrites the page in place, squeezing out tombstoned tuples' data
+    /// while keeping every live tuple in its slot (slot ids are stable —
+    /// SMA maintenance depends on that). Returns the bytes reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let reclaimed = self.dead_space();
+        if reclaimed == 0 {
+            return 0;
+        }
+        let n = self.slot_count();
+        let mut images: Vec<Option<Vec<u8>>> = (0..n)
+            .map(|s| self.get(s).map(<[u8]>::to_vec))
+            .collect();
+        let mut end = PAGE_SIZE;
+        for (s, img) in images.drain(..).enumerate() {
+            match img {
+                Some(img) => {
+                    end -= img.len();
+                    self.data[end..end + img.len()].copy_from_slice(&img);
+                    self.set_slot(s as SlotId, end as u16, img.len() as u16);
+                }
+                None => self.set_slot(s as SlotId, 0, 0),
+            }
+        }
+        self.set_free_end(end as u16);
+        reclaimed
+    }
+}
+
+/// Error produced when validating a raw page image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageError(pub String);
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = SlottedPage::new();
+        let image = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&image).is_some() {
+            n += 1;
+        }
+        // 100 bytes payload + 4 bytes slot ≈ 39 tuples in 4092 usable bytes.
+        assert!((38..=40).contains(&n), "unexpected fill count {n}");
+        assert!(p.insert(&image).is_none());
+        assert!(p.insert(&[1u8; 1]).is_some(), "small tuple should still fit");
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        let mut p = SlottedPage::new();
+        assert!(p.insert(&[]).is_none());
+        assert!(p.insert(&[0u8; PAGE_SIZE]).is_none());
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"abc").unwrap();
+        let b = p.insert(b"def").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete is a no-op");
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"def"[..]), "other slots unaffected");
+        assert_eq!(p.live_count(), 1);
+        assert_eq!(p.iter().count(), 1);
+    }
+
+    #[test]
+    fn update_same_len_in_place() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"abc").unwrap();
+        assert_eq!(p.update(a, b"xyz"), Some(a));
+        assert_eq!(p.get(a), Some(&b"xyz"[..]));
+    }
+
+    #[test]
+    fn update_different_len_moves() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"abc").unwrap();
+        let b = p.update(a, b"longer image").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"longer image"[..]));
+    }
+
+    #[test]
+    fn update_missing_slot() {
+        let mut p = SlottedPage::new();
+        assert_eq!(p.update(0, b"x"), None);
+        let a = p.insert(b"abc").unwrap();
+        p.delete(a);
+        assert_eq!(p.update(a, b"x"), None, "tombstone not updatable");
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let mut p = SlottedPage::new();
+        p.insert(b"abc");
+        p.insert(b"defgh");
+        let q = SlottedPage::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(q.get(0), Some(&b"abc"[..]));
+        assert_eq!(q.get(1), Some(&b"defgh"[..]));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(SlottedPage::from_bytes(&[0u8; 17]).is_err());
+        let mut garbage = [0xFFu8; PAGE_SIZE];
+        garbage[0] = 200; // huge slot count with tiny free_end
+        assert!(SlottedPage::from_bytes(&garbage).is_err());
+    }
+
+    #[test]
+    fn compact_reclaims_dead_space() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(&[1u8; 500]).unwrap();
+        let b = p.insert(&[2u8; 500]).unwrap();
+        let c = p.insert(&[3u8; 500]).unwrap();
+        p.delete(b);
+        assert_eq!(p.dead_space(), 500);
+        let before_free = p.free_space();
+        assert_eq!(p.compact(), 500);
+        assert_eq!(p.dead_space(), 0);
+        assert_eq!(p.free_space(), before_free + 500);
+        // Live tuples keep their slots and contents.
+        assert_eq!(p.get(a), Some(&[1u8; 500][..]));
+        assert_eq!(p.get(b), None);
+        assert_eq!(p.get(c), Some(&[3u8; 500][..]));
+        // Reclaimed space is usable.
+        assert!(p.insert(&[4u8; 900]).is_some());
+        // Compacting a clean page is a no-op.
+        assert_eq!(p.compact(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn compact_preserves_live_tuples(ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 1..150).prop_map(Op::Insert),
+                (0u16..64).prop_map(Op::Delete),
+            ],
+            0..80,
+        )) {
+            let mut page = SlottedPage::new();
+            for op in ops {
+                match op {
+                    Op::Insert(img) => { page.insert(&img); }
+                    Op::Delete(s) => { page.delete(s); }
+                }
+            }
+            let before: Vec<(u16, Vec<u8>)> =
+                page.iter().map(|(s, img)| (s, img.to_vec())).collect();
+            page.compact();
+            let after: Vec<(u16, Vec<u8>)> =
+                page.iter().map(|(s, img)| (s, img.to_vec())).collect();
+            prop_assert_eq!(before, after);
+            prop_assert_eq!(page.dead_space(), 0);
+            // Survives serialization.
+            SlottedPage::from_bytes(page.as_bytes()).unwrap();
+        }
+
+        #[test]
+        fn model_check(ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 1..200).prop_map(Op::Insert),
+                (0u16..64).prop_map(Op::Delete),
+            ],
+            0..120,
+        )) {
+            let mut page = SlottedPage::new();
+            let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(img) => {
+                        if let Some(slot) = page.insert(&img) {
+                            prop_assert_eq!(slot as usize, model.len());
+                            model.push(Some(img));
+                        }
+                    }
+                    Op::Delete(s) => {
+                        let expect = (s as usize) < model.len() && model[s as usize].is_some();
+                        prop_assert_eq!(page.delete(s), expect);
+                        if expect { model[s as usize] = None; }
+                    }
+                }
+            }
+            for (i, m) in model.iter().enumerate() {
+                prop_assert_eq!(page.get(i as u16), m.as_deref());
+            }
+            prop_assert_eq!(page.live_count(), model.iter().flatten().count());
+            // Image survives serialization.
+            let reread = SlottedPage::from_bytes(page.as_bytes()).unwrap();
+            for (i, m) in model.iter().enumerate() {
+                prop_assert_eq!(reread.get(i as u16), m.as_deref());
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>),
+        Delete(u16),
+    }
+}

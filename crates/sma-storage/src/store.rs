@@ -1,0 +1,259 @@
+//! Page stores: where raw page images live.
+//!
+//! Two backends implement [`PageStore`]:
+//!
+//! * [`MemStore`] — pages in a `Vec`, for tests and deterministic benches;
+//! * [`FileStore`] — pages in a real file via positioned reads/writes, so
+//!   benchmark runs exercise genuine sequential vs. skipping I/O patterns
+//!   (the paper's cold numbers come from disk-resident LINEITEM).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::page::PAGE_SIZE;
+
+/// Index of a page within a store.
+pub type PageNo = u32;
+
+/// Error from a page store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Requested page does not exist.
+    OutOfRange {
+        /// Requested page number.
+        page: PageNo,
+        /// Pages in the store.
+        count: PageNo,
+    },
+    /// Underlying I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfRange { page, count } => {
+                write!(f, "page {page} out of range (store has {count} pages)")
+            }
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Abstract storage for fixed-size page images.
+pub trait PageStore: Send {
+    /// Number of allocated pages.
+    fn page_count(&self) -> PageNo;
+    /// Reads page `no` into `buf` (must be `PAGE_SIZE` long).
+    fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError>;
+    /// Writes page `no` from `buf` (must be `PAGE_SIZE` long).
+    fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError>;
+    /// Appends a zeroed page, returning its number.
+    fn allocate(&mut self) -> Result<PageNo, StoreError>;
+    /// Flushes buffered writes to durable storage (no-op for memory).
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// In-memory page store.
+#[derive(Default)]
+pub struct MemStore {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_count(&self) -> PageNo {
+        self.pages.len() as PageNo
+    }
+
+    fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+        let page = self.pages.get(no as usize).ok_or(StoreError::OutOfRange {
+            page: no,
+            count: self.page_count(),
+        })?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+        let count = self.page_count();
+        let page = self
+            .pages
+            .get_mut(no as usize)
+            .ok_or(StoreError::OutOfRange { page: no, count })?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> Result<PageNo, StoreError> {
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        Ok(self.pages.len() as PageNo - 1)
+    }
+}
+
+/// File-backed page store using positioned I/O.
+pub struct FileStore {
+    file: File,
+    path: PathBuf,
+    pages: PageNo,
+}
+
+impl FileStore {
+    /// Creates (truncating) a page file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<FileStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FileStore { file, path, pages: 0 })
+    }
+
+    /// Opens an existing page file; its length must be a page multiple.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StoreError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file length {len} is not a multiple of {PAGE_SIZE}"),
+            )));
+        }
+        Ok(FileStore {
+            file,
+            path,
+            pages: (len / PAGE_SIZE as u64) as PageNo,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_count(&self) -> PageNo {
+        self.pages
+    }
+
+    fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+        if no >= self.pages {
+            return Err(StoreError::OutOfRange { page: no, count: self.pages });
+        }
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, no as u64 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+        if no >= self.pages {
+            return Err(StoreError::OutOfRange { page: no, count: self.pages });
+        }
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, no as u64 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> Result<PageNo, StoreError> {
+        let no = self.pages;
+        self.file
+            .set_len((self.pages as u64 + 1) * PAGE_SIZE as u64)?;
+        self.pages += 1;
+        Ok(no)
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::scratch_path;
+
+    fn exercise(store: &mut dyn PageStore) {
+        assert_eq!(store.page_count(), 0);
+        let p0 = store.allocate().unwrap();
+        let p1 = store.allocate().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        let mut img = [0u8; PAGE_SIZE];
+        img[0] = 0xAB;
+        img[PAGE_SIZE - 1] = 0xCD;
+        store.write_page(1, &img).unwrap();
+        let mut back = [0xFFu8; PAGE_SIZE];
+        store.read_page(1, &mut back).unwrap();
+        assert_eq!(back[0], 0xAB);
+        assert_eq!(back[PAGE_SIZE - 1], 0xCD);
+        store.read_page(0, &mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0), "fresh page is zeroed");
+        assert!(matches!(
+            store.read_page(7, &mut back),
+            Err(StoreError::OutOfRange { page: 7, count: 2 })
+        ));
+        assert!(store.write_page(7, &img).is_err());
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_store_basics() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_basics() {
+        let path = scratch_path("filestore_basics");
+        exercise(&mut FileStore::create(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_reopen() {
+        let path = scratch_path("filestore_reopen");
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            s.allocate().unwrap();
+            let mut img = [0u8; PAGE_SIZE];
+            img[10] = 42;
+            s.write_page(0, &img).unwrap();
+            s.sync().unwrap();
+        }
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.page_count(), 1);
+        let mut back = [0u8; PAGE_SIZE];
+        s.read_page(0, &mut back).unwrap();
+        assert_eq!(back[10], 42);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_rejects_ragged_file() {
+        let path = scratch_path("filestore_ragged");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,503 @@
+//! Tables: a schema plus a heap of slotted pages, grouped into buckets.
+//!
+//! A *bucket* is a fixed number of consecutive pages (§2.1: "examples of
+//! buckets are single pages or consecutive sequences of pages"). Buckets
+//! are the SMA granularity: SMA entry *i* summarizes bucket *i*, and the
+//! correspondence is purely positional — which is why tables are
+//! append-oriented and updates stay within their page.
+
+use std::fmt;
+use std::ops::Range;
+
+use sma_types::row::{decode, encode};
+use sma_types::{SchemaRef, Tuple};
+
+use crate::page::{SlotId, SlottedPage, PAGE_SIZE};
+use crate::pool::{BufferPool, IoStats};
+use crate::store::{MemStore, PageNo, PageStore, StoreError};
+
+/// Physical address of a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TupleId {
+    /// Page holding the tuple.
+    pub page: PageNo,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+/// Index of a bucket within a table.
+pub type BucketNo = u32;
+
+/// Errors from table operations.
+#[derive(Debug)]
+pub enum TableError {
+    /// Underlying store failed.
+    Store(StoreError),
+    /// Tuple violates the table schema.
+    Schema(sma_types::SchemaError),
+    /// Tuple image failed to decode (corruption).
+    Codec(sma_types::CodecError),
+    /// Page image failed validation (corruption).
+    Page(crate::page::PageError),
+    /// Tuple too large for an empty page.
+    TupleTooLarge {
+        /// Encoded size of the offending tuple.
+        bytes: usize,
+    },
+    /// In-place update could not keep the tuple on its page.
+    UpdateWouldMove(TupleId),
+    /// No live tuple at this id.
+    NotFound(TupleId),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Store(e) => write!(f, "{e}"),
+            TableError::Schema(e) => write!(f, "{e}"),
+            TableError::Codec(e) => write!(f, "{e}"),
+            TableError::Page(e) => write!(f, "{e}"),
+            TableError::TupleTooLarge { bytes } => {
+                write!(f, "tuple of {bytes} bytes exceeds page capacity")
+            }
+            TableError::UpdateWouldMove(tid) => {
+                write!(f, "update of {tid:?} does not fit on its page")
+            }
+            TableError::NotFound(tid) => write!(f, "no live tuple at {tid:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<StoreError> for TableError {
+    fn from(e: StoreError) -> TableError {
+        TableError::Store(e)
+    }
+}
+
+impl From<sma_types::SchemaError> for TableError {
+    fn from(e: sma_types::SchemaError) -> TableError {
+        TableError::Schema(e)
+    }
+}
+
+impl From<sma_types::CodecError> for TableError {
+    fn from(e: sma_types::CodecError) -> TableError {
+        TableError::Codec(e)
+    }
+}
+
+impl From<crate::page::PageError> for TableError {
+    fn from(e: crate::page::PageError) -> TableError {
+        TableError::Page(e)
+    }
+}
+
+/// A heap table with positional buckets.
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    pool: BufferPool,
+    bucket_pages: u32,
+    live_tuples: u64,
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("pages", &self.page_count())
+            .field("buckets", &self.bucket_count())
+            .field("bucket_pages", &self.bucket_pages)
+            .field("live_tuples", &self.live_tuples)
+            .finish()
+    }
+}
+
+impl Table {
+    /// Creates a table over an arbitrary page store.
+    ///
+    /// `bucket_pages` is the SMA granularity (§4 discusses the trade-off);
+    /// `pool_capacity` is the buffer size in pages.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        store: Box<dyn PageStore>,
+        pool_capacity: usize,
+        bucket_pages: u32,
+    ) -> Table {
+        assert!(bucket_pages > 0, "bucket must span at least one page");
+        Table {
+            name: name.into(),
+            schema,
+            pool: BufferPool::new(store, pool_capacity),
+            bucket_pages,
+            live_tuples: 0,
+        }
+    }
+
+    /// Creates an in-memory table with a generous pool (tests, examples).
+    pub fn in_memory(name: impl Into<String>, schema: SchemaRef, bucket_pages: u32) -> Table {
+        Table::new(name, schema, Box::new(MemStore::new()), 1 << 16, bucket_pages)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Pages allocated.
+    pub fn page_count(&self) -> PageNo {
+        self.pool.page_count()
+    }
+
+    /// Pages per bucket.
+    pub fn bucket_pages(&self) -> u32 {
+        self.bucket_pages
+    }
+
+    /// Number of (possibly partial) buckets.
+    pub fn bucket_count(&self) -> BucketNo {
+        self.page_count().div_ceil(self.bucket_pages)
+    }
+
+    /// Live tuples in the table.
+    pub fn live_tuples(&self) -> u64 {
+        self.live_tuples
+    }
+
+    /// The page range covered by bucket `b`.
+    pub fn bucket_range(&self, b: BucketNo) -> Range<PageNo> {
+        let start = b * self.bucket_pages;
+        let end = ((b + 1) * self.bucket_pages).min(self.page_count());
+        start..end
+    }
+
+    /// The bucket containing page `page`.
+    pub fn bucket_of_page(&self, page: PageNo) -> BucketNo {
+        page / self.bucket_pages
+    }
+
+    /// Appends a tuple, returning its id. Appends always go to the last
+    /// page, preserving the physical order the SMA files mirror.
+    pub fn append(&mut self, tuple: &Tuple) -> Result<TupleId, TableError> {
+        self.schema.validate(tuple)?;
+        let mut image = Vec::new();
+        encode(&self.schema, tuple, &mut image);
+        if image.len() > PAGE_SIZE - 8 - 4 {
+            return Err(TableError::TupleTooLarge { bytes: image.len() });
+        }
+        let pages = self.page_count();
+        if pages > 0 {
+            let last = pages - 1;
+            let slot = self.pool.with_page_mut(last, |buf| {
+                let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+                let slot = page.insert(&image);
+                if slot.is_some() {
+                    buf.copy_from_slice(&page.as_bytes()[..]);
+                }
+                slot
+            })?;
+            if let Some(slot) = slot {
+                self.live_tuples += 1;
+                return Ok(TupleId { page: last, slot });
+            }
+        }
+        let no = self.pool.allocate()?;
+        let slot = self.pool.with_page_mut(no, |buf| {
+            let mut page = SlottedPage::new();
+            let slot = page.insert(&image).expect("tuple fits an empty page");
+            buf.copy_from_slice(&page.as_bytes()[..]);
+            slot
+        })?;
+        self.live_tuples += 1;
+        Ok(TupleId { page: no, slot })
+    }
+
+    /// Reads the tuple at `tid`, or `None` if deleted/absent.
+    pub fn get(&self, tid: TupleId) -> Result<Option<Tuple>, TableError> {
+        if tid.page >= self.page_count() {
+            return Ok(None);
+        }
+        let image = self.pool.with_page(tid.page, |buf| {
+            let page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+            page.get(tid.slot).map(<[u8]>::to_vec)
+        })?;
+        match image {
+            Some(img) => Ok(Some(decode(&self.schema, &img)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Deletes the tuple at `tid`.
+    pub fn delete(&mut self, tid: TupleId) -> Result<(), TableError> {
+        if tid.page >= self.page_count() {
+            return Err(TableError::NotFound(tid));
+        }
+        let removed = self.pool.with_page_mut(tid.page, |buf| {
+            let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+            let removed = page.delete(tid.slot);
+            if removed {
+                buf.copy_from_slice(&page.as_bytes()[..]);
+            }
+            removed
+        })?;
+        if !removed {
+            return Err(TableError::NotFound(tid));
+        }
+        self.live_tuples -= 1;
+        Ok(())
+    }
+
+    /// Updates the tuple at `tid` in place. The tuple must stay on its page
+    /// (the paper's "at most one additional page access" maintenance
+    /// guarantee); otherwise [`TableError::UpdateWouldMove`] is returned and
+    /// the table is unchanged.
+    pub fn update(&mut self, tid: TupleId, tuple: &Tuple) -> Result<TupleId, TableError> {
+        self.schema.validate(tuple)?;
+        if tid.page >= self.page_count() {
+            return Err(TableError::NotFound(tid));
+        }
+        let mut image = Vec::new();
+        encode(&self.schema, tuple, &mut image);
+        let result = self.pool.with_page_mut(tid.page, |buf| {
+            let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+            if page.get(tid.slot).is_none() {
+                return Err(TableError::NotFound(tid));
+            }
+            match page.update(tid.slot, &image) {
+                Some(slot) => {
+                    buf.copy_from_slice(&page.as_bytes()[..]);
+                    Ok(TupleId { page: tid.page, slot })
+                }
+                None => Err(TableError::UpdateWouldMove(tid)),
+            }
+        })?;
+        result
+    }
+
+    /// Decodes all live tuples in bucket `b`, in physical order.
+    pub fn scan_bucket(&self, b: BucketNo) -> Result<Vec<(TupleId, Tuple)>, TableError> {
+        let mut out = Vec::new();
+        for page_no in self.bucket_range(b) {
+            self.scan_page_into(page_no, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Decodes all live tuples on page `page_no`, appending to `out`.
+    pub fn scan_page_into(
+        &self,
+        page_no: PageNo,
+        out: &mut Vec<(TupleId, Tuple)>,
+    ) -> Result<(), TableError> {
+        let images = self.pool.with_page(page_no, |buf| {
+            let page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+            page.iter()
+                .map(|(s, img)| (s, img.to_vec()))
+                .collect::<Vec<_>>()
+        })?;
+        for (slot, img) in images {
+            out.push((
+                TupleId { page: page_no, slot },
+                decode(&self.schema, &img)?,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Full sequential scan: every live tuple in physical order.
+    pub fn scan(&self) -> Result<Vec<(TupleId, Tuple)>, TableError> {
+        let mut out = Vec::new();
+        for page_no in 0..self.page_count() {
+            self.scan_page_into(page_no, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Buffer-pool traffic counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the traffic counters.
+    pub fn reset_io_stats(&self) {
+        self.pool.reset_stats()
+    }
+
+    /// Flushes dirty pages and empties the cache: the next scan is cold.
+    pub fn make_cold(&self) -> Result<(), TableError> {
+        self.pool.clear_cache()?;
+        Ok(())
+    }
+
+    /// Flushes dirty pages to the store.
+    pub fn flush(&self) -> Result<(), TableError> {
+        self.pool.flush_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_types::{Column, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("S", DataType::Str),
+        ]))
+    }
+
+    fn tuple(k: i64, s: &str) -> Tuple {
+        vec![Value::Int(k), Value::Str(s.into())]
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let id = t.append(&tuple(7, "seven")).unwrap();
+        assert_eq!(t.get(id).unwrap(), Some(tuple(7, "seven")));
+        assert_eq!(t.live_tuples(), 1);
+    }
+
+    #[test]
+    fn append_spills_to_new_pages_in_order() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let long = "x".repeat(1000);
+        let mut ids = Vec::new();
+        for k in 0..20 {
+            ids.push(t.append(&tuple(k, &long)).unwrap());
+        }
+        assert!(t.page_count() > 1);
+        // Physical order == append order.
+        let scanned = t.scan().unwrap();
+        let keys: Vec<i64> = scanned.iter().map(|(_, tu)| tu[0].as_int().unwrap()).collect();
+        assert_eq!(keys, (0..20).collect::<Vec<_>>());
+        // Page numbers are non-decreasing.
+        assert!(ids.windows(2).all(|w| w[0].page <= w[1].page));
+    }
+
+    #[test]
+    fn bucket_ranges() {
+        let mut t = Table::in_memory("t", schema(), 2);
+        let long = "x".repeat(1500);
+        for k in 0..15 {
+            t.append(&tuple(k, &long)).unwrap();
+        }
+        let pages = t.page_count();
+        assert!(pages >= 5, "need several pages, got {pages}");
+        assert_eq!(t.bucket_count(), pages.div_ceil(2));
+        assert_eq!(t.bucket_range(0), 0..2);
+        assert_eq!(t.bucket_of_page(0), 0);
+        assert_eq!(t.bucket_of_page(3), 1);
+        // Last bucket may be partial.
+        let last = t.bucket_count() - 1;
+        assert_eq!(t.bucket_range(last).end, pages);
+        // Every tuple appears in exactly one bucket scan.
+        let mut total = 0;
+        for b in 0..t.bucket_count() {
+            total += t.scan_bucket(b).unwrap().len();
+        }
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let a = t.append(&tuple(1, "a")).unwrap();
+        let b = t.append(&tuple(2, "b")).unwrap();
+        t.delete(a).unwrap();
+        assert_eq!(t.get(a).unwrap(), None);
+        assert_eq!(t.live_tuples(), 1);
+        assert!(matches!(t.delete(a), Err(TableError::NotFound(_))));
+
+        let b2 = t.update(b, &tuple(2, "B")).unwrap();
+        assert_eq!(b2, b, "same-length update keeps its slot");
+        assert_eq!(t.get(b).unwrap(), Some(tuple(2, "B")));
+
+        let b3 = t.update(b, &tuple(2, "Bee!")).unwrap();
+        assert_eq!(b3.page, b.page, "update stays on its page");
+        assert_eq!(t.get(b3).unwrap(), Some(tuple(2, "Bee!")));
+    }
+
+    #[test]
+    fn update_that_cannot_stay_on_page_fails_cleanly() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let filler = "x".repeat(1300);
+        let a = t.append(&tuple(0, &filler)).unwrap();
+        t.append(&tuple(1, &filler)).unwrap();
+        t.append(&tuple(2, &filler)).unwrap();
+        // Growing tuple `a` beyond the page's free space must fail without
+        // moving it to another bucket.
+        let err = t.update(a, &tuple(0, &"y".repeat(2000))).unwrap_err();
+        assert!(matches!(err, TableError::UpdateWouldMove(_)));
+        assert_eq!(t.get(a).unwrap(), Some(tuple(0, &filler)));
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        assert!(t.append(&vec![Value::Int(1)]).is_err());
+        assert!(t
+            .append(&vec![Value::Str("no".into()), Value::Str("x".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_tuple() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let err = t.append(&tuple(1, &"z".repeat(5000))).unwrap_err();
+        assert!(matches!(err, TableError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn cold_scan_counts_physical_reads() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let long = "x".repeat(800);
+        for k in 0..50 {
+            t.append(&tuple(k, &long)).unwrap();
+        }
+        let pages = t.page_count() as u64;
+        t.make_cold().unwrap();
+        t.reset_io_stats();
+        t.scan().unwrap();
+        let s = t.io_stats();
+        assert_eq!(s.physical_reads, pages);
+        assert_eq!(s.sequential_reads, pages - 1, "scan is sequential");
+        t.reset_io_stats();
+        t.scan().unwrap();
+        assert_eq!(t.io_stats().physical_reads, 0, "warm scan hits the pool");
+    }
+
+    #[test]
+    fn file_backed_table_survives_flush() {
+        use crate::store::FileStore;
+        use crate::test_util::scratch_path;
+        let path = scratch_path("table_file");
+        {
+            let store = FileStore::create(&path).unwrap();
+            let mut t = Table::new("t", schema(), Box::new(store), 4, 1);
+            for k in 0..10 {
+                t.append(&tuple(k, "payload")).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        {
+            let store = FileStore::open(&path).unwrap();
+            let t = Table::new("t", schema(), Box::new(store), 4, 1);
+            let rows = t.scan().unwrap();
+            assert_eq!(rows.len(), 10);
+            assert_eq!(rows[9].1[0], Value::Int(9));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

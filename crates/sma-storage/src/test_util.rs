@@ -1,0 +1,71 @@
+//! Small helpers shared by tests across the workspace: scratch paths and
+//! a failure-injecting page store.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::store::{MemStore, PageNo, PageStore, StoreError};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch-file path under the system temp directory.
+///
+/// Unique per process *and* per call, so parallel tests never collide.
+/// Callers should remove the file themselves; leaking into tmp on panic is
+/// acceptable for tests.
+pub fn scratch_path(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "smadb-{tag}-{}-{n}.pages",
+        std::process::id()
+    ))
+}
+
+/// A page store that starts failing every read after a budget of
+/// successful operations — for testing error propagation through the
+/// table, SMA-build and query layers (failure injection).
+pub struct FlakyStore {
+    inner: MemStore,
+    reads_left: Arc<AtomicU64>,
+}
+
+impl FlakyStore {
+    /// A store whose first `read_budget` page reads succeed and whose
+    /// subsequent reads fail with an I/O error.
+    pub fn new(read_budget: u64) -> FlakyStore {
+        FlakyStore {
+            inner: MemStore::new(),
+            reads_left: Arc::new(AtomicU64::new(read_budget)),
+        }
+    }
+
+    /// Handle to top up or inspect the remaining read budget.
+    pub fn budget_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.reads_left)
+    }
+}
+
+impl PageStore for FlakyStore {
+    fn page_count(&self) -> PageNo {
+        self.inner.page_count()
+    }
+
+    fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+        let left = self.reads_left.load(Ordering::Relaxed);
+        if left == 0 {
+            return Err(StoreError::Io(io::Error::other("injected read failure")));
+        }
+        self.reads_left.store(left - 1, Ordering::Relaxed);
+        self.inner.read_page(no, buf)
+    }
+
+    fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+        self.inner.write_page(no, buf)
+    }
+
+    fn allocate(&mut self) -> Result<PageNo, StoreError> {
+        self.inner.allocate()
+    }
+}

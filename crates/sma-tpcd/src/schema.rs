@@ -1,0 +1,126 @@
+//! TPC-D relation schemas (LINEITEM, ORDERS) and column index constants.
+
+use std::sync::Arc;
+
+use sma_types::{Column, DataType, Schema, SchemaRef};
+
+/// Column indexes of the LINEITEM relation, in schema order.
+pub mod lineitem {
+    /// L_ORDERKEY
+    pub const ORDERKEY: usize = 0;
+    /// L_PARTKEY
+    pub const PARTKEY: usize = 1;
+    /// L_SUPPKEY
+    pub const SUPPKEY: usize = 2;
+    /// L_LINENUMBER
+    pub const LINENUMBER: usize = 3;
+    /// L_QUANTITY
+    pub const QUANTITY: usize = 4;
+    /// L_EXTENDEDPRICE
+    pub const EXTENDEDPRICE: usize = 5;
+    /// L_DISCOUNT
+    pub const DISCOUNT: usize = 6;
+    /// L_TAX
+    pub const TAX: usize = 7;
+    /// L_RETURNFLAG
+    pub const RETURNFLAG: usize = 8;
+    /// L_LINESTATUS
+    pub const LINESTATUS: usize = 9;
+    /// L_SHIPDATE
+    pub const SHIPDATE: usize = 10;
+    /// L_COMMITDATE
+    pub const COMMITDATE: usize = 11;
+    /// L_RECEIPTDATE
+    pub const RECEIPTDATE: usize = 12;
+    /// L_SHIPINSTRUCT
+    pub const SHIPINSTRUCT: usize = 13;
+    /// L_SHIPMODE
+    pub const SHIPMODE: usize = 14;
+    /// L_COMMENT
+    pub const COMMENT: usize = 15;
+}
+
+/// Column indexes of the ORDERS relation, in schema order.
+pub mod orders {
+    /// O_ORDERKEY
+    pub const ORDERKEY: usize = 0;
+    /// O_CUSTKEY
+    pub const CUSTKEY: usize = 1;
+    /// O_ORDERSTATUS
+    pub const ORDERSTATUS: usize = 2;
+    /// O_TOTALPRICE
+    pub const TOTALPRICE: usize = 3;
+    /// O_ORDERDATE
+    pub const ORDERDATE: usize = 4;
+    /// O_ORDERPRIORITY
+    pub const ORDERPRIORITY: usize = 5;
+    /// O_CLERK
+    pub const CLERK: usize = 6;
+    /// O_SHIPPRIORITY
+    pub const SHIPPRIORITY: usize = 7;
+    /// O_COMMENT
+    pub const COMMENT: usize = 8;
+}
+
+/// The LINEITEM schema with all 16 TPC-D columns.
+pub fn lineitem_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Column::new("L_ORDERKEY", DataType::Int),
+        Column::new("L_PARTKEY", DataType::Int),
+        Column::new("L_SUPPKEY", DataType::Int),
+        Column::new("L_LINENUMBER", DataType::Int),
+        Column::new("L_QUANTITY", DataType::Decimal),
+        Column::new("L_EXTENDEDPRICE", DataType::Decimal),
+        Column::new("L_DISCOUNT", DataType::Decimal),
+        Column::new("L_TAX", DataType::Decimal),
+        Column::new("L_RETURNFLAG", DataType::Char),
+        Column::new("L_LINESTATUS", DataType::Char),
+        Column::new("L_SHIPDATE", DataType::Date),
+        Column::new("L_COMMITDATE", DataType::Date),
+        Column::new("L_RECEIPTDATE", DataType::Date),
+        Column::new("L_SHIPINSTRUCT", DataType::Str),
+        Column::new("L_SHIPMODE", DataType::Str),
+        Column::new("L_COMMENT", DataType::Str),
+    ]))
+}
+
+/// The ORDERS schema with all 9 TPC-D columns.
+pub fn orders_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Column::new("O_ORDERKEY", DataType::Int),
+        Column::new("O_CUSTKEY", DataType::Int),
+        Column::new("O_ORDERSTATUS", DataType::Char),
+        Column::new("O_TOTALPRICE", DataType::Decimal),
+        Column::new("O_ORDERDATE", DataType::Date),
+        Column::new("O_ORDERPRIORITY", DataType::Str),
+        Column::new("O_CLERK", DataType::Str),
+        Column::new("O_SHIPPRIORITY", DataType::Int),
+        Column::new("O_COMMENT", DataType::Str),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_columns_line_up() {
+        let s = lineitem_schema();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.index_of("L_SHIPDATE"), Some(lineitem::SHIPDATE));
+        assert_eq!(s.index_of("L_RETURNFLAG"), Some(lineitem::RETURNFLAG));
+        assert_eq!(s.index_of("L_LINESTATUS"), Some(lineitem::LINESTATUS));
+        assert_eq!(s.index_of("L_EXTENDEDPRICE"), Some(lineitem::EXTENDEDPRICE));
+        assert_eq!(s.index_of("L_COMMENT"), Some(lineitem::COMMENT));
+        assert_eq!(s.column(lineitem::SHIPDATE).ty, DataType::Date);
+        assert_eq!(s.column(lineitem::QUANTITY).ty, DataType::Decimal);
+    }
+
+    #[test]
+    fn orders_columns_line_up() {
+        let s = orders_schema();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.index_of("O_ORDERDATE"), Some(orders::ORDERDATE));
+        assert_eq!(s.column(orders::ORDERDATE).ty, DataType::Date);
+    }
+}

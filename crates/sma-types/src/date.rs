@@ -1,0 +1,244 @@
+//! Calendar dates stored as days since the Unix epoch (1970-01-01).
+//!
+//! TPC-D dates span 1992-01-01 … 1998-12-31; the paper's data-cube
+//! arithmetic uses a 7-year / 2556-day range (§2.4). We implement a full
+//! proleptic Gregorian calendar so date arithmetic (`DATE '1998-12-01' -
+//! INTERVAL delta DAY` in Query 1) is exact.
+//!
+//! The civil-from-days / days-from-civil algorithms are the classic
+//! branchless era-based conversions (Hinnant), valid for all i32 day counts
+//! we use.
+
+use std::fmt;
+
+/// A calendar date, internally the number of days since 1970-01-01.
+///
+/// `Date` is `Copy`, 4 bytes, totally ordered, and supports day-level
+/// arithmetic — matching the paper's assumption that a date fits in 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Date(i32);
+
+/// Error produced when parsing or constructing an invalid date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateError(pub String);
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date: {}", self.0)
+    }
+}
+
+impl std::error::Error for DateError {}
+
+/// Days from civil date to epoch offset (Hinnant's `days_from_civil`).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date from epoch offset (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// True iff `y` is a Gregorian leap year.
+pub fn is_leap_year(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+/// Number of days in month `m` of year `y`.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Date {
+    /// First day TPC-D generates (start of the benchmark's 7-year window).
+    pub const TPCD_MIN: Date = Date::from_days(days_from_civil_const(1992, 1, 1));
+    /// Last day TPC-D generates.
+    pub const TPCD_MAX: Date = Date::from_days(days_from_civil_const(1998, 12, 31));
+
+    /// Builds a date from a raw day count since 1970-01-01.
+    pub const fn from_days(days: i32) -> Date {
+        Date(days)
+    }
+
+    /// Day count since 1970-01-01.
+    pub const fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Builds a date from year/month/day, validating the calendar.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Result<Date, DateError> {
+        if !(1..=12).contains(&m) || d == 0 || d > days_in_month(y, m) {
+            return Err(DateError(format!("{y:04}-{m:02}-{d:02}")));
+        }
+        Ok(Date(days_from_civil(y, m, d)))
+    }
+
+    /// Year/month/day triple of this date.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// This date plus `n` days (negative `n` subtracts).
+    #[must_use]
+    pub fn add_days(self, n: i32) -> Date {
+        Date(self.0 + n)
+    }
+
+    /// Signed distance `self - other` in days.
+    pub fn days_between(self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Date, DateError> {
+        let mut it = s.split('-');
+        let (Some(y), Some(m), Some(d), None) = (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(DateError(s.to_string()));
+        };
+        let y: i32 = y.parse().map_err(|_| DateError(s.to_string()))?;
+        let m: u32 = m.parse().map_err(|_| DateError(s.to_string()))?;
+        let d: u32 = d.parse().map_err(|_| DateError(s.to_string()))?;
+        Date::from_ymd(y, m, d)
+    }
+}
+
+/// `const`-evaluable copy of [`days_from_civil`] for use in constants.
+const fn days_from_civil_const(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe as i32 - 719468
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // Verified against an independent calendar.
+        assert_eq!(Date::from_ymd(1992, 1, 1).unwrap().days(), 8035);
+        assert_eq!(Date::from_ymd(1998, 12, 31).unwrap().days(), 10591);
+        assert_eq!(Date::from_ymd(2000, 3, 1).unwrap().days(), 11017);
+    }
+
+    #[test]
+    fn tpcd_window_is_seven_years() {
+        // The paper's cube arithmetic uses a 2556-day range for 7 years.
+        let span = Date::TPCD_MAX.days_between(Date::TPCD_MIN) + 1;
+        assert_eq!(span, 2557); // 1992..=1998 includes two leap years
+                                // The paper rounds to 2556; we keep the exact span and
+                                // reproduce 2556 in the cube model (see sma-cube).
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(1992));
+        assert!(is_leap_year(1996));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(1997));
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1997, 2), 28);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Date::from_ymd(1997, 2, 29).is_err());
+        assert!(Date::from_ymd(1997, 13, 1).is_err());
+        assert!(Date::from_ymd(1997, 0, 1).is_err());
+        assert!(Date::from_ymd(1997, 4, 31).is_err());
+        assert!(Date::from_ymd(1997, 4, 0).is_err());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1997-04-30", "1992-01-01", "1998-12-01", "1996-02-29"] {
+            assert_eq!(Date::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Date::parse("1997/04/30").is_err());
+        assert!(Date::parse("1997-04").is_err());
+        assert!(Date::parse("1997-04-30-1").is_err());
+        assert!(Date::parse("abcd-ef-gh").is_err());
+    }
+
+    #[test]
+    fn query1_date_arithmetic() {
+        // WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL 90 DAY
+        let cutoff = Date::parse("1998-12-01").unwrap().add_days(-90);
+        assert_eq!(cutoff.to_string(), "1998-09-02");
+    }
+
+    #[test]
+    fn ordering_matches_day_count() {
+        let a = Date::parse("1997-04-30").unwrap();
+        let b = Date::parse("1997-05-01").unwrap();
+        assert!(a < b);
+        assert_eq!(b.days_between(a), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn ymd_roundtrip(days in -200_000i32..200_000) {
+            let d = Date::from_days(days);
+            let (y, m, dd) = d.ymd();
+            prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+        }
+
+        #[test]
+        fn add_days_is_consistent(days in -100_000i32..100_000, n in -5_000i32..5_000) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(d.add_days(n).days_between(d), n);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(days in -100_000i32..100_000) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Fixed-point decimals with two fractional digits.
+//!
+//! TPC-D money columns (`L_EXTENDEDPRICE`, `L_DISCOUNT`, `L_TAX`, …) are
+//! `DECIMAL` with two digits after the point. We store cents in an `i64`,
+//! which holds every TPC-D value and every Query 1 per-group sum with a
+//! large margin, and is exactly the 8-byte aggregate width the paper's
+//! space accounting assumes (§2.4: "for all other aggregate values we used
+//! 8 bytes").
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Scale factor: two fractional digits.
+const SCALE: i64 = 100;
+
+/// A fixed-point decimal number with two fractional digits, stored as
+/// scaled integer ("cents").
+///
+/// Arithmetic is exact for addition/subtraction; multiplication and
+/// division round half away from zero on the last retained digit, matching
+/// typical DECIMAL(15,2) engine behaviour closely enough for the paper's
+/// aggregates (all cross-checked against f64 oracles in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Decimal(i64);
+
+impl Decimal {
+    /// Zero.
+    pub const ZERO: Decimal = Decimal(0);
+    /// One.
+    pub const ONE: Decimal = Decimal(SCALE);
+
+    /// Builds a decimal from a raw scaled value (`cents`), i.e. `cents/100`.
+    pub const fn from_cents(cents: i64) -> Decimal {
+        Decimal(cents)
+    }
+
+    /// Builds a decimal from a whole number.
+    pub const fn from_int(n: i64) -> Decimal {
+        Decimal(n * SCALE)
+    }
+
+    /// The raw scaled value (`self * 100`).
+    pub const fn cents(self) -> i64 {
+        self.0
+    }
+
+    /// Approximate `f64` value (for display/statistics only — never used
+    /// in aggregate computation).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / SCALE as f64
+    }
+
+    /// Builds the nearest decimal to an `f64` (rounds half away from zero).
+    pub fn from_f64_round(x: f64) -> Decimal {
+        Decimal((x * SCALE as f64).round() as i64)
+    }
+
+    /// Exact product of two decimals, rounded half away from zero to two
+    /// fractional digits. Uses `i128` internally so TPC-D magnitudes never
+    /// overflow.
+    #[must_use]
+    pub fn mul_round(self, other: Decimal) -> Decimal {
+        let wide = self.0 as i128 * other.0 as i128;
+        Decimal(div_round_half_away(wide, SCALE as i128) as i64)
+    }
+
+    /// Quotient `self / other` rounded half away from zero to two
+    /// fractional digits. Panics on division by zero, like integer division.
+    #[must_use]
+    pub fn div_round(self, other: Decimal) -> Decimal {
+        let num = self.0 as i128 * SCALE as i128;
+        Decimal(div_round_half_away(num, other.0 as i128) as i64)
+    }
+
+    /// `self / count` for computing averages from a sum and a count.
+    #[must_use]
+    pub fn div_count(self, count: i64) -> Decimal {
+        Decimal(div_round_half_away(self.0 as i128, count as i128) as i64)
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Decimal {
+        Decimal(self.0.abs())
+    }
+
+    /// Parses strings like `1.23`, `-0.07`, `42`, `42.5`.
+    pub fn parse(s: &str) -> Result<Decimal, DecimalError> {
+        let err = || DecimalError(s.to_string());
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if body.is_empty() {
+            return Err(err());
+        }
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (body, ""),
+        };
+        if int_part.is_empty() || frac_part.len() > 2 {
+            return Err(err());
+        }
+        let int: i64 = int_part.parse().map_err(|_| err())?;
+        let frac: i64 = if frac_part.is_empty() {
+            0
+        } else {
+            let parsed: i64 = frac_part.parse().map_err(|_| err())?;
+            if frac_part.len() == 1 {
+                parsed * 10
+            } else {
+                parsed
+            }
+        };
+        let cents = int * SCALE + frac;
+        Ok(Decimal(if neg { -cents } else { cents }))
+    }
+}
+
+/// Integer division rounding half away from zero.
+fn div_round_half_away(num: i128, den: i128) -> i128 {
+    assert!(den != 0, "decimal division by zero");
+    let q = num / den;
+    let r = num % den;
+    if 2 * r.abs() >= den.abs() {
+        q + num.signum() * den.signum()
+    } else {
+        q
+    }
+}
+
+/// Error produced when parsing an invalid decimal literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecimalError(pub String);
+
+impl fmt::Display for DecimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecimalError {}
+
+impl Add for Decimal {
+    type Output = Decimal;
+    fn add(self, rhs: Decimal) -> Decimal {
+        Decimal(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Decimal {
+    fn add_assign(&mut self, rhs: Decimal) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Decimal {
+    type Output = Decimal;
+    fn sub(self, rhs: Decimal) -> Decimal {
+        Decimal(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Decimal {
+    fn sub_assign(&mut self, rhs: Decimal) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Decimal {
+    type Output = Decimal;
+    fn neg(self) -> Decimal {
+        Decimal(-self.0)
+    }
+}
+
+impl Mul for Decimal {
+    type Output = Decimal;
+    fn mul(self, rhs: Decimal) -> Decimal {
+        self.mul_round(rhs)
+    }
+}
+
+impl Div for Decimal {
+    type Output = Decimal;
+    fn div(self, rhs: Decimal) -> Decimal {
+        self.div_round(rhs)
+    }
+}
+
+impl Sum for Decimal {
+    fn sum<I: Iterator<Item = Decimal>>(iter: I) -> Decimal {
+        iter.fold(Decimal::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}{}.{:02}", abs / SCALE as u64, abs % SCALE as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Decimal::parse("1.50").unwrap();
+        let b = Decimal::parse("0.25").unwrap();
+        assert_eq!((a + b).to_string(), "1.75");
+        assert_eq!((a - b).to_string(), "1.25");
+        assert_eq!((a * b).to_string(), "0.38"); // 0.375 rounds away from zero
+        assert_eq!((a / b).to_string(), "6.00");
+    }
+
+    #[test]
+    fn query1_style_expression() {
+        // extprice * (1 - disc) * (1 + tax)
+        let ext = Decimal::parse("1000.00").unwrap();
+        let disc = Decimal::parse("0.05").unwrap();
+        let tax = Decimal::parse("0.08").unwrap();
+        let disc_price = ext * (Decimal::ONE - disc);
+        assert_eq!(disc_price.to_string(), "950.00");
+        let charge = disc_price * (Decimal::ONE + tax);
+        assert_eq!(charge.to_string(), "1026.00");
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(Decimal::parse("42").unwrap(), Decimal::from_int(42));
+        assert_eq!(Decimal::parse("42.5").unwrap().cents(), 4250);
+        assert_eq!(Decimal::parse("-0.07").unwrap().cents(), -7);
+        assert_eq!(Decimal::parse("0.00").unwrap(), Decimal::ZERO);
+        assert!(Decimal::parse("").is_err());
+        assert!(Decimal::parse("1.234").is_err());
+        assert!(Decimal::parse(".5").is_err());
+        assert!(Decimal::parse("1.x").is_err());
+        assert!(Decimal::parse("-").is_err());
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(Decimal::from_cents(-7).to_string(), "-0.07");
+        assert_eq!(Decimal::from_cents(-12345).to_string(), "-123.45");
+    }
+
+    #[test]
+    fn rounding_half_away() {
+        assert_eq!(div_round_half_away(5, 2), 3);
+        assert_eq!(div_round_half_away(-5, 2), -3);
+        assert_eq!(div_round_half_away(4, 2), 2);
+        assert_eq!(div_round_half_away(1, 3), 0);
+        assert_eq!(div_round_half_away(2, 3), 1);
+    }
+
+    #[test]
+    fn avg_via_div_count() {
+        let sum = Decimal::parse("10.00").unwrap();
+        assert_eq!(sum.div_count(4).to_string(), "2.50");
+        assert_eq!(sum.div_count(3).to_string(), "3.33");
+    }
+
+    #[test]
+    #[should_panic(expected = "decimal division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Decimal::ONE / Decimal::ZERO;
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_roundtrip(a in -100_000_000_i64..100_000_000, b in -100_000_000_i64..100_000_000) {
+            let (a, b) = (Decimal::from_cents(a), Decimal::from_cents(b));
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(c in -10_000_000i64..10_000_000) {
+            let d = Decimal::from_cents(c);
+            prop_assert_eq!(Decimal::parse(&d.to_string()).unwrap(), d);
+        }
+
+        #[test]
+        fn mul_close_to_f64(a in -100_000i64..100_000, b in -10_000i64..10_000) {
+            let (da, db) = (Decimal::from_cents(a), Decimal::from_cents(b));
+            let exact = da.to_f64() * db.to_f64();
+            prop_assert!((da.mul_round(db).to_f64() - exact).abs() <= 0.005 + 1e-9);
+        }
+
+        #[test]
+        fn sum_matches_fold(cents in proptest::collection::vec(-10_000i64..10_000, 0..50)) {
+            let total: Decimal = cents.iter().map(|&c| Decimal::from_cents(c)).sum();
+            prop_assert_eq!(total.cents(), cents.iter().sum::<i64>());
+        }
+    }
+}

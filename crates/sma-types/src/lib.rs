@@ -1,0 +1,26 @@
+//! Type system for the SMA data warehouse reproduction.
+//!
+//! This crate provides the primitives every other layer builds on:
+//!
+//! * [`Date`] — calendar dates as 4-byte day counts (proleptic Gregorian),
+//! * [`Decimal`] — exact fixed-point money with two fractional digits,
+//! * [`Value`] — the dynamically-typed value flowing through operators,
+//! * [`Schema`] / [`DataType`] — relation schemas,
+//! * [`row`] — the binary tuple codec used by slotted pages.
+//!
+//! Widths deliberately match the paper's accounting (§2.4): dates and
+//! counts take 4 bytes, all other aggregate values 8 bytes.
+
+#![warn(missing_docs)]
+
+pub mod date;
+pub mod decimal;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use date::{Date, DateError};
+pub use decimal::{Decimal, DecimalError};
+pub use row::{CodecError, Tuple};
+pub use schema::{Column, DataType, Schema, SchemaError, SchemaRef};
+pub use value::Value;

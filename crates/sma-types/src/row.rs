@@ -1,0 +1,260 @@
+//! Binary tuple codec.
+//!
+//! Layout per tuple:
+//!
+//! ```text
+//! [ null bitmap: ceil(ncols/8) bytes ]
+//! [ fixed section: one fixed-width slot per column, schema order ]
+//! [ var section: string payloads, schema order ]
+//! ```
+//!
+//! Fixed slots are little-endian: `Int`/`Decimal` 8 bytes, `Date` 4 bytes,
+//! `Char` 1 byte; a `Str` slot holds the payload length as `u16`. Null
+//! columns keep a zeroed slot so offsets stay schema-computable.
+
+use crate::date::Date;
+use crate::decimal::Decimal;
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A materialized tuple: one [`Value`] per schema column.
+pub type Tuple = Vec<Value>;
+
+/// Error produced when decoding a malformed tuple image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tuple codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Number of bytes `tuple` occupies when encoded under `schema`.
+pub fn encoded_len(schema: &Schema, tuple: &[Value]) -> usize {
+    let bitmap = schema.len().div_ceil(8);
+    let fixed: usize = schema.columns().iter().map(|c| c.ty.fixed_width()).sum();
+    let var: usize = tuple
+        .iter()
+        .filter_map(|v| v.as_str().map(str::len))
+        .sum();
+    bitmap + fixed + var
+}
+
+/// Encodes `tuple` (which must validate against `schema`) into `out`.
+pub fn encode(schema: &Schema, tuple: &[Value], out: &mut Vec<u8>) {
+    debug_assert!(schema.validate(tuple).is_ok());
+    let bitmap_len = schema.len().div_ceil(8);
+    let bitmap_start = out.len();
+    out.resize(bitmap_start + bitmap_len, 0);
+    for (i, v) in tuple.iter().enumerate() {
+        if v.is_null() {
+            out[bitmap_start + i / 8] |= 1 << (i % 8);
+        }
+    }
+    let mut strings: Vec<&str> = Vec::new();
+    for (v, c) in tuple.iter().zip(schema.columns()) {
+        match (c.ty, v) {
+            (DataType::Int, Value::Int(n)) => out.extend_from_slice(&n.to_le_bytes()),
+            (DataType::Decimal, Value::Decimal(d)) => {
+                out.extend_from_slice(&d.cents().to_le_bytes())
+            }
+            (DataType::Date, Value::Date(d)) => out.extend_from_slice(&d.days().to_le_bytes()),
+            (DataType::Char, Value::Char(ch)) => out.push(*ch),
+            (DataType::Str, Value::Str(s)) => {
+                let len = u16::try_from(s.len()).expect("string longer than u16::MAX");
+                out.extend_from_slice(&len.to_le_bytes());
+                strings.push(s);
+            }
+            (ty, Value::Null) => out.extend_from_slice(&vec![0u8; ty.fixed_width()]),
+            (ty, v) => unreachable!("validated tuple: column {ty} vs value {v}"),
+        }
+    }
+    for s in strings {
+        out.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Decodes one tuple image produced by [`encode`].
+pub fn decode(schema: &Schema, buf: &[u8]) -> Result<Tuple, CodecError> {
+    let bitmap_len = schema.len().div_ceil(8);
+    let fixed_len: usize = schema.columns().iter().map(|c| c.ty.fixed_width()).sum();
+    if buf.len() < bitmap_len + fixed_len {
+        return Err(CodecError(format!(
+            "image too short: {} bytes, need at least {}",
+            buf.len(),
+            bitmap_len + fixed_len
+        )));
+    }
+    let bitmap = &buf[..bitmap_len];
+    let mut pos = bitmap_len;
+    let mut var_pos = bitmap_len + fixed_len;
+    let mut tuple = Vec::with_capacity(schema.len());
+    for (i, c) in schema.columns().iter().enumerate() {
+        let null = bitmap[i / 8] & (1 << (i % 8)) != 0;
+        let width = c.ty.fixed_width();
+        let slot = &buf[pos..pos + width];
+        pos += width;
+        if null {
+            // Strings still consumed their length slot (zeroed), nothing in var section.
+            tuple.push(Value::Null);
+            continue;
+        }
+        let v = match c.ty {
+            DataType::Int => Value::Int(i64::from_le_bytes(slot.try_into().unwrap())),
+            DataType::Decimal => {
+                Value::Decimal(Decimal::from_cents(i64::from_le_bytes(slot.try_into().unwrap())))
+            }
+            DataType::Date => {
+                Value::Date(Date::from_days(i32::from_le_bytes(slot.try_into().unwrap())))
+            }
+            DataType::Char => Value::Char(slot[0]),
+            DataType::Str => {
+                let len = u16::from_le_bytes(slot.try_into().unwrap()) as usize;
+                let end = var_pos + len;
+                if end > buf.len() {
+                    return Err(CodecError(format!(
+                        "string column {:?} overruns image ({} > {})",
+                        c.name,
+                        end,
+                        buf.len()
+                    )));
+                }
+                let s = std::str::from_utf8(&buf[var_pos..end])
+                    .map_err(|e| CodecError(format!("invalid utf-8 in {:?}: {e}", c.name)))?;
+                var_pos = end;
+                Value::Str(s.to_string())
+            }
+        };
+        tuple.push(v);
+    }
+    Ok(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("P", DataType::Decimal),
+            Column::new("D", DataType::Date),
+            Column::new("F", DataType::Char),
+            Column::new("S", DataType::Str),
+            Column::new("T", DataType::Str),
+        ])
+    }
+
+    fn tuple() -> Tuple {
+        vec![
+            Value::Int(-42),
+            Value::Decimal(Decimal::from_cents(123456)),
+            Value::Date(Date::parse("1997-04-30").unwrap()),
+            Value::Char(b'N'),
+            Value::Str("hello".into()),
+            Value::Str("".into()),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let t = tuple();
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&s, &t));
+        assert_eq!(decode(&s, &buf).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let s = schema();
+        let t = vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Str("tail".into()),
+        ];
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf);
+        assert_eq!(decode(&s, &buf).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode(&s, &tuple(), &mut buf);
+        assert!(decode(&s, &buf[..buf.len() - 3]).is_err());
+        assert!(decode(&s, &[]).is_err());
+    }
+
+    #[test]
+    fn appended_encodings_share_buffer() {
+        let s = schema();
+        let t = tuple();
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf);
+        let first_len = buf.len();
+        encode(&s, &t, &mut buf);
+        assert_eq!(decode(&s, &buf[..first_len]).unwrap(), t);
+        assert_eq!(decode(&s, &buf[first_len..]).unwrap(), t);
+    }
+
+    fn arb_value(ty: DataType) -> BoxedStrategy<Value> {
+        match ty {
+            DataType::Int => prop_oneof![
+                1 => Just(Value::Null),
+                9 => any::<i64>().prop_map(Value::Int)
+            ]
+            .boxed(),
+            DataType::Decimal => prop_oneof![
+                1 => Just(Value::Null),
+                9 => any::<i64>().prop_map(|c| Value::Decimal(Decimal::from_cents(c)))
+            ]
+            .boxed(),
+            DataType::Date => prop_oneof![
+                1 => Just(Value::Null),
+                9 => (-100_000i32..100_000).prop_map(|d| Value::Date(Date::from_days(d)))
+            ]
+            .boxed(),
+            DataType::Char => prop_oneof![
+                1 => Just(Value::Null),
+                9 => any::<u8>().prop_map(Value::Char)
+            ]
+            .boxed(),
+            DataType::Str => prop_oneof![
+                1 => Just(Value::Null),
+                9 => "[a-zA-Z0-9 ]{0,40}".prop_map(Value::Str)
+            ]
+            .boxed(),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn codec_roundtrip_any_tuple(
+            ints in arb_value(DataType::Int),
+            decs in arb_value(DataType::Decimal),
+            dates in arb_value(DataType::Date),
+            chars in arb_value(DataType::Char),
+            s1 in arb_value(DataType::Str),
+            s2 in arb_value(DataType::Str),
+        ) {
+            let s = schema();
+            let t = vec![ints, decs, dates, chars, s1, s2];
+            let mut buf = Vec::new();
+            encode(&s, &t, &mut buf);
+            prop_assert_eq!(buf.len(), encoded_len(&s, &t));
+            prop_assert_eq!(decode(&s, &buf).unwrap(), t);
+        }
+    }
+}

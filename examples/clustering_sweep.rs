@@ -1,0 +1,69 @@
+//! How clustering quality decides whether SMAs pay — the physics behind
+//! Fig. 5.
+//!
+//! Generates LINEITEM under four physical orders (sorted, diagonal with
+//! two lag spreads, shuffled), grades the Query 1 predicate, and shows the
+//! ambivalent-bucket fraction, the plan the optimizer picks, and the pages
+//! actually read.
+//!
+//! Run with: `cargo run --release --example clustering_sweep`
+
+use smadb::exec::{run_query1, Query1Config};
+use smadb::sma::SmaSet;
+use smadb::tpcd::{generate_lineitem_table, Clustering, GenConfig};
+
+fn main() {
+    let regimes: Vec<(&str, Clustering)> = vec![
+        ("sorted on shipdate", Clustering::SortedByShipdate),
+        (
+            "diagonal (lag 14d +/- 4d)",
+            Clustering::Diagonal { mean_lag_days: 14.0, std_dev_days: 4.0 },
+        ),
+        (
+            "diagonal (lag 14d +/- 45d)",
+            Clustering::Diagonal { mean_lag_days: 14.0, std_dev_days: 45.0 },
+        ),
+        ("dbgen order (uniform)", Clustering::Uniform),
+        ("shuffled", Clustering::Shuffled),
+    ];
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>13} {:>11} {:>9}",
+        "clustering", "skipped%", "ambiv%", "plan", "pages read", "elapsed"
+    );
+    for (name, clustering) in regimes {
+        let cfg = GenConfig {
+            orders: 4000,
+            clustering,
+            seed: 42,
+            bucket_pages: 1,
+            pool_pages: 1 << 16,
+        };
+        let table = generate_lineitem_table(&cfg);
+        let smas = SmaSet::build_query1_set(&table).unwrap();
+        let run = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
+        // Re-derive the grading fractions the planner saw.
+        let query =
+            smadb::exec::query1_query(&table, smadb::exec::cutoff(90)).unwrap();
+        let plan = smadb::exec::plan(
+            &table,
+            query,
+            Some(&smas),
+            &smadb::exec::PlannerConfig::default(),
+        );
+        let est = plan.estimate.unwrap();
+        println!(
+            "{:<28} {:>8.1}% {:>8.1}% {:>13} {:>11} {:>9.2?}",
+            name,
+            est.skipped_fraction * 100.0,
+            est.ambivalent_fraction * 100.0,
+            format!("{:?}", run.plan_kind),
+            run.io.logical_reads,
+            run.elapsed,
+        );
+    }
+    println!("\nreading: with good clustering nearly every bucket resolves from the SMAs");
+    println!("and the SmaGAggr plan touches almost no data pages; as clustering decays,");
+    println!("ambivalence rises and the optimizer falls back to the sequential scan —");
+    println!("the breakeven of the paper's Figure 5.");
+}

@@ -1,0 +1,59 @@
+//! Hierarchical (two-level) SMAs — the §4 tuning measure.
+//!
+//! Builds min/max SMAs over a sorted integer table, stacks a level-2 SMA
+//! on top, and sweeps the predicate selectivity to show how many level-1
+//! entries the second level lets us skip.
+//!
+//! Run with: `cargo run --release --example hierarchical_smas`
+
+use std::sync::Arc;
+
+use smadb::sma::{col, AggFn, BucketPred, CmpOp, HierarchicalMinMax, Sma, SmaDefinition};
+use smadb::storage::Table;
+use smadb::types::{Column, DataType, Schema, Value};
+
+fn main() {
+    // A sorted fact table: 4096 tuples, 2 per page, 2048 buckets.
+    let schema = Arc::new(Schema::new(vec![
+        Column::new("K", DataType::Int),
+        Column::new("PAD", DataType::Str),
+    ]));
+    let mut t = Table::in_memory("FACTS", schema, 1);
+    let pad = "p".repeat(1800);
+    let n = 4096i64;
+    for k in 0..n {
+        t.append(&vec![Value::Int(k), Value::Str(pad.clone())])
+            .unwrap();
+    }
+    let min = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
+    let max = Sma::build(&t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
+    println!(
+        "table: {} buckets; level-1 SMA entries: {}",
+        t.bucket_count(),
+        min.n_buckets()
+    );
+
+    for fanout in [8u32, 32, 128] {
+        let h = HierarchicalMinMax::from_smas(&min, &max, fanout);
+        println!("\nfanout {fanout}: {} level-2 entries", h.l2_len());
+        println!(
+            "  {:>12} {:>14} {:>14} {:>10}",
+            "selectivity", "l1 inspected", "l1 skipped", "saving"
+        );
+        for sel_pct in [1u32, 5, 25, 50, 95, 99] {
+            let cutoff = (n * sel_pct as i64) / 100;
+            let pred = BucketPred::cmp(0, CmpOp::Le, cutoff);
+            let p = h.prune(&pred);
+            println!(
+                "  {:>11}% {:>14} {:>14} {:>9.1}%",
+                sel_pct,
+                p.l1_inspected,
+                p.l1_skipped,
+                100.0 * p.l1_skipped as f64 / (p.l1_inspected + p.l1_skipped) as f64
+            );
+        }
+    }
+    println!("\nreading: on clustered data almost every level-2 entry resolves its whole");
+    println!("super-bucket, so the level-1 SMA-file is barely touched — the I/O saving");
+    println!("the paper predicts for \"rather high and rather low selectivities\".");
+}

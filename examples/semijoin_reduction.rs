@@ -1,0 +1,76 @@
+//! Join SMAs: semi-join input reduction — the §4 generalization.
+//!
+//! `select L.* from LINEITEM L, ORDERS O where L.L_SHIPDATE >= O.O_ORDERDATE`
+//! -style patterns reduce, under existential semantics, to comparing each
+//! LINEITEM bucket's min/max against ORDERS' global minimax. This example
+//! runs a narrower, clearer instance on integer keys and reports how many
+//! R-buckets the reduction skips versus the naive semi-join.
+//!
+//! Run with: `cargo run --release --example semijoin_reduction`
+
+use std::sync::Arc;
+
+use smadb::exec::{collect, SemiJoin};
+use smadb::sma::{col, AggFn, CmpOp, SmaDefinition, SmaSet};
+use smadb::storage::Table;
+use smadb::types::{Column, DataType, Schema, Value};
+
+fn int_table(name: &str, values: impl Iterator<Item = i64>) -> Table {
+    let schema = Arc::new(Schema::new(vec![
+        Column::new("K", DataType::Int),
+        Column::new("PAD", DataType::Str),
+    ]));
+    let mut t = Table::in_memory(name, schema, 1);
+    let pad = "p".repeat(1800);
+    for v in values {
+        t.append(&vec![Value::Int(v), Value::Str(pad.clone())])
+            .unwrap();
+    }
+    t
+}
+
+fn main() {
+    // R: 10 000 sorted keys. S: a narrow band near the top of R's domain.
+    let r = int_table("R", 0..10_000);
+    let s = int_table("S", 9_500..9_600);
+    let smas = SmaSet::build(
+        &r,
+        vec![
+            SmaDefinition::new("min", AggFn::Min, col(0)),
+            SmaDefinition::new("max", AggFn::Max, col(0)),
+        ],
+    )
+    .unwrap();
+
+    for theta in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Eq] {
+        // Naive: every R bucket read and tested.
+        r.make_cold().unwrap();
+        r.reset_io_stats();
+        let mut naive = SemiJoin::new(&r, 0, theta, &s, 0, None);
+        let naive_rows = collect(&mut naive).unwrap();
+        let naive_io = r.io_stats().logical_reads;
+
+        // SMA-reduced: disqualified buckets skipped.
+        r.make_cold().unwrap();
+        r.reset_io_stats();
+        let mut reduced = SemiJoin::new(&r, 0, theta, &s, 0, Some(&smas));
+        let reduced_rows = collect(&mut reduced).unwrap();
+        let reduced_io = r.io_stats().logical_reads;
+
+        assert_eq!(naive_rows.len(), reduced_rows.len(), "same answer");
+        let c = reduced.counters();
+        println!(
+            "R.K {:?} S.K : |result|={:<6} naive reads={:<6} reduced reads={:<6} \
+             (skipped {} of {} buckets)",
+            theta,
+            reduced_rows.len(),
+            naive_io,
+            reduced_io,
+            c.disqualified,
+            c.total(),
+        );
+    }
+    println!("\nreading: for `R.A > S.B` only buckets above min(S.B) survive; the");
+    println!("minimax of S acts exactly like a constant predicate on R — the paper's");
+    println!("\"decrease the input to the semi-join\".");
+}

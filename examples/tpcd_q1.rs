@@ -1,0 +1,84 @@
+//! The paper's headline experiment: TPC-D Query 1 with and without SMAs.
+//!
+//! Generates a shipdate-sorted LINEITEM (the paper's "optimal case"),
+//! builds the eight Fig. 4 SMAs, and runs Query 1 both ways, reporting
+//! the answer, the plan, the I/O, and the space overhead.
+//!
+//! Run with: `cargo run --release --example tpcd_q1` — set `SMA_SF` to
+//! scale (default 0.005 ≈ 30 k line items; the paper used SF 1 = 6 M).
+
+use std::time::Instant;
+
+use smadb::exec::{run_query1, PlanKind, Query1Config};
+use smadb::sma::SmaSet;
+use smadb::storage::PAGE_SIZE;
+use smadb::tpcd::{format_q1, generate_lineitem_table, Clustering, GenConfig, Q1Row};
+use smadb::types::Value;
+
+fn main() {
+    let sf: f64 = std::env::var("SMA_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    println!("generating LINEITEM at SF {sf} (sorted by L_SHIPDATE)…");
+    let cfg = GenConfig::scale_factor(sf, Clustering::SortedByShipdate);
+    let table = generate_lineitem_table(&cfg);
+    println!(
+        "  {} tuples, {} pages ({:.1} MB), {} buckets",
+        table.live_tuples(),
+        table.page_count(),
+        (table.page_count() as usize * PAGE_SIZE) as f64 / (1024.0 * 1024.0),
+        table.bucket_count()
+    );
+
+    println!("\nbuilding the 8 SMAs of Fig. 4…");
+    let started = Instant::now();
+    let smas = SmaSet::build_query1_set(&table).unwrap();
+    let build_time = started.elapsed();
+    println!(
+        "  built {} SMA-files in {:.2?}; total {} pages = {:.2} MB ({:.2}% of the relation)",
+        smas.file_count(),
+        build_time,
+        smas.total_pages(),
+        (smas.total_pages() * PAGE_SIZE) as f64 / (1024.0 * 1024.0),
+        100.0 * smas.total_pages() as f64 / table.page_count() as f64,
+    );
+
+    println!("\nQuery 1 (delta = 90):");
+    let without = run_query1(&table, None, &Query1Config::default()).unwrap();
+    println!(
+        "  without SMAs: plan={:?}  elapsed={:.2?}  pages read={}",
+        without.plan_kind, without.elapsed, without.io.logical_reads
+    );
+    let with = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
+    println!(
+        "  with    SMAs: plan={:?}  elapsed={:.2?}  pages read={}",
+        with.plan_kind, with.elapsed, with.io.logical_reads
+    );
+    assert_eq!(with.plan_kind, PlanKind::SmaGAggr);
+    assert_eq!(with.rows, without.rows, "SMA plan must be exact");
+    let speedup = without.elapsed.as_secs_f64() / with.elapsed.as_secs_f64().max(1e-9);
+    println!("  speedup: {speedup:.0}x (paper: two orders of magnitude on disk)");
+
+    let rows: Vec<Q1Row> = with
+        .rows
+        .iter()
+        .map(|r| Q1Row {
+            returnflag: char_of(&r[0]),
+            linestatus: char_of(&r[1]),
+            sum_qty: r[2].as_decimal().unwrap(),
+            sum_base_price: r[3].as_decimal().unwrap(),
+            sum_disc_price: r[4].as_decimal().unwrap(),
+            sum_charge: r[5].as_decimal().unwrap(),
+            avg_qty: r[6].as_decimal().unwrap(),
+            avg_price: r[7].as_decimal().unwrap(),
+            avg_disc: r[8].as_decimal().unwrap(),
+            count_order: r[9].as_int().unwrap(),
+        })
+        .collect();
+    println!("\n{}", format_q1(&rows));
+}
+
+fn char_of(v: &Value) -> u8 {
+    v.as_char().expect("flag column")
+}

@@ -1,0 +1,380 @@
+//! The warehouse facade: tables + SMA catalog + planner in one handle.
+//!
+//! This is the surface a downstream user programs against: register
+//! relations, issue the paper's `define sma` statements, mutate data with
+//! SMA maintenance handled automatically, and run aggregate queries that
+//! pick SMA plans whenever they pay.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sma_core::catalog::{CatalogError, SmaCatalog};
+use sma_core::{Sma, SmaSet};
+use sma_exec::{plan, AggregateQuery, ExecError, PlanKind, PlannerConfig};
+use sma_storage::{Table, TableError, TupleId};
+use sma_types::Tuple;
+
+/// Errors from warehouse operations.
+#[derive(Debug)]
+pub enum WarehouseError {
+    /// No table with this name is registered.
+    UnknownTable(String),
+    /// A table with this name is already registered.
+    DuplicateTable(String),
+    /// Storage failed.
+    Table(TableError),
+    /// SMA catalog operation failed.
+    Catalog(CatalogError),
+    /// Query execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::UnknownTable(n) => write!(f, "unknown table {n:?}"),
+            WarehouseError::DuplicateTable(n) => write!(f, "table {n:?} already exists"),
+            WarehouseError::Table(e) => write!(f, "{e}"),
+            WarehouseError::Catalog(e) => write!(f, "{e}"),
+            WarehouseError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<TableError> for WarehouseError {
+    fn from(e: TableError) -> WarehouseError {
+        WarehouseError::Table(e)
+    }
+}
+
+impl From<CatalogError> for WarehouseError {
+    fn from(e: CatalogError) -> WarehouseError {
+        WarehouseError::Catalog(e)
+    }
+}
+
+impl From<ExecError> for WarehouseError {
+    fn from(e: ExecError) -> WarehouseError {
+        WarehouseError::Exec(e)
+    }
+}
+
+/// The result of a warehouse query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output rows: group key columns then aggregates, sorted by key.
+    pub rows: Vec<Tuple>,
+    /// The physical strategy the planner chose.
+    pub plan_kind: PlanKind,
+}
+
+/// A data warehouse: named tables, their SMAs, and a planner.
+///
+/// ```
+/// use smadb::Warehouse;
+/// use smadb::storage::Table;
+/// use smadb::types::{Column, DataType, Schema, Value};
+/// use smadb::sma::{col, BucketPred, CmpOp};
+/// use smadb::exec::{AggSpec, AggregateQuery};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::new(vec![Column::new("X", DataType::Int)]));
+/// let mut sales = Table::in_memory("SALES", schema, 1);
+/// for x in 0..50 { sales.append(&vec![Value::Int(x)]).unwrap(); }
+///
+/// let mut warehouse = Warehouse::new();
+/// warehouse.register(sales).unwrap();
+/// warehouse.define_sma("define sma mn select min(X) from SALES").unwrap();
+/// warehouse.define_sma("define sma mx select max(X) from SALES").unwrap();
+///
+/// let result = warehouse.query("SALES", AggregateQuery {
+///     pred: BucketPred::cmp(0, CmpOp::Le, 10i64),
+///     group_by: vec![],
+///     specs: vec![AggSpec::CountStar],
+/// }).unwrap();
+/// assert_eq!(result.rows[0][0], Value::Int(11));
+/// ```
+#[derive(Default)]
+pub struct Warehouse {
+    tables: BTreeMap<String, Table>,
+    catalog: SmaCatalog,
+    planner: PlannerConfig,
+}
+
+impl Warehouse {
+    /// An empty warehouse with default planner settings.
+    pub fn new() -> Warehouse {
+        Warehouse::default()
+    }
+
+    /// A warehouse with custom planner settings.
+    pub fn with_planner(planner: PlannerConfig) -> Warehouse {
+        Warehouse { planner, ..Warehouse::default() }
+    }
+
+    /// Registers a table under its own name.
+    pub fn register(&mut self, table: Table) -> Result<(), WarehouseError> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(WarehouseError::DuplicateTable(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// The registered table named `name`.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// The SMA set defined on `relation`, if any.
+    pub fn smas(&self, relation: &str) -> Option<&SmaSet> {
+        self.catalog.set_for(relation)
+    }
+
+    /// Executes a `define sma` statement: parses it against the target
+    /// relation's schema, bulkloads the SMA, registers it.
+    pub fn define_sma(&mut self, statement: &str) -> Result<&Sma, WarehouseError> {
+        let relation = relation_of(statement)
+            .ok_or_else(|| WarehouseError::UnknownTable("<unparsed>".into()))?;
+        let table = self
+            .tables
+            .get(&relation)
+            .or_else(|| {
+                // SQL identifiers are case-insensitive.
+                self.tables
+                    .iter()
+                    .find(|(k, _)| k.eq_ignore_ascii_case(&relation))
+                    .map(|(_, v)| v)
+            })
+            .ok_or(WarehouseError::UnknownTable(relation))?;
+        Ok(self.catalog.execute_define(statement, table)?)
+    }
+
+    /// Appends a tuple, routing SMA maintenance automatically.
+    pub fn insert(&mut self, relation: &str, tuple: &Tuple) -> Result<TupleId, WarehouseError> {
+        let table = self
+            .tables
+            .get_mut(relation)
+            .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
+        let tid = table.append(tuple)?;
+        let bucket = table.bucket_of_page(tid.page);
+        self.catalog.note_insert(relation, bucket, tuple)?;
+        Ok(tid)
+    }
+
+    /// Deletes a tuple, routing SMA maintenance automatically.
+    pub fn delete(&mut self, relation: &str, tid: TupleId) -> Result<(), WarehouseError> {
+        let table = self
+            .tables
+            .get_mut(relation)
+            .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
+        let Some(old) = table.get(tid)? else {
+            return Err(WarehouseError::Table(TableError::NotFound(tid)));
+        };
+        table.delete(tid)?;
+        let bucket = table.bucket_of_page(tid.page);
+        self.catalog.note_delete(relation, bucket, &old)?;
+        Ok(())
+    }
+
+    /// Re-tightens any loose min/max bounds on `relation`'s SMAs,
+    /// returning the number of buckets refreshed.
+    pub fn refresh_smas(&mut self, relation: &str) -> Result<usize, WarehouseError> {
+        let table = self
+            .tables
+            .get(relation)
+            .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
+        Ok(self.catalog.refresh_stale(relation, table)?)
+    }
+
+    /// Plans and runs an aggregate query against `relation`, using its
+    /// SMAs when the cost model says they pay.
+    pub fn query(
+        &self,
+        relation: &str,
+        query: AggregateQuery,
+    ) -> Result<QueryResult, WarehouseError> {
+        let table = self
+            .tables
+            .get(relation)
+            .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
+        let chosen = plan(table, query, self.catalog.set_for(relation), &self.planner);
+        let rows = chosen.execute()?;
+        Ok(QueryResult { rows, plan_kind: chosen.kind })
+    }
+
+    /// EXPLAIN for an aggregate query: the chosen plan and its estimates.
+    pub fn explain(
+        &self,
+        relation: &str,
+        query: AggregateQuery,
+    ) -> Result<String, WarehouseError> {
+        let table = self
+            .tables
+            .get(relation)
+            .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
+        let chosen = plan(table, query, self.catalog.set_for(relation), &self.planner);
+        Ok(chosen.explain())
+    }
+}
+
+/// Extracts the `from <relation>` identifier from a `define sma`
+/// statement without needing the schema (which depends on the relation).
+fn relation_of(statement: &str) -> Option<String> {
+    let mut words = statement.split_whitespace();
+    while let Some(w) = words.next() {
+        if w.eq_ignore_ascii_case("from") {
+            let rel = words.next()?;
+            return Some(
+                rel.trim_matches(|c: char| !c.is_alphanumeric() && c != '_')
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_core::{col, BucketPred, CmpOp};
+    use sma_exec::AggSpec;
+    use sma_types::{Column, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn sales_table() -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("DAY", DataType::Int),
+            Column::new("REGION", DataType::Char),
+            Column::new("UNITS", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("SALES", schema, 1);
+        let pad = "p".repeat(1700);
+        for day in 0..60i64 {
+            t.append(&vec![
+                Value::Int(day),
+                Value::Char(b'N' + (day % 2) as u8),
+                Value::Int(day * 3),
+                Value::Str(pad.clone()),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn sum_query(cutoff: i64) -> AggregateQuery {
+        AggregateQuery {
+            pred: BucketPred::cmp(0, CmpOp::Le, cutoff),
+            group_by: vec![1],
+            specs: vec![AggSpec::CountStar, AggSpec::Sum(col(2))],
+        }
+    }
+
+    fn loaded_warehouse() -> Warehouse {
+        let mut w = Warehouse::new();
+        w.register(sales_table()).unwrap();
+        w.define_sma("define sma min_day select min(DAY) from SALES").unwrap();
+        w.define_sma("define sma max_day select max(DAY) from SALES").unwrap();
+        w.define_sma("define sma cnt select count(*) from SALES group by REGION")
+            .unwrap();
+        w.define_sma("define sma units select sum(UNITS) from SALES group by REGION")
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn end_to_end_query_uses_smas() {
+        let w = loaded_warehouse();
+        let with = w.query("SALES", sum_query(9)).unwrap();
+        assert_eq!(with.plan_kind, PlanKind::SmaGAggr);
+        // Naive warehouse (no SMAs) agrees.
+        let mut naive = Warehouse::new();
+        naive.register(sales_table()).unwrap();
+        let without = naive.query("SALES", sum_query(9)).unwrap();
+        assert_eq!(without.plan_kind, PlanKind::FullScan);
+        assert_eq!(with.rows, without.rows);
+        assert!(w.explain("SALES", sum_query(9)).unwrap().contains("SmaGAggr"));
+    }
+
+    #[test]
+    fn inserts_and_deletes_route_maintenance() {
+        let mut w = loaded_warehouse();
+        let before = w.query("SALES", sum_query(1000)).unwrap();
+        let tid = w
+            .insert(
+                "SALES",
+                &vec![
+                    Value::Int(100),
+                    Value::Char(b'N'),
+                    Value::Int(999),
+                    Value::Str("p".repeat(1700)),
+                ],
+            )
+            .unwrap();
+        let mid = w.query("SALES", sum_query(1000)).unwrap();
+        assert_ne!(before.rows, mid.rows, "insert visible through SMA plan");
+        w.delete("SALES", tid).unwrap();
+        let refreshed = w.refresh_smas("SALES").unwrap();
+        assert!(refreshed >= 1, "delete left a stale bucket");
+        let after = w.query("SALES", sum_query(1000)).unwrap();
+        assert_eq!(before.rows, after.rows);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let mut w = Warehouse::new();
+        w.register(sales_table()).unwrap();
+        assert!(matches!(
+            w.register(sales_table()),
+            Err(WarehouseError::DuplicateTable(_))
+        ));
+        assert!(matches!(
+            w.query("NOPE", sum_query(1)),
+            Err(WarehouseError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            w.define_sma("define sma x select min(DAY) from NOPE"),
+            Err(WarehouseError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            w.define_sma("not sql at all"),
+            Err(WarehouseError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            w.delete("SALES", TupleId { page: 999, slot: 0 }),
+            Err(WarehouseError::Table(_))
+        ));
+    }
+
+    #[test]
+    fn relation_extraction() {
+        assert_eq!(
+            relation_of("define sma x select min(A) from LINEITEM group by B"),
+            Some("LINEITEM".into())
+        );
+        assert_eq!(
+            relation_of("define sma x select min(A) FROM orders"),
+            Some("orders".into())
+        );
+        assert_eq!(relation_of("no from-clause here"), None);
+    }
+
+    #[test]
+    fn case_insensitive_relation_lookup() {
+        let mut w = Warehouse::new();
+        w.register(sales_table()).unwrap();
+        // Statement says "sales", table is "SALES".
+        assert!(w
+            .define_sma("define sma m select min(DAY) from sales")
+            .is_ok());
+    }
+}

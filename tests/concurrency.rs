@@ -1,0 +1,97 @@
+//! Concurrency: the buffer pool and tables are shared-read safe, so SMA
+//! builds and queries can run from many threads at once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smadb::exec::{run_query1, Query1Config};
+use smadb::sma::{build_many_parallel, SmaSet};
+use smadb::tpcd::{generate_lineitem_table, q1_reference_table, q1_cutoff, Clustering, GenConfig};
+
+#[test]
+fn concurrent_queries_on_one_table() {
+    let table = generate_lineitem_table(&GenConfig::tiny(Clustering::diagonal_default()));
+    let smas = SmaSet::build_query1_set(&table).unwrap();
+    let oracle = q1_reference_table(&table, q1_cutoff(90)).unwrap();
+    let failures = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..8 {
+            let table = &table;
+            let smas = &smas;
+            let oracle = &oracle;
+            let failures = &failures;
+            scope.spawn(move |_| {
+                for round in 0..10 {
+                    // Alternate SMA and full-scan plans across threads.
+                    let use_smas = (worker + round) % 2 == 0;
+                    let run = run_query1(
+                        table,
+                        if use_smas { Some(smas) } else { None },
+                        &Query1Config::default(),
+                    )
+                    .expect("query");
+                    if run.rows.len() != oracle.len() {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let counts: Vec<i64> = run
+                        .rows
+                        .iter()
+                        .map(|r| r[9].as_int().expect("count column"))
+                        .collect();
+                    let expected: Vec<i64> = oracle.iter().map(|r| r.count_order).collect();
+                    if counts != expected {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+    assert_eq!(failures.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn concurrent_build_and_read() {
+    // One thread repeatedly rebuilds SMA sets (pure reads of the table)
+    // while others query through a fixed set — all sharing the pool.
+    let table = generate_lineitem_table(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let smas = SmaSet::build_query1_set(&table).unwrap();
+    crossbeam::thread::scope(|scope| {
+        let t = &table;
+        scope.spawn(move |_| {
+            for _ in 0..5 {
+                let rebuilt = SmaSet::build_query1_set(t).expect("rebuild");
+                assert_eq!(rebuilt.file_count(), 26);
+            }
+        });
+        for _ in 0..4 {
+            let t = &table;
+            let smas = &smas;
+            scope.spawn(move |_| {
+                for _ in 0..10 {
+                    let run =
+                        run_query1(t, Some(smas), &Query1Config::default()).expect("query");
+                    assert_eq!(run.rows.len(), 4);
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+}
+
+#[test]
+fn parallel_bulkload_with_many_threads_is_stable() {
+    let table = generate_lineitem_table(&GenConfig::tiny(Clustering::Uniform));
+    let defs = SmaSet::query1_definitions(&table).unwrap();
+    let serial = SmaSet::build(&table, defs.clone()).unwrap();
+    for threads in [2, 3, 8, 16] {
+        let parallel = build_many_parallel(&table, defs.clone(), threads).unwrap();
+        for (s, p) in serial.smas().iter().zip(&parallel) {
+            assert_eq!(s.n_buckets(), p.n_buckets(), "threads={threads}");
+            for (key, file) in s.groups() {
+                for b in 0..s.n_buckets() {
+                    assert_eq!(p.entry(key, b), file.get(b), "threads={threads}");
+                }
+            }
+        }
+    }
+}

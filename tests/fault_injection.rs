@@ -1,0 +1,73 @@
+//! Failure injection: I/O errors at arbitrary points must surface as
+//! errors (never panics, never silently wrong answers) through every
+//! layer — table scans, SMA builds, and SMA-accelerated queries.
+
+use smadb::exec::{run_query1, Query1Config};
+use smadb::sma::SmaSet;
+use smadb::storage::test_util::FlakyStore;
+use smadb::storage::Table;
+use smadb::tpcd::{generate, lineitem_schema, Clustering, GenConfig};
+
+/// Loads a small LINEITEM into a flaky store with a huge initial budget
+/// (loading itself must not fail), then returns the budget handle.
+fn flaky_lineitem() -> (Table, usize, std::sync::Arc<std::sync::atomic::AtomicU64>) {
+    let (_, items) = generate(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let store = FlakyStore::new(u64::MAX / 2);
+    let handle = store.budget_handle();
+    let mut table = Table::new("LINEITEM", lineitem_schema(), Box::new(store), 8, 1);
+    for item in &items {
+        table.append(&item.to_tuple()).unwrap();
+    }
+    (table, items.len(), handle)
+}
+
+#[test]
+fn scan_surfaces_io_errors() {
+    let (table, _, budget) = flaky_lineitem();
+    table.make_cold().unwrap();
+    budget.store(5, std::sync::atomic::Ordering::Relaxed);
+    let err = table.scan().unwrap_err();
+    assert!(err.to_string().contains("injected read failure"), "{err}");
+}
+
+#[test]
+fn sma_build_surfaces_io_errors() {
+    let (table, _, budget) = flaky_lineitem();
+    table.make_cold().unwrap();
+    budget.store(3, std::sync::atomic::Ordering::Relaxed);
+    let err = SmaSet::build_query1_set(&table).unwrap_err();
+    assert!(err.to_string().contains("injected read failure"), "{err}");
+}
+
+#[test]
+fn query_surfaces_io_errors_midway() {
+    let (table, _, budget) = flaky_lineitem();
+    // Build SMAs while healthy.
+    let smas = SmaSet::build_query1_set(&table).unwrap();
+    table.make_cold().unwrap();
+    // Let a few reads through, then fail: the full scan must error out.
+    budget.store(7, std::sync::atomic::Ordering::Relaxed);
+    let err = run_query1(&table, None, &Query1Config::default()).unwrap_err();
+    assert!(err.to_string().contains("injected read failure"), "{err}");
+    // The SMA plan reads almost nothing, so a small budget suffices — it
+    // must *succeed* where the full scan could not, and exactly.
+    budget.store(10, std::sync::atomic::Ordering::Relaxed);
+    let run = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
+    assert_eq!(run.rows.len(), 4);
+    // And once the budget recovers, the answers agree.
+    budget.store(u64::MAX / 2, std::sync::atomic::Ordering::Relaxed);
+    let full = run_query1(&table, None, &Query1Config::default()).unwrap();
+    assert_eq!(run.rows, full.rows);
+}
+
+#[test]
+fn recovery_after_errors_is_clean() {
+    let (table, n_items, budget) = flaky_lineitem();
+    table.make_cold().unwrap();
+    budget.store(2, std::sync::atomic::Ordering::Relaxed);
+    assert!(table.scan().is_err());
+    // Top the budget back up: the same table serves reads again.
+    budget.store(u64::MAX / 2, std::sync::atomic::Ordering::Relaxed);
+    let rows = table.scan().unwrap();
+    assert_eq!(rows.len(), n_items);
+}

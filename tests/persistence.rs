@@ -1,0 +1,94 @@
+//! SMA persistence across "restarts": SMA sets saved to a real page file,
+//! reloaded, and used to answer Query 1 identically.
+
+use smadb::exec::{run_query1, Query1Config};
+use smadb::sma::{load_sma, save_sma, SmaSet};
+use smadb::storage::{FileStore, MemStore, PageStore};
+use smadb::tpcd::{generate_lineitem_table, Clustering, GenConfig};
+
+#[test]
+fn q1_sma_set_survives_a_restart_via_file_store() {
+    let table = generate_lineitem_table(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let smas = SmaSet::build_query1_set(&table).unwrap();
+    let before = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
+
+    let path = smadb::storage::test_util::scratch_path("sma_persistence");
+    let mut locations = Vec::new();
+    {
+        let mut store = FileStore::create(&path).unwrap();
+        for sma in smas.smas() {
+            locations.push(save_sma(sma, &mut store).unwrap());
+        }
+        store.sync().unwrap();
+    }
+    // "Restart": reopen the file, reload every SMA.
+    let mut reloaded = SmaSet::new();
+    {
+        let store = FileStore::open(&path).unwrap();
+        for (first, _) in &locations {
+            reloaded.push(load_sma(&store, *first).unwrap());
+        }
+    }
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(reloaded.smas().len(), smas.smas().len());
+    assert_eq!(reloaded.file_count(), smas.file_count());
+    let after = run_query1(&table, Some(&reloaded), &Query1Config::default()).unwrap();
+    assert_eq!(after.rows, before.rows);
+    assert_eq!(after.plan_kind, before.plan_kind);
+}
+
+#[test]
+fn persisted_pages_match_logical_size_accounting() {
+    let table = generate_lineitem_table(&GenConfig::tiny(Clustering::diagonal_default()));
+    let smas = SmaSet::build_query1_set(&table).unwrap();
+    let mut store = MemStore::new();
+    let mut physical_pages = 0u32;
+    for sma in smas.smas() {
+        let (_, pages) = save_sma(sma, &mut store).unwrap();
+        physical_pages += pages;
+    }
+    // The serialized form adds a definition header and value tags; it must
+    // stay within a small factor of the paper's raw-entry accounting.
+    let logical = smas.total_pages() as u32;
+    assert!(
+        physical_pages >= logical.min(smas.smas().len() as u32),
+        "physical {physical_pages} vs logical {logical}"
+    );
+    assert!(
+        physical_pages <= logical * 3 + smas.smas().len() as u32,
+        "physical {physical_pages} vs logical {logical}"
+    );
+    assert_eq!(store.page_count(), physical_pages);
+}
+
+#[test]
+fn maintained_then_persisted_smas_stay_consistent() {
+    use smadb::tpcd::generate;
+    let cfg = GenConfig::tiny(Clustering::SortedByShipdate);
+    let (_, items) = generate(&cfg);
+    let (base, extra) = items.split_at(items.len() - 100);
+    let mut table =
+        smadb::tpcd::load_lineitem(base, Box::new(MemStore::new()), 1, 1 << 14);
+    let mut smas = SmaSet::build_query1_set(&table).unwrap();
+    for item in extra {
+        let t = item.to_tuple();
+        let tid = table.append(&t).unwrap();
+        smas.note_insert(table.bucket_of_page(tid.page), &t).unwrap();
+    }
+    // Persist post-maintenance state and reload.
+    let mut store = MemStore::new();
+    let mut reloaded = SmaSet::new();
+    let mut firsts = Vec::new();
+    for sma in smas.smas() {
+        firsts.push(save_sma(sma, &mut store).unwrap().0);
+    }
+    for f in firsts {
+        reloaded.push(load_sma(&store, f).unwrap());
+    }
+    let a = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
+    let b = run_query1(&table, Some(&reloaded), &Query1Config::default()).unwrap();
+    let c = run_query1(&table, None, &Query1Config::default()).unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(b.rows, c.rows);
+}

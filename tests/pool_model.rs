@@ -1,0 +1,84 @@
+//! Model check: the buffer pool under arbitrary access patterns behaves
+//! exactly like the raw store (contents), while hit counting stays
+//! consistent (accounting).
+
+use proptest::prelude::*;
+
+use smadb::storage::{BufferPool, MemStore, PageStore, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u8),
+    Write(u8, u8),
+    Flush,
+    Cold,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(Op::Read),
+            (0u8..12, any::<u8>()).prop_map(|(p, v)| Op::Write(p, v)),
+            Just(Op::Flush),
+            Just(Op::Cold),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_is_transparent(ops in arb_ops(), capacity in 1usize..6) {
+        let n_pages = 12u32;
+        let pool = {
+            let mut store = MemStore::new();
+            for _ in 0..n_pages { store.allocate().unwrap(); }
+            BufferPool::new(Box::new(store), capacity)
+        };
+        // The model: raw page contents.
+        let mut model = vec![[0u8; PAGE_SIZE]; n_pages as usize];
+        for op in ops {
+            match op {
+                Op::Read(p) => {
+                    let p = (p as u32) % n_pages;
+                    let got = pool.with_page(p, |d| d[0]).unwrap();
+                    prop_assert_eq!(got, model[p as usize][0]);
+                }
+                Op::Write(p, v) => {
+                    let p = (p as u32) % n_pages;
+                    pool.with_page_mut(p, |d| d[0] = v).unwrap();
+                    model[p as usize][0] = v;
+                }
+                Op::Flush => pool.flush_all().unwrap(),
+                Op::Cold => pool.clear_cache().unwrap(),
+            }
+        }
+        // Final state: every page visible through the pool matches the model.
+        for p in 0..n_pages {
+            let got = pool.with_page(p, |d| d[0]).unwrap();
+            prop_assert_eq!(got, model[p as usize][0]);
+        }
+        // Accounting sanity: hits + misses = logical, classification splits misses.
+        let s = pool.stats();
+        prop_assert!(s.physical_reads <= s.logical_reads);
+        prop_assert_eq!(s.sequential_reads + s.random_reads, s.physical_reads);
+        prop_assert!((0.0..=1.0).contains(&s.hit_ratio()));
+    }
+
+    /// With capacity >= working set, a second pass is all hits.
+    #[test]
+    fn warm_pass_is_free(pages in 1u32..8) {
+        let pool = {
+            let mut store = MemStore::new();
+            for _ in 0..pages { store.allocate().unwrap(); }
+            BufferPool::new(Box::new(store), 16)
+        };
+        for p in 0..pages { pool.with_page(p, |_| ()).unwrap(); }
+        pool.reset_stats();
+        for p in 0..pages { pool.with_page(p, |_| ()).unwrap(); }
+        prop_assert_eq!(pool.stats().physical_reads, 0);
+        prop_assert_eq!(pool.stats().logical_reads, pages as u64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for the §3.1 grading algebra against brute force.
+//!
+//! For random tables and random predicates:
+//! * a bucket graded *qualifying* has **every** tuple satisfying the
+//!   predicate;
+//! * a bucket graded *disqualifying* has **no** tuple satisfying it;
+//! * `SmaScan` returns exactly what `SeqScan + Filter` returns;
+//! * `SmaGAggr` returns exactly what the naive plan returns.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use smadb::exec::{collect, AggSpec, Filter, HashGAggr, SeqScan, SmaGAggr, SmaScan};
+use smadb::sma::{col, AggFn, BucketPred, CmpOp, Grade, SmaDefinition, SmaSet};
+use smadb::storage::Table;
+use smadb::types::{Column, DataType, Schema, Value};
+
+/// Builds a table of (K: Int, G: Char) rows, padded to 2 tuples per page.
+fn build_table(rows: &[(i64, u8)]) -> Table {
+    let schema = Arc::new(Schema::new(vec![
+        Column::new("K", DataType::Int),
+        Column::new("G", DataType::Char),
+        Column::new("PAD", DataType::Str),
+    ]));
+    let mut t = Table::in_memory("t", schema, 1);
+    let pad = "p".repeat(1700);
+    for &(k, g) in rows {
+        t.append(&vec![Value::Int(k), Value::Char(g), Value::Str(pad.clone())])
+            .unwrap();
+    }
+    t
+}
+
+fn build_smas(t: &Table) -> SmaSet {
+    SmaSet::build(
+        t,
+        vec![
+            SmaDefinition::new("min", AggFn::Min, col(0)),
+            SmaDefinition::new("max", AggFn::Max, col(0)),
+            SmaDefinition::count("count_by_g").group_by(vec![1]),
+            SmaDefinition::new("sum_k", AggFn::Sum, col(0)).group_by(vec![1]),
+            SmaDefinition::count("count_by_k").group_by(vec![0]),
+        ],
+    )
+    .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, u8)>> {
+    proptest::collection::vec((0i64..100, prop_oneof![Just(b'A'), Just(b'B')]), 1..120)
+}
+
+fn arb_pred() -> impl Strategy<Value = BucketPred> {
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let atom = (op, -5i64..105).prop_map(|(op, c)| BucketPred::cmp(0, op, c));
+    // Depth-1 boolean combinations over column K.
+    prop_oneof![
+        atom.clone(),
+        proptest::collection::vec(atom.clone(), 2..4).prop_map(BucketPred::And),
+        proptest::collection::vec(atom, 2..4).prop_map(BucketPred::Or),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grading_is_sound(rows in arb_rows(), pred in arb_pred()) {
+        let t = build_table(&rows);
+        let smas = build_smas(&t);
+        for b in 0..t.bucket_count() {
+            let tuples = t.scan_bucket(b).unwrap();
+            let passing = tuples.iter().filter(|(_, tu)| pred.eval_tuple(tu)).count();
+            match pred.grade(b, &smas) {
+                Grade::Qualifies => prop_assert_eq!(
+                    passing, tuples.len(),
+                    "qualifying bucket {} has non-passing tuples under {:?}", b, pred
+                ),
+                Grade::Disqualifies => prop_assert_eq!(
+                    passing, 0,
+                    "disqualifying bucket {} has passing tuples under {:?}", b, pred
+                ),
+                Grade::Ambivalent => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sma_scan_equals_filter_scan(rows in arb_rows(), pred in arb_pred()) {
+        let t = build_table(&rows);
+        let smas = build_smas(&t);
+        let mut fast = SmaScan::new(&t, pred.clone(), &smas);
+        let fast_rows = collect(&mut fast).unwrap();
+        let mut slow = Filter::new(Box::new(SeqScan::new(&t)), pred);
+        let slow_rows = collect(&mut slow).unwrap();
+        prop_assert_eq!(fast_rows, slow_rows);
+    }
+
+    #[test]
+    fn sma_gaggr_equals_naive_plan(rows in arb_rows(), pred in arb_pred()) {
+        let t = build_table(&rows);
+        let smas = build_smas(&t);
+        let specs = vec![
+            AggSpec::CountStar,
+            AggSpec::Sum(col(0)),
+            AggSpec::Avg(col(0)),
+        ];
+        let mut fast =
+            SmaGAggr::new(&t, pred.clone(), vec![1], specs.clone(), &smas).unwrap();
+        let fast_rows = collect(&mut fast).unwrap();
+        let mut slow = HashGAggr::new(
+            Box::new(Filter::new(Box::new(SeqScan::new(&t)), pred)),
+            vec![1],
+            specs,
+        );
+        let slow_rows = collect(&mut slow).unwrap();
+        prop_assert_eq!(fast_rows, slow_rows);
+    }
+
+    #[test]
+    fn grading_with_distinct_count_sma_is_sound(rows in arb_rows(), c in -5i64..105) {
+        // Only the count-by-K SMA (no min/max): the §3.1 count rules alone.
+        let t = build_table(&rows);
+        let smas = SmaSet::build(
+            &t,
+            vec![SmaDefinition::count("count_by_k").group_by(vec![0])],
+        )
+        .unwrap();
+        let pred = BucketPred::cmp(0, CmpOp::Le, c);
+        for b in 0..t.bucket_count() {
+            let tuples = t.scan_bucket(b).unwrap();
+            let passing = tuples.iter().filter(|(_, tu)| pred.eval_tuple(tu)).count();
+            match pred.grade(b, &smas) {
+                Grade::Qualifies => prop_assert_eq!(passing, tuples.len()),
+                Grade::Disqualifies => prop_assert_eq!(passing, 0),
+                Grade::Ambivalent => {
+                    // With exact per-value counts, ambivalence must mean a
+                    // genuinely mixed bucket.
+                    prop_assert!(passing > 0 && passing < tuples.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_vs_column_grading_is_sound(
+        rows in proptest::collection::vec((0i64..50, 0i64..50), 1..80),
+    ) {
+        // Two integer columns, A op B predicates.
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("A", DataType::Int),
+            Column::new("B", DataType::Int),
+            Column::new("PAD", DataType::Str),
+        ]));
+        let mut t = Table::in_memory("t", schema, 1);
+        let pad = "p".repeat(1700);
+        for &(a, b) in &rows {
+            t.append(&vec![Value::Int(a), Value::Int(b), Value::Str(pad.clone())])
+                .unwrap();
+        }
+        let smas = SmaSet::build(
+            &t,
+            vec![
+                SmaDefinition::new("min_a", AggFn::Min, col(0)),
+                SmaDefinition::new("max_a", AggFn::Max, col(0)),
+                SmaDefinition::new("min_b", AggFn::Min, col(1)),
+                SmaDefinition::new("max_b", AggFn::Max, col(1)),
+            ],
+        )
+        .unwrap();
+        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq] {
+            let pred = BucketPred::col_cmp(0, op, 1);
+            for bu in 0..t.bucket_count() {
+                let tuples = t.scan_bucket(bu).unwrap();
+                let passing = tuples.iter().filter(|(_, tu)| pred.eval_tuple(tu)).count();
+                match pred.grade(bu, &smas) {
+                    Grade::Qualifies => prop_assert_eq!(passing, tuples.len(), "{:?}", op),
+                    Grade::Disqualifies => prop_assert_eq!(passing, 0, "{:?}", op),
+                    Grade::Ambivalent => {}
+                }
+            }
+        }
+    }
+}
