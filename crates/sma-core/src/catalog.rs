@@ -111,6 +111,26 @@ impl SmaCatalog {
         self.sets.get(relation)
     }
 
+    /// Installs an already-built SMA on `relation`, replacing any existing
+    /// SMA of the same name.
+    ///
+    /// This is the recovery entry point: restart and scrub paths register
+    /// SMAs loaded from disk — or rebuilt from the base table after a
+    /// checksum failure — without re-parsing a `define sma` statement.
+    pub fn install(&mut self, relation: &str, sma: Sma) {
+        let set = self.sets.entry(relation.to_string()).or_default();
+        if set.by_name(&sma.def().name).is_some() {
+            let mut kept = SmaSet::new();
+            for s in set.smas() {
+                if s.def().name != sma.def().name {
+                    kept.push(s.clone());
+                }
+            }
+            *set = kept;
+        }
+        set.push(sma);
+    }
+
     /// Drops the SMA named `sma` from `relation` — the cheap operation the
     /// paper contrasts with a data cube's all-or-nothing rigidity.
     pub fn drop_sma(&mut self, relation: &str, sma: &str) -> Result<(), CatalogError> {
@@ -264,6 +284,31 @@ mod tests {
             cat.drop_sma("NOPE", "a"),
             Err(CatalogError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn install_replaces_same_named_sma() {
+        use crate::def::SmaDefinition;
+        use crate::expr::col;
+        use crate::agg::AggFn;
+        let t = lineitem_like();
+        let mut cat = SmaCatalog::new();
+        cat.execute_define("define sma m select min(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap();
+        cat.execute_define("define sma keep select max(L_SHIPDATE) from LINEITEM", &t)
+            .unwrap();
+        // A rebuilt SMA under an existing name replaces it in place…
+        let rebuilt =
+            Sma::build(&t, SmaDefinition::new("m", AggFn::Max, col(0))).unwrap();
+        cat.install("LINEITEM", rebuilt);
+        let set = cat.set_for("LINEITEM").unwrap();
+        assert_eq!(set.smas().len(), 2, "replaced, not appended");
+        assert_eq!(set.by_name("m").unwrap().def().agg, AggFn::Max);
+        assert!(set.by_name("keep").is_some());
+        // …and installing on a fresh relation creates its set.
+        let other = Sma::build(&t, SmaDefinition::count("c")).unwrap();
+        cat.install("OTHER", other);
+        assert!(cat.set_for("OTHER").unwrap().by_name("c").is_some());
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub use grade::{BucketPred, Classification, CmpOp, Grade, NoStats, StatsProvider
 pub use hierarchical::{HierarchicalMinMax, HierarchicalPrune};
 pub use join_sma::{semijoin_prune, MinimaxOf};
 pub use parse::{parse_define_sma, ParseError};
-pub use persist::{load_sma, save_sma};
+pub use persist::{
+    decode_definition, decode_sma_stream, encode_definition, encode_sma_stream, load_sma,
+    load_sma_file, save_sma, save_sma_file,
+};
 pub use projection::ProjectionIndex;
 pub use set::{merge_bucket_into_group, SmaSet};
 pub use sma::{build_many, build_many_parallel, GroupKey, Sma, SmaError};

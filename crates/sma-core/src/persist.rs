@@ -1,24 +1,35 @@
-//! Persisting SMAs into page stores.
+//! Persisting SMAs into page stores and plain files.
 //!
 //! The paper stores SMA-files as plain sequential disk files. This module
 //! serializes a built [`Sma`] — its definition, group directory, per-group
-//! SMA-files, and maintenance bitmaps — into any
-//! `PageStore` implementation, so benchmark runs that charge
-//! SMA I/O can do so against *real* pages, and warehouses survive
-//! restarts.
+//! SMA-files, and maintenance bitmaps — into any `PageStore`
+//! implementation or an on-disk file, so benchmark runs that charge SMA
+//! I/O can do so against *real* pages, and warehouses survive restarts.
 //!
-//! Format (little-endian, packed into 4 KiB pages):
+//! Stream format `SMA2` (little-endian):
 //!
 //! ```text
-//! magic "SMA1" | def | n_buckets u32 | null_seen bitmap | stale bitmap |
-//! n_groups u32 | { group key | entries } per group
+//! magic "SMA2" | payload_len u32 | crc32(payload) u32 | payload
+//! payload := def | entry_bytes u32 | n_buckets u32 | null_seen bitmap |
+//!            stale bitmap | n_groups u32 | { group key | entries } per group
 //! ```
 //!
 //! Values carry a one-byte type tag; expressions serialize as a preorder
-//! tree walk. The byte stream is chunked into pages with a `u32` total
-//! length prefix.
+//! tree walk. In a page store the stream is chunked into pages (zero
+//! padded); on disk it is written with the atomic write-temp → fsync →
+//! rename recipe ([`save_sma_file`]), so a crash leaves either the old or
+//! the new SMA image, never a torn one — and a torn or bit-flipped image
+//! fails the CRC and surfaces as [`SmaError::Corrupt`], which recovery
+//! answers by rebuilding from the base table (the paper's redundancy
+//! argument, §3).
+//!
+//! The legacy seed format `SMA1` (`payload_len u32 | "SMA1" | payload`,
+//! no checksum) is still decoded; writers always emit `SMA2`.
 
-use sma_storage::{PageStore, PAGE_SIZE};
+use std::path::Path;
+
+use sma_storage::checksum::crc32;
+use sma_storage::{atomic_write_file, PageStore, StoreError, PAGE_SIZE};
 use sma_types::{Date, Decimal, Value};
 
 use crate::agg::AggFn;
@@ -27,7 +38,11 @@ use crate::expr::ScalarExpr;
 use crate::file::SmaFile;
 use crate::sma::{Sma, SmaError};
 
-const MAGIC: &[u8; 4] = b"SMA1";
+const MAGIC_V1: &[u8; 4] = b"SMA1";
+const MAGIC_V2: &[u8; 4] = b"SMA2";
+
+/// Bytes before the payload in an `SMA2` stream: magic, length, crc.
+const V2_HEADER: usize = 12;
 
 // ---------------------------------------------------------------- encode
 
@@ -115,28 +130,34 @@ fn put_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
     }
 }
 
-fn encode_sma(sma: &Sma) -> Vec<u8> {
+/// Serializes a SMA definition (name, aggregate, input expression, group-by
+/// columns). Public so the warehouse catalog manifest can embed definitions
+/// and rebuild quarantined SMAs from them during recovery.
+pub fn encode_definition(def: &SmaDefinition) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    // Definition.
-    put_str(&mut out, &sma.def.name);
-    out.push(match sma.def.agg {
+    put_str(&mut out, &def.name);
+    out.push(match def.agg {
         AggFn::Min => 0,
         AggFn::Max => 1,
         AggFn::Sum => 2,
         AggFn::Count => 3,
     });
-    match &sma.def.input {
+    match &def.input {
         None => out.push(0),
         Some(e) => {
             out.push(1);
             put_expr(&mut out, e);
         }
     }
-    put_u32(&mut out, sma.def.group_by.len() as u32);
-    for &g in &sma.def.group_by {
+    put_u32(&mut out, def.group_by.len() as u32);
+    for &g in &def.group_by {
         put_u32(&mut out, g as u32);
     }
+    out
+}
+
+fn encode_payload(sma: &Sma) -> Vec<u8> {
+    let mut out = encode_definition(&sma.def);
     // Entry width + buckets + bitmaps.
     put_u32(&mut out, sma.entry_bytes as u32);
     put_u32(&mut out, sma.n_buckets);
@@ -241,11 +262,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn decode_sma(buf: &[u8]) -> Result<Sma, SmaError> {
-    let mut r = Reader { buf, pos: 0 };
-    if r.take(4)? != MAGIC {
-        return Err(SmaError::Corrupt("bad magic".into()));
-    }
+fn read_definition(r: &mut Reader<'_>) -> Result<SmaDefinition, SmaError> {
     let name = r.string()?;
     let agg = match r.u8()? {
         0 => AggFn::Min,
@@ -264,7 +281,26 @@ fn decode_sma(buf: &[u8]) -> Result<Sma, SmaError> {
     for _ in 0..n_group_cols {
         group_by.push(r.u32()? as usize);
     }
-    let def = SmaDefinition { name, agg, input, group_by };
+    Ok(SmaDefinition { name, agg, input, group_by })
+}
+
+/// Inverse of [`encode_definition`]; the whole buffer must be one
+/// definition.
+pub fn decode_definition(buf: &[u8]) -> Result<SmaDefinition, SmaError> {
+    let mut r = Reader { buf, pos: 0 };
+    let def = read_definition(&mut r)?;
+    if r.pos != buf.len() {
+        return Err(SmaError::Corrupt(format!(
+            "{} trailing bytes after definition",
+            buf.len() - r.pos
+        )));
+    }
+    Ok(def)
+}
+
+fn decode_payload(buf: &[u8]) -> Result<Sma, SmaError> {
+    let mut r = Reader { buf, pos: 0 };
+    let def = read_definition(&mut r)?;
     let entry_bytes = r.u32()? as usize;
     if entry_bytes == 0 {
         return Err(SmaError::Corrupt("zero entry width".into()));
@@ -304,15 +340,76 @@ fn decode_sma(buf: &[u8]) -> Result<Sma, SmaError> {
     Ok(Sma { def, entry_bytes, n_buckets, groups, null_seen, stale })
 }
 
-// ------------------------------------------------------------ page layer
+// ----------------------------------------------------------- stream layer
+
+/// Serializes `sma` as a self-describing, checksummed `SMA2` byte stream:
+/// `"SMA2" | payload_len u32 | crc32(payload) u32 | payload`.
+pub fn encode_sma_stream(sma: &Sma) -> Vec<u8> {
+    let payload = encode_payload(sma);
+    let mut out = Vec::with_capacity(V2_HEADER + payload.len());
+    out.extend_from_slice(MAGIC_V2);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a byte stream produced by [`encode_sma_stream`] (or the legacy
+/// seed format `payload_len u32 | "SMA1" | payload`, which carries no
+/// checksum). Bytes past the declared length are ignored, so page-padded
+/// images decode unchanged. Truncation, bit flips, and checksum mismatches
+/// all surface as [`SmaError::Corrupt`] — never a panic and never a
+/// silently wrong SMA.
+pub fn decode_sma_stream(buf: &[u8]) -> Result<Sma, SmaError> {
+    if buf.len() >= 4 && &buf[..4] == MAGIC_V2 {
+        if buf.len() < V2_HEADER {
+            return Err(SmaError::Corrupt("SMA2 header truncated".into()));
+        }
+        let payload_len =
+            u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let Some(payload) = buf[V2_HEADER..].get(..payload_len) else {
+            return Err(SmaError::Corrupt(format!(
+                "SMA2 stream truncated: header claims {payload_len} payload \
+                 bytes, {} present",
+                buf.len() - V2_HEADER
+            )));
+        };
+        let got = crc32(payload);
+        if got != want {
+            return Err(SmaError::Corrupt(format!(
+                "SMA2 checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+            )));
+        }
+        return decode_payload(payload);
+    }
+    // Legacy `SMA1`: length prefix, then magic inside the body. A real
+    // length can never collide with `"SMA2"` read as an integer (~843 M —
+    // far beyond any plausible body). No checksum to verify: the decoder's
+    // structural checks are the only protection, which is why writers
+    // always emit SMA2.
+    if buf.len() < 8 {
+        return Err(SmaError::Corrupt("stream too short for any SMA format".into()));
+    }
+    let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    let Some(body) = buf[4..].get(..body_len) else {
+        return Err(SmaError::Corrupt(format!(
+            "SMA1 stream truncated: header claims {body_len} body bytes, {} present",
+            buf.len() - 4
+        )));
+    };
+    if body.len() < 4 || &body[..4] != MAGIC_V1 {
+        return Err(SmaError::Corrupt("bad magic".into()));
+    }
+    decode_payload(&body[4..])
+}
+
+// ------------------------------------------------------------- page layer
 
 /// Writes `sma` into `store` starting at a freshly-allocated page run.
 /// Returns `(first_page, page_count)`.
 pub fn save_sma(sma: &Sma, store: &mut dyn PageStore) -> Result<(u32, u32), SmaError> {
-    let body = encode_sma(sma);
-    let mut stream = Vec::with_capacity(4 + body.len());
-    put_u32(&mut stream, body.len() as u32);
-    stream.extend_from_slice(&body);
+    let stream = encode_sma_stream(sma);
     let pages = stream.len().div_ceil(PAGE_SIZE) as u32;
     let first = store.allocate()?;
     for p in 1..pages {
@@ -330,12 +427,34 @@ pub fn save_sma(sma: &Sma, store: &mut dyn PageStore) -> Result<(u32, u32), SmaE
 }
 
 /// Reads a SMA previously written with [`save_sma`] at `first_page`.
+/// Accepts both `SMA2` and legacy `SMA1` images. A store that holds fewer
+/// pages than the stream header claims (a crash truncated the tail) is
+/// reported as [`SmaError::Corrupt`], not [`StoreError::OutOfRange`].
 pub fn load_sma(store: &dyn PageStore, first_page: u32) -> Result<Sma, SmaError> {
+    if first_page >= store.page_count() {
+        return Err(SmaError::Corrupt(format!(
+            "SMA image missing: starts at page {first_page}, store holds {}",
+            store.page_count()
+        )));
+    }
     let mut head = [0u8; PAGE_SIZE];
     store.read_page(first_page, &mut head)?;
-    let body_len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
-    let total = 4 + body_len;
+    // Both formats put a u32 length in the first 8 bytes; over-reading a
+    // few trailing zero-padded bytes is harmless, so derive a page count
+    // from whichever header is present.
+    let total = if &head[..4] == MAGIC_V2 {
+        V2_HEADER + u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) as usize
+    } else {
+        4 + u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize
+    };
     let pages = total.div_ceil(PAGE_SIZE) as u32;
+    if (first_page as u64) + (pages as u64) > store.page_count() as u64 {
+        return Err(SmaError::Corrupt(format!(
+            "SMA image truncated: needs {pages} pages from page {first_page}, \
+             store holds {}",
+            store.page_count()
+        )));
+    }
     let mut stream = Vec::with_capacity(pages as usize * PAGE_SIZE);
     stream.extend_from_slice(&head);
     let mut page = [0u8; PAGE_SIZE];
@@ -343,10 +462,30 @@ pub fn load_sma(store: &dyn PageStore, first_page: u32) -> Result<Sma, SmaError>
         store.read_page(first_page + p, &mut page)?;
         stream.extend_from_slice(&page);
     }
-    if stream.len() < total {
-        return Err(SmaError::Corrupt("stream shorter than header claims".into()));
-    }
-    decode_sma(&stream[4..total])
+    decode_sma_stream(&stream)
+}
+
+// ------------------------------------------------------------- file layer
+
+fn io_err(e: std::io::Error) -> SmaError {
+    SmaError::Store(StoreError::Io(e))
+}
+
+/// Persists `sma` to `path` atomically: the stream is written to a
+/// temporary sibling, fsynced, renamed over `path`, and the directory is
+/// fsynced. A crash at any point leaves either the previous image or the
+/// complete new one — and anything in between fails the stream checksum on
+/// load.
+pub fn save_sma_file(sma: &Sma, path: &Path) -> Result<(), SmaError> {
+    atomic_write_file(path, &encode_sma_stream(sma)).map_err(io_err)
+}
+
+/// Loads a SMA previously written with [`save_sma_file`]. Corrupt or
+/// truncated images surface as [`SmaError::Corrupt`]; a missing file is an
+/// I/O error (callers distinguish "never persisted" from "damaged").
+pub fn load_sma_file(path: &Path) -> Result<Sma, SmaError> {
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    decode_sma_stream(&bytes)
 }
 
 #[cfg(test)]
@@ -483,10 +622,10 @@ mod tests {
         let sma = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
         let mut store = MemStore::new();
         let (first, _) = save_sma(&sma, &mut store).unwrap();
-        // Flip the magic.
+        // Corrupt the magic.
         let mut page = [0u8; PAGE_SIZE];
         store.read_page(first, &mut page).unwrap();
-        page[4] = b'X';
+        page[0] = b'X';
         store.write_page(first, &page).unwrap();
         assert!(matches!(
             load_sma(&store, first),
@@ -498,5 +637,128 @@ mod tests {
         page2[..4].copy_from_slice(&(10 * PAGE_SIZE as u32).to_le_bytes());
         store.write_page(first, &page2).unwrap();
         assert!(load_sma(&store, first).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_payload_bit_flips() {
+        let t = sample_table();
+        let sma = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
+        let clean = encode_sma_stream(&sma);
+        assert!(decode_sma_stream(&clean).is_ok());
+        // Flip one bit somewhere in the payload: the CRC must object even
+        // when the flip lands in a spot the structural decoder would accept
+        // (e.g. the middle of an aggregate value).
+        for &byte in &[V2_HEADER, V2_HEADER + 20, clean.len() - 1] {
+            let mut evil = clean.clone();
+            evil[byte] ^= 0x10;
+            let err = decode_sma_stream(&evil).unwrap_err();
+            assert!(matches!(err, SmaError::Corrupt(_)), "byte {byte}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_zero_padding_is_tolerated() {
+        let t = sample_table();
+        let sma = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
+        let mut padded = encode_sma_stream(&sma);
+        padded.resize(padded.len().div_ceil(PAGE_SIZE) * PAGE_SIZE, 0);
+        let back = decode_sma_stream(&padded).unwrap();
+        assert_eq!(back.def(), sma.def());
+    }
+
+    /// A pre-checksum `SMA1` image (as the seed format wrote it) must still
+    /// decode, so existing stores migrate by simply being re-saved.
+    #[test]
+    fn legacy_sma1_images_still_load() {
+        let t = sample_table();
+        let def = SmaDefinition::new("sum", AggFn::Sum, col(2)).group_by(vec![1]);
+        let sma = Sma::build(&t, def).unwrap();
+        // Reconstruct the legacy layout: `body_len u32 | "SMA1" | payload`.
+        let payload = encode_payload(&sma);
+        let mut legacy = Vec::new();
+        put_u32(&mut legacy, 4 + payload.len() as u32);
+        legacy.extend_from_slice(MAGIC_V1);
+        legacy.extend_from_slice(&payload);
+        let back = decode_sma_stream(&legacy).unwrap();
+        assert_eq!(back.def(), sma.def());
+        for (key, file) in sma.groups() {
+            for b in 0..sma.n_buckets() {
+                assert_eq!(back.entry(key, b), file.get(b));
+            }
+        }
+        // And through the page layer, zero-padded like a real store image.
+        let mut store = MemStore::new();
+        let pages = legacy.len().div_ceil(PAGE_SIZE);
+        let mut page = [0u8; PAGE_SIZE];
+        for (i, chunk) in legacy.chunks(PAGE_SIZE).enumerate() {
+            let no = store.allocate().unwrap();
+            assert_eq!(no as usize, i);
+            page.fill(0);
+            page[..chunk.len()].copy_from_slice(chunk);
+            store.write_page(no, &page).unwrap();
+        }
+        assert_eq!(store.page_count() as usize, pages);
+        let via_pages = load_sma(&store, 0).unwrap();
+        assert_eq!(via_pages.def(), sma.def());
+    }
+
+    #[test]
+    fn value_codec_roundtrips_every_variant() {
+        let values = vec![
+            Value::Null,
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Decimal(Decimal::from_cents(-12_345)),
+            Value::Decimal(Decimal::from_cents(i64::MIN)),
+            Value::Date(Date::from_days(-719_162)), // well before the epoch
+            Value::Date(Date::from_days(0)),
+            Value::Char(0xFF),
+            Value::Str(String::new()),
+            Value::Str("grüße, warehouse".into()),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            put_value(&mut buf, v);
+        }
+        let mut r = Reader { buf: &buf, pos: 0 };
+        for v in &values {
+            assert_eq!(&r.value().unwrap(), v);
+        }
+        assert_eq!(r.pos, buf.len());
+    }
+
+    #[test]
+    fn definition_codec_roundtrips() {
+        let defs = vec![
+            SmaDefinition::new("plain", AggFn::Min, col(0)),
+            SmaDefinition::count("rows").group_by(vec![1, 3]),
+            SmaDefinition::new(
+                "expr",
+                AggFn::Sum,
+                col(2).mul(dec_lit("1.00").sub(dec_lit("0.05"))),
+            )
+            .group_by(vec![1]),
+        ];
+        for def in defs {
+            let bytes = encode_definition(&def);
+            assert_eq!(decode_definition(&bytes).unwrap(), def);
+        }
+        assert!(decode_definition(&[]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_corrupt_file_detection() {
+        use sma_storage::test_util::{flip_bit_in_file, scratch_path};
+        let t = sample_table();
+        let sma = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
+        let path = scratch_path("sma-file");
+        save_sma_file(&sma, &path).unwrap();
+        let back = load_sma_file(&path).unwrap();
+        assert_eq!(encode_sma_stream(&back), encode_sma_stream(&sma));
+        flip_bit_in_file(&path, 40, 3).unwrap();
+        assert!(matches!(load_sma_file(&path), Err(SmaError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(load_sma_file(&path), Err(SmaError::Store(_))));
     }
 }

@@ -1,0 +1,60 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! guarding page footers and SMA persistence streams.
+//!
+//! Implemented from scratch (table-driven, one table built at first use)
+//! so the storage crate stays dependency-free. The algorithm matches
+//! zlib's `crc32()`, so images written here can be cross-checked with any
+//! standard tool.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC32 of `data` (IEEE, zlib-compatible).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from zlib's crc32().
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0u8; 4096];
+        data[17] = 0xA5;
+        let clean = crc32(&data);
+        for bit in [0usize, 1, 8 * 17 + 3, 8 * 4095 + 7] {
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&data), clean, "flip of bit {bit} must change the crc");
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+}

@@ -11,9 +11,16 @@
 //! The paper (§2.1) requires buckets to be "sets of consecutive tuples on
 //! disk"; [`Table`] enforces this by appending strictly in physical order
 //! and keeping updates on their page.
+//!
+//! Durability: every page carries a CRC32 + write-counter footer
+//! ([`page::stamp_page`] / [`page::verify_page`]) maintained by the buffer
+//! pool, so torn writes and bit flips surface as [`StoreError::Corrupt`];
+//! [`store::atomic_write_file`] provides the write-temp → fsync → rename →
+//! fsync-dir commit recipe used by SMA and catalog persistence.
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod cost;
 pub mod page;
 pub mod pool;
@@ -21,8 +28,9 @@ pub mod store;
 pub mod table;
 pub mod test_util;
 
+pub use checksum::crc32;
 pub use cost::CostModel;
-pub use page::{SlotId, SlottedPage, PAGE_SIZE};
+pub use page::{SlotId, SlottedPage, MAX_TUPLE_BYTES, PAGE_FOOTER_LEN, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats};
-pub use store::{FileStore, MemStore, PageNo, PageStore, StoreError};
-pub use table::{BucketNo, Table, TableError, TupleId};
+pub use store::{atomic_write_file, sync_dir, FileStore, MemStore, PageNo, PageStore, StoreError};
+pub use table::{BucketNo, PageVerification, Table, TableError, TupleId};

@@ -11,17 +11,80 @@
 //! ```
 //!
 //! The slot directory grows upward from the header, tuple images grow
-//! downward from the end of the page. Deleting a tuple leaves a tombstone
-//! slot (`len == 0`), so slot ids stay stable — SMA maintenance relies on
-//! tuples not moving between buckets.
+//! downward from the end of the *payload region*. Deleting a tuple leaves a
+//! tombstone slot (`len == 0`), so slot ids stay stable — SMA maintenance
+//! relies on tuples not moving between buckets.
+//!
+//! The last [`PAGE_FOOTER_LEN`] bytes of every page are reserved for a
+//! durability footer the buffer pool maintains on write-back:
+//!
+//! ```text
+//! | write counter: u32 | crc32 over bytes [0, PAGE_SIZE-4): u32 |
+//! ```
+//!
+//! The write counter is an LSN-style generation number (bumped on every
+//! write-back); the CRC covers the payload *and* the counter, so a bit flip
+//! anywhere in the page is detected on the next read ([`verify_page`]). A
+//! page whose footer is all zeroes has never been stamped (freshly
+//! allocated) and verifies trivially.
 
 use std::fmt;
+
+use crate::checksum::crc32;
 
 /// Page size in bytes (fixed, as in the paper's space accounting).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Bytes reserved at the end of every page for the checksum footer.
+pub const PAGE_FOOTER_LEN: usize = 8;
+
+/// End of the slotted payload region (tuple images live below this).
+const PAYLOAD_END: usize = PAGE_SIZE - PAGE_FOOTER_LEN;
+
 const HEADER_LEN: usize = 4; // n_slots: u16, free_end: u16
 const SLOT_LEN: usize = 4; // offset: u16, len: u16
+
+/// Largest tuple image an empty page can hold (payload minus header and
+/// one slot entry).
+pub const MAX_TUPLE_BYTES: usize = PAYLOAD_END - HEADER_LEN - SLOT_LEN;
+
+const COUNTER_OFF: usize = PAGE_SIZE - 8;
+const CRC_OFF: usize = PAGE_SIZE - 4;
+
+/// The footer's write counter (0 = never stamped).
+pub fn page_write_counter(buf: &[u8; PAGE_SIZE]) -> u32 {
+    u32::from_le_bytes(buf[COUNTER_OFF..CRC_OFF].try_into().expect("4 bytes"))
+}
+
+/// Bumps the write counter and recomputes the footer CRC. Called by the
+/// buffer pool on every write-back so on-store images are self-verifying.
+pub fn stamp_page(buf: &mut [u8; PAGE_SIZE]) {
+    let counter = page_write_counter(buf).wrapping_add(1).max(1);
+    buf[COUNTER_OFF..CRC_OFF].copy_from_slice(&counter.to_le_bytes());
+    let crc = crc32(&buf[..CRC_OFF]);
+    buf[CRC_OFF..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Checks the footer CRC of a page image read from a store.
+///
+/// Returns `Err(detail)` on a mismatch. An all-zero footer means the page
+/// was never written back through the pool (e.g. freshly allocated) and
+/// passes: there is nothing durable to protect yet.
+pub fn verify_page(buf: &[u8; PAGE_SIZE]) -> Result<(), String> {
+    let counter = page_write_counter(buf);
+    let stored = u32::from_le_bytes(buf[CRC_OFF..].try_into().expect("4 bytes"));
+    if counter == 0 && stored == 0 {
+        return Ok(());
+    }
+    let computed = crc32(&buf[..CRC_OFF]);
+    if computed != stored {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x} \
+             (write counter {counter})"
+        ));
+    }
+    Ok(())
+}
 
 /// Index of a slot within a page.
 pub type SlotId = u16;
@@ -56,8 +119,8 @@ impl SlottedPage {
     /// Creates an empty page.
     pub fn new() -> SlottedPage {
         let mut data = Box::new([0u8; PAGE_SIZE]);
-        // free_end starts at PAGE_SIZE.
-        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        // free_end starts at the payload end (the footer is reserved).
+        data[2..4].copy_from_slice(&(PAYLOAD_END as u16).to_le_bytes());
         SlottedPage { data }
     }
 
@@ -71,7 +134,7 @@ impl SlottedPage {
         let page = SlottedPage { data };
         let n = page.slot_count() as usize;
         let free_end = page.free_end() as usize;
-        if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAGE_SIZE {
+        if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAYLOAD_END {
             return Err(PageError(format!(
                 "corrupt header: {n} slots, free_end {free_end}"
             )));
@@ -83,8 +146,8 @@ impl SlottedPage {
                     "slot {s} points into free space (off {off}, free_end {free_end})"
                 )));
             }
-            if off as usize + len as usize > PAGE_SIZE {
-                return Err(PageError(format!("slot {s} overruns page")));
+            if off as usize + len as usize > PAYLOAD_END {
+                return Err(PageError(format!("slot {s} overruns payload region")));
             }
         }
         Ok(page)
@@ -210,7 +273,7 @@ impl SlottedPage {
     /// [`SlottedPage::compact`]).
     pub fn dead_space(&self) -> usize {
         let live: usize = self.iter().map(|(_, img)| img.len()).sum();
-        PAGE_SIZE - self.free_end() as usize - live
+        PAYLOAD_END - self.free_end() as usize - live
     }
 
     /// Rewrites the page in place, squeezing out tombstoned tuples' data
@@ -225,7 +288,7 @@ impl SlottedPage {
         let mut images: Vec<Option<Vec<u8>>> = (0..n)
             .map(|s| self.get(s).map(<[u8]>::to_vec))
             .collect();
-        let mut end = PAGE_SIZE;
+        let mut end = PAYLOAD_END;
         for (s, img) in images.drain(..).enumerate() {
             match img {
                 Some(img) => {
@@ -276,7 +339,7 @@ mod tests {
         while p.insert(&image).is_some() {
             n += 1;
         }
-        // 100 bytes payload + 4 bytes slot ≈ 39 tuples in 4092 usable bytes.
+        // 100 bytes payload + 4 bytes slot ≈ 39 tuples in 4084 usable bytes.
         assert!((38..=40).contains(&n), "unexpected fill count {n}");
         assert!(p.insert(&image).is_none());
         assert!(p.insert(&[1u8; 1]).is_some(), "small tuple should still fit");
@@ -367,6 +430,49 @@ mod tests {
         assert!(p.insert(&[4u8; 900]).is_some());
         // Compacting a clean page is a no-op.
         assert_eq!(p.compact(), 0);
+    }
+
+    #[test]
+    fn footer_stamp_and_verify() {
+        let mut p = SlottedPage::new();
+        p.insert(b"hello footer").unwrap();
+        let mut img = *p.as_bytes();
+        // Unstamped pages verify trivially.
+        assert_eq!(page_write_counter(&img), 0);
+        verify_page(&img).unwrap();
+        stamp_page(&mut img);
+        assert_eq!(page_write_counter(&img), 1);
+        verify_page(&img).unwrap();
+        stamp_page(&mut img);
+        assert_eq!(page_write_counter(&img), 2, "counter is monotone");
+        verify_page(&img).unwrap();
+        // The stamped image still parses and the footer never collides
+        // with tuple data.
+        let q = SlottedPage::from_bytes(&img).unwrap();
+        assert_eq!(q.get(0), Some(&b"hello footer"[..]));
+    }
+
+    #[test]
+    fn footer_detects_any_single_bit_flip() {
+        let mut p = SlottedPage::new();
+        p.insert(&[0xA5u8; 64]).unwrap();
+        let mut img = *p.as_bytes();
+        stamp_page(&mut img);
+        // Payload, header, counter, and crc flips are all caught.
+        for bit in [3usize, 8 * 2 + 1, 8 * 4000, 8 * (PAGE_SIZE - 8), 8 * (PAGE_SIZE - 1) + 7] {
+            img[bit / 8] ^= 1 << (bit % 8);
+            assert!(verify_page(&img).is_err(), "bit {bit} flip undetected");
+            img[bit / 8] ^= 1 << (bit % 8);
+        }
+        verify_page(&img).unwrap();
+    }
+
+    #[test]
+    fn max_tuple_fits_exactly() {
+        let mut p = SlottedPage::new();
+        assert_eq!(p.free_space(), MAX_TUPLE_BYTES);
+        assert!(p.insert(&[7u8; MAX_TUPLE_BYTES]).is_some());
+        assert_eq!(p.free_space(), 0);
     }
 
     proptest! {

@@ -7,12 +7,17 @@
 //! Every physical read is classified as sequential (page follows the
 //! previously read page) or random, which feeds the deterministic cost
 //! model in [`crate::cost`].
+//!
+//! The pool is also the durability checkpoint: every write-back stamps the
+//! page's checksum footer ([`crate::page::stamp_page`]) and every physical
+//! read verifies it, so torn writes and bit flips surface as
+//! [`StoreError::Corrupt`] instead of silently wrong query answers.
 
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
-use crate::page::PAGE_SIZE;
+use crate::page::{stamp_page, verify_page, PAGE_SIZE};
 use crate::store::{PageNo, PageStore, StoreError};
 
 /// Counters describing pool traffic since the last reset.
@@ -173,6 +178,17 @@ impl Inner {
         self.clock
     }
 
+    /// Stamps frame `idx`'s checksum footer and writes it to the store.
+    fn write_back(&mut self, idx: usize) -> Result<(), StoreError> {
+        stamp_page(&mut self.frames[idx].data);
+        let no = self.frames[idx].page_no;
+        let data = self.frames[idx].data.clone();
+        self.store.write_page(no, &data[..])?;
+        self.frames[idx].dirty = false;
+        self.stats.physical_writes += 1;
+        Ok(())
+    }
+
     fn flush_all(&mut self) -> Result<(), StoreError> {
         // Write back in page order: a real engine would too, and it keeps
         // physical_writes deterministic across hash-map iteration orders.
@@ -181,11 +197,7 @@ impl Inner {
             .collect();
         dirty.sort_by_key(|&i| self.frames[i].page_no);
         for i in dirty {
-            let no = self.frames[i].page_no;
-            let data = self.frames[i].data.clone();
-            self.store.write_page(no, &data[..])?;
-            self.frames[i].dirty = false;
-            self.stats.physical_writes += 1;
+            self.write_back(i)?;
         }
         self.store.sync()
     }
@@ -205,6 +217,7 @@ impl Inner {
         self.last_physical = Some(no);
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.store.read_page(no, &mut data[..])?;
+        verify_page(&data).map_err(|detail| StoreError::Corrupt { page: no, detail })?;
         let clock = self.bump_clock();
         self.install(
             Frame { page_no: no, data, dirty: false, last_used: clock },
@@ -223,12 +236,8 @@ impl Inner {
         let victim = (0..self.frames.len())
             .min_by_key(|&i| self.frames[i].last_used)
             .expect("capacity > 0");
-        let old = &self.frames[victim];
-        if old.dirty {
-            let no = old.page_no;
-            let data = old.data.clone();
-            self.store.write_page(no, &data[..])?;
-            self.stats.physical_writes += 1;
+        if self.frames[victim].dirty {
+            self.write_back(victim)?;
         }
         self.map.remove(&self.frames[victim].page_no);
         self.map.insert(frame.page_no, victim);
@@ -324,6 +333,49 @@ mod tests {
         p.flush_all().unwrap();
         p.clear_cache().unwrap();
         assert_eq!(p.with_page(no, |d| d[7]).unwrap(), 99);
+    }
+
+    #[test]
+    fn write_back_stamps_checksum_footers() {
+        use crate::page::{page_write_counter, verify_page};
+        use crate::store::FileStore;
+        use crate::test_util::scratch_path;
+        let path = scratch_path("pool_stamps");
+        let p = BufferPool::new(Box::new(FileStore::create(&path).unwrap()), 4);
+        let no = p.allocate().unwrap();
+        p.with_page_mut(no, |d| d[123] = 0x5A).unwrap();
+        p.flush_all().unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let img: &[u8; PAGE_SIZE] = raw[..PAGE_SIZE].try_into().unwrap();
+        assert!(page_write_counter(img) >= 1, "flushed page must be stamped");
+        verify_page(img).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_behind_the_pool_is_detected() {
+        use crate::store::FileStore;
+        use crate::test_util::scratch_path;
+        let path = scratch_path("pool_corrupt");
+        let p = BufferPool::new(Box::new(FileStore::create(&path).unwrap()), 4);
+        let no = p.allocate().unwrap();
+        p.with_page_mut(no, |d| d[0..2].copy_from_slice(&[9, 9])).unwrap();
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        // Flip one payload bit on disk, behind the pool's back.
+        {
+            use std::os::unix::fs::FileExt;
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            let mut b = [0u8; 1];
+            std::fs::File::open(&path).unwrap().read_exact_at(&mut b, 200).unwrap();
+            f.write_all_at(&[b[0] ^ 0x04], 200).unwrap();
+        }
+        let err = p.with_page(no, |_| ()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { page: 0, .. }),
+            "expected Corrupt, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub enum StoreError {
         /// Pages in the store.
         count: PageNo,
     },
+    /// A page image failed its checksum — torn write or bit rot. The page
+    /// number makes the damage locatable (and rebuildable for derived
+    /// data like SMA-files).
+    Corrupt {
+        /// The page that failed verification.
+        page: PageNo,
+        /// What exactly mismatched.
+        detail: String,
+    },
     /// Underlying I/O failed.
     Io(io::Error),
 }
@@ -36,6 +45,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::OutOfRange { page, count } => {
                 write!(f, "page {page} out of range (store has {count} pages)")
+            }
+            StoreError::Corrupt { page, detail } => {
+                write!(f, "page {page} corrupt: {detail}")
             }
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
         }
@@ -185,9 +197,46 @@ impl PageStore for FileStore {
     }
 
     fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_data()?;
+        // sync_all, not sync_data: `allocate` grows the file, and the new
+        // length (metadata) must be durable before anything that records
+        // page numbers (an SMA location, the warehouse catalog) commits.
+        self.file.sync_all()?;
         Ok(())
     }
+}
+
+/// Fsyncs a directory so a preceding `rename` into it is durable.
+///
+/// The classic crash-atomicity recipe (write temp → fsync file → rename →
+/// fsync directory) needs this last step on POSIX systems: the rename
+/// itself lives in the directory inode.
+pub fn sync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
+    File::open(dir.as_ref())?.sync_all()
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// Writes to `<path>.tmp`, fsyncs, renames over `path`, then fsyncs the
+/// parent directory. A crash at any point leaves either the old complete
+/// file or the new complete file — never a torn mixture (the `.tmp` may
+/// leak, which is harmless).
+pub fn atomic_write_file(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            sync_dir(parent)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -247,6 +296,27 @@ mod tests {
         s.read_page(0, &mut back).unwrap();
         assert_eq!(back[10], 42);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let path = scratch_path("atomic_write");
+        atomic_write_file(&path, b"first version").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first version");
+        atomic_write_file(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // The temp file does not linger after a successful commit.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_error_carries_page_number() {
+        let e = StoreError::Corrupt { page: 42, detail: "checksum mismatch".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("42") && msg.contains("checksum mismatch"), "{msg}");
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! Small helpers shared by tests across the workspace: scratch paths and
-//! a failure-injecting page store.
+//! Small helpers shared by tests across the workspace: scratch paths, a
+//! failure-injecting page store, a crash-simulating store, and bit-flip
+//! corruptors for checksum tests.
 
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::page::PAGE_SIZE;
 use crate::store::{MemStore, PageNo, PageStore, StoreError};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Error message carried by injected read failures — assert on this to
+/// prove the *read* path propagated the fault.
+pub const READ_FAILURE: &str = "injected read failure";
+
+/// Error message carried by injected write failures — distinct from
+/// [`READ_FAILURE`] so tests can tell the two paths apart.
+pub const WRITE_FAILURE: &str = "injected write failure";
 
 /// A unique scratch-file path under the system temp directory.
 ///
@@ -23,27 +33,41 @@ pub fn scratch_path(tag: &str) -> PathBuf {
     ))
 }
 
-/// A page store that starts failing every read after a budget of
+/// A page store that starts failing reads and/or writes after a budget of
 /// successful operations — for testing error propagation through the
 /// table, SMA-build and query layers (failure injection).
 pub struct FlakyStore {
     inner: MemStore,
     reads_left: Arc<AtomicU64>,
+    writes_left: Arc<AtomicU64>,
 }
 
 impl FlakyStore {
     /// A store whose first `read_budget` page reads succeed and whose
-    /// subsequent reads fail with an I/O error.
+    /// subsequent reads fail with an I/O error. Writes never fail.
     pub fn new(read_budget: u64) -> FlakyStore {
+        FlakyStore::with_budgets(read_budget, u64::MAX)
+    }
+
+    /// A store with independent read and write budgets: operation number
+    /// `budget + 1` of each kind fails with a distinct I/O error
+    /// ([`READ_FAILURE`] / [`WRITE_FAILURE`]).
+    pub fn with_budgets(read_budget: u64, write_budget: u64) -> FlakyStore {
         FlakyStore {
             inner: MemStore::new(),
             reads_left: Arc::new(AtomicU64::new(read_budget)),
+            writes_left: Arc::new(AtomicU64::new(write_budget)),
         }
     }
 
     /// Handle to top up or inspect the remaining read budget.
     pub fn budget_handle(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.reads_left)
+    }
+
+    /// Handle to top up or inspect the remaining write budget.
+    pub fn write_budget_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.writes_left)
     }
 }
 
@@ -55,17 +79,162 @@ impl PageStore for FlakyStore {
     fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
         let left = self.reads_left.load(Ordering::Relaxed);
         if left == 0 {
-            return Err(StoreError::Io(io::Error::other("injected read failure")));
+            return Err(StoreError::Io(io::Error::other(READ_FAILURE)));
         }
         self.reads_left.store(left - 1, Ordering::Relaxed);
         self.inner.read_page(no, buf)
     }
 
     fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+        let left = self.writes_left.load(Ordering::Relaxed);
+        if left == 0 {
+            return Err(StoreError::Io(io::Error::other(WRITE_FAILURE)));
+        }
+        self.writes_left.store(left - 1, Ordering::Relaxed);
         self.inner.write_page(no, buf)
     }
 
     fn allocate(&mut self) -> Result<PageNo, StoreError> {
         self.inner.allocate()
+    }
+}
+
+/// An in-memory store that can simulate a crash mid-write.
+///
+/// Writes land in a linear byte image, like a real file. `truncate_at`
+/// models the kernel persisting only a prefix before power loss: bytes at
+/// and beyond the offset are lost — trailing whole pages disappear, and
+/// the page containing the offset is torn (its tail reads back as zeroes).
+#[derive(Clone, Default)]
+pub struct CrashStore {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl CrashStore {
+    /// An empty store.
+    pub fn new() -> CrashStore {
+        CrashStore::default()
+    }
+
+    /// Total bytes currently stored.
+    pub fn len_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Simulates a crash that persisted exactly `offset` bytes.
+    pub fn truncate_at(&mut self, offset: u64) {
+        let full = (offset / PAGE_SIZE as u64) as usize;
+        let torn = (offset % PAGE_SIZE as u64) as usize;
+        self.pages.truncate(if torn > 0 { full + 1 } else { full });
+        if torn > 0 {
+            if let Some(last) = self.pages.last_mut() {
+                last[torn..].fill(0);
+            }
+        }
+    }
+}
+
+impl PageStore for CrashStore {
+    fn page_count(&self) -> PageNo {
+        self.pages.len() as PageNo
+    }
+
+    fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+        let page = self.pages.get(no as usize).ok_or(StoreError::OutOfRange {
+            page: no,
+            count: self.page_count(),
+        })?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+        let count = self.page_count();
+        let page = self
+            .pages
+            .get_mut(no as usize)
+            .ok_or(StoreError::OutOfRange { page: no, count })?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> Result<PageNo, StoreError> {
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        Ok(self.pages.len() as PageNo - 1)
+    }
+}
+
+/// Flips one bit of page `no` in `store`, bypassing any checksum logic —
+/// the corruption the footer CRC must catch.
+pub fn flip_bit(store: &mut dyn PageStore, no: PageNo, bit: u32) -> Result<(), StoreError> {
+    let mut buf = [0u8; PAGE_SIZE];
+    store.read_page(no, &mut buf)?;
+    buf[bit as usize / 8] ^= 1 << (bit % 8);
+    store.write_page(no, &buf)
+}
+
+/// Flips bit `bit` of the byte at `offset` in the file at `path`.
+pub fn flip_bit_in_file(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    let f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let mut b = [0u8; 1];
+    f.read_exact_at(&mut b, offset)?;
+    f.write_all_at(&[b[0] ^ (1 << (bit % 8))], offset)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flaky_write_budget_fails_with_distinct_message() {
+        let mut s = FlakyStore::with_budgets(u64::MAX, 1);
+        let no = s.allocate().unwrap();
+        let img = [0u8; PAGE_SIZE];
+        s.write_page(no, &img).unwrap();
+        let err = s.write_page(no, &img).unwrap_err();
+        assert!(err.to_string().contains(WRITE_FAILURE), "{err}");
+        assert!(!err.to_string().contains(READ_FAILURE));
+        // Reads still work: the budgets are independent.
+        let mut buf = [0u8; PAGE_SIZE];
+        s.read_page(no, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn crash_store_truncation_semantics() {
+        let mut s = CrashStore::new();
+        for _ in 0..3 {
+            s.allocate().unwrap();
+        }
+        let mut img = [0xABu8; PAGE_SIZE];
+        for no in 0..3 {
+            img[0] = no as u8;
+            s.write_page(no, &img).unwrap();
+        }
+        // Crash with one full page and 100 bytes of the second persisted.
+        s.truncate_at(PAGE_SIZE as u64 + 100);
+        assert_eq!(s.page_count(), 2, "third page is gone");
+        let mut buf = [0u8; PAGE_SIZE];
+        s.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "first page intact");
+        assert_eq!(buf[PAGE_SIZE - 1], 0xAB);
+        s.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[99], 0xAB, "persisted prefix of the torn page");
+        assert_eq!(buf[100], 0, "torn tail reads back as zeroes");
+        assert!(s.read_page(2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_bit() {
+        let mut s = MemStore::new();
+        s.allocate().unwrap();
+        flip_bit(&mut s, 0, 8 * 17 + 2).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        s.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[17], 0b100);
+        flip_bit(&mut s, 0, 8 * 17 + 2).unwrap();
+        s.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
     }
 }

@@ -35,4 +35,6 @@ pub use sma_exec as exec;
 pub use sma_storage as storage;
 pub use sma_tpcd as tpcd;
 pub use sma_types as types;
-pub use warehouse::{QueryResult, Warehouse, WarehouseError};
+pub use warehouse::{
+    QueryResult, RecoveryReport, Warehouse, WarehouseError, MANIFEST_FILE,
+};

@@ -1,10 +1,13 @@
 //! Failure injection: I/O errors at arbitrary points must surface as
 //! errors (never panics, never silently wrong answers) through every
-//! layer — table scans, SMA builds, and SMA-accelerated queries.
+//! layer — table scans, SMA builds, SMA-accelerated queries, and the
+//! write-back path. Read and write faults carry distinct messages
+//! ([`READ_FAILURE`] / [`WRITE_FAILURE`]) so each test proves which path
+//! propagated the fault.
 
 use smadb::exec::{run_query1, Query1Config};
 use smadb::sma::SmaSet;
-use smadb::storage::test_util::FlakyStore;
+use smadb::storage::test_util::{FlakyStore, READ_FAILURE, WRITE_FAILURE};
 use smadb::storage::Table;
 use smadb::tpcd::{generate, lineitem_schema, Clustering, GenConfig};
 
@@ -27,7 +30,7 @@ fn scan_surfaces_io_errors() {
     table.make_cold().unwrap();
     budget.store(5, std::sync::atomic::Ordering::Relaxed);
     let err = table.scan().unwrap_err();
-    assert!(err.to_string().contains("injected read failure"), "{err}");
+    assert!(err.to_string().contains(READ_FAILURE), "{err}");
 }
 
 #[test]
@@ -36,7 +39,7 @@ fn sma_build_surfaces_io_errors() {
     table.make_cold().unwrap();
     budget.store(3, std::sync::atomic::Ordering::Relaxed);
     let err = SmaSet::build_query1_set(&table).unwrap_err();
-    assert!(err.to_string().contains("injected read failure"), "{err}");
+    assert!(err.to_string().contains(READ_FAILURE), "{err}");
 }
 
 #[test]
@@ -48,7 +51,7 @@ fn query_surfaces_io_errors_midway() {
     // Let a few reads through, then fail: the full scan must error out.
     budget.store(7, std::sync::atomic::Ordering::Relaxed);
     let err = run_query1(&table, None, &Query1Config::default()).unwrap_err();
-    assert!(err.to_string().contains("injected read failure"), "{err}");
+    assert!(err.to_string().contains(READ_FAILURE), "{err}");
     // The SMA plan reads almost nothing, so a small budget suffices — it
     // must *succeed* where the full scan could not, and exactly.
     budget.store(10, std::sync::atomic::Ordering::Relaxed);
@@ -70,4 +73,48 @@ fn recovery_after_errors_is_clean() {
     budget.store(u64::MAX / 2, std::sync::atomic::Ordering::Relaxed);
     let rows = table.scan().unwrap();
     assert_eq!(rows.len(), n_items);
+}
+
+/// Write-back faults (page eviction / flush hitting a full or failing
+/// disk) surface with the *write* message, not the read one — proving the
+/// buffer pool's write-back path reports its own failures.
+#[test]
+fn write_back_surfaces_write_errors_distinctly() {
+    let (_, items) = generate(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let store = FlakyStore::with_budgets(u64::MAX / 2, u64::MAX / 2);
+    let writes = store.write_budget_handle();
+    // Pool of 4 frames: appends force evictions, evictions force writes.
+    let mut table = Table::new("LINEITEM", lineitem_schema(), Box::new(store), 4, 1);
+    for item in &items {
+        table.append(&item.to_tuple()).unwrap();
+    }
+    // Exhaust the write budget, then force a flush of dirty pages.
+    writes.store(0, std::sync::atomic::Ordering::Relaxed);
+    let err = table.flush().unwrap_err();
+    assert!(err.to_string().contains(WRITE_FAILURE), "{err}");
+    assert!(!err.to_string().contains(READ_FAILURE), "{err}");
+    // Restore the budget: the same pool flushes cleanly and loses nothing.
+    writes.store(u64::MAX / 2, std::sync::atomic::Ordering::Relaxed);
+    table.flush().unwrap();
+    assert_eq!(table.scan().unwrap().len(), items.len());
+}
+
+/// Appends that trigger an eviction write mid-stream also propagate the
+/// write fault (the append path, not just explicit flushes).
+#[test]
+fn eviction_during_appends_surfaces_write_errors() {
+    let (_, items) = generate(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let store = FlakyStore::with_budgets(u64::MAX / 2, u64::MAX / 2);
+    let writes = store.write_budget_handle();
+    let mut table = Table::new("LINEITEM", lineitem_schema(), Box::new(store), 2, 1);
+    writes.store(0, std::sync::atomic::Ordering::Relaxed);
+    let mut failed = None;
+    for item in &items {
+        if let Err(e) = table.append(&item.to_tuple()) {
+            failed = Some(e);
+            break;
+        }
+    }
+    let err = failed.expect("a 2-frame pool cannot absorb every append without writing");
+    assert!(err.to_string().contains(WRITE_FAILURE), "{err}");
 }
