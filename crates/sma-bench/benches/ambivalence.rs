@@ -7,7 +7,8 @@
 //! series is the figure; `paper_tables e4` prints the modeled-cost version
 //! with the interpolated breakeven (~25 %).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_bench::harness::{BenchmarkId, Criterion};
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::{bench_table, dial_ambivalence, q1_smas};
 use sma_exec::{cutoff, run_query1, PlanKind, PlannerConfig, Query1Config};

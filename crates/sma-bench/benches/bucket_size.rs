@@ -4,7 +4,8 @@
 //! ambivalent buckets under imperfect (diagonal) clustering. The sweep
 //! shows the U-shape the paper describes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_bench::harness::{BenchmarkId, Criterion};
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::{bench_table, q1, q1_smas};
 use sma_tpcd::Clustering;

@@ -4,7 +4,8 @@
 //! them in one shared scan, the parallel bulkload, and — as the paper's
 //! comparison point — bulk-loading a B+ tree on `L_SHIPDATE`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::bench_table;
 use sma_core::{build_many, build_many_parallel, Sma, SmaSet};

@@ -5,7 +5,8 @@
 //! compared to a page read. This measures single-bucket grades and the
 //! full classification pass for atomic and composite predicates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::{bench_table, q1_smas};
 use sma_core::{BucketPred, Classification, CmpOp};

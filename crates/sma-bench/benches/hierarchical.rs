@@ -4,12 +4,12 @@
 //! at several fanouts, over clustered data where level 2 resolves most
 //! super-buckets without touching level 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_bench::harness::{BenchmarkId, Criterion};
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::bench_table;
 use sma_core::{
-    col, AggFn, BucketPred, Classification, CmpOp, HierarchicalMinMax, Sma, SmaDefinition,
-    SmaSet,
+    col, AggFn, BucketPred, Classification, CmpOp, HierarchicalMinMax, Sma, SmaDefinition, SmaSet,
 };
 use sma_exec::cutoff;
 use sma_tpcd::{schema::lineitem as li, Clustering};
@@ -43,11 +43,9 @@ fn bench_hierarchical(c: &mut Criterion) {
     });
     for fanout in [8u32, 32, 128] {
         let h = HierarchicalMinMax::from_smas(&min, &max, fanout);
-        group.bench_with_input(
-            BenchmarkId::new("two_level", fanout),
-            &fanout,
-            |b, _| b.iter(|| h.prune(&pred)),
-        );
+        group.bench_with_input(BenchmarkId::new("two_level", fanout), &fanout, |b, _| {
+            b.iter(|| h.prune(&pred))
+        });
     }
     group.finish();
 }

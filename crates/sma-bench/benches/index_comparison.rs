@@ -11,13 +11,14 @@
 //! * count of `L_RETURNFLAG = 'R'` (bitmap turf),
 //! * exact per-tuple selection ordinals (projection-index turf).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::{bench_table, q1_smas};
+use sma_core::BucketPred;
 use sma_core::{col, CmpOp, ProjectionIndex};
 use sma_cube::{page_sized_order, BPlusTree, BitmapIndex};
 use sma_exec::{collect, cutoff, AggSpec, SmaGAggr};
-use sma_core::BucketPred;
 use sma_tpcd::{schema::lineitem as li, Clustering};
 use sma_types::Value;
 
@@ -61,9 +62,7 @@ fn bench_index_comparison(c: &mut Criterion) {
     group.bench_function("count_le_cutoff/btree_range", |b| {
         b.iter(|| tree.range(&i32::MIN, &probe_day).len())
     });
-    group.bench_function("point_lookup/btree", |b| {
-        b.iter(|| tree.get(&probe_day))
-    });
+    group.bench_function("point_lookup/btree", |b| b.iter(|| tree.get(&probe_day)));
     group.bench_function("point_lookup/projection_index", |b| {
         b.iter(|| projection.count(CmpOp::Eq, &Value::Date(cut)))
     });

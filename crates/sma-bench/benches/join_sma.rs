@@ -4,7 +4,8 @@
 //! to early dates so the reduction has something to skip: naive semi-join
 //! (every R bucket read) vs SMA-reduced (graded buckets skipped).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::{bench_scale_factor, bench_table};
 use sma_core::{col, AggFn, CmpOp, SmaDefinition, SmaSet};

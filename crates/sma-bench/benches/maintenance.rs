@@ -10,7 +10,8 @@
 //! * `rebuild_after_append`: the same batch, answered by a full rebuild;
 //! * `refresh_one_stale_bucket`: re-tightening min/max after a delete.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::{bench_table, q1_smas};
 use sma_core::SmaSet;

@@ -6,9 +6,10 @@
 //! here shows the same *shape*: the SMA plan wins by a widening margin as
 //! clustering improves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
-use sma_bench::{q1, q1_smas, bench_table};
+use sma_bench::{bench_table, q1, q1_smas};
 use sma_tpcd::Clustering;
 
 fn bench_query1(c: &mut Criterion) {

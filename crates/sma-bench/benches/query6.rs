@@ -4,7 +4,8 @@
 //! built for: three attributes restricted at once. On time-clustered data
 //! the ship-date window disqualifies most buckets without I/O.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_bench::bench_table;
 use sma_core::SmaSet;

@@ -3,7 +3,8 @@
 //! under every experiment (a SMA plan's win is page-skipping, so the
 //! per-page costs here are the currency of all the other numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sma_bench::harness::Criterion;
+use sma_bench::{criterion_group, criterion_main};
 
 use sma_storage::{BufferPool, MemStore, PageStore, SlottedPage};
 use sma_tpcd::{generate, Clustering, GenConfig};

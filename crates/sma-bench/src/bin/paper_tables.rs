@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paper_tables [e1|e2|e3|e4|e5|e6|a1|a2|a3|all]
+//! paper_tables [e1|e2|e3|e4|e5|e6|a1|a2|a3|e8|all]
 //! ```
 //!
 //! * `e1` — SMA creation times & sizes (§2.4 table)
@@ -13,6 +13,7 @@
 //! * `a1` — ablation: bucket size trade-off (§4)
 //! * `a2` — ablation: hierarchical SMAs (§4)
 //! * `a3` — ablation: join SMAs / semi-join reduction (§4)
+//! * `e8` — thread scaling: bucket-parallel bulkload and `SmaGAggr`
 //!
 //! Scale with `SMA_SF` (default 0.002). Shapes, not absolute numbers, are
 //! the reproduction target: the paper ran on 1997 SCSI disks at SF 1.
@@ -20,10 +21,7 @@
 use std::time::Instant;
 
 use sma_bench::{bench_scale_factor, bench_table, dial_ambivalence, q1, q1_smas};
-use sma_core::{
-    col, AggFn, BucketPred, CmpOp, HierarchicalMinMax, Sma, SmaDefinition,
-    SmaSet,
-};
+use sma_core::{col, AggFn, BucketPred, CmpOp, HierarchicalMinMax, Sma, SmaDefinition, SmaSet};
 use sma_cube::CubeModel;
 use sma_exec::{collect, cutoff, plan, PlannerConfig, SemiJoin};
 use sma_storage::{CostModel, Table, PAGE_SIZE};
@@ -68,6 +66,72 @@ fn main() {
     if all || which == "a3" {
         a3_join_sma();
     }
+    if all || which == "e8" {
+        e8_thread_scaling();
+    }
+}
+
+/// E8 — thread scaling of the bucket-parallel paths (not in the paper;
+/// the bucket loops of Figs. 6/7 and the bulkload are embarrassingly
+/// parallel, so this table records how far that carries on this host).
+fn e8_thread_scaling() {
+    println!("--- E8: thread scaling (bucket-parallel bulkload & SmaGAggr) ---");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cores: {cores}");
+    let table = bench_table(Clustering::diagonal_default(), 1);
+    let defs = SmaSet::query1_definitions(&table).expect("defs");
+    let smas = SmaSet::build(&table, defs.clone()).expect("build");
+    let pred = BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(cutoff(90)));
+    let group_by = vec![li::RETURNFLAG, li::LINESTATUS];
+    let specs = vec![
+        sma_exec::AggSpec::CountStar,
+        sma_exec::AggSpec::Sum(col(li::QUANTITY)),
+        sma_exec::AggSpec::Avg(col(li::QUANTITY)),
+    ];
+    println!(
+        "{:>8} {:>14} {:>10} {:>14} {:>10}",
+        "threads", "bulkload", "speedup", "sma_gaggr", "speedup"
+    );
+    let time = |f: &mut dyn FnMut()| {
+        // Median of 5 runs keeps scheduler noise out of the ratios.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let mut base: Option<(f64, f64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let build_s = time(&mut || {
+            sma_core::build_many_parallel(&table, defs.clone(), threads).expect("build");
+        });
+        let gaggr_s = time(&mut || {
+            let mut op = sma_exec::SmaGAggr::new(
+                &table,
+                pred.clone(),
+                group_by.clone(),
+                specs.clone(),
+                &smas,
+            )
+            .expect("plan")
+            .with_parallelism(sma_exec::Parallelism::new(threads));
+            collect(&mut op).expect("run");
+        });
+        let (b0, g0) = *base.get_or_insert((build_s, gaggr_s));
+        println!(
+            "{:>8} {:>12.2}ms {:>9.2}x {:>12.2}ms {:>9.2}x",
+            threads,
+            build_s * 1e3,
+            b0 / build_s,
+            gaggr_s * 1e3,
+            g0 / gaggr_s
+        );
+    }
+    println!();
 }
 
 /// E0 — §2.4's scaling argument: "SMA-file sizes are linear in the number
@@ -83,10 +147,8 @@ fn e0_scaling() {
     let mut prev: Option<(f64, f64)> = None;
     let mut ratios = Vec::new();
     for mult in [1u32, 2, 4] {
-        let mut cfg = sma_tpcd::GenConfig::scale_factor(
-            base_sf * mult as f64,
-            Clustering::SortedByShipdate,
-        );
+        let mut cfg =
+            sma_tpcd::GenConfig::scale_factor(base_sf * mult as f64, Clustering::SortedByShipdate);
         cfg.pool_pages = 1 << 16;
         let table = sma_tpcd::generate_lineitem_table(&cfg);
         let started = Instant::now();
@@ -179,11 +241,7 @@ fn e1_creation() {
 fn e2_cube_storage() {
     println!("--- E2: data cube vs SMA storage (paper §2.4) ---");
     println!("{:<34} {:>16} {:>16}", "configuration", "paper", "model");
-    let rows = [
-        (1u32, "479.25 KB"),
-        (2, "1196.25 MB"),
-        (3, "2985.95 GB"),
-    ];
+    let rows = [(1u32, "479.25 KB"), (2, "1196.25 MB"), (3, "2985.95 GB")];
     for (dims, paper) in rows {
         let m = CubeModel::query1(dims);
         let ours = match dims {
@@ -219,7 +277,9 @@ fn e2_cube_storage() {
     );
     println!(
         "{:<34} {:>16} {:>13.3} MB",
-        "+ SMAs for 2 more dates (paper 51.12)", "51.12 MB", q1_mb + extra
+        "+ SMAs for 2 more dates (paper 51.12)",
+        "51.12 MB",
+        q1_mb + extra
     );
     println!("(our SF is smaller; the *ratios* — MBs vs the cube's GBs — are the result)\n");
 }
@@ -264,7 +324,9 @@ fn e3_query1() {
         );
     }
     let speedup = rows[1].2.elapsed.as_secs_f64() / rows[3].2.elapsed.as_secs_f64().max(1e-9);
-    println!("warm speedup: {speedup:.0}x (paper: ~67x warm, ~26x cold — two orders of magnitude)\n");
+    println!(
+        "warm speedup: {speedup:.0}x (paper: ~67x warm, ~26x cold — two orders of magnitude)\n"
+    );
 }
 
 /// E4 — Figure 5: runtime vs percentage of ambivalent buckets.
@@ -279,7 +341,9 @@ fn e4_figure5() {
         "ambiv%", "sma warm", "full warm", "sma cold model", "full cold model"
     );
     // With SMA_CSV set, the series is also written for plotting.
-    let mut csv = String::from("ambivalent_fraction,sma_warm_s,full_warm_s,sma_cold_model_ms,full_cold_model_ms\n");
+    let mut csv = String::from(
+        "ambivalent_fraction,sma_warm_s,full_warm_s,sma_cold_model_ms,full_cold_model_ms\n",
+    );
     let mut crossover: Option<f64> = None;
     let mut prev: Option<(f64, f64, f64)> = None;
     for pct in [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40] {
@@ -349,7 +413,11 @@ fn time_forced(table: &Table, smas: Option<&SmaSet>, force_sma: bool) -> std::ti
         // Cost model that makes bucket skipping irresistible.
         sma_exec::Query1Config {
             planner: PlannerConfig {
-                cost_model: CostModel { seq_read_ms: 1.0, rand_read_ms: 1.0, write_ms: 0.0 },
+                cost_model: CostModel {
+                    seq_read_ms: 1.0,
+                    rand_read_ms: 1.0,
+                    write_ms: 0.0,
+                },
                 hard_breakeven: None,
             },
             ..Default::default()
@@ -379,7 +447,10 @@ fn e5_figure2() {
     // Position in the file = introduction order; plot shipdate percentile
     // per file decile as a text sketch of Fig. 2.
     let n = items.len();
-    println!("{:>10} {:>14} {:>14} {:>14}", "file decile", "min ship", "median ship", "max ship");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "file decile", "min ship", "median ship", "max ship"
+    );
     for d in 0..10 {
         let slice = &items[d * n / 10..(d + 1) * n / 10];
         let mut dates: Vec<Date> = slice.iter().map(|it| it.shipdate).collect();
@@ -394,10 +465,16 @@ fn e5_figure2() {
     }
     // Quantify the clustering: per-bucket shipdate spread.
     let table = sma_tpcd::load_lineitem(&items, Box::new(sma_storage::MemStore::new()), 1, 1 << 14);
-    let min = Sma::build(&table, SmaDefinition::new("min", AggFn::Min, col(li::SHIPDATE)))
-        .expect("build");
-    let max = Sma::build(&table, SmaDefinition::new("max", AggFn::Max, col(li::SHIPDATE)))
-        .expect("build");
+    let min = Sma::build(
+        &table,
+        SmaDefinition::new("min", AggFn::Min, col(li::SHIPDATE)),
+    )
+    .expect("build");
+    let max = Sma::build(
+        &table,
+        SmaDefinition::new("max", AggFn::Max, col(li::SHIPDATE)),
+    )
+    .expect("build");
     let spreads: Vec<i32> = (0..table.bucket_count())
         .filter_map(|b| {
             let lo = min.bucket_value_across_groups(b).as_date()?;
@@ -409,7 +486,9 @@ fn e5_figure2() {
     println!(
         "\nper-bucket shipdate spread: avg {avg:.1} days over a {}-day domain — the\n\
          clustering SMAs exploit (uniform data would spread ~the whole domain)\n",
-        Date::parse("1998-12-31").unwrap().days_between(Date::parse("1992-01-01").unwrap())
+        Date::parse("1998-12-31")
+            .unwrap()
+            .days_between(Date::parse("1992-01-01").unwrap())
     );
 }
 
@@ -423,9 +502,15 @@ fn e6_figure1() {
     ]));
     let mut t = Table::in_memory("LINEITEM", schema, 1);
     let dates = [
-        "1997-03-11", "1997-04-22", "1997-02-02",
-        "1997-04-01", "1997-05-07", "1997-04-28",
-        "1997-05-02", "1997-05-20", "1997-06-03",
+        "1997-03-11",
+        "1997-04-22",
+        "1997-02-02",
+        "1997-04-01",
+        "1997-05-07",
+        "1997-04-28",
+        "1997-05-02",
+        "1997-05-20",
+        "1997-06-03",
     ];
     let pad = "x".repeat(1200);
     for d in dates {
@@ -444,19 +529,18 @@ fn e6_figure1() {
         ],
     )
     .expect("build");
-    let pred = BucketPred::cmp(0, CmpOp::Lt, Value::Date(Date::parse("1997-04-30").unwrap()));
+    let pred = BucketPred::cmp(
+        0,
+        CmpOp::Lt,
+        Value::Date(Date::parse("1997-04-30").unwrap()),
+    );
     for b in 0..t.bucket_count() {
         println!("  bucket {}: {:?}", b + 1, pred.grade(b, &smas));
     }
     t.reset_io_stats();
-    let mut op = sma_exec::SmaGAggr::new(
-        &t,
-        pred,
-        vec![],
-        vec![sma_exec::AggSpec::CountStar],
-        &smas,
-    )
-    .expect("op");
+    let mut op =
+        sma_exec::SmaGAggr::new(&t, pred, vec![], vec![sma_exec::AggSpec::CountStar], &smas)
+            .expect("op");
     let rows = collect(&mut op).expect("collect");
     println!(
         "  count(*) where L_SHIPDATE < 97-04-30 = {} reading {} of {} pages\n",
@@ -500,10 +584,16 @@ fn a2_hierarchical() {
     println!("--- A2: hierarchical SMAs (§4) ---");
     println!("paper: if a 2nd-level bucket (dis)qualifies, the 1st-level file is skipped\n");
     let table = bench_table(Clustering::SortedByShipdate, 1);
-    let min = Sma::build(&table, SmaDefinition::new("min", AggFn::Min, col(li::SHIPDATE)))
-        .expect("build");
-    let max = Sma::build(&table, SmaDefinition::new("max", AggFn::Max, col(li::SHIPDATE)))
-        .expect("build");
+    let min = Sma::build(
+        &table,
+        SmaDefinition::new("min", AggFn::Min, col(li::SHIPDATE)),
+    )
+    .expect("build");
+    let max = Sma::build(
+        &table,
+        SmaDefinition::new("max", AggFn::Max, col(li::SHIPDATE)),
+    )
+    .expect("build");
     println!(
         "{:>8} {:>10} {:>14} {:>14} {:>9}",
         "fanout", "l2 size", "l1 inspected", "l1 skipped", "saving"
@@ -544,7 +634,10 @@ fn a3_join_sma() {
         ],
     )
     .expect("build");
-    println!("LINEITEM ⋉ ORDERS on L_SHIPDATE <= O_ORDERDATE, |O-early| = {}", early.len());
+    println!(
+        "LINEITEM ⋉ ORDERS on L_SHIPDATE <= O_ORDERDATE, |O-early| = {}",
+        early.len()
+    );
     for (name, set) in [("naive", None), ("sma-reduced", Some(&smas))] {
         lineitem.reset_io_stats();
         let started = Instant::now();

@@ -4,6 +4,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use sma_core::SmaSet;
 use sma_exec::{run_query1, Q1Execution, Query1Config};
 use sma_storage::Table;
@@ -39,7 +41,10 @@ pub fn q1(table: &Table, smas: Option<&SmaSet>, cold: bool) -> Q1Execution {
     run_query1(
         table,
         smas,
-        &Query1Config { cold, ..Query1Config::default() },
+        &Query1Config {
+            cold,
+            ..Query1Config::default()
+        },
     )
     .expect("query 1 runs")
 }
@@ -74,7 +79,9 @@ pub fn dial_ambivalence(table: &mut Table, cutoff: Date, fraction: f64) -> usize
         if all_within && !rows.is_empty() {
             let (tid, mut tuple) = rows[0].clone();
             tuple[li::SHIPDATE] = beyond.clone();
-            table.update(tid, &tuple).expect("fixed-width in-place update");
+            table
+                .update(tid, &tuple)
+                .expect("fixed-width in-place update");
             flipped += 1;
         }
         b += step;

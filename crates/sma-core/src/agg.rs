@@ -130,9 +130,7 @@ impl Accumulator {
                 let negated = match v {
                     Value::Int(n) => Value::Int(-n),
                     Value::Decimal(d) => Value::Decimal(-*d),
-                    other => {
-                        return Err(RetractError(format!("cannot retract {other} from sum")))
-                    }
+                    other => return Err(RetractError(format!("cannot retract {other} from sum"))),
                 };
                 self.state = self
                     .state

@@ -86,11 +86,7 @@ impl SmaCatalog {
     /// Executes a `define sma` statement against `table`, bulkloading the
     /// SMA and registering it under the statement's `from` relation. The
     /// relation name in the statement must match `table.name()`.
-    pub fn execute_define(
-        &mut self,
-        statement: &str,
-        table: &Table,
-    ) -> Result<&Sma, CatalogError> {
+    pub fn execute_define(&mut self, statement: &str, table: &Table) -> Result<&Sma, CatalogError> {
         let (def, relation) = parse_define_sma(statement, table.schema())?;
         if !relation.eq_ignore_ascii_case(table.name()) {
             return Err(CatalogError::UnknownRelation(relation));
@@ -98,7 +94,10 @@ impl SmaCatalog {
         let rel_key = table.name().to_string();
         let set = self.sets.entry(rel_key.clone()).or_default();
         if set.by_name(&def.name).is_some() {
-            return Err(CatalogError::DuplicateSma { relation: rel_key, sma: def.name });
+            return Err(CatalogError::DuplicateSma {
+                relation: rel_key,
+                sma: def.name,
+            });
         }
         let name = def.name.clone();
         let sma = Sma::build(table, def)?;
@@ -232,10 +231,7 @@ mod tests {
         let t = lineitem_like();
         let mut cat = SmaCatalog::new();
         let sma = cat
-            .execute_define(
-                "define sma min select min(L_SHIPDATE) from LINEITEM",
-                &t,
-            )
+            .execute_define("define sma min select min(L_SHIPDATE) from LINEITEM", &t)
             .unwrap();
         assert_eq!(sma.def().name, "min");
         assert!(cat.set_for("LINEITEM").unwrap().by_name("min").is_some());
@@ -288,9 +284,9 @@ mod tests {
 
     #[test]
     fn install_replaces_same_named_sma() {
+        use crate::agg::AggFn;
         use crate::def::SmaDefinition;
         use crate::expr::col;
-        use crate::agg::AggFn;
         let t = lineitem_like();
         let mut cat = SmaCatalog::new();
         cat.execute_define("define sma m select min(L_SHIPDATE) from LINEITEM", &t)
@@ -298,8 +294,7 @@ mod tests {
         cat.execute_define("define sma keep select max(L_SHIPDATE) from LINEITEM", &t)
             .unwrap();
         // A rebuilt SMA under an existing name replaces it in place…
-        let rebuilt =
-            Sma::build(&t, SmaDefinition::new("m", AggFn::Max, col(0))).unwrap();
+        let rebuilt = Sma::build(&t, SmaDefinition::new("m", AggFn::Max, col(0))).unwrap();
         cat.install("LINEITEM", rebuilt);
         let set = cat.set_for("LINEITEM").unwrap();
         assert_eq!(set.smas().len(), 2, "replaced, not appended");

@@ -91,9 +91,9 @@ impl SmaDefinition {
                 self.name, self.agg
             ))),
             (agg, Some(expr)) => {
-                let ty = expr.result_type(schema).map_err(|e| {
-                    DefError(format!("sma {:?}: {e}", self.name))
-                })?;
+                let ty = expr
+                    .result_type(schema)
+                    .map_err(|e| DefError(format!("sma {:?}: {e}", self.name)))?;
                 if agg == AggFn::Sum && !matches!(ty, DataType::Int | DataType::Decimal) {
                     return Err(DefError(format!(
                         "sma {:?}: sum over non-numeric type {ty}",
@@ -253,11 +253,7 @@ mod tests {
     #[test]
     fn group_key_extracts() {
         let d = SmaDefinition::count("c").group_by(vec![0, 2]);
-        let t = vec![
-            Value::Char(b'R'),
-            Value::Int(5),
-            Value::Char(b'F'),
-        ];
+        let t = vec![Value::Char(b'R'), Value::Int(5), Value::Char(b'F')];
         assert_eq!(d.group_key(&t), vec![Value::Char(b'R'), Value::Char(b'F')]);
     }
 

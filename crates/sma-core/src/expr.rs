@@ -167,9 +167,7 @@ fn binary(a: Value, b: Value, op: BinOp) -> Result<Value, ExprError> {
             .ok_or_else(|| ExprError("integer overflow in *".into())),
         (BinOp::Add, Value::Decimal(x), Value::Decimal(y)) => Ok(Value::Decimal(*x + *y)),
         (BinOp::Sub, Value::Decimal(x), Value::Decimal(y)) => Ok(Value::Decimal(*x - *y)),
-        (BinOp::Mul, Value::Decimal(x), Value::Decimal(y)) => {
-            Ok(Value::Decimal(x.mul_round(*y)))
-        }
+        (BinOp::Mul, Value::Decimal(x), Value::Decimal(y)) => Ok(Value::Decimal(x.mul_round(*y))),
         (BinOp::Add, Value::Date(d), Value::Int(n)) => Ok(Value::Date(d.add_days(*n as i32))),
         (BinOp::Sub, Value::Date(d), Value::Int(n)) => Ok(Value::Date(d.add_days(-*n as i32))),
         _ => Err(ExprError(format!("type mismatch: {a} vs {b}"))),

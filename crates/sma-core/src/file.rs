@@ -24,7 +24,10 @@ impl SmaFile {
     /// Creates an empty file whose entries occupy `entry_bytes` on disk.
     pub fn new(entry_bytes: usize) -> SmaFile {
         assert!(entry_bytes > 0, "entries must have positive width");
-        SmaFile { entries: Vec::new(), entry_bytes }
+        SmaFile {
+            entries: Vec::new(),
+            entry_bytes,
+        }
     }
 
     /// Creates a file pre-sized to `n` buckets of `fill`.

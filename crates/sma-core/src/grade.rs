@@ -126,7 +126,11 @@ impl StatsProvider for NoStats {
 impl BucketPred {
     /// Convenience constructor for `A op c`.
     pub fn cmp(col: usize, op: CmpOp, value: impl Into<Value>) -> BucketPred {
-        BucketPred::Cmp { col, op, value: value.into() }
+        BucketPred::Cmp {
+            col,
+            op,
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for `A op B`.
@@ -141,8 +145,7 @@ impl BucketPred {
             BucketPred::Cmp { col, op, value } => {
                 tuple.get(*col).is_some_and(|v| op.eval(v, value))
             }
-            BucketPred::ColCmp { left, op, right } => match (tuple.get(*left), tuple.get(*right))
-            {
+            BucketPred::ColCmp { left, op, right } => match (tuple.get(*left), tuple.get(*right)) {
                 (Some(a), Some(b)) => op.eval(a, b),
                 _ => false,
             },

@@ -182,7 +182,9 @@ mod tests {
         for theta in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
             let pred = mm.reduction_pred(0, theta).unwrap();
             for a in [5i64, 10, 20, 30, 35] {
-                let expected = s_vals.iter().any(|&s| theta.eval(&Value::Int(a), &Value::Int(s)));
+                let expected = s_vals
+                    .iter()
+                    .any(|&s| theta.eval(&Value::Int(a), &Value::Int(s)));
                 assert_eq!(
                     pred.eval_tuple(&[Value::Int(a)]),
                     expected,
@@ -243,7 +245,11 @@ mod tests {
     fn empty_s_disqualifies_everything() {
         let r = int_table("R", &(0..8).collect::<Vec<_>>());
         let set = minmax_set(&r);
-        let mm = MinimaxOf { column: 0, min: None, max: None };
+        let mm = MinimaxOf {
+            column: 0,
+            min: None,
+            max: None,
+        };
         let c = semijoin_prune(0, CmpOp::Lt, &mm, r.bucket_count(), &set);
         assert!(c.grades.iter().all(|&g| g == Grade::Disqualifies));
     }

@@ -233,8 +233,8 @@ impl<'a> Parser<'a> {
                 }
             }
             Some(Tok::Quoted(s)) => {
-                let d = Date::parse(&s)
-                    .map_err(|e| ParseError(format!("bad date literal: {e}")))?;
+                let d =
+                    Date::parse(&s).map_err(|e| ParseError(format!("bad date literal: {e}")))?;
                 Ok(ScalarExpr::Literal(Value::Date(d)))
             }
             Some(Tok::Ident(_)) => {
@@ -254,7 +254,11 @@ pub fn parse_define_sma(
     schema: &Schema,
 ) -> Result<(SmaDefinition, String), ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, schema };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
     p.expect_keyword("define")?;
     p.expect_keyword("sma")?;
     let name = p.ident("sma name")?;
@@ -325,9 +329,7 @@ pub fn parse_define_sma(
         (AggFn::Count, Some(_)) => {
             return Err(ParseError("count takes '*' in a SMA definition".into()))
         }
-        (_, None) => {
-            return Err(ParseError(format!("{agg} requires an input expression")))
-        }
+        (_, None) => return Err(ParseError(format!("{agg} requires an input expression"))),
         (agg, Some(e)) => SmaDefinition::new(name, agg, e).group_by(group_by),
     };
     Ok((def, relation))
@@ -408,21 +410,15 @@ mod tests {
 
     #[test]
     fn date_literals() {
-        let (def, _) = parse_define_sma(
-            "define sma d select min(L_SHIPDATE - 90) from L",
-            &schema(),
-        )
-        .unwrap();
+        let (def, _) =
+            parse_define_sma("define sma d select min(L_SHIPDATE - 90) from L", &schema()).unwrap();
         // 90 coerces to Decimal… which would be ill-typed for DATE - n.
         // Date arithmetic needs integer days; validate() rejects it, which
         // is the correct diagnosis for this odd definition.
         assert!(def.validate(&schema()).is_err());
         // Quoted dates parse as dates.
-        let (def, _) = parse_define_sma(
-            "define sma d select max('1998-12-01') from L",
-            &schema(),
-        )
-        .unwrap();
+        let (def, _) =
+            parse_define_sma("define sma d select max('1998-12-01') from L", &schema()).unwrap();
         assert_eq!(
             def.input,
             Some(ScalarExpr::Literal(Value::Date(
@@ -441,9 +437,7 @@ mod tests {
         )
         .is_err());
         // Joins.
-        assert!(
-            parse_define_sma("define sma x select min(L_SHIPDATE) from L, O", &s).is_err()
-        );
+        assert!(parse_define_sma("define sma x select min(L_SHIPDATE) from L, O", &s).is_err());
         // Order specification.
         assert!(parse_define_sma(
             "define sma x select min(L_SHIPDATE) from L order by L_SHIPDATE",
@@ -465,11 +459,9 @@ mod tests {
         assert!(parse_define_sma("define sma", &s).is_err());
         assert!(parse_define_sma("define sma x select min(NOPE) from L", &s).is_err());
         assert!(parse_define_sma("define sma x select min(L_SHIPDATE from L", &s).is_err());
-        assert!(parse_define_sma(
-            "define sma x select min(L_SHIPDATE) from L trailing",
-            &s
-        )
-        .is_err());
+        assert!(
+            parse_define_sma("define sma x select min(L_SHIPDATE) from L trailing", &s).is_err()
+        );
         assert!(parse_define_sma("define sma x select min('oops') from L", &s).is_err());
         assert!(parse_define_sma("define sma x select min('unterminated from L", &s).is_err());
         assert!(parse_define_sma("define sma x select min(1.2.3) from L", &s).is_err());

@@ -203,11 +203,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SmaError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, SmaError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn string(&mut self) -> Result<String, SmaError> {
@@ -281,7 +285,12 @@ fn read_definition(r: &mut Reader<'_>) -> Result<SmaDefinition, SmaError> {
     for _ in 0..n_group_cols {
         group_by.push(r.u32()? as usize);
     }
-    Ok(SmaDefinition { name, agg, input, group_by })
+    Ok(SmaDefinition {
+        name,
+        agg,
+        input,
+        group_by,
+    })
 }
 
 /// Inverse of [`encode_definition`]; the whole buffer must be one
@@ -337,7 +346,14 @@ fn decode_payload(buf: &[u8]) -> Result<Sma, SmaError> {
             buf.len() - r.pos
         )));
     }
-    Ok(Sma { def, entry_bytes, n_buckets, groups, null_seen, stale })
+    Ok(Sma {
+        def,
+        entry_bytes,
+        n_buckets,
+        groups,
+        null_seen,
+        stale,
+    })
 }
 
 // ----------------------------------------------------------- stream layer
@@ -365,8 +381,7 @@ pub fn decode_sma_stream(buf: &[u8]) -> Result<Sma, SmaError> {
         if buf.len() < V2_HEADER {
             return Err(SmaError::Corrupt("SMA2 header truncated".into()));
         }
-        let payload_len =
-            u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
+        let payload_len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
         let want = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
         let Some(payload) = buf[V2_HEADER..].get(..payload_len) else {
             return Err(SmaError::Corrupt(format!(
@@ -389,7 +404,9 @@ pub fn decode_sma_stream(buf: &[u8]) -> Result<Sma, SmaError> {
     // structural checks are the only protection, which is why writers
     // always emit SMA2.
     if buf.len() < 8 {
-        return Err(SmaError::Corrupt("stream too short for any SMA format".into()));
+        return Err(SmaError::Corrupt(
+            "stream too short for any SMA format".into(),
+        ));
     }
     let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
     let Some(body) = buf[4..].get(..body_len) else {
@@ -562,8 +579,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_maintenance_state() {
         let t = sample_table();
-        let mut sma =
-            Sma::build(&t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
+        let mut sma = Sma::build(&t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
         let victim = t.scan_bucket(1).unwrap()[0].1.clone();
         sma.note_delete(1, &victim).unwrap();
         assert!(sma.is_stale(1));
@@ -627,10 +643,7 @@ mod tests {
         store.read_page(first, &mut page).unwrap();
         page[0] = b'X';
         store.write_page(first, &page).unwrap();
-        assert!(matches!(
-            load_sma(&store, first),
-            Err(SmaError::Corrupt(_))
-        ));
+        assert!(matches!(load_sma(&store, first), Err(SmaError::Corrupt(_))));
         // Truncated store: claim a huge body.
         let mut page2 = [0u8; PAGE_SIZE];
         store.read_page(first, &mut page2).unwrap();

@@ -58,7 +58,11 @@ impl ProjectionIndex {
             buckets.push(vals);
             rows.clear();
         }
-        Ok(ProjectionIndex { expr, entry_bytes, buckets })
+        Ok(ProjectionIndex {
+            expr,
+            entry_bytes,
+            buckets,
+        })
     }
 
     /// The indexed expression.
@@ -153,7 +157,9 @@ impl ProjectionIndex {
         }
         // Only valid when the expression IS the bare column (otherwise the
         // predicate's column values are not what we stored).
-        let ScalarExpr::Column(col) = self.expr else { return None };
+        let ScalarExpr::Column(col) = self.expr else {
+            return None;
+        };
         let mut n = 0;
         for v in self.buckets.iter().flatten() {
             // Build a sparse tuple exposing only the indexed column.

@@ -25,7 +25,9 @@ pub struct SmaSet {
 impl SmaSet {
     /// Builds all `defs` over `table` in one shared scan.
     pub fn build(table: &Table, defs: Vec<SmaDefinition>) -> Result<SmaSet, SmaError> {
-        Ok(SmaSet { smas: build_many(table, defs)? })
+        Ok(SmaSet {
+            smas: build_many(table, defs)?,
+        })
     }
 
     /// Builds all `defs` with `threads` parallel workers.
@@ -175,12 +177,8 @@ impl SmaSet {
             SmaDefinition::new("qty", AggFn::Sum, col(qty)).group_by(groups.clone()),
             SmaDefinition::new("dis", AggFn::Sum, col(dis)).group_by(groups.clone()),
             SmaDefinition::new("ext", AggFn::Sum, col(ext)).group_by(groups.clone()),
-            SmaDefinition::new(
-                "extdis",
-                AggFn::Sum,
-                col(ext).mul(one_minus_dis.clone()),
-            )
-            .group_by(groups.clone()),
+            SmaDefinition::new("extdis", AggFn::Sum, col(ext).mul(one_minus_dis.clone()))
+                .group_by(groups.clone()),
             SmaDefinition::new(
                 "extdistax",
                 AggFn::Sum,
@@ -284,9 +282,15 @@ mod tests {
         ]));
         let mut t = Table::in_memory("L", schema, 1);
         let dates = [
-            "1997-03-11", "1997-04-22", "1997-02-02",
-            "1997-04-01", "1997-05-07", "1997-04-28",
-            "1997-05-02", "1997-05-20", "1997-06-03",
+            "1997-03-11",
+            "1997-04-22",
+            "1997-02-02",
+            "1997-04-01",
+            "1997-05-07",
+            "1997-04-28",
+            "1997-05-02",
+            "1997-05-20",
+            "1997-06-03",
         ];
         let flags = [b'A', b'A', b'R', b'R', b'A', b'R', b'A', b'A', b'R'];
         let pad = "x".repeat(1200);
@@ -357,11 +361,7 @@ mod tests {
     #[test]
     fn find_aggregate_respects_grouping_refinement() {
         let t = fig1_table();
-        let set = SmaSet::build(
-            &t,
-            vec![SmaDefinition::count("c").group_by(vec![0, 1])],
-        )
-        .unwrap();
+        let set = SmaSet::build(&t, vec![SmaDefinition::count("c").group_by(vec![0, 1])]).unwrap();
         // Exact grouping: found.
         assert!(set.find_aggregate(AggFn::Count, None, &[0, 1]).is_some());
         // Coarser query grouping: the finer SMA still serves.
@@ -378,11 +378,7 @@ mod tests {
     #[test]
     fn merge_bucket_reaggregates_finer_groups() {
         let t = fig1_table();
-        let set = SmaSet::build(
-            &t,
-            vec![SmaDefinition::count("c").group_by(vec![1])],
-        )
-        .unwrap();
+        let set = SmaSet::build(&t, vec![SmaDefinition::count("c").group_by(vec![1])]).unwrap();
         let sma = set.by_name("c").unwrap();
         // Coarsen to the empty grouping: total count of bucket 0.
         let mut acc = Accumulator::new(AggFn::Count);
@@ -398,7 +394,11 @@ mod tests {
     fn maintenance_fans_out() {
         let t = fig1_table();
         let mut set = fig1_set(&t);
-        let tuple = vec![date("1997-01-01"), Value::Char(b'Z'), Value::Str("p".into())];
+        let tuple = vec![
+            date("1997-01-01"),
+            Value::Char(b'Z'),
+            Value::Str("p".into()),
+        ];
         set.note_insert(0, &tuple).unwrap();
         assert_eq!(set.min_of(0, 0), Some(date("1997-01-01")));
         let counts = set.distinct_counts(1, 0).unwrap();
@@ -417,7 +417,15 @@ mod tests {
     fn space_accounting_sums_members() {
         let t = fig1_table();
         let set = fig1_set(&t);
-        assert_eq!(set.file_count(), 1 + 1 + 1 + 2, "min+max+count+2 flag groups");
-        assert_eq!(set.total_pages(), 5, "each tiny file still rounds to a page");
+        assert_eq!(
+            set.file_count(),
+            1 + 1 + 1 + 2,
+            "min+max+count+2 flag groups"
+        );
+        assert_eq!(
+            set.total_pages(),
+            5,
+            "each tiny file still rounds to a page"
+        );
     }
 }

@@ -146,13 +146,20 @@ impl Sma {
     }
 
     /// Whether bucket `bucket` saw a `Null` input at build/maintenance time.
+    ///
+    /// A bucket this SMA has never covered answers `true`: nothing is
+    /// known about it, so it cannot be certified null-free.
     pub fn saw_null(&self, bucket: BucketNo) -> bool {
         self.null_seen.get(bucket as usize).copied().unwrap_or(true)
     }
 
     /// Whether min/max bounds for `bucket` may be loose after deletions.
+    ///
+    /// A bucket this SMA has never covered answers `true`, matching
+    /// [`Sma::saw_null`]: unknown bounds are exactly as untrustworthy as
+    /// loosened ones, and grading must not treat them as tight.
     pub fn is_stale(&self, bucket: BucketNo) -> bool {
-        self.stale.get(bucket as usize).copied().unwrap_or(false)
+        self.stale.get(bucket as usize).copied().unwrap_or(true)
     }
 
     /// Total physical size across all this SMA's files, in 4 KiB pages.
@@ -346,13 +353,13 @@ pub fn build_many_parallel(
     // Each worker produces, per definition, a sparse map
     // group -> (bucket, value) pairs plus null flags for its range.
     type Partial = Vec<(BTreeMap<GroupKey, Vec<(BucketNo, Value)>>, Vec<bool>)>;
-    let results: Vec<Result<(u32, Partial), SmaError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<(u32, Partial), SmaError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads as u32 {
             let defs = &defs;
             let start = (t * chunk).min(n_buckets);
             let end = ((t + 1) * chunk).min(n_buckets);
-            handles.push(scope.spawn(move |_| -> Result<(u32, Partial), SmaError> {
+            handles.push(scope.spawn(move || -> Result<(u32, Partial), SmaError> {
                 let mut partial: Partial = defs
                     .iter()
                     .map(|_| (BTreeMap::new(), vec![false; (end - start) as usize]))
@@ -382,9 +389,11 @@ pub fn build_many_parallel(
                 Ok((start, partial))
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("scope does not panic");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
 
     // Stitch the partials, in bucket order.
     let mut smas: Vec<Sma> = defs
@@ -448,6 +457,28 @@ mod tests {
     use sma_types::{Column, DataType, Date, Schema};
     use std::sync::Arc;
 
+    /// Regression: the two out-of-range defaults used to disagree —
+    /// `saw_null` answered `true` (conservative) for a bucket the SMA has
+    /// never covered while `is_stale` answered `false`, so grading could
+    /// treat completely unknown bounds as tight. Both must report the
+    /// untrusted state.
+    #[test]
+    fn out_of_range_bucket_is_untrusted() {
+        let t = fig1_table();
+        let sma = build_many(&t, vec![SmaDefinition::new("min", AggFn::Min, col(0))])
+            .unwrap()
+            .remove(0);
+        let beyond = t.bucket_count() + 5;
+        assert!(sma.saw_null(beyond), "unknown bucket cannot be null-free");
+        assert!(
+            sma.is_stale(beyond),
+            "unknown bucket cannot have tight bounds"
+        );
+        // In-range buckets built from non-null data stay trusted.
+        assert!(!sma.saw_null(0));
+        assert!(!sma.is_stale(0));
+    }
+
     /// A small table shaped like Fig. 1 of the paper: one DATE column,
     /// one CHAR flag, padded so exactly 3 tuples fit per page.
     fn fig1_table() -> Table {
@@ -458,9 +489,15 @@ mod tests {
         ]));
         let mut t = Table::in_memory("L", schema, 1);
         let dates = [
-            "1997-03-11", "1997-04-22", "1997-02-02", // bucket 1
-            "1997-04-01", "1997-05-07", "1997-04-28", // bucket 2
-            "1997-05-02", "1997-05-20", "1997-06-03", // bucket 3
+            "1997-03-11",
+            "1997-04-22",
+            "1997-02-02", // bucket 1
+            "1997-04-01",
+            "1997-05-07",
+            "1997-04-28", // bucket 2
+            "1997-05-02",
+            "1997-05-20",
+            "1997-06-03", // bucket 3
         ];
         let flags = [b'A', b'A', b'R', b'R', b'A', b'R', b'A', b'A', b'R'];
         let pad = "x".repeat(1200); // 3 tuples ≈ 3.6 KB per 4 KiB page
@@ -527,8 +564,14 @@ mod tests {
         assert_eq!(min.bucket_value_across_groups(0), date("1997-02-02"));
         assert_eq!(min.bucket_value_across_groups(2), date("1997-05-02"));
         // Group-local mins differ.
-        assert_eq!(min.entry(&vec![Value::Char(b'R')], 0), Some(&date("1997-02-02")));
-        assert_eq!(min.entry(&vec![Value::Char(b'A')], 0), Some(&date("1997-03-11")));
+        assert_eq!(
+            min.entry(&vec![Value::Char(b'R')], 0),
+            Some(&date("1997-02-02"))
+        );
+        assert_eq!(
+            min.entry(&vec![Value::Char(b'A')], 0),
+            Some(&date("1997-03-11"))
+        );
     }
 
     #[test]
@@ -540,11 +583,31 @@ mod tests {
         ]));
         let mut t = Table::in_memory("t", schema, 1);
         let pad = "p".repeat(1800); // 2 tuples per page
-        // Bucket 0: only group X. Bucket 1: only group Y.
-        t.append(&vec![Value::Int(1), Value::Char(b'X'), Value::Str(pad.clone())]).unwrap();
-        t.append(&vec![Value::Int(2), Value::Char(b'X'), Value::Str(pad.clone())]).unwrap();
-        t.append(&vec![Value::Int(3), Value::Char(b'Y'), Value::Str(pad.clone())]).unwrap();
-        t.append(&vec![Value::Int(4), Value::Char(b'Y'), Value::Str(pad.clone())]).unwrap();
+                                    // Bucket 0: only group X. Bucket 1: only group Y.
+        t.append(&vec![
+            Value::Int(1),
+            Value::Char(b'X'),
+            Value::Str(pad.clone()),
+        ])
+        .unwrap();
+        t.append(&vec![
+            Value::Int(2),
+            Value::Char(b'X'),
+            Value::Str(pad.clone()),
+        ])
+        .unwrap();
+        t.append(&vec![
+            Value::Int(3),
+            Value::Char(b'Y'),
+            Value::Str(pad.clone()),
+        ])
+        .unwrap();
+        t.append(&vec![
+            Value::Int(4),
+            Value::Char(b'Y'),
+            Value::Str(pad.clone()),
+        ])
+        .unwrap();
         assert_eq!(t.page_count(), 2);
         let sum = Sma::build(
             &t,
@@ -555,10 +618,18 @@ mod tests {
         let x = vec![Value::Char(b'X')];
         let y = vec![Value::Char(b'Y')];
         assert_eq!(sum.entry(&x, 0), Some(&Value::Int(3)));
-        assert_eq!(sum.entry(&x, 1), Some(&Value::Null), "absent group: Null sum");
+        assert_eq!(
+            sum.entry(&x, 1),
+            Some(&Value::Null),
+            "absent group: Null sum"
+        );
         assert_eq!(sum.entry(&y, 0), Some(&Value::Null));
         assert_eq!(sum.entry(&y, 1), Some(&Value::Int(7)));
-        assert_eq!(count.entry(&x, 1), Some(&Value::Int(0)), "absent group: 0 count");
+        assert_eq!(
+            count.entry(&x, 1),
+            Some(&Value::Int(0)),
+            "absent group: 0 count"
+        );
         // Files stay positionally aligned.
         for (_, f) in sum.groups() {
             assert_eq!(f.len(), 2);
@@ -570,7 +641,11 @@ mod tests {
         let t = fig1_table();
         let mut min = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
         let mut count = Sma::build(&t, SmaDefinition::count("c")).unwrap();
-        let new_tuple = vec![date("1997-01-15"), Value::Char(b'N'), Value::Str("p".into())];
+        let new_tuple = vec![
+            date("1997-01-15"),
+            Value::Char(b'N'),
+            Value::Str("p".into()),
+        ];
         min.note_insert(0, &new_tuple).unwrap();
         count.note_insert(0, &new_tuple).unwrap();
         assert_eq!(min.entry_ungrouped(0), Some(&date("1997-01-15")));
@@ -578,7 +653,11 @@ mod tests {
         // Insert into a brand-new bucket extends the files.
         min.note_insert(5, &new_tuple).unwrap();
         assert_eq!(min.n_buckets(), 6);
-        assert_eq!(min.entry_ungrouped(3), Some(&Value::Null), "gap buckets empty");
+        assert_eq!(
+            min.entry_ungrouped(3),
+            Some(&Value::Null),
+            "gap buckets empty"
+        );
         assert_eq!(min.entry_ungrouped(5), Some(&date("1997-01-15")));
     }
 
@@ -586,7 +665,11 @@ mod tests {
     fn delete_keeps_minmax_sound_but_loose() {
         let t = fig1_table();
         let mut max = Sma::build(&t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
-        let victim = vec![date("1997-04-22"), Value::Char(b'A'), Value::Str("p".into())];
+        let victim = vec![
+            date("1997-04-22"),
+            Value::Char(b'A'),
+            Value::Str("p".into()),
+        ];
         max.note_delete(0, &victim).unwrap();
         // Bound unchanged (loose) but marked stale.
         assert_eq!(max.entry_ungrouped(0), Some(&date("1997-04-22")));
@@ -629,11 +712,25 @@ mod tests {
         // Sums of dates are ill-typed and rejected at build time.
         assert!(Sma::build(&t, SmaDefinition::new("s", AggFn::Sum, col(0))).is_err());
         let mut count = Sma::build(&t, SmaDefinition::count("c").group_by(vec![1])).unwrap();
-        let old = vec![date("1997-03-11"), Value::Char(b'A'), Value::Str("p".into())];
-        let new = vec![date("1997-03-12"), Value::Char(b'R'), Value::Str("p".into())];
+        let old = vec![
+            date("1997-03-11"),
+            Value::Char(b'A'),
+            Value::Str("p".into()),
+        ];
+        let new = vec![
+            date("1997-03-12"),
+            Value::Char(b'R'),
+            Value::Str("p".into()),
+        ];
         count.note_update(0, &old, &new).unwrap();
-        assert_eq!(count.entry(&vec![Value::Char(b'A')], 0), Some(&Value::Int(1)));
-        assert_eq!(count.entry(&vec![Value::Char(b'R')], 0), Some(&Value::Int(2)));
+        assert_eq!(
+            count.entry(&vec![Value::Char(b'A')], 0),
+            Some(&Value::Int(1))
+        );
+        assert_eq!(
+            count.entry(&vec![Value::Char(b'R')], 0),
+            Some(&Value::Int(2))
+        );
     }
 
     #[test]

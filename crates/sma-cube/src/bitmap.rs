@@ -48,7 +48,11 @@ impl BitmapIndex {
         for bm in bitmaps.values_mut() {
             bm.resize(words, 0);
         }
-        Ok(BitmapIndex { column, n_tuples: pos, bitmaps })
+        Ok(BitmapIndex {
+            column,
+            n_tuples: pos,
+            bitmaps,
+        })
     }
 
     /// The indexed column.
@@ -178,7 +182,9 @@ mod tests {
         let idx = BitmapIndex::build(&many, 0).unwrap();
         assert_eq!(idx.size_bytes(), 75, "600 bits for one value");
         // One bit per tuple per value: doubles with a second value.
-        let mixed: Vec<u8> = (0..600).map(|i| if i % 2 == 0 { b'A' } else { b'R' }).collect();
+        let mixed: Vec<u8> = (0..600)
+            .map(|i| if i % 2 == 0 { b'A' } else { b'R' })
+            .collect();
         let t2 = flags_table(&mixed);
         let idx2 = BitmapIndex::build(&t2, 0).unwrap();
         assert_eq!(idx2.size_bytes(), 150);

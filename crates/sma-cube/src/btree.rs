@@ -37,7 +37,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn new(order: usize) -> BPlusTree<K, V> {
         assert!(order >= 3, "order must be at least 3");
         BPlusTree {
-            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            }],
             root: 0,
             order,
             len: 0,
@@ -240,7 +244,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             }
             let idx = tree.nodes.len();
             level.push((keys[0].clone(), idx));
-            tree.nodes.push(Node::Leaf { keys, vals, next: None });
+            tree.nodes.push(Node::Leaf {
+                keys,
+                vals,
+                next: None,
+            });
             if let Some(p) = prev_leaf {
                 let Node::Leaf { next, .. } = &mut tree.nodes[p] else {
                     unreachable!("previous node is a leaf");
@@ -351,7 +359,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sma_types::StdRng;
 
     #[test]
     fn insert_and_get() {
@@ -448,10 +456,13 @@ mod tests {
         let _: BPlusTree<i64, ()> = BPlusTree::new(2);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn model_check(keys in proptest::collection::vec(0i64..200, 0..400), order in 3usize..32) {
+    #[test]
+    fn model_check() {
+        let mut rng = StdRng::seed_from_u64(0xB7EE1);
+        for _ in 0..64 {
+            let order = rng.random_range(3usize..32);
+            let n = rng.random_range(0usize..400);
+            let keys: Vec<i64> = (0..n).map(|_| rng.random_range(0i64..200)).collect();
             let mut tree = BPlusTree::new(order);
             let mut model: Vec<(i64, usize)> = Vec::new();
             for (i, k) in keys.iter().enumerate() {
@@ -462,25 +473,33 @@ mod tests {
             model.sort_by_key(|&(k, _)| k);
             // Every key found; ranges match the model.
             for &(k, _) in &model {
-                prop_assert!(tree.get(&k).is_some());
+                assert!(tree.get(&k).is_some());
             }
             let (lo, hi) = (40i64, 120i64);
-            let expected: Vec<i64> =
-                model.iter().filter(|&&(k, _)| k >= lo && k <= hi).map(|&(k, _)| k).collect();
+            let expected: Vec<i64> = model
+                .iter()
+                .filter(|&&(k, _)| k >= lo && k <= hi)
+                .map(|&(k, _)| k)
+                .collect();
             let got: Vec<i64> = tree.range(&lo, &hi).into_iter().map(|(k, _)| k).collect();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
+    }
 
-        #[test]
-        fn bulk_load_model(mut keys in proptest::collection::vec(0i64..1000, 1..300), order in 3usize..24) {
+    #[test]
+    fn bulk_load_model() {
+        let mut rng = StdRng::seed_from_u64(0xB7EE2);
+        for _ in 0..64 {
+            let order = rng.random_range(3usize..24);
+            let n = rng.random_range(1usize..300);
+            let mut keys: Vec<i64> = (0..n).map(|_| rng.random_range(0i64..1000)).collect();
             keys.sort();
             let pairs: Vec<(i64, i64)> = keys.iter().map(|&k| (k, k)).collect();
             let tree = BPlusTree::bulk_load(order, pairs);
             tree.check_invariants();
-            prop_assert_eq!(tree.len(), keys.len());
-            let got: Vec<i64> =
-                tree.range(&0, &1000).into_iter().map(|(k, _)| k).collect();
-            prop_assert_eq!(got, keys);
+            assert_eq!(tree.len(), keys.len());
+            let got: Vec<i64> = tree.range(&0, &1000).into_iter().map(|(k, _)| k).collect();
+            assert_eq!(got, keys);
         }
     }
 }

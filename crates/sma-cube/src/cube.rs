@@ -103,7 +103,11 @@ impl Query1Cube {
                 cells[i].add(&prev);
             }
         }
-        Ok(Query1Cube { base_day, prefix, days })
+        Ok(Query1Cube {
+            base_day,
+            prefix,
+            days,
+        })
     }
 
     /// Answers Query 1 for `shipdate <= cutoff` by a per-group lookup.
@@ -141,8 +145,7 @@ impl Query1Cube {
 mod tests {
     use super::*;
     use sma_tpcd::{
-        generate_lineitem_table, q1_cutoff, q1_reference_table, start_date, Clustering,
-        GenConfig,
+        generate_lineitem_table, q1_cutoff, q1_reference_table, start_date, Clustering, GenConfig,
     };
 
     fn cube(table: &Table) -> Query1Cube {

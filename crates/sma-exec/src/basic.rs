@@ -53,7 +53,8 @@ impl PhysicalOp for SeqScan<'_> {
             }
             self.buffer.clear();
             self.buffer_pos = 0;
-            self.table.scan_page_into(self.next_page, &mut self.buffer)?;
+            self.table
+                .scan_page_into(self.next_page, &mut self.buffer)?;
             self.next_page += 1;
         }
     }

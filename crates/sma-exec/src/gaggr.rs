@@ -63,7 +63,10 @@ pub(crate) struct GroupState {
 impl GroupState {
     pub fn new(specs: &[AggSpec]) -> GroupState {
         GroupState {
-            accs: specs.iter().map(|s| Accumulator::new(s.base_fn())).collect(),
+            accs: specs
+                .iter()
+                .map(|s| Accumulator::new(s.base_fn()))
+                .collect(),
             hidden_count: 0,
         }
     }
@@ -78,6 +81,17 @@ impl GroupState {
         }
         self.hidden_count += 1;
         Ok(())
+    }
+
+    /// Merges a partial state for the same group (computed over a disjoint
+    /// bucket range) into this one. Folding each partial's finished value
+    /// back in is exact because min/max/sum/count are associative and the
+    /// identity (`Null`, or `0` for count) merges as a no-op.
+    pub fn absorb(&mut self, other: GroupState) {
+        for (acc, partial) in self.accs.iter_mut().zip(other.accs) {
+            acc.merge(&partial.finish());
+        }
+        self.hidden_count += other.hidden_count;
     }
 
     /// Final output values (averages divided by the count).
@@ -240,10 +254,7 @@ mod tests {
         );
         assert_eq!(rows[1][0], Value::Char(b'B'));
         assert_eq!(rows[1][1], Value::Int(2));
-        assert_eq!(
-            rows[1][5],
-            Value::Decimal(Decimal::parse("6.00").unwrap())
-        );
+        assert_eq!(rows[1][5], Value::Decimal(Decimal::parse("6.00").unwrap()));
     }
 
     #[test]

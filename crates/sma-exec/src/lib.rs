@@ -5,6 +5,7 @@
 //! * [`scan`] — `SmaScan` (Fig. 6),
 //! * [`gaggr`] — Dayal-style grouping/aggregation (`HashGAggr`),
 //! * [`sma_gaggr`] — `SmaGAggr` (Fig. 7),
+//! * [`parallel`] — the bucket-parallelism knob and morsel partitioning,
 //! * [`semijoin`] — semi-joins with SMA input reduction (§4),
 //! * [`planner`] — cost-based plan choice with the Fig. 5 breakeven,
 //! * [`query1`] — end-to-end TPC-D Query 1 runs.
@@ -14,6 +15,7 @@
 pub mod basic;
 pub mod gaggr;
 pub mod op;
+pub mod parallel;
 pub mod planner;
 pub mod query1;
 pub mod query3;
@@ -21,12 +23,13 @@ pub mod query4;
 pub mod query6;
 pub mod scan;
 pub mod semijoin;
-pub mod sort;
 pub mod sma_gaggr;
+pub mod sort;
 
 pub use basic::{Filter, Project, SeqScan};
 pub use gaggr::{AggSpec, HashGAggr};
 pub use op::{collect, ExecError, PhysicalOp};
+pub use parallel::{morsels, Parallelism};
 pub use planner::{plan, AggregateQuery, Estimate, Plan, PlanKind, PlannerConfig};
 pub use query1::{cutoff, query1_query, run_query1, Q1Execution, Query1Config};
 pub use query3::{query3_sma_definitions, run_query3, Q3Execution, Q3Params};
@@ -34,5 +37,5 @@ pub use query4::{run_query4, Q4Execution, Q4Params};
 pub use query6::{query6_query, query6_sma_definitions, run_query6, Q6Execution, Q6Params};
 pub use scan::{ScanCounters, SmaScan};
 pub use semijoin::SemiJoin;
-pub use sort::{Limit, Sort, SortOrder};
 pub use sma_gaggr::SmaGAggr;
+pub use sort::{Limit, Sort, SortOrder};

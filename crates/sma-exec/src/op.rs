@@ -23,6 +23,11 @@ pub enum ExecError {
     MissingSma(String),
     /// Operator protocol misuse or invalid plan shape.
     Plan(String),
+    /// The SMA set contradicts itself: an aggregate SMA materialized a
+    /// value for a bucket/group the count SMA knows nothing about.
+    /// Answering from such a set would silently drop or misstate groups,
+    /// so execution refuses instead.
+    InconsistentSma(String),
 }
 
 impl fmt::Display for ExecError {
@@ -33,6 +38,7 @@ impl fmt::Display for ExecError {
             ExecError::Expr(e) => write!(f, "{e}"),
             ExecError::MissingSma(what) => write!(f, "missing SMA: {what}"),
             ExecError::Plan(what) => write!(f, "plan error: {what}"),
+            ExecError::InconsistentSma(what) => write!(f, "inconsistent SMA set: {what}"),
         }
     }
 }

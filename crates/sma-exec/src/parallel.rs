@@ -1,0 +1,104 @@
+//! Bucket-parallel execution support.
+//!
+//! The paper's operators iterate `forall bucket in buckets` — an
+//! embarrassingly parallel loop, because SMA grading is pure in-memory
+//! arithmetic and every bucket's pages are disjoint. This module provides
+//! the two small pieces the operators share:
+//!
+//! * [`Parallelism`] — the knob saying how many worker threads to use
+//!   (default: every available core), and
+//! * [`morsels`] — a contiguous partition of `0..n_buckets` so each worker
+//!   scans a run of adjacent buckets (preserving sequential page access
+//!   within a worker) and partial results can be merged back **in bucket
+//!   order**, keeping parallel output byte-identical to the serial path.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Degree of intra-query parallelism for bucket loops.
+///
+/// `Parallelism::default()` is the number of available cores; use
+/// [`Parallelism::serial`] to force the single-threaded path (useful for
+/// deterministic I/O traces in tests and benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// Exactly one thread: the serial paper algorithm, unchanged.
+    pub fn serial() -> Parallelism {
+        Parallelism(NonZeroUsize::MIN)
+    }
+
+    /// `threads` worker threads (clamped up to at least 1).
+    pub fn new(threads: usize) -> Parallelism {
+        Parallelism(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// One thread per available core (falls back to 1 when the runtime
+    /// cannot tell).
+    pub fn available() -> Parallelism {
+        Parallelism(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// Number of worker threads.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::available()
+    }
+}
+
+/// Splits `0..n_buckets` into at most `threads` contiguous, non-empty
+/// morsels covering the whole range in order.
+///
+/// Contiguity matters twice: each worker reads adjacent pages (the
+/// sequential-I/O pattern the cost model rewards), and concatenating the
+/// morsel results in order reproduces the serial bucket order exactly.
+pub fn morsels(n_buckets: u32, threads: usize) -> Vec<Range<u32>> {
+    if n_buckets == 0 {
+        return Vec::new();
+    }
+    let threads = (threads.max(1) as u32).min(n_buckets);
+    let chunk = n_buckets.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk).min(n_buckets)..((t + 1) * chunk).min(n_buckets))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_the_range_in_order() {
+        for n in [0u32, 1, 2, 3, 7, 30, 31, 1000] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let parts = morsels(n, threads);
+                let flat: Vec<u32> = parts.iter().cloned().flatten().collect();
+                let expect: Vec<u32> = (0..n).collect();
+                assert_eq!(flat, expect, "n={n} threads={threads}");
+                assert!(parts.len() <= threads.max(1), "n={n} threads={threads}");
+                assert!(parts.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_behaves_like_one() {
+        assert_eq!(morsels(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn parallelism_knob() {
+        assert_eq!(Parallelism::serial().get(), 1);
+        assert_eq!(Parallelism::new(0).get(), 1);
+        assert_eq!(Parallelism::new(6).get(), 6);
+        assert!(Parallelism::available().get() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::available());
+    }
+}

@@ -40,8 +40,7 @@ pub struct AggregateQuery {
 }
 
 /// Planner tunables.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PlannerConfig {
     /// The I/O price list used to compare candidate plans.
     pub cost_model: CostModel,
@@ -50,7 +49,6 @@ pub struct PlannerConfig {
     /// outright (the paper's Fig. 5 rule with 0.25).
     pub hard_breakeven: Option<f64>,
 }
-
 
 /// Which physical strategy the planner chose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,11 +221,16 @@ pub fn plan<'a>(
     cfg: &PlannerConfig,
 ) -> Plan<'a> {
     let Some(set) = smas else {
-        return Plan { table, smas, query, kind: PlanKind::FullScan, estimate: None };
+        return Plan {
+            table,
+            smas,
+            query,
+            kind: PlanKind::FullScan,
+            estimate: None,
+        };
     };
     let cm = &cfg.cost_model;
-    let grades =
-        Classification::classify(&query.pred, table.bucket_count(), set);
+    let grades = Classification::classify(&query.pred, table.bucket_count(), set);
     let n_pages = table.page_count() as f64;
     let full_scan_cost_ms = if n_pages > 0.0 {
         cm.rand_read_ms + cm.seq_read_ms * (n_pages - 1.0)
@@ -272,7 +275,13 @@ pub fn plan<'a>(
         }
         best.0
     };
-    Plan { table, smas, query, kind, estimate: Some(estimate) }
+    Plan {
+        table,
+        smas,
+        query,
+        kind,
+        estimate: Some(estimate),
+    }
 }
 
 #[cfg(test)]
@@ -382,7 +391,11 @@ mod tests {
             for cutoff in [5i64, 30, 59] {
                 let q = query(cutoff);
                 let mut answers = Vec::new();
-                for kind in [PlanKind::SmaGAggr, PlanKind::SmaScanGAggr, PlanKind::FullScan] {
+                for kind in [
+                    PlanKind::SmaGAggr,
+                    PlanKind::SmaScanGAggr,
+                    PlanKind::FullScan,
+                ] {
                     let p = Plan {
                         table: &t,
                         smas: Some(&set),
@@ -417,13 +430,29 @@ mod tests {
     #[test]
     fn clustered_ambivalence_prices_sequentially() {
         use Grade::*;
-        let cm = CostModel { seq_read_ms: 1.0, rand_read_ms: 10.0, write_ms: 0.0 };
+        let cm = CostModel {
+            seq_read_ms: 1.0,
+            rand_read_ms: 10.0,
+            write_ms: 0.0,
+        };
         // Contiguous run: 1 seek + 3 sequential.
-        let run = vec![Disqualifies, Ambivalent, Ambivalent, Ambivalent, Disqualifies];
+        let run = vec![
+            Disqualifies,
+            Ambivalent,
+            Ambivalent,
+            Ambivalent,
+            Disqualifies,
+        ];
         let clustered = bucket_read_cost(&run, 1, &cm, |g| g == Ambivalent);
         assert!((clustered - 12.0).abs() < 1e-9);
         // Same count, scattered: 3 seeks.
-        let scattered = vec![Ambivalent, Disqualifies, Ambivalent, Disqualifies, Ambivalent];
+        let scattered = vec![
+            Ambivalent,
+            Disqualifies,
+            Ambivalent,
+            Disqualifies,
+            Ambivalent,
+        ];
         let s = bucket_read_cost(&scattered, 1, &cm, |g| g == Ambivalent);
         assert!((s - 30.0).abs() < 1e-9);
         // Multi-page buckets amortize the seek.

@@ -194,7 +194,10 @@ mod tests {
         let cold = run_query1(
             &table,
             None,
-            &Query1Config { cold: true, ..Query1Config::default() },
+            &Query1Config {
+                cold: true,
+                ..Query1Config::default()
+            },
         )
         .unwrap();
         assert_eq!(cold.io.physical_reads, table.page_count() as u64);
@@ -211,18 +214,22 @@ mod tests {
         let a = run_query1(
             &table,
             None,
-            &Query1Config { delta: 60, ..Query1Config::default() },
+            &Query1Config {
+                delta: 60,
+                ..Query1Config::default()
+            },
         )
         .unwrap();
         let b = run_query1(
             &table,
             None,
-            &Query1Config { delta: 120, ..Query1Config::default() },
+            &Query1Config {
+                delta: 120,
+                ..Query1Config::default()
+            },
         )
         .unwrap();
-        let count = |rows: &[Tuple]| -> i64 {
-            rows.iter().map(|r| r[9].as_int().unwrap()).sum()
-        };
+        let count = |rows: &[Tuple]| -> i64 { rows.iter().map(|r| r[9].as_int().unwrap()).sum() };
         assert!(count(&a.rows) > count(&b.rows), "smaller delta keeps more");
     }
 }

@@ -101,7 +101,9 @@ pub fn run_query3(
     let mut open_orders: HashMap<i64, (Date, i64)> = HashMap::new();
     o_scan.open()?;
     while let Some(t) = o_scan.next()? {
-        let Some(custkey) = t[o_custkey].as_int() else { continue };
+        let Some(custkey) = t[o_custkey].as_int() else {
+            continue;
+        };
         if !seg_customers.contains(&custkey) {
             continue;
         }
@@ -123,18 +125,17 @@ pub fn run_query3(
     let mut revenue: HashMap<i64, Decimal> = HashMap::new();
     l_scan.open()?;
     while let Some(t) = l_scan.next()? {
-        let Some(key) = t[l_orderkey].as_int() else { continue };
+        let Some(key) = t[l_orderkey].as_int() else {
+            continue;
+        };
         if !open_orders.contains_key(&key) {
             continue;
         }
-        let (Some(ext), Some(disc)) = (
-            t[l_extendedprice].as_decimal(),
-            t[l_discount].as_decimal(),
-        ) else {
+        let (Some(ext), Some(disc)) = (t[l_extendedprice].as_decimal(), t[l_discount].as_decimal())
+        else {
             continue;
         };
-        *revenue.entry(key).or_insert(Decimal::ZERO) +=
-            ext.mul_round(Decimal::ONE - disc);
+        *revenue.entry(key).or_insert(Decimal::ZERO) += ext.mul_round(Decimal::ONE - disc);
     }
     l_scan.close();
     let lineitem_counters = l_scan.counters();
@@ -255,11 +256,11 @@ impl PhysicalOp for MaterializedRows {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sma_storage::MemStore;
     use sma_tpcd::{
         generate, generate_customers, load_customers, load_lineitem, load_orders, q3_reference,
         Clustering, GenConfig,
     };
-    use sma_storage::MemStore;
 
     struct Setup {
         customer: Table,
@@ -267,11 +268,18 @@ mod tests {
         lineitem: Table,
         orders_smas: SmaSet,
         lineitem_smas: SmaSet,
-        raw: (Vec<sma_tpcd::Customer>, Vec<sma_tpcd::Order>, Vec<sma_tpcd::LineItem>),
+        raw: (
+            Vec<sma_tpcd::Customer>,
+            Vec<sma_tpcd::Order>,
+            Vec<sma_tpcd::LineItem>,
+        ),
     }
 
     fn setup(clustering: Clustering) -> Setup {
-        let cfg = GenConfig { orders: 1500, ..GenConfig::tiny(clustering) };
+        let cfg = GenConfig {
+            orders: 1500,
+            ..GenConfig::tiny(clustering)
+        };
         let (mut orders_rows, items) = generate(&cfg);
         orders_rows.sort_by_key(|o| o.orderdate); // TOC clustering
         let customers = generate_customers(cfg.orders / 10, cfg.seed);
@@ -308,7 +316,10 @@ mod tests {
             &s.raw.0,
             &s.raw.1,
             &s.raw.2,
-            &sma_tpcd::Q3Params { segment: p.segment.clone(), date: p.date },
+            &sma_tpcd::Q3Params {
+                segment: p.segment.clone(),
+                date: p.date,
+            },
             p.limit,
         );
         assert_eq!(run.rows.len(), oracle.len());
@@ -365,15 +376,17 @@ mod tests {
             &p,
         )
         .unwrap();
-        let slow =
-            run_query3(&s.customer, &s.orders, &s.lineitem, &empty, &empty, &p).unwrap();
+        let slow = run_query3(&s.customer, &s.orders, &s.lineitem, &empty, &empty, &p).unwrap();
         assert_eq!(fast.rows, slow.rows);
     }
 
     #[test]
     fn limit_is_respected() {
         let s = setup(Clustering::Uniform);
-        let p = Q3Params { limit: 3, ..Q3Params::default() };
+        let p = Q3Params {
+            limit: 3,
+            ..Q3Params::default()
+        };
         let run = run_query3(
             &s.customer,
             &s.orders,

@@ -40,7 +40,9 @@ mod sma_tpcd_params {
 
     impl Default for Q4Params {
         fn default() -> Q4Params {
-            Q4Params { date: Date::from_ymd(1993, 7, 1).expect("valid constant") }
+            Q4Params {
+                date: Date::from_ymd(1993, 7, 1).expect("valid constant"),
+            }
         }
     }
 
@@ -134,7 +136,9 @@ pub fn run_query4(
             if grade != Grade::Qualifies && !window.eval_tuple(&t) {
                 continue;
             }
-            let Some(key) = t[o_orderkey].as_int() else { continue };
+            let Some(key) = t[o_orderkey].as_int() else {
+                continue;
+            };
             if !late.contains(&key) {
                 continue;
             }
@@ -164,16 +168,26 @@ pub fn run_query4(
 mod tests {
     use super::*;
     use sma_core::{col, AggFn, SmaDefinition};
+    use sma_storage::MemStore;
     use sma_tpcd::{
         generate, load_lineitem, load_orders, q4_reference, schema::lineitem as li,
         schema::orders as o, Clustering, GenConfig,
     };
-    use sma_storage::MemStore;
 
     fn setup(
         clustering: Clustering,
-    ) -> (Table, Table, SmaSet, SmaSet, Vec<sma_tpcd::Order>, Vec<sma_tpcd::LineItem>) {
-        let cfg = GenConfig { orders: 1200, ..GenConfig::tiny(clustering) };
+    ) -> (
+        Table,
+        Table,
+        SmaSet,
+        SmaSet,
+        Vec<sma_tpcd::Order>,
+        Vec<sma_tpcd::LineItem>,
+    ) {
+        let cfg = GenConfig {
+            orders: 1200,
+            ..GenConfig::tiny(clustering)
+        };
         let (mut orders, items) = generate(&cfg);
         // Orders arrive in date order in a TOC-clustered warehouse.
         orders.sort_by_key(|ord| ord.orderdate);
@@ -197,7 +211,14 @@ mod tests {
             ],
         )
         .unwrap();
-        (orders_table, lineitem_table, orders_smas, lineitem_smas, orders, items)
+        (
+            orders_table,
+            lineitem_table,
+            orders_smas,
+            lineitem_smas,
+            orders,
+            items,
+        )
     }
 
     #[test]
@@ -205,11 +226,7 @@ mod tests {
         let (ot, lt, osmas, lsmas, orders, items) = setup(Clustering::SortedByShipdate);
         let p = Q4Params::default();
         let run = run_query4(&ot, &lt, &osmas, &lsmas, &p).unwrap();
-        let oracle = q4_reference(
-            &orders,
-            &items,
-            &sma_tpcd::Q4Params { date: p.date },
-        );
+        let oracle = q4_reference(&orders, &items, &sma_tpcd::Q4Params { date: p.date });
         let got: Vec<(String, i64)> = run.rows.clone();
         let want: Vec<(String, i64)> = oracle
             .into_iter()
@@ -245,7 +262,9 @@ mod tests {
     #[test]
     fn window_outside_domain_reads_no_orders() {
         let (ot, lt, osmas, lsmas, _, _) = setup(Clustering::SortedByShipdate);
-        let p = Q4Params { date: sma_types::Date::from_ymd(2005, 1, 1).unwrap() };
+        let p = Q4Params {
+            date: sma_types::Date::from_ymd(2005, 1, 1).unwrap(),
+        };
         let run = run_query4(&ot, &lt, &osmas, &lsmas, &p).unwrap();
         assert!(run.rows.is_empty());
         assert_eq!(run.orders_scan.disqualified, ot.bucket_count() as u64);

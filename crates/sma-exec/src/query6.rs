@@ -100,7 +100,11 @@ pub fn query6_query(table: &Table, p: &Q6Params) -> Result<AggregateQuery, ExecE
             BucketPred::cmp(ship, CmpOp::Lt, Value::Date(p.date_hi())),
             BucketPred::cmp(disc, CmpOp::Ge, Value::Decimal(lo)),
             BucketPred::cmp(disc, CmpOp::Le, Value::Decimal(hi)),
-            BucketPred::cmp(qty, CmpOp::Lt, Value::Decimal(Decimal::from_int(p.quantity))),
+            BucketPred::cmp(
+                qty,
+                CmpOp::Lt,
+                Value::Decimal(Decimal::from_int(p.quantity)),
+            ),
         ]),
         group_by: vec![],
         specs: vec![AggSpec::Sum(col(ext).mul(col(disc)))],
@@ -166,8 +170,7 @@ mod tests {
             Clustering::Shuffled,
         ] {
             let table = generate_lineitem_table(&GenConfig::tiny(clustering));
-            let smas =
-                SmaSet::build(&table, query6_sma_definitions(&table).unwrap()).unwrap();
+            let smas = SmaSet::build(&table, query6_sma_definitions(&table).unwrap()).unwrap();
             let p = Q6Params::default();
             let with = run_query6(&table, Some(&smas), &p, &PlannerConfig::default()).unwrap();
             let without = run_query6(&table, None, &p, &PlannerConfig::default()).unwrap();

@@ -10,6 +10,7 @@ use sma_storage::{Table, TupleId};
 use sma_types::Tuple;
 
 use crate::op::{ExecError, PhysicalOp};
+use crate::parallel::{morsels, Parallelism};
 
 /// Bucket-level counters a finished scan reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +40,10 @@ pub struct SmaScan<'a> {
     buffer: Vec<(TupleId, Tuple)>,
     pos: usize,
     counters: ScanCounters,
+    parallelism: Parallelism,
+    /// Grades precomputed in `open` by worker threads (empty on the serial
+    /// path, which grades lazily bucket by bucket).
+    grades: Vec<Grade>,
 }
 
 impl<'a> SmaScan<'a> {
@@ -54,7 +59,19 @@ impl<'a> SmaScan<'a> {
             buffer: Vec::new(),
             pos: 0,
             counters: ScanCounters::default(),
+            parallelism: Parallelism::default(),
+            grades: Vec::new(),
         }
+    }
+
+    /// Sets the number of worker threads `open` uses to grade buckets
+    /// (default: one per available core). Grading is pure in-memory
+    /// arithmetic over SMA entries, so it parallelizes freely; page I/O
+    /// still happens serially in `next`, in bucket order, so the scan's
+    /// output, counters, and I/O trace are identical at any setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> SmaScan<'a> {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Bucket-level counters (meaningful once the scan is drained).
@@ -71,7 +88,10 @@ impl<'a> SmaScan<'a> {
             }
             let bucket = self.next_bucket;
             self.next_bucket += 1;
-            self.curr_grade = self.pred.grade(bucket, self.smas);
+            self.curr_grade = match self.grades.get(bucket as usize) {
+                Some(&g) => g,
+                None => self.pred.grade(bucket, self.smas),
+            };
             match self.curr_grade {
                 Grade::Disqualifies => {
                     self.counters.disqualified += 1;
@@ -96,6 +116,26 @@ impl PhysicalOp for SmaScan<'_> {
         self.buffer.clear();
         self.pos = 0;
         self.counters = ScanCounters::default();
+        self.grades.clear();
+        let n_buckets = self.table.bucket_count();
+        let threads = self.parallelism.get().min(n_buckets.max(1) as usize);
+        if threads > 1 {
+            let pred = &self.pred;
+            let smas = self.smas;
+            let parts: Vec<Vec<Grade>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = morsels(n_buckets, threads)
+                    .into_iter()
+                    .map(|r| {
+                        scope.spawn(move || r.map(|b| pred.grade(b, smas)).collect::<Vec<Grade>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("grading worker panicked"))
+                    .collect()
+            });
+            self.grades = parts.into_iter().flatten().collect();
+        }
         Ok(())
     }
 
@@ -104,8 +144,7 @@ impl PhysicalOp for SmaScan<'_> {
             while self.pos < self.buffer.len() {
                 let idx = self.pos;
                 self.pos += 1;
-                if self.curr_grade == Grade::Qualifies
-                    || self.pred.eval_tuple(&self.buffer[idx].1)
+                if self.curr_grade == Grade::Qualifies || self.pred.eval_tuple(&self.buffer[idx].1)
                 {
                     return Ok(Some(std::mem::take(&mut self.buffer[idx].1)));
                 }
@@ -227,6 +266,27 @@ mod tests {
         assert_eq!(keys(&rows), vec![0, 1, 2, 3]);
         assert_eq!(scan.counters().ambivalent, 4);
         assert_eq!(scan.counters().disqualified, 0);
+    }
+
+    #[test]
+    fn parallel_grading_matches_serial_exactly() {
+        let t = sorted_table(40); // 20 buckets
+        let smas = minmax(&t);
+        let pred = BucketPred::cmp(0, CmpOp::Le, 5i64);
+        let mut serial =
+            SmaScan::new(&t, pred.clone(), &smas).with_parallelism(Parallelism::serial());
+        let expected = collect(&mut serial).unwrap();
+        let expected_counters = serial.counters();
+        for threads in [2, 3, 4, 8, 64] {
+            t.reset_io_stats();
+            let mut par =
+                SmaScan::new(&t, pred.clone(), &smas).with_parallelism(Parallelism::new(threads));
+            assert_eq!(collect(&mut par).unwrap(), expected, "{threads} threads");
+            assert_eq!(par.counters(), expected_counters, "{threads} threads");
+            // Page I/O stays serial, so the trace matches too: only the 3
+            // surviving buckets are read.
+            assert_eq!(t.io_stats().logical_reads, 3, "{threads} threads");
+        }
     }
 
     #[test]

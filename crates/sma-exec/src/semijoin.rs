@@ -81,14 +81,8 @@ impl<'a> SemiJoin<'a> {
         let mm = self.minimax.as_ref().expect("opened");
         match self.theta {
             CmpOp::Eq => self.eq_set.contains(a),
-            CmpOp::Lt | CmpOp::Le => mm
-                .max
-                .as_ref()
-                .is_some_and(|hi| self.theta.eval(a, hi)),
-            CmpOp::Gt | CmpOp::Ge => mm
-                .min
-                .as_ref()
-                .is_some_and(|lo| self.theta.eval(a, lo)),
+            CmpOp::Lt | CmpOp::Le => mm.max.as_ref().is_some_and(|hi| self.theta.eval(a, hi)),
+            CmpOp::Gt | CmpOp::Ge => mm.min.as_ref().is_some_and(|lo| self.theta.eval(a, lo)),
         }
     }
 }
@@ -183,7 +177,11 @@ impl PhysicalOp for SemiJoin<'_> {
             self.theta,
             self.s.name(),
             self.b_col,
-            if self.smas.is_some() { "sma-reduced" } else { "naive" }
+            if self.smas.is_some() {
+                "sma-reduced"
+            } else {
+                "naive"
+            }
         )
     }
 }

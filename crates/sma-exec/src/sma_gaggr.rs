@@ -8,13 +8,16 @@
 //! computed in `open` ("within its init function, the result is
 //! computed"), `next` merely streams it.
 
-use std::collections::BTreeMap;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 
 use sma_core::{BucketPred, Grade, Sma, SmaSet};
 use sma_types::{Tuple, Value};
 
 use crate::gaggr::{AggSpec, GroupState};
 use crate::op::{ExecError, PhysicalOp};
+use crate::parallel::{morsels, Parallelism};
 use crate::scan::ScanCounters;
 
 /// How one query aggregate maps onto SMAs.
@@ -37,6 +40,7 @@ pub struct SmaGAggr<'a> {
     results: Vec<Tuple>,
     pos: usize,
     counters: ScanCounters,
+    parallelism: Parallelism,
 }
 
 fn resolve<'a>(
@@ -107,7 +111,16 @@ impl<'a> SmaGAggr<'a> {
             results: Vec::new(),
             pos: 0,
             counters: ScanCounters::default(),
+            parallelism: Parallelism::default(),
         })
+    }
+
+    /// Sets the number of worker threads `open` uses for the bucket loop
+    /// (default: one per available core). Results and counters are
+    /// identical at any setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> SmaGAggr<'a> {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Bucket-level counters (meaningful after `open`).
@@ -119,11 +132,18 @@ impl<'a> SmaGAggr<'a> {
         &self,
         bucket: u32,
         groups: &mut BTreeMap<Vec<Value>, GroupState>,
-    ) {
+    ) -> Result<(), ExecError> {
+        // Groups that received a materialized aggregate value this bucket;
+        // each must also be covered by the count SMA, or group existence
+        // (and averages) would be computed from thin air.
+        let mut touched: BTreeSet<Vec<Value>> = BTreeSet::new();
         for (i, r) in self.resolved.iter().enumerate() {
             for (key, file) in r.sma.groups() {
                 let Some(v) = file.get(bucket) else { continue };
                 let target = r.project(key);
+                if !v.is_null() {
+                    touched.insert(target.clone());
+                }
                 groups
                     .entry(target)
                     .or_insert_with(|| GroupState::new(&self.specs))
@@ -135,11 +155,46 @@ impl<'a> SmaGAggr<'a> {
             let Some(v) = file.get(bucket) else { continue };
             let n = v.as_int().unwrap_or(0);
             let target = self.count_sma.project(key);
+            touched.remove(&target);
             groups
                 .entry(target)
                 .or_insert_with(|| GroupState::new(&self.specs))
                 .hidden_count += n;
         }
+        if let Some(orphan) = touched.into_iter().next() {
+            return Err(ExecError::InconsistentSma(format!(
+                "bucket {bucket}: aggregate SMA materialized values for group \
+                 {orphan:?} but the count SMA has no entry for that bucket"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fig. 7's bucket loop over one contiguous morsel: grade each bucket,
+    /// answer qualifying ones from SMA entries, scan ambivalent ones.
+    /// Pure with respect to `self`, so morsels run on worker threads.
+    fn process_buckets(
+        &self,
+        range: Range<u32>,
+    ) -> Result<(ScanCounters, BTreeMap<Vec<Value>, GroupState>), ExecError> {
+        let mut counters = ScanCounters::default();
+        let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+        for bucket in range {
+            match self.pred.grade(bucket, self.smas) {
+                Grade::Qualifies => {
+                    counters.qualified += 1;
+                    self.merge_qualifying_bucket(bucket, &mut groups)?;
+                }
+                Grade::Disqualifies => {
+                    counters.disqualified += 1;
+                }
+                Grade::Ambivalent => {
+                    counters.ambivalent += 1;
+                    self.scan_ambivalent_bucket(bucket, &mut groups)?;
+                }
+            }
+        }
+        Ok((counters, groups))
     }
 
     fn scan_ambivalent_bucket(
@@ -167,23 +222,46 @@ impl PhysicalOp for SmaGAggr<'_> {
         self.results.clear();
         self.pos = 0;
         self.counters = ScanCounters::default();
-        let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+        let n_buckets = self.table.bucket_count();
+        let threads = self.parallelism.get().min(n_buckets.max(1) as usize);
         // Fig. 7: "forall bucket in buckets: switch(grade(bucket, pred))".
-        for bucket in 0..self.table.bucket_count() {
-            match self.pred.grade(bucket, self.smas) {
-                Grade::Qualifies => {
-                    self.counters.qualified += 1;
-                    self.merge_qualifying_bucket(bucket, &mut groups);
-                }
-                Grade::Disqualifies => {
-                    self.counters.disqualified += 1;
-                }
-                Grade::Ambivalent => {
-                    self.counters.ambivalent += 1;
-                    self.scan_ambivalent_bucket(bucket, &mut groups)?;
+        // Buckets are independent (grading is in-memory arithmetic, pages
+        // are disjoint), so the loop runs as contiguous morsels on worker
+        // threads; partials merge back in bucket order, which keeps both
+        // the result rows and the counters identical to the serial loop.
+        let (counters, groups) = if threads <= 1 {
+            self.process_buckets(0..n_buckets)?
+        } else {
+            let shared: &SmaGAggr<'_> = &*self;
+            let partials: Vec<Result<_, ExecError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = morsels(n_buckets, threads)
+                    .into_iter()
+                    .map(|r| scope.spawn(move || shared.process_buckets(r)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("bucket worker panicked"))
+                    .collect()
+            });
+            let mut counters = ScanCounters::default();
+            let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+            for partial in partials {
+                let (c, partial_groups) = partial?;
+                counters.qualified += c.qualified;
+                counters.disqualified += c.disqualified;
+                counters.ambivalent += c.ambivalent;
+                for (key, state) in partial_groups {
+                    match groups.entry(key) {
+                        Entry::Occupied(e) => e.into_mut().absorb(state),
+                        Entry::Vacant(e) => {
+                            e.insert(state);
+                        }
+                    }
                 }
             }
-        }
+            (counters, groups)
+        };
+        self.counters = counters;
         // "Perform post processing for average aggregates" + drop groups
         // with no qualifying tuples.
         for (key, state) in groups {
@@ -369,8 +447,7 @@ mod tests {
         // overkill; group by [1] and query by [] (global aggregate).
         let smas = full_set(&t);
         let pred = BucketPred::cmp(0, CmpOp::Le, 100i64);
-        let mut op =
-            SmaGAggr::new(&t, pred.clone(), vec![], specs(), &smas).unwrap();
+        let mut op = SmaGAggr::new(&t, pred.clone(), vec![], specs(), &smas).unwrap();
         let fast = collect(&mut op).unwrap();
         let mut slow = HashGAggr::new(
             Box::new(Filter::new(Box::new(SeqScan::new(&t)), pred)),
@@ -388,6 +465,71 @@ mod tests {
         let mut op = SmaGAggr::new(&t, pred, vec![1], specs(), &smas).unwrap();
         assert!(collect(&mut op).unwrap().is_empty());
         assert_eq!(op.counters().disqualified, 20 / 2);
+    }
+
+    #[test]
+    fn parallel_open_matches_serial_exactly() {
+        let t = make_table(60);
+        let smas = full_set(&t);
+        // Le 8 splits bucket 4: qualifying, disqualified, and ambivalent
+        // buckets all present, so every merge path runs.
+        let pred = BucketPred::cmp(0, CmpOp::Le, 8i64);
+        let mut serial = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &smas)
+            .unwrap()
+            .with_parallelism(Parallelism::serial());
+        let expected = collect(&mut serial).unwrap();
+        let expected_counters = serial.counters();
+        assert!(!expected.is_empty());
+        for threads in [2, 3, 4, 8, 64] {
+            let mut par = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &smas)
+                .unwrap()
+                .with_parallelism(Parallelism::new(threads));
+            assert_eq!(collect(&mut par).unwrap(), expected, "{threads} threads");
+            assert_eq!(par.counters(), expected_counters, "{threads} threads");
+        }
+    }
+
+    /// Regression: a count SMA whose files stop short of a bucket that the
+    /// aggregate SMAs do cover used to make `merge_qualifying_bucket`
+    /// silently drop the affected groups (hidden count stayed 0). Such an
+    /// inconsistent set must fail loudly instead of returning a wrong,
+    /// smaller result.
+    #[test]
+    fn count_sma_gap_is_an_error_not_a_dropped_group() {
+        let t = make_table(60); // 30 buckets
+        let short = make_table(20); // 10 buckets
+        let full = full_set(&t);
+        let mut mismatched = SmaSet::new();
+        for sma in full.smas() {
+            if sma.def().agg != AggFn::Count {
+                mismatched.push(sma.clone());
+            }
+        }
+        // A count SMA built over the shorter table: same definition, but
+        // its files have no entries for buckets 10..30.
+        let truncated = SmaSet::build(
+            &short,
+            vec![SmaDefinition::count("count").group_by(vec![1])],
+        )
+        .unwrap();
+        mismatched.push(truncated.smas()[0].clone());
+
+        let pred = BucketPred::cmp(0, CmpOp::Le, 100i64); // every bucket qualifies
+        let mut op = SmaGAggr::new(&t, pred, vec![1], specs(), &mismatched)
+            .unwrap()
+            .with_parallelism(Parallelism::serial());
+        match op.open() {
+            Err(ExecError::InconsistentSma(msg)) => {
+                assert!(msg.contains("count SMA"), "{msg}");
+            }
+            other => panic!("expected InconsistentSma, got {other:?}"),
+        }
+        // The parallel path surfaces the same error.
+        let pred = BucketPred::cmp(0, CmpOp::Le, 100i64);
+        let mut op = SmaGAggr::new(&t, pred, vec![1], specs(), &mismatched)
+            .unwrap()
+            .with_parallelism(Parallelism::new(4));
+        assert!(matches!(op.open(), Err(ExecError::InconsistentSma(_))));
     }
 
     #[test]

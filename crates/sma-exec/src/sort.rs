@@ -31,7 +31,12 @@ pub struct Sort<'a> {
 impl<'a> Sort<'a> {
     /// Creates a sort of `child`'s output by `keys`, significant first.
     pub fn new(child: Box<dyn PhysicalOp + 'a>, keys: Vec<(usize, SortOrder)>) -> Sort<'a> {
-        Sort { child, keys, rows: Vec::new(), pos: 0 }
+        Sort {
+            child,
+            keys,
+            rows: Vec::new(),
+            pos: 0,
+        }
     }
 }
 
@@ -91,7 +96,11 @@ pub struct Limit<'a> {
 impl<'a> Limit<'a> {
     /// Creates a limit of `n` over `child`.
     pub fn new(child: Box<dyn PhysicalOp + 'a>, n: usize) -> Limit<'a> {
-        Limit { child, n, emitted: 0 }
+        Limit {
+            child,
+            n,
+            emitted: 0,
+        }
     }
 }
 

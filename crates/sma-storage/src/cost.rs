@@ -70,14 +70,26 @@ mod tests {
             random_reads: 2,
             physical_writes: 3,
         };
-        let m = CostModel { seq_read_ms: 1.0, rand_read_ms: 10.0, write_ms: 2.0 };
+        let m = CostModel {
+            seq_read_ms: 1.0,
+            rand_read_ms: 10.0,
+            write_ms: 2.0,
+        };
         assert!((m.cost_ms(&stats) - (10.0 + 20.0 + 6.0)).abs() < 1e-9);
     }
 
     #[test]
     fn uniform_ignores_pattern() {
-        let seq = IoStats { sequential_reads: 10, physical_reads: 10, ..Default::default() };
-        let rand = IoStats { random_reads: 10, physical_reads: 10, ..Default::default() };
+        let seq = IoStats {
+            sequential_reads: 10,
+            physical_reads: 10,
+            ..Default::default()
+        };
+        let rand = IoStats {
+            random_reads: 10,
+            physical_reads: 10,
+            ..Default::default()
+        };
         let m = CostModel::uniform(2.0);
         assert_eq!(m.cost_ms(&seq), m.cost_ms(&rand));
     }

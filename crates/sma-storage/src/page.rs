@@ -195,7 +195,9 @@ impl SlottedPage {
 
     /// Number of live (non-deleted) tuples.
     pub fn live_count(&self) -> usize {
-        (0..self.slot_count()).filter(|&s| self.slot(s).1 > 0).count()
+        (0..self.slot_count())
+            .filter(|&s| self.slot(s).1 > 0)
+            .count()
     }
 
     /// Bytes available for one more insert (accounting for its slot entry).
@@ -285,9 +287,8 @@ impl SlottedPage {
             return 0;
         }
         let n = self.slot_count();
-        let mut images: Vec<Option<Vec<u8>>> = (0..n)
-            .map(|s| self.get(s).map(<[u8]>::to_vec))
-            .collect();
+        let mut images: Vec<Option<Vec<u8>>> =
+            (0..n).map(|s| self.get(s).map(<[u8]>::to_vec)).collect();
         let mut end = PAYLOAD_END;
         for (s, img) in images.drain(..).enumerate() {
             match img {
@@ -319,7 +320,7 @@ impl std::error::Error for PageError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sma_types::StdRng;
 
     #[test]
     fn insert_and_get() {
@@ -342,7 +343,10 @@ mod tests {
         // 100 bytes payload + 4 bytes slot ≈ 39 tuples in 4084 usable bytes.
         assert!((38..=40).contains(&n), "unexpected fill count {n}");
         assert!(p.insert(&image).is_none());
-        assert!(p.insert(&[1u8; 1]).is_some(), "small tuple should still fit");
+        assert!(
+            p.insert(&[1u8; 1]).is_some(),
+            "small tuple should still fit"
+        );
     }
 
     #[test]
@@ -459,7 +463,13 @@ mod tests {
         let mut img = *p.as_bytes();
         stamp_page(&mut img);
         // Payload, header, counter, and crc flips are all caught.
-        for bit in [3usize, 8 * 2 + 1, 8 * 4000, 8 * (PAGE_SIZE - 8), 8 * (PAGE_SIZE - 1) + 7] {
+        for bit in [
+            3usize,
+            8 * 2 + 1,
+            8 * 4000,
+            8 * (PAGE_SIZE - 8),
+            8 * (PAGE_SIZE - 1) + 7,
+        ] {
             img[bit / 8] ^= 1 << (bit % 8);
             assert!(verify_page(&img).is_err(), "bit {bit} flip undetected");
             img[bit / 8] ^= 1 << (bit % 8);
@@ -475,20 +485,30 @@ mod tests {
         assert_eq!(p.free_space(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn compact_preserves_live_tuples(ops in proptest::collection::vec(
-            prop_oneof![
-                proptest::collection::vec(any::<u8>(), 1..150).prop_map(Op::Insert),
-                (0u16..64).prop_map(Op::Delete),
-            ],
-            0..80,
-        )) {
+    /// One random insert-or-delete op; inserts carry payloads up to
+    /// `max_len` bytes of random content.
+    fn random_op(rng: &mut StdRng, max_len: usize) -> Op {
+        if rng.random_range(0u32..2) == 0 {
+            let len = rng.random_range(1usize..max_len);
+            Op::Insert((0..len).map(|_| rng.random_range(0u8..=u8::MAX)).collect())
+        } else {
+            Op::Delete(rng.random_range(0u16..64))
+        }
+    }
+
+    #[test]
+    fn compact_preserves_live_tuples() {
+        let mut rng = StdRng::seed_from_u64(0x9A6E1);
+        for _ in 0..128 {
             let mut page = SlottedPage::new();
-            for op in ops {
-                match op {
-                    Op::Insert(img) => { page.insert(&img); }
-                    Op::Delete(s) => { page.delete(s); }
+            for _ in 0..rng.random_range(0usize..80) {
+                match random_op(&mut rng, 150) {
+                    Op::Insert(img) => {
+                        page.insert(&img);
+                    }
+                    Op::Delete(s) => {
+                        page.delete(s);
+                    }
                 }
             }
             let before: Vec<(u16, Vec<u8>)> =
@@ -496,45 +516,44 @@ mod tests {
             page.compact();
             let after: Vec<(u16, Vec<u8>)> =
                 page.iter().map(|(s, img)| (s, img.to_vec())).collect();
-            prop_assert_eq!(before, after);
-            prop_assert_eq!(page.dead_space(), 0);
+            assert_eq!(before, after);
+            assert_eq!(page.dead_space(), 0);
             // Survives serialization.
             SlottedPage::from_bytes(page.as_bytes()).unwrap();
         }
+    }
 
-        #[test]
-        fn model_check(ops in proptest::collection::vec(
-            prop_oneof![
-                proptest::collection::vec(any::<u8>(), 1..200).prop_map(Op::Insert),
-                (0u16..64).prop_map(Op::Delete),
-            ],
-            0..120,
-        )) {
+    #[test]
+    fn model_check() {
+        let mut rng = StdRng::seed_from_u64(0x9A6E2);
+        for _ in 0..128 {
             let mut page = SlottedPage::new();
             let mut model: Vec<Option<Vec<u8>>> = Vec::new();
-            for op in ops {
-                match op {
+            for _ in 0..rng.random_range(0usize..120) {
+                match random_op(&mut rng, 200) {
                     Op::Insert(img) => {
                         if let Some(slot) = page.insert(&img) {
-                            prop_assert_eq!(slot as usize, model.len());
+                            assert_eq!(slot as usize, model.len());
                             model.push(Some(img));
                         }
                     }
                     Op::Delete(s) => {
                         let expect = (s as usize) < model.len() && model[s as usize].is_some();
-                        prop_assert_eq!(page.delete(s), expect);
-                        if expect { model[s as usize] = None; }
+                        assert_eq!(page.delete(s), expect);
+                        if expect {
+                            model[s as usize] = None;
+                        }
                     }
                 }
             }
             for (i, m) in model.iter().enumerate() {
-                prop_assert_eq!(page.get(i as u16), m.as_deref());
+                assert_eq!(page.get(i as u16), m.as_deref());
             }
-            prop_assert_eq!(page.live_count(), model.iter().flatten().count());
+            assert_eq!(page.live_count(), model.iter().flatten().count());
             // Image survives serialization.
             let reread = SlottedPage::from_bytes(page.as_bytes()).unwrap();
             for (i, m) in model.iter().enumerate() {
-                prop_assert_eq!(reread.get(i as u16), m.as_deref());
+                assert_eq!(reread.get(i as u16), m.as_deref());
             }
         }
     }

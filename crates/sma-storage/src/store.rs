@@ -63,7 +63,7 @@ impl From<io::Error> for StoreError {
 }
 
 /// Abstract storage for fixed-size page images.
-pub trait PageStore: Send {
+pub trait PageStore: Send + Sync {
     /// Number of allocated pages.
     fn page_count(&self) -> PageNo;
     /// Reads page `no` into `buf` (must be `PAGE_SIZE` long).
@@ -138,7 +138,11 @@ impl FileStore {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        Ok(FileStore { file, path, pages: 0 })
+        Ok(FileStore {
+            file,
+            path,
+            pages: 0,
+        })
     }
 
     /// Opens an existing page file; its length must be a page multiple.
@@ -172,7 +176,10 @@ impl PageStore for FileStore {
 
     fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
         if no >= self.pages {
-            return Err(StoreError::OutOfRange { page: no, count: self.pages });
+            return Err(StoreError::OutOfRange {
+                page: no,
+                count: self.pages,
+            });
         }
         use std::os::unix::fs::FileExt;
         self.file.read_exact_at(buf, no as u64 * PAGE_SIZE as u64)?;
@@ -181,7 +188,10 @@ impl PageStore for FileStore {
 
     fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
         if no >= self.pages {
-            return Err(StoreError::OutOfRange { page: no, count: self.pages });
+            return Err(StoreError::OutOfRange {
+                page: no,
+                count: self.pages,
+            });
         }
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(buf, no as u64 * PAGE_SIZE as u64)?;
@@ -314,9 +324,15 @@ mod tests {
 
     #[test]
     fn corrupt_error_carries_page_number() {
-        let e = StoreError::Corrupt { page: 42, detail: "checksum mismatch".into() };
+        let e = StoreError::Corrupt {
+            page: 42,
+            detail: "checksum mismatch".into(),
+        };
         let msg = e.to_string();
-        assert!(msg.contains("42") && msg.contains("checksum mismatch"), "{msg}");
+        assert!(
+            msg.contains("42") && msg.contains("checksum mismatch"),
+            "{msg}"
+        );
     }
 
     #[test]

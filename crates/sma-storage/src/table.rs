@@ -139,7 +139,13 @@ impl Table {
 
     /// Creates an in-memory table with a generous pool (tests, examples).
     pub fn in_memory(name: impl Into<String>, schema: SchemaRef, bucket_pages: u32) -> Table {
-        Table::new(name, schema, Box::new(MemStore::new()), 1 << 16, bucket_pages)
+        Table::new(
+            name,
+            schema,
+            Box::new(MemStore::new()),
+            1 << 16,
+            bucket_pages,
+        )
     }
 
     /// Table name.
@@ -274,7 +280,10 @@ impl Table {
             match page.update(tid.slot, &image) {
                 Some(slot) => {
                     buf.copy_from_slice(&page.as_bytes()[..]);
-                    Ok(TupleId { page: tid.page, slot })
+                    Ok(TupleId {
+                        page: tid.page,
+                        slot,
+                    })
                 }
                 None => Err(TableError::UpdateWouldMove(tid)),
             }
@@ -305,7 +314,10 @@ impl Table {
         })?;
         for (slot, img) in images {
             out.push((
-                TupleId { page: page_no, slot },
+                TupleId {
+                    page: page_no,
+                    slot,
+                },
                 decode(&self.schema, &img)?,
             ));
         }
@@ -364,13 +376,16 @@ impl Table {
     /// other store errors propagate. Also recounts `live_tuples` from the
     /// readable pages — the restart path uses this to restore the counter.
     pub fn verify_pages(&mut self) -> Result<PageVerification, TableError> {
-        let mut report = PageVerification { scanned: 0, corrupt: Vec::new() };
+        let mut report = PageVerification {
+            scanned: 0,
+            corrupt: Vec::new(),
+        };
         let mut live = 0u64;
         for no in 0..self.page_count() {
             report.scanned += 1;
-            let parsed = self
-                .pool
-                .with_page(no, |buf| SlottedPage::from_bytes(buf).map(|p| p.live_count()));
+            let parsed = self.pool.with_page(no, |buf| {
+                SlottedPage::from_bytes(buf).map(|p| p.live_count())
+            });
             match parsed {
                 Ok(Ok(n)) => live += n as u64,
                 Ok(Err(_)) => report.corrupt.push(no),
@@ -428,7 +443,10 @@ mod tests {
         assert!(t.page_count() > 1);
         // Physical order == append order.
         let scanned = t.scan().unwrap();
-        let keys: Vec<i64> = scanned.iter().map(|(_, tu)| tu[0].as_int().unwrap()).collect();
+        let keys: Vec<i64> = scanned
+            .iter()
+            .map(|(_, tu)| tu[0].as_int().unwrap())
+            .collect();
         assert_eq!(keys, (0..20).collect::<Vec<_>>());
         // Page numbers are non-decreasing.
         assert!(ids.windows(2).all(|w| w[0].page <= w[1].page));
@@ -573,7 +591,10 @@ mod tests {
         assert_eq!(v.corrupt, vec![2], "exactly the flipped page is corrupt");
         // Reads of the damaged page error; they never return wrong rows.
         let err = back.scan().unwrap_err();
-        assert!(matches!(err, TableError::Store(StoreError::Corrupt { page: 2, .. })));
+        assert!(matches!(
+            err,
+            TableError::Store(StoreError::Corrupt { page: 2, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

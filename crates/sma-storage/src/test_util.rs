@@ -27,10 +27,7 @@ pub const WRITE_FAILURE: &str = "injected write failure";
 /// acceptable for tests.
 pub fn scratch_path(tag: &str) -> PathBuf {
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "smadb-{tag}-{}-{n}.pages",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("smadb-{tag}-{}-{n}.pages", std::process::id()))
 }
 
 /// A page store that starts failing reads and/or writes after a budget of
@@ -176,7 +173,10 @@ pub fn flip_bit(store: &mut dyn PageStore, no: PageNo, bit: u32) -> Result<(), S
 /// Flips bit `bit` of the byte at `offset` in the file at `path`.
 pub fn flip_bit_in_file(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
     use std::os::unix::fs::FileExt;
-    let f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
     let mut b = [0u8; 1];
     f.read_exact_at(&mut b, offset)?;
     f.write_all_at(&[b[0] ^ (1 << (bit % 8))], offset)?;

@@ -7,8 +7,7 @@
 //! TPC-D itself uses an unrealistic uniform distribution. We implement all
 //! regimes so experiments can dial the clustering quality.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use sma_types::StdRng;
 
 /// How generated tuples are physically ordered before loading.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +34,10 @@ pub enum Clustering {
 impl Clustering {
     /// A realistic diagonal default: two-week mean lag, ±4 days.
     pub fn diagonal_default() -> Clustering {
-        Clustering::Diagonal { mean_lag_days: 14.0, std_dev_days: 4.0 }
+        Clustering::Diagonal {
+            mean_lag_days: 14.0,
+            std_dev_days: 4.0,
+        }
     }
 }
 
@@ -51,7 +53,6 @@ pub fn sample_normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn normal_moments_are_plausible() {
@@ -67,7 +68,10 @@ mod tests {
     #[test]
     fn diagonal_default_is_diagonal() {
         match Clustering::diagonal_default() {
-            Clustering::Diagonal { mean_lag_days, std_dev_days } => {
+            Clustering::Diagonal {
+                mean_lag_days,
+                std_dev_days,
+            } => {
                 assert!(mean_lag_days > 0.0 && std_dev_days > 0.0);
             }
             other => panic!("unexpected {other:?}"),

@@ -6,8 +6,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sma_types::StdRng;
 
 use sma_storage::Table;
 use sma_types::{Column, DataType, Decimal, Schema, SchemaRef, Tuple, Value};
@@ -29,7 +28,13 @@ pub mod columns {
 }
 
 /// The five TPC-D market segments.
-pub const MKTSEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const MKTSEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// The CUSTOMER schema (the columns the benchmark queries touch).
 pub fn customer_schema() -> SchemaRef {

@@ -8,9 +8,7 @@
 //! line-status rules relative to the benchmark's `CURRENTDATE` 1995-06-17.
 //! Seeded, so every experiment is reproducible bit-for-bit.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use sma_types::StdRng;
 
 use sma_storage::{MemStore, PageStore, Table};
 use sma_types::{Date, Decimal, Tuple, Value};
@@ -146,9 +144,22 @@ const SHIPMODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", 
 const PRIORITY: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 const COMMENT_WORDS: [&str; 16] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "accounts",
-    "requests", "packages", "foxes", "pearls", "instructions", "theodolites", "pinto",
-    "beans", "ironic",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "accounts",
+    "requests",
+    "packages",
+    "foxes",
+    "pearls",
+    "instructions",
+    "theodolites",
+    "pinto",
+    "beans",
+    "ironic",
 ];
 
 /// Configuration for a generation run.
@@ -244,7 +255,11 @@ pub fn generate(config: &GenConfig) -> (Vec<Order>, Vec<LineItem>) {
             } else {
                 b'N'
             };
-            let linestatus = if shipdate > current_date() { b'O' } else { b'F' };
+            let linestatus = if shipdate > current_date() {
+                b'O'
+            } else {
+                b'F'
+            };
             total += extendedprice;
             items.push(LineItem {
                 orderkey,
@@ -297,7 +312,10 @@ fn apply_clustering(items: &mut [LineItem], clustering: Clustering, rng: &mut St
         Clustering::SortedByShipdate => {
             items.sort_by_key(|li| li.shipdate);
         }
-        Clustering::Diagonal { mean_lag_days, std_dev_days } => {
+        Clustering::Diagonal {
+            mean_lag_days,
+            std_dev_days,
+        } => {
             // Introduction date = ship date + non-negative normal lag; sort
             // by it. Ties broken by ship date, as a warehouse batch would.
             let mut keyed: Vec<(i64, usize)> = items
@@ -309,8 +327,7 @@ fn apply_clustering(items: &mut [LineItem], clustering: Clustering, rng: &mut St
                 })
                 .collect();
             keyed.sort();
-            let reordered: Vec<LineItem> =
-                keyed.iter().map(|&(_, i)| items[i].clone()).collect();
+            let reordered: Vec<LineItem> = keyed.iter().map(|&(_, i)| items[i].clone()).collect();
             items.clone_from_slice(&reordered);
         }
         Clustering::Uniform => {
@@ -319,7 +336,7 @@ fn apply_clustering(items: &mut [LineItem], clustering: Clustering, rng: &mut St
             items.sort_by_key(|li| (li.orderkey, li.linenumber));
         }
         Clustering::Shuffled => {
-            items.shuffle(rng);
+            rng.shuffle(items);
         }
     }
 }
@@ -367,7 +384,9 @@ pub fn load_orders(orders: &[Order], bucket_pages: u32, pool_pages: usize) -> Ta
         bucket_pages,
     );
     for o in orders {
-        table.append(&o.to_tuple()).expect("generated tuple always fits");
+        table
+            .append(&o.to_tuple())
+            .expect("generated tuple always fits");
     }
     table
 }
@@ -389,7 +408,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let cfg = GenConfig::tiny(Clustering::Uniform);
-        let other = GenConfig { seed: 43, ..cfg.clone() };
+        let other = GenConfig {
+            seed: 43,
+            ..cfg.clone()
+        };
         assert_ne!(generate(&cfg).1, generate(&other).1);
     }
 
@@ -454,14 +476,20 @@ mod tests {
             .map(|w| w[0].shipdate.days_between(w[1].shipdate))
             .max()
             .unwrap();
-        assert!(max_jump < 60, "local disorder only, saw jump of {max_jump} days");
+        assert!(
+            max_jump < 60,
+            "local disorder only, saw jump of {max_jump} days"
+        );
     }
 
     #[test]
     fn shuffled_differs_from_uniform() {
         let cfg = GenConfig::tiny(Clustering::Uniform);
         let (_, uniform) = generate(&cfg);
-        let (_, shuffled) = generate(&GenConfig { clustering: Clustering::Shuffled, ..cfg });
+        let (_, shuffled) = generate(&GenConfig {
+            clustering: Clustering::Shuffled,
+            ..cfg
+        });
         assert_ne!(uniform, shuffled);
     }
 
@@ -472,7 +500,10 @@ mod tests {
         let rows = table.scan().unwrap();
         let (_, items) = generate(&cfg);
         assert_eq!(rows.len(), items.len());
-        assert!(table.page_count() > 10, "tiny config still spans many pages");
+        assert!(
+            table.page_count() > 10,
+            "tiny config still spans many pages"
+        );
         // Physical scan order equals generation order.
         for (row, item) in rows.iter().zip(&items) {
             assert_eq!(row.1[li::SHIPDATE], Value::Date(item.shipdate));

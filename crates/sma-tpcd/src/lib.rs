@@ -22,6 +22,7 @@ pub mod query6;
 pub mod schema;
 
 pub use clustering::Clustering;
+pub use customer::{customer_schema, generate_customers, load_customers, Customer, MKTSEGMENTS};
 pub use generator::{
     current_date, end_date, generate, generate_lineitem_table, load_lineitem, load_orders,
     start_date, GenConfig, LineItem, Order,
@@ -29,7 +30,6 @@ pub use generator::{
 pub use query1::{
     format_q1, q1_cutoff, q1_reference_items, q1_reference_table, q1_selectivity, Q1Row,
 };
-pub use customer::{customer_schema, generate_customers, load_customers, Customer, MKTSEGMENTS};
 pub use query3::{q3_reference, Q3Params, Q3Row};
 pub use query4::{q4_reference, Q4Params, Q4Row};
 pub use query6::{q6_reference_items, q6_reference_table, Q6Params};

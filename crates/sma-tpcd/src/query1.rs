@@ -48,13 +48,7 @@ struct Acc {
 }
 
 impl Acc {
-    fn add(
-        &mut self,
-        qty: Decimal,
-        ext: Decimal,
-        disc: Decimal,
-        tax: Decimal,
-    ) {
+    fn add(&mut self, qty: Decimal, ext: Decimal, disc: Decimal, tax: Decimal) {
         let disc_price = ext.mul_round(Decimal::ONE - disc);
         let charge = disc_price.mul_round(Decimal::ONE + tax);
         self.sum_qty += qty;

@@ -111,7 +111,10 @@ mod tests {
     use crate::generator::{generate, GenConfig};
 
     fn data() -> (Vec<Customer>, Vec<Order>, Vec<LineItem>) {
-        let cfg = GenConfig { orders: 1500, ..GenConfig::tiny(Clustering::Uniform) };
+        let cfg = GenConfig {
+            orders: 1500,
+            ..GenConfig::tiny(Clustering::Uniform)
+        };
         let (orders, items) = generate(&cfg);
         // dbgen's 10:1 order-to-customer ratio.
         let customers = generate_customers(cfg.orders / 10, cfg.seed);
@@ -147,7 +150,10 @@ mod tests {
                     &c,
                     &o,
                     &l,
-                    &Q3Params { segment: seg.to_string(), ..Q3Params::default() },
+                    &Q3Params {
+                        segment: seg.to_string(),
+                        ..Q3Params::default()
+                    },
                     usize::MAX,
                 )
                 .len()
@@ -159,7 +165,10 @@ mod tests {
             &c,
             &o,
             &l,
-            &Q3Params { segment: "NOPE".into(), ..Q3Params::default() },
+            &Q3Params {
+                segment: "NOPE".into(),
+                ..Q3Params::default()
+            },
             usize::MAX,
         );
         assert!(none.is_empty());

@@ -34,7 +34,9 @@ pub struct Q4Params {
 impl Default for Q4Params {
     fn default() -> Q4Params {
         // The TPC-D validation parameter.
-        Q4Params { date: Date::from_ymd(1993, 7, 1).expect("valid constant") }
+        Q4Params {
+            date: Date::from_ymd(1993, 7, 1).expect("valid constant"),
+        }
     }
 }
 
@@ -72,7 +74,10 @@ pub fn q4_reference(orders: &[Order], items: &[LineItem], p: &Q4Params) -> Vec<Q
     }
     groups
         .into_iter()
-        .map(|(orderpriority, order_count)| Q4Row { orderpriority, order_count })
+        .map(|(orderpriority, order_count)| Q4Row {
+            orderpriority,
+            order_count,
+        })
         .collect()
 }
 
@@ -91,9 +96,13 @@ mod tests {
 
     #[test]
     fn three_month_wraparound() {
-        let p = Q4Params { date: Date::from_ymd(1995, 11, 1).unwrap() };
+        let p = Q4Params {
+            date: Date::from_ymd(1995, 11, 1).unwrap(),
+        };
         assert_eq!(p.date_hi().to_string(), "1996-02-01");
-        let p = Q4Params { date: Date::from_ymd(1995, 10, 1).unwrap() };
+        let p = Q4Params {
+            date: Date::from_ymd(1995, 10, 1).unwrap(),
+        };
         assert_eq!(p.date_hi().to_string(), "1996-01-01");
     }
 
@@ -124,7 +133,9 @@ mod tests {
     #[test]
     fn empty_window_yields_nothing() {
         let (orders, items) = generate(&GenConfig::tiny(Clustering::Uniform));
-        let p = Q4Params { date: Date::from_ymd(2005, 1, 1).unwrap() };
+        let p = Q4Params {
+            date: Date::from_ymd(2005, 1, 1).unwrap(),
+        };
         assert!(q4_reference(&orders, &items, &p).is_empty());
     }
 }

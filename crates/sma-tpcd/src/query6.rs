@@ -150,7 +150,10 @@ mod tests {
         assert!(base > Decimal::ZERO);
         let wider = q6_reference_items(
             &items,
-            &Q6Params { quantity: 50, ..Q6Params::default() },
+            &Q6Params {
+                quantity: 50,
+                ..Q6Params::default()
+            },
         );
         assert!(wider > base, "looser quantity bound keeps more revenue");
         let none = q6_reference_items(

@@ -15,7 +15,7 @@ use std::fmt;
 ///
 /// `Date` is `Copy`, 4 bytes, totally ordered, and supports day-level
 /// arithmetic — matching the paper's assumption that a date fits in 32 bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date(i32);
 
 /// Error produced when parsing or constructing an invalid date.
@@ -119,8 +119,7 @@ impl Date {
     /// Parses `YYYY-MM-DD`.
     pub fn parse(s: &str) -> Result<Date, DateError> {
         let mut it = s.split('-');
-        let (Some(y), Some(m), Some(d), None) = (it.next(), it.next(), it.next(), it.next())
-        else {
+        let (Some(y), Some(m), Some(d), None) = (it.next(), it.next(), it.next(), it.next()) else {
             return Err(DateError(s.to_string()));
         };
         let y: i32 = y.parse().map_err(|_| DateError(s.to_string()))?;
@@ -151,7 +150,7 @@ impl fmt::Display for Date {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
 
     #[test]
     fn epoch_is_day_zero() {
@@ -221,24 +220,32 @@ mod tests {
         assert_eq!(b.days_between(a), 1);
     }
 
-    proptest! {
-        #[test]
-        fn ymd_roundtrip(days in -200_000i32..200_000) {
-            let d = Date::from_days(days);
+    #[test]
+    fn ymd_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(0xDA7E1);
+        for _ in 0..1024 {
+            let d = Date::from_days(rng.random_range(-200_000i32..200_000));
             let (y, m, dd) = d.ymd();
-            prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+            assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
         }
+    }
 
-        #[test]
-        fn add_days_is_consistent(days in -100_000i32..100_000, n in -5_000i32..5_000) {
-            let d = Date::from_days(days);
-            prop_assert_eq!(d.add_days(n).days_between(d), n);
+    #[test]
+    fn add_days_is_consistent_random() {
+        let mut rng = StdRng::seed_from_u64(0xDA7E2);
+        for _ in 0..1024 {
+            let d = Date::from_days(rng.random_range(-100_000i32..100_000));
+            let n = rng.random_range(-5_000i32..5_000);
+            assert_eq!(d.add_days(n).days_between(d), n);
         }
+    }
 
-        #[test]
-        fn display_parse_roundtrip(days in -100_000i32..100_000) {
-            let d = Date::from_days(days);
-            prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+    #[test]
+    fn display_parse_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(0xDA7E3);
+        for _ in 0..1024 {
+            let d = Date::from_days(rng.random_range(-100_000i32..100_000));
+            assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
         }
     }
 }

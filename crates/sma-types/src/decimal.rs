@@ -21,7 +21,7 @@ const SCALE: i64 = 100;
 /// division round half away from zero on the last retained digit, matching
 /// typical DECIMAL(15,2) engine behaviour closely enough for the paper's
 /// aggregates (all cross-checked against f64 oracles in tests).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Decimal(i64);
 
 impl Decimal {
@@ -86,20 +86,26 @@ impl Decimal {
     }
 
     /// Parses strings like `1.23`, `-0.07`, `42`, `42.5`.
+    ///
+    /// The only accepted sign is a single leading `-`; both parts must be
+    /// non-empty runs of ASCII digits. Relying on `i64::from_str` for the
+    /// parts would silently accept an embedded sign (`"1.-5"` → `0.95`,
+    /// `"1.+5"` → `1.05`), so digits are validated explicitly.
     pub fn parse(s: &str) -> Result<Decimal, DecimalError> {
         let err = || DecimalError(s.to_string());
         let (neg, body) = match s.strip_prefix('-') {
             Some(rest) => (true, rest),
             None => (false, s),
         };
-        if body.is_empty() {
-            return Err(err());
-        }
         let (int_part, frac_part) = match body.split_once('.') {
             Some((i, f)) => (i, f),
             None => (body, ""),
         };
-        if int_part.is_empty() || frac_part.len() > 2 {
+        let all_digits = |p: &str| !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit());
+        if !all_digits(int_part) || frac_part.len() > 2 {
+            return Err(err());
+        }
+        if body.contains('.') && !all_digits(frac_part) {
             return Err(err());
         }
         let int: i64 = int_part.parse().map_err(|_| err())?;
@@ -206,7 +212,7 @@ impl fmt::Display for Decimal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
 
     #[test]
     fn basic_arithmetic() {
@@ -243,6 +249,23 @@ mod tests {
         assert!(Decimal::parse("-").is_err());
     }
 
+    /// Regression: `i64::from_str` accepts a leading sign, so the old
+    /// parser read `"1.-5"` as 1 + (-5/10) = 0.95 and `"1.+5"` as 1.05.
+    /// Signs anywhere but a single leading `-` must be rejected, as must
+    /// an empty fractional part after an explicit point.
+    #[test]
+    fn parse_rejects_embedded_signs_and_trailing_point() {
+        assert!(Decimal::parse("1.-5").is_err());
+        assert!(Decimal::parse("1.+5").is_err());
+        assert!(Decimal::parse("+3").is_err());
+        assert!(Decimal::parse("1.").is_err());
+        assert!(Decimal::parse("-1.-5").is_err());
+        assert!(Decimal::parse("--1").is_err());
+        // The legitimate forms still parse.
+        assert_eq!(Decimal::parse("-1.5").unwrap().cents(), -150);
+        assert_eq!(Decimal::parse("1.05").unwrap().cents(), 105);
+    }
+
     #[test]
     fn display_negative() {
         assert_eq!(Decimal::from_cents(-7).to_string(), "-0.07");
@@ -271,30 +294,46 @@ mod tests {
         let _ = Decimal::ONE / Decimal::ZERO;
     }
 
-    proptest! {
-        #[test]
-        fn add_sub_roundtrip(a in -100_000_000_i64..100_000_000, b in -100_000_000_i64..100_000_000) {
-            let (a, b) = (Decimal::from_cents(a), Decimal::from_cents(b));
-            prop_assert_eq!(a + b - b, a);
+    #[test]
+    fn add_sub_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(0xDEC1);
+        for _ in 0..512 {
+            let a = Decimal::from_cents(rng.random_range(-100_000_000i64..100_000_000));
+            let b = Decimal::from_cents(rng.random_range(-100_000_000i64..100_000_000));
+            assert_eq!(a + b - b, a);
         }
+    }
 
-        #[test]
-        fn display_parse_roundtrip(c in -10_000_000i64..10_000_000) {
-            let d = Decimal::from_cents(c);
-            prop_assert_eq!(Decimal::parse(&d.to_string()).unwrap(), d);
+    #[test]
+    fn display_parse_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(0xDEC2);
+        for _ in 0..512 {
+            let d = Decimal::from_cents(rng.random_range(-10_000_000i64..10_000_000));
+            assert_eq!(Decimal::parse(&d.to_string()).unwrap(), d);
         }
+    }
 
-        #[test]
-        fn mul_close_to_f64(a in -100_000i64..100_000, b in -10_000i64..10_000) {
-            let (da, db) = (Decimal::from_cents(a), Decimal::from_cents(b));
+    #[test]
+    fn mul_close_to_f64_random() {
+        let mut rng = StdRng::seed_from_u64(0xDEC3);
+        for _ in 0..512 {
+            let da = Decimal::from_cents(rng.random_range(-100_000i64..100_000));
+            let db = Decimal::from_cents(rng.random_range(-10_000i64..10_000));
             let exact = da.to_f64() * db.to_f64();
-            prop_assert!((da.mul_round(db).to_f64() - exact).abs() <= 0.005 + 1e-9);
+            assert!((da.mul_round(db).to_f64() - exact).abs() <= 0.005 + 1e-9);
         }
+    }
 
-        #[test]
-        fn sum_matches_fold(cents in proptest::collection::vec(-10_000i64..10_000, 0..50)) {
+    #[test]
+    fn sum_matches_fold_random() {
+        let mut rng = StdRng::seed_from_u64(0xDEC4);
+        for _ in 0..64 {
+            let n = rng.random_range(0usize..50);
+            let cents: Vec<i64> = (0..n)
+                .map(|_| rng.random_range(-10_000i64..10_000))
+                .collect();
             let total: Decimal = cents.iter().map(|&c| Decimal::from_cents(c)).sum();
-            prop_assert_eq!(total.cents(), cents.iter().sum::<i64>());
+            assert_eq!(total.cents(), cents.iter().sum::<i64>());
         }
     }
 }

@@ -15,12 +15,14 @@
 
 pub mod date;
 pub mod decimal;
+pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod value;
 
 pub use date::{Date, DateError};
 pub use decimal::{Decimal, DecimalError};
+pub use rng::StdRng;
 pub use row::{CodecError, Tuple};
 pub use schema::{Column, DataType, Schema, SchemaError, SchemaRef};
 pub use value::Value;

@@ -1,0 +1,183 @@
+//! Deterministic pseudo-random numbers for data generation and tests.
+//!
+//! The workspace builds offline, so instead of the `rand` crate this module
+//! provides a small, seedable generator with the handful of operations the
+//! TPC-D generator and the property tests need: uniform ranges, floats in
+//! `[0, 1)`, and Fisher–Yates shuffles. The core is SplitMix64 (Steele,
+//! Lea & Flood, *Fast Splittable Pseudorandom Number Generators*), which
+//! passes BigCrush and is more than adequate for benchmark data.
+//!
+//! Determinism is a feature: the same seed always produces the same table,
+//! which the paper's experiments (and our regression tests) rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable SplitMix64 generator.
+///
+/// The name mirrors `rand::rngs::StdRng` so call sites read naturally; the
+/// algorithm is fixed forever, making generated datasets reproducible
+/// across versions.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `range`, which may be half-open (`a..b`) or
+    /// inclusive (`a..=b`) over the integer types used in this workspace,
+    /// or half-open over `f64`. Panics on an empty range.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform boolean.
+    pub fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle of `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Range types [`StdRng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+/// Uniform integer in `[lo, hi]` via 128-bit span arithmetic, so spans
+/// like `i64::MIN..=i64::MAX` cannot overflow. Uses modulo reduction: the
+/// bias is below 2⁻⁶⁴·span, invisible at the sample counts we draw.
+fn sample_inclusive(rng: &mut StdRng, lo: i128, hi: i128) -> i128 {
+    assert!(lo <= hi, "cannot sample from empty range");
+    let span = (hi - lo) as u128 + 1;
+    if span == 0 {
+        // Full 2^128 span is unreachable from the integer types below.
+        return rng.next_u64() as i128;
+    }
+    lo + (rng.next_u64() as u128 % span) as i128
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                sample_inclusive(rng, self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                sample_inclusive(rng, *self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(i32, i64, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let v = rng.random_range(0usize..=3);
+            assert!(v <= 3);
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 values drawn: {seen:?}");
+    }
+
+    #[test]
+    fn extreme_spans_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _ = rng.random_range(i64::MIN..=i64::MAX);
+            let _ = rng.random_range(u64::MIN..=u64::MAX);
+            let _ = rng.random_range(i32::MIN..=i32::MAX);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // And with overwhelming probability not the identity.
+        assert_ne!(items, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).random_range(3i64..3);
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crate::value::Value;
 
 /// The storable data types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -58,7 +58,10 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 

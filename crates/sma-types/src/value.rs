@@ -16,7 +16,7 @@ use crate::schema::DataType;
 /// The derived `Ord` is a **storage order** (variant rank, then value) used
 /// for group keys and sorted directories; SQL-style comparison — which is
 /// undefined across types and for `Null` — is [`Value::partial_cmp_typed`].
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// Absent / undefined value.
     Null,
@@ -191,7 +191,10 @@ mod tests {
             Value::Int(1).partial_cmp_typed(&Value::Int(2)),
             Some(Ordering::Less)
         );
-        assert_eq!(dec("1.50").partial_cmp_typed(&dec("1.50")), Some(Ordering::Equal));
+        assert_eq!(
+            dec("1.50").partial_cmp_typed(&dec("1.50")),
+            Some(Ordering::Equal)
+        );
         assert_eq!(Value::Int(1).partial_cmp_typed(&dec("1.00")), None);
         assert_eq!(Value::Null.partial_cmp_typed(&Value::Int(1)), None);
         assert_eq!(

@@ -17,11 +17,17 @@ fn main() {
         ("sorted on shipdate", Clustering::SortedByShipdate),
         (
             "diagonal (lag 14d +/- 4d)",
-            Clustering::Diagonal { mean_lag_days: 14.0, std_dev_days: 4.0 },
+            Clustering::Diagonal {
+                mean_lag_days: 14.0,
+                std_dev_days: 4.0,
+            },
         ),
         (
             "diagonal (lag 14d +/- 45d)",
-            Clustering::Diagonal { mean_lag_days: 14.0, std_dev_days: 45.0 },
+            Clustering::Diagonal {
+                mean_lag_days: 14.0,
+                std_dev_days: 45.0,
+            },
         ),
         ("dbgen order (uniform)", Clustering::Uniform),
         ("shuffled", Clustering::Shuffled),
@@ -43,8 +49,7 @@ fn main() {
         let smas = SmaSet::build_query1_set(&table).unwrap();
         let run = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
         // Re-derive the grading fractions the planner saw.
-        let query =
-            smadb::exec::query1_query(&table, smadb::exec::cutoff(90)).unwrap();
+        let query = smadb::exec::query1_query(&table, smadb::exec::cutoff(90)).unwrap();
         let plan = smadb::exec::plan(
             &table,
             query,

@@ -22,9 +22,15 @@ fn main() {
     ]));
     let mut lineitem = Table::in_memory("LINEITEM", schema, 1);
     let dates = [
-        "1997-03-11", "1997-04-22", "1997-02-02", // bucket 1
-        "1997-04-01", "1997-05-07", "1997-04-28", // bucket 2
-        "1997-05-02", "1997-05-20", "1997-06-03", // bucket 3
+        "1997-03-11",
+        "1997-04-22",
+        "1997-02-02", // bucket 1
+        "1997-04-01",
+        "1997-05-07",
+        "1997-04-28", // bucket 2
+        "1997-05-02",
+        "1997-05-20",
+        "1997-06-03", // bucket 3
     ];
     let pad = "x".repeat(1200); // 3 tuples per 4 KiB page
     for d in dates {
@@ -78,19 +84,9 @@ fn main() {
 
     // --- answer count(*) reading only the ambivalent bucket -------------
     lineitem.reset_io_stats();
-    let mut op = SmaGAggr::new(
-        &lineitem,
-        pred,
-        vec![],
-        vec![AggSpec::CountStar],
-        &smas,
-    )
-    .unwrap();
+    let mut op = SmaGAggr::new(&lineitem, pred, vec![], vec![AggSpec::CountStar], &smas).unwrap();
     let rows = collect(&mut op).unwrap();
-    println!(
-        "\ncount(*) where shipdate < 97-04-30  =  {}",
-        rows[0][0]
-    );
+    println!("\ncount(*) where shipdate < 97-04-30  =  {}", rows[0][0]);
     println!(
         "data pages read: {} of {} (only the ambivalent bucket)",
         lineitem.io_stats().logical_reads,

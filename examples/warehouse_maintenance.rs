@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use smadb::exec::{run_query1, Query1Config};
 use smadb::sma::SmaSet;
-use smadb::tpcd::{generate, load_lineitem, q1_cutoff, Clustering, GenConfig};
 use smadb::storage::MemStore;
+use smadb::tpcd::{generate, load_lineitem, q1_cutoff, Clustering, GenConfig};
 
 fn main() {
     // Day 0: the initial bulkload.
@@ -43,7 +43,8 @@ fn main() {
         for item in batch {
             let tuple = item.to_tuple();
             let tid = table.append(&tuple).unwrap();
-            smas.note_insert(table.bucket_of_page(tid.page), &tuple).unwrap();
+            smas.note_insert(table.bucket_of_page(tid.page), &tuple)
+                .unwrap();
         }
         println!(
             "day {}: appended {} tuples, SMA maintenance included, in {:.2?}",
@@ -62,7 +63,8 @@ fn main() {
     let victims = &all[all.len() - 50..];
     for (tid, tuple) in victims {
         table.delete(*tid).unwrap();
-        smas.note_delete(table.bucket_of_page(tid.page), tuple).unwrap();
+        smas.note_delete(table.bucket_of_page(tid.page), tuple)
+            .unwrap();
     }
     let stale: Vec<u32> = (0..table.bucket_count())
         .filter(|&b| smas.smas().iter().any(|s| s.is_stale(b)))
@@ -86,8 +88,7 @@ fn main() {
         stale.len(),
         started.elapsed()
     );
-    assert!((0..table.bucket_count())
-        .all(|b| smas.smas().iter().all(|s| !s.is_stale(b))));
+    assert!((0..table.bucket_count()).all(|b| smas.smas().iter().all(|s| !s.is_stale(b))));
 
     // Compare with the sledgehammer.
     let started = Instant::now();
@@ -99,5 +100,8 @@ fn main() {
     let a = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
     let b = run_query1(&table, Some(&rebuilt), &Query1Config::default()).unwrap();
     assert_eq!(a.rows, b.rows);
-    println!("maintained set ≡ rebuilt set on Query 1 (cutoff {})", q1_cutoff(90));
+    println!(
+        "maintained set ≡ rebuilt set on Query 1 (cutoff {})",
+        q1_cutoff(90)
+    );
 }

@@ -35,6 +35,4 @@ pub use sma_exec as exec;
 pub use sma_storage as storage;
 pub use sma_tpcd as tpcd;
 pub use sma_types as types;
-pub use warehouse::{
-    QueryResult, RecoveryReport, Warehouse, WarehouseError, MANIFEST_FILE,
-};
+pub use warehouse::{QueryResult, RecoveryReport, Warehouse, WarehouseError, MANIFEST_FILE};

@@ -23,14 +23,11 @@ use std::path::Path;
 use std::sync::Arc;
 
 use sma_core::catalog::{CatalogError, SmaCatalog};
-use sma_core::persist::{
-    decode_definition, encode_definition, load_sma_file, save_sma_file,
-};
+use sma_core::persist::{decode_definition, encode_definition, load_sma_file, save_sma_file};
 use sma_core::{Sma, SmaDefinition, SmaError, SmaSet};
 use sma_exec::{plan, AggregateQuery, ExecError, PlanKind, PlannerConfig};
 use sma_storage::{
-    atomic_write_file, crc32, sync_dir, FileStore, PageNo, StoreError, Table, TableError,
-    TupleId,
+    atomic_write_file, crc32, sync_dir, FileStore, PageNo, StoreError, Table, TableError, TupleId,
 };
 use sma_types::{Column, DataType, Schema, Tuple};
 
@@ -161,7 +158,10 @@ impl Warehouse {
 
     /// A warehouse with custom planner settings.
     pub fn with_planner(planner: PlannerConfig) -> Warehouse {
-        Warehouse { planner, ..Warehouse::default() }
+        Warehouse {
+            planner,
+            ..Warehouse::default()
+        }
     }
 
     /// Registers a table under its own name.
@@ -258,15 +258,14 @@ impl Warehouse {
             .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
         let chosen = plan(table, query, self.catalog.set_for(relation), &self.planner);
         let rows = chosen.execute()?;
-        Ok(QueryResult { rows, plan_kind: chosen.kind })
+        Ok(QueryResult {
+            rows,
+            plan_kind: chosen.kind,
+        })
     }
 
     /// EXPLAIN for an aggregate query: the chosen plan and its estimates.
-    pub fn explain(
-        &self,
-        relation: &str,
-        query: AggregateQuery,
-    ) -> Result<String, WarehouseError> {
+    pub fn explain(&self, relation: &str, query: AggregateQuery) -> Result<String, WarehouseError> {
         let table = self
             .tables
             .get(relation)
@@ -381,8 +380,8 @@ impl Warehouse {
     /// Verifies the on-disk state of a warehouse previously saved to
     /// `dir` against this open warehouse: re-reads every table page from
     /// disk (dropping the cache first, so corruption behind the pool is
-    /// seen), checksum-verifies every SMA file, and quarantines + rebuilds
-    /// + re-saves any SMA that fails. Healthy SMA files are left alone —
+    /// seen), checksum-verifies every SMA file, and quarantines, rebuilds,
+    /// and re-saves any SMA that fails. Healthy SMA files are left alone —
     /// the in-memory catalog may be ahead of disk, and scrub must not roll
     /// it back.
     pub fn scrub(&mut self, dir: impl AsRef<Path>) -> Result<RecoveryReport, WarehouseError> {
@@ -505,9 +504,7 @@ fn verify_sma_file(
             }
         }
         Err(SmaError::Corrupt(_)) => Ok(None),
-        Err(SmaError::Store(StoreError::Io(e))) if e.kind() == io::ErrorKind::NotFound => {
-            Ok(None)
-        }
+        Err(SmaError::Store(StoreError::Io(e))) if e.kind() == io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(e.into()),
     }
 }
@@ -541,7 +538,9 @@ fn recover_sma(
     quarantine(&path)?;
     let rebuilt = Sma::build(table, entry.def.clone())?;
     save_sma_file(&rebuilt, &path)?;
-    report.smas_rebuilt.push(format!("{table_name}.{}", entry.def.name));
+    report
+        .smas_rebuilt
+        .push(format!("{table_name}.{}", entry.def.name));
     Ok(rebuilt)
 }
 
@@ -589,7 +588,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WarehouseError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn string(&mut self) -> Result<String, WarehouseError> {
@@ -617,7 +618,10 @@ fn decode_manifest(bytes: &[u8]) -> Result<Vec<ManifestTable>, WarehouseError> {
             "checksum mismatch: stored {want:#010x}, computed {got:#010x}"
         )));
     }
-    let mut c = Cursor { buf: payload, pos: 0 };
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
     let n_tables = c.u32()? as usize;
     let mut tables = Vec::with_capacity(n_tables.min(1024));
     for _ in 0..n_tables {
@@ -653,12 +657,17 @@ fn decode_manifest(bytes: &[u8]) -> Result<Vec<ManifestTable>, WarehouseError> {
             let _sma_name = c.string()?;
             let file = c.string()?;
             let def_len = c.u32()? as usize;
-            let def = decode_definition(c.take(def_len)?).map_err(|e| {
-                WarehouseError::CorruptManifest(format!("bad sma definition: {e}"))
-            })?;
+            let def = decode_definition(c.take(def_len)?)
+                .map_err(|e| WarehouseError::CorruptManifest(format!("bad sma definition: {e}")))?;
             smas.push(ManifestSma { file, def });
         }
-        tables.push(ManifestTable { name, file, bucket_pages, columns, smas });
+        tables.push(ManifestTable {
+            name,
+            file,
+            bucket_pages,
+            columns,
+            smas,
+        });
     }
     if c.pos != payload.len() {
         return Err(WarehouseError::CorruptManifest(format!(
@@ -725,8 +734,10 @@ mod tests {
     fn loaded_warehouse() -> Warehouse {
         let mut w = Warehouse::new();
         w.register(sales_table()).unwrap();
-        w.define_sma("define sma min_day select min(DAY) from SALES").unwrap();
-        w.define_sma("define sma max_day select max(DAY) from SALES").unwrap();
+        w.define_sma("define sma min_day select min(DAY) from SALES")
+            .unwrap();
+        w.define_sma("define sma max_day select max(DAY) from SALES")
+            .unwrap();
         w.define_sma("define sma cnt select count(*) from SALES group by REGION")
             .unwrap();
         w.define_sma("define sma units select sum(UNITS) from SALES group by REGION")
@@ -745,7 +756,10 @@ mod tests {
         let without = naive.query("SALES", sum_query(9)).unwrap();
         assert_eq!(without.plan_kind, PlanKind::FullScan);
         assert_eq!(with.rows, without.rows);
-        assert!(w.explain("SALES", sum_query(9)).unwrap().contains("SmaGAggr"));
+        assert!(w
+            .explain("SALES", sum_query(9))
+            .unwrap()
+            .contains("SmaGAggr"));
     }
 
     #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ambivalence-267198e36705733d.d: crates/sma-bench/benches/ambivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libambivalence-267198e36705733d.rmeta: crates/sma-bench/benches/ambivalence.rs Cargo.toml
+
+crates/sma-bench/benches/ambivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

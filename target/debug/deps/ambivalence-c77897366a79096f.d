@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ambivalence-c77897366a79096f.d: crates/sma-bench/benches/ambivalence.rs
+
+/root/repo/target/debug/deps/ambivalence-c77897366a79096f: crates/sma-bench/benches/ambivalence.rs
+
+crates/sma-bench/benches/ambivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bucket_size-03b0db7096b09f63.d: crates/sma-bench/benches/bucket_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbucket_size-03b0db7096b09f63.rmeta: crates/sma-bench/benches/bucket_size.rs Cargo.toml
+
+crates/sma-bench/benches/bucket_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bucket_size-9a0e278bde4ed125.d: crates/sma-bench/benches/bucket_size.rs
+
+/root/repo/target/debug/deps/bucket_size-9a0e278bde4ed125: crates/sma-bench/benches/bucket_size.rs
+
+crates/sma-bench/benches/bucket_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-078340f2f35a31cb.d: tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-078340f2f35a31cb.rmeta: tests/concurrency.rs Cargo.toml
+
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

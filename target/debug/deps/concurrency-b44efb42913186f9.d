@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-b44efb42913186f9.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-b44efb42913186f9: tests/concurrency.rs
+
+tests/concurrency.rs:

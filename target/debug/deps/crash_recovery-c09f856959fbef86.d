@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-c09f856959fbef86.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-c09f856959fbef86: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery-c2fcf2976c733a5d.d: tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery-c2fcf2976c733a5d.rmeta: tests/crash_recovery.rs Cargo.toml
+
+tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

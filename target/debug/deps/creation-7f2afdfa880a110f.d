@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/creation-7f2afdfa880a110f.d: crates/sma-bench/benches/creation.rs
+
+/root/repo/target/debug/deps/creation-7f2afdfa880a110f: crates/sma-bench/benches/creation.rs
+
+crates/sma-bench/benches/creation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/creation-e806651a10b87b4b.d: crates/sma-bench/benches/creation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcreation-e806651a10b87b4b.rmeta: crates/sma-bench/benches/creation.rs Cargo.toml
+
+crates/sma-bench/benches/creation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-2cd8ed1130345dbb.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-2cd8ed1130345dbb.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b40209a74969ab1f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b40209a74969ab1f: tests/extensions.rs
+
+tests/extensions.rs:

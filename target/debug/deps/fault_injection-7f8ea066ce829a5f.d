@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-7f8ea066ce829a5f.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-7f8ea066ce829a5f: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzzing-762499e15c83f81a.d: tests/fuzzing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzzing-762499e15c83f81a.rmeta: tests/fuzzing.rs Cargo.toml
+
+tests/fuzzing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

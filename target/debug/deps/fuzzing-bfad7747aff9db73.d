@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing-bfad7747aff9db73.d: tests/fuzzing.rs
+
+/root/repo/target/debug/deps/fuzzing-bfad7747aff9db73: tests/fuzzing.rs
+
+tests/fuzzing.rs:

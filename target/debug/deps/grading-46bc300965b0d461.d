@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grading-46bc300965b0d461.d: crates/sma-bench/benches/grading.rs
+
+/root/repo/target/debug/deps/grading-46bc300965b0d461: crates/sma-bench/benches/grading.rs
+
+crates/sma-bench/benches/grading.rs:

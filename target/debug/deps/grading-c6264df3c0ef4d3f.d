@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grading-c6264df3c0ef4d3f.d: crates/sma-bench/benches/grading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrading-c6264df3c0ef4d3f.rmeta: crates/sma-bench/benches/grading.rs Cargo.toml
+
+crates/sma-bench/benches/grading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchical-4520a4378bff4819.d: crates/sma-bench/benches/hierarchical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchical-4520a4378bff4819.rmeta: crates/sma-bench/benches/hierarchical.rs Cargo.toml
+
+crates/sma-bench/benches/hierarchical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

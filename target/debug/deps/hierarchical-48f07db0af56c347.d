@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchical-48f07db0af56c347.d: crates/sma-bench/benches/hierarchical.rs
+
+/root/repo/target/debug/deps/hierarchical-48f07db0af56c347: crates/sma-bench/benches/hierarchical.rs
+
+crates/sma-bench/benches/hierarchical.rs:

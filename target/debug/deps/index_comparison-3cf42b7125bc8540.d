@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_comparison-3cf42b7125bc8540.d: crates/sma-bench/benches/index_comparison.rs
+
+/root/repo/target/debug/deps/index_comparison-3cf42b7125bc8540: crates/sma-bench/benches/index_comparison.rs
+
+crates/sma-bench/benches/index_comparison.rs:

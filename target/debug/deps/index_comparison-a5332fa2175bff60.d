@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_comparison-a5332fa2175bff60.d: crates/sma-bench/benches/index_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_comparison-a5332fa2175bff60.rmeta: crates/sma-bench/benches/index_comparison.rs Cargo.toml
+
+crates/sma-bench/benches/index_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

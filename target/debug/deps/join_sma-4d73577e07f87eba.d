@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/join_sma-4d73577e07f87eba.d: crates/sma-bench/benches/join_sma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoin_sma-4d73577e07f87eba.rmeta: crates/sma-bench/benches/join_sma.rs Cargo.toml
+
+crates/sma-bench/benches/join_sma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

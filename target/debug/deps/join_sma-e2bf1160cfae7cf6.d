@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_sma-e2bf1160cfae7cf6.d: crates/sma-bench/benches/join_sma.rs
+
+/root/repo/target/debug/deps/join_sma-e2bf1160cfae7cf6: crates/sma-bench/benches/join_sma.rs
+
+crates/sma-bench/benches/join_sma.rs:

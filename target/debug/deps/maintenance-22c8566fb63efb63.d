@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maintenance-22c8566fb63efb63.d: crates/sma-bench/benches/maintenance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaintenance-22c8566fb63efb63.rmeta: crates/sma-bench/benches/maintenance.rs Cargo.toml
+
+crates/sma-bench/benches/maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

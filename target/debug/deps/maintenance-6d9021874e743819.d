@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-6d9021874e743819.d: tests/maintenance.rs
+
+/root/repo/target/debug/deps/maintenance-6d9021874e743819: tests/maintenance.rs
+
+tests/maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-71cd04bc6c1ff1f8.d: crates/sma-bench/benches/maintenance.rs
+
+/root/repo/target/debug/deps/maintenance-71cd04bc6c1ff1f8: crates/sma-bench/benches/maintenance.rs
+
+crates/sma-bench/benches/maintenance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maintenance-785d1e120851f162.d: tests/maintenance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaintenance-785d1e120851f162.rmeta: tests/maintenance.rs Cargo.toml
+
+tests/maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-689c42992196da46.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-689c42992196da46: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-2aa8b6979884a9bc.d: crates/sma-bench/src/bin/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-2aa8b6979884a9bc.rmeta: crates/sma-bench/src/bin/paper_tables.rs Cargo.toml
+
+crates/sma-bench/src/bin/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-3998858d9c764cf5.d: crates/sma-bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-3998858d9c764cf5: crates/sma-bench/src/bin/paper_tables.rs
+
+crates/sma-bench/src/bin/paper_tables.rs:

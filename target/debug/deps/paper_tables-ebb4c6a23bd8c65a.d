@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-ebb4c6a23bd8c65a.d: crates/sma-bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-ebb4c6a23bd8c65a: crates/sma-bench/src/bin/paper_tables.rs
+
+crates/sma-bench/src/bin/paper_tables.rs:

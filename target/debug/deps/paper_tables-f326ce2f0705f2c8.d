@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-f326ce2f0705f2c8.d: crates/sma-bench/src/bin/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-f326ce2f0705f2c8.rmeta: crates/sma-bench/src/bin/paper_tables.rs Cargo.toml
+
+crates/sma-bench/src/bin/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-55949c83c1c875f8.d: crates/sma-bench/benches/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-55949c83c1c875f8: crates/sma-bench/benches/parallel_scaling.rs
+
+crates/sma-bench/benches/parallel_scaling.rs:

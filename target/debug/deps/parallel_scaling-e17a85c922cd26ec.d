@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_scaling-e17a85c922cd26ec.d: crates/sma-bench/benches/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scaling-e17a85c922cd26ec.rmeta: crates/sma-bench/benches/parallel_scaling.rs Cargo.toml
+
+crates/sma-bench/benches/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-62437645f4a17442.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-62437645f4a17442.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

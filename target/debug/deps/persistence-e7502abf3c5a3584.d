@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-e7502abf3c5a3584.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-e7502abf3c5a3584: tests/persistence.rs
+
+tests/persistence.rs:

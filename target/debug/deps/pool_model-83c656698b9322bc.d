@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_model-83c656698b9322bc.d: tests/pool_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_model-83c656698b9322bc.rmeta: tests/pool_model.rs Cargo.toml
+
+tests/pool_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

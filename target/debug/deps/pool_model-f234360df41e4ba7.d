@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_model-f234360df41e4ba7.d: tests/pool_model.rs
+
+/root/repo/target/debug/deps/pool_model-f234360df41e4ba7: tests/pool_model.rs
+
+tests/pool_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_grading-72387072248f86ce.d: tests/property_grading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_grading-72387072248f86ce.rmeta: tests/property_grading.rs Cargo.toml
+
+tests/property_grading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

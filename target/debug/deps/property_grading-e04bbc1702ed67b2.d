@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_grading-e04bbc1702ed67b2.d: tests/property_grading.rs
+
+/root/repo/target/debug/deps/property_grading-e04bbc1702ed67b2: tests/property_grading.rs
+
+tests/property_grading.rs:

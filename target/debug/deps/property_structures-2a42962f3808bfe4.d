@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_structures-2a42962f3808bfe4.d: tests/property_structures.rs
+
+/root/repo/target/debug/deps/property_structures-2a42962f3808bfe4: tests/property_structures.rs
+
+tests/property_structures.rs:

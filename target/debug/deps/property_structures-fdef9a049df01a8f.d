@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_structures-fdef9a049df01a8f.d: tests/property_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_structures-fdef9a049df01a8f.rmeta: tests/property_structures.rs Cargo.toml
+
+tests/property_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/q1_correctness-02b6fe97e6603111.d: tests/q1_correctness.rs
+
+/root/repo/target/debug/deps/q1_correctness-02b6fe97e6603111: tests/q1_correctness.rs
+
+tests/q1_correctness.rs:

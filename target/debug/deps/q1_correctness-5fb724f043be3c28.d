@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/q1_correctness-5fb724f043be3c28.d: tests/q1_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libq1_correctness-5fb724f043be3c28.rmeta: tests/q1_correctness.rs Cargo.toml
+
+tests/q1_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query1-d97bef62d97849ac.d: crates/sma-bench/benches/query1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery1-d97bef62d97849ac.rmeta: crates/sma-bench/benches/query1.rs Cargo.toml
+
+crates/sma-bench/benches/query1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

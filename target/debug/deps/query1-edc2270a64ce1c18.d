@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query1-edc2270a64ce1c18.d: crates/sma-bench/benches/query1.rs
+
+/root/repo/target/debug/deps/query1-edc2270a64ce1c18: crates/sma-bench/benches/query1.rs
+
+crates/sma-bench/benches/query1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query6-1a1f3e128ac16183.d: crates/sma-bench/benches/query6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery6-1a1f3e128ac16183.rmeta: crates/sma-bench/benches/query6.rs Cargo.toml
+
+crates/sma-bench/benches/query6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query6-2934ee540bd43b54.d: crates/sma-bench/benches/query6.rs
+
+/root/repo/target/debug/deps/query6-2934ee540bd43b54: crates/sma-bench/benches/query6.rs
+
+crates/sma-bench/benches/query6.rs:

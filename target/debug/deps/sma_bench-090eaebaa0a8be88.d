@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sma_bench-090eaebaa0a8be88.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/debug/deps/sma_bench-090eaebaa0a8be88: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sma_bench-2f69bcec705166d8.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_bench-2f69bcec705166d8.rmeta: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs Cargo.toml
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

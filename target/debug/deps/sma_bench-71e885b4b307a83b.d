@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sma_bench-71e885b4b307a83b.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_bench-71e885b4b307a83b.rmeta: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs Cargo.toml
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

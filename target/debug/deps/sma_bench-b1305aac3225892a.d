@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sma_bench-b1305aac3225892a.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsma_bench-b1305aac3225892a.rlib: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsma_bench-b1305aac3225892a.rmeta: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:

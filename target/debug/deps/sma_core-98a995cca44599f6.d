@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/sma_core-98a995cca44599f6.d: crates/sma-core/src/lib.rs crates/sma-core/src/agg.rs crates/sma-core/src/catalog.rs crates/sma-core/src/def.rs crates/sma-core/src/expr.rs crates/sma-core/src/file.rs crates/sma-core/src/grade.rs crates/sma-core/src/hierarchical.rs crates/sma-core/src/join_sma.rs crates/sma-core/src/parse.rs crates/sma-core/src/persist.rs crates/sma-core/src/projection.rs crates/sma-core/src/set.rs crates/sma-core/src/sma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_core-98a995cca44599f6.rmeta: crates/sma-core/src/lib.rs crates/sma-core/src/agg.rs crates/sma-core/src/catalog.rs crates/sma-core/src/def.rs crates/sma-core/src/expr.rs crates/sma-core/src/file.rs crates/sma-core/src/grade.rs crates/sma-core/src/hierarchical.rs crates/sma-core/src/join_sma.rs crates/sma-core/src/parse.rs crates/sma-core/src/persist.rs crates/sma-core/src/projection.rs crates/sma-core/src/set.rs crates/sma-core/src/sma.rs Cargo.toml
+
+crates/sma-core/src/lib.rs:
+crates/sma-core/src/agg.rs:
+crates/sma-core/src/catalog.rs:
+crates/sma-core/src/def.rs:
+crates/sma-core/src/expr.rs:
+crates/sma-core/src/file.rs:
+crates/sma-core/src/grade.rs:
+crates/sma-core/src/hierarchical.rs:
+crates/sma-core/src/join_sma.rs:
+crates/sma-core/src/parse.rs:
+crates/sma-core/src/persist.rs:
+crates/sma-core/src/projection.rs:
+crates/sma-core/src/set.rs:
+crates/sma-core/src/sma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

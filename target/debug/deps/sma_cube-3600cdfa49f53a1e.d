@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sma_cube-3600cdfa49f53a1e.d: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+/root/repo/target/debug/deps/libsma_cube-3600cdfa49f53a1e.rlib: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+/root/repo/target/debug/deps/libsma_cube-3600cdfa49f53a1e.rmeta: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+crates/sma-cube/src/lib.rs:
+crates/sma-cube/src/bitmap.rs:
+crates/sma-cube/src/btree.rs:
+crates/sma-cube/src/cube.rs:
+crates/sma-cube/src/model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sma_cube-4a04b22585257cdc.d: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_cube-4a04b22585257cdc.rmeta: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs Cargo.toml
+
+crates/sma-cube/src/lib.rs:
+crates/sma-cube/src/bitmap.rs:
+crates/sma-cube/src/btree.rs:
+crates/sma-cube/src/cube.rs:
+crates/sma-cube/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sma_cube-77391d0994d7202e.d: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+/root/repo/target/debug/deps/sma_cube-77391d0994d7202e: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+crates/sma-cube/src/lib.rs:
+crates/sma-cube/src/bitmap.rs:
+crates/sma-cube/src/btree.rs:
+crates/sma-cube/src/cube.rs:
+crates/sma-cube/src/model.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sma_storage-89ed5ab379bf1990.d: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_storage-89ed5ab379bf1990.rmeta: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs Cargo.toml
+
+crates/sma-storage/src/lib.rs:
+crates/sma-storage/src/checksum.rs:
+crates/sma-storage/src/cost.rs:
+crates/sma-storage/src/page.rs:
+crates/sma-storage/src/pool.rs:
+crates/sma-storage/src/store.rs:
+crates/sma-storage/src/table.rs:
+crates/sma-storage/src/test_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sma_storage-a8e49b97363b43c9.d: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+/root/repo/target/debug/deps/libsma_storage-a8e49b97363b43c9.rlib: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+/root/repo/target/debug/deps/libsma_storage-a8e49b97363b43c9.rmeta: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+crates/sma-storage/src/lib.rs:
+crates/sma-storage/src/checksum.rs:
+crates/sma-storage/src/cost.rs:
+crates/sma-storage/src/page.rs:
+crates/sma-storage/src/pool.rs:
+crates/sma-storage/src/store.rs:
+crates/sma-storage/src/table.rs:
+crates/sma-storage/src/test_util.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sma_tpcd-fa1e5b7ec9a01b55.d: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_tpcd-fa1e5b7ec9a01b55.rmeta: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs Cargo.toml
+
+crates/sma-tpcd/src/lib.rs:
+crates/sma-tpcd/src/clustering.rs:
+crates/sma-tpcd/src/customer.rs:
+crates/sma-tpcd/src/generator.rs:
+crates/sma-tpcd/src/query1.rs:
+crates/sma-tpcd/src/query3.rs:
+crates/sma-tpcd/src/query4.rs:
+crates/sma-tpcd/src/query6.rs:
+crates/sma-tpcd/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sma_types-05cacd69d581bd92.d: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs
+
+/root/repo/target/debug/deps/libsma_types-05cacd69d581bd92.rlib: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs
+
+/root/repo/target/debug/deps/libsma_types-05cacd69d581bd92.rmeta: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs
+
+crates/sma-types/src/lib.rs:
+crates/sma-types/src/date.rs:
+crates/sma-types/src/decimal.rs:
+crates/sma-types/src/rng.rs:
+crates/sma-types/src/row.rs:
+crates/sma-types/src/schema.rs:
+crates/sma-types/src/value.rs:

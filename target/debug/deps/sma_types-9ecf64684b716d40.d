@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sma_types-9ecf64684b716d40.d: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsma_types-9ecf64684b716d40.rmeta: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs Cargo.toml
+
+crates/sma-types/src/lib.rs:
+crates/sma-types/src/date.rs:
+crates/sma-types/src/decimal.rs:
+crates/sma-types/src/rng.rs:
+crates/sma-types/src/row.rs:
+crates/sma-types/src/schema.rs:
+crates/sma-types/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

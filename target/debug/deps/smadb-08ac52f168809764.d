@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smadb-08ac52f168809764.d: src/lib.rs src/warehouse.rs
+
+/root/repo/target/debug/deps/libsmadb-08ac52f168809764.rlib: src/lib.rs src/warehouse.rs
+
+/root/repo/target/debug/deps/libsmadb-08ac52f168809764.rmeta: src/lib.rs src/warehouse.rs
+
+src/lib.rs:
+src/warehouse.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smadb-20c849e64afa20b8.d: src/lib.rs src/warehouse.rs
+
+/root/repo/target/debug/deps/smadb-20c849e64afa20b8: src/lib.rs src/warehouse.rs
+
+src/lib.rs:
+src/warehouse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smadb-507884adea2d6ae5.d: src/lib.rs src/warehouse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmadb-507884adea2d6ae5.rmeta: src/lib.rs src/warehouse.rs Cargo.toml
+
+src/lib.rs:
+src/warehouse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smadb-a8f3bd1a8f558b97.d: src/lib.rs src/warehouse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmadb-a8f3bd1a8f558b97.rmeta: src/lib.rs src/warehouse.rs Cargo.toml
+
+src/lib.rs:
+src/warehouse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_micro-4d4f7548b1e475c8.d: crates/sma-bench/benches/storage_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_micro-4d4f7548b1e475c8.rmeta: crates/sma-bench/benches/storage_micro.rs Cargo.toml
+
+crates/sma-bench/benches/storage_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

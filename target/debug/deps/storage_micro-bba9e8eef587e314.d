@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_micro-bba9e8eef587e314.d: crates/sma-bench/benches/storage_micro.rs
+
+/root/repo/target/debug/deps/storage_micro-bba9e8eef587e314: crates/sma-bench/benches/storage_micro.rs
+
+crates/sma-bench/benches/storage_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_sweep-1aa8037c83036365.d: examples/clustering_sweep.rs
+
+/root/repo/target/debug/examples/clustering_sweep-1aa8037c83036365: examples/clustering_sweep.rs
+
+examples/clustering_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clustering_sweep-c734012714e0d64f.d: examples/clustering_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclustering_sweep-c734012714e0d64f.rmeta: examples/clustering_sweep.rs Cargo.toml
+
+examples/clustering_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

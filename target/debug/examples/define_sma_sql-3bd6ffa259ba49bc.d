@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/define_sma_sql-3bd6ffa259ba49bc.d: examples/define_sma_sql.rs
+
+/root/repo/target/debug/examples/define_sma_sql-3bd6ffa259ba49bc: examples/define_sma_sql.rs
+
+examples/define_sma_sql.rs:

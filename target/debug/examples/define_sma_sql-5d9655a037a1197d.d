@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/define_sma_sql-5d9655a037a1197d.d: examples/define_sma_sql.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefine_sma_sql-5d9655a037a1197d.rmeta: examples/define_sma_sql.rs Cargo.toml
+
+examples/define_sma_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchical_smas-c900f4e26abc9279.d: examples/hierarchical_smas.rs
+
+/root/repo/target/debug/examples/hierarchical_smas-c900f4e26abc9279: examples/hierarchical_smas.rs
+
+examples/hierarchical_smas.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hierarchical_smas-fb40750ae81a5002.d: examples/hierarchical_smas.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhierarchical_smas-fb40750ae81a5002.rmeta: examples/hierarchical_smas.rs Cargo.toml
+
+examples/hierarchical_smas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e9b090ede708657d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e9b090ede708657d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/semijoin_reduction-23799f561e7a5741.d: examples/semijoin_reduction.rs
+
+/root/repo/target/debug/examples/semijoin_reduction-23799f561e7a5741: examples/semijoin_reduction.rs
+
+examples/semijoin_reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/semijoin_reduction-549770414839fb0c.d: examples/semijoin_reduction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsemijoin_reduction-549770414839fb0c.rmeta: examples/semijoin_reduction.rs Cargo.toml
+
+examples/semijoin_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

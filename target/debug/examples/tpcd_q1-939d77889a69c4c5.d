@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcd_q1-939d77889a69c4c5.d: examples/tpcd_q1.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcd_q1-939d77889a69c4c5.rmeta: examples/tpcd_q1.rs Cargo.toml
+
+examples/tpcd_q1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

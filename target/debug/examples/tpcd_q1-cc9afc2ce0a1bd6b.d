@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcd_q1-cc9afc2ce0a1bd6b.d: examples/tpcd_q1.rs
+
+/root/repo/target/debug/examples/tpcd_q1-cc9afc2ce0a1bd6b: examples/tpcd_q1.rs
+
+examples/tpcd_q1.rs:

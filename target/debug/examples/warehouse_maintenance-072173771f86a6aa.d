@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/warehouse_maintenance-072173771f86a6aa.d: examples/warehouse_maintenance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwarehouse_maintenance-072173771f86a6aa.rmeta: examples/warehouse_maintenance.rs Cargo.toml
+
+examples/warehouse_maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_maintenance-8c8b075a08421f15.d: examples/warehouse_maintenance.rs
+
+/root/repo/target/debug/examples/warehouse_maintenance-8c8b075a08421f15: examples/warehouse_maintenance.rs
+
+examples/warehouse_maintenance.rs:

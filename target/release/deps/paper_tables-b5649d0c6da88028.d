@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_tables-b5649d0c6da88028.d: crates/sma-bench/src/bin/paper_tables.rs
+
+/root/repo/target/release/deps/paper_tables-b5649d0c6da88028: crates/sma-bench/src/bin/paper_tables.rs
+
+crates/sma-bench/src/bin/paper_tables.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sma_bench-a7d29aeb7a4e3dcc.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/release/deps/libsma_bench-a7d29aeb7a4e3dcc.rlib: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/release/deps/libsma_bench-a7d29aeb7a4e3dcc.rmeta: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:

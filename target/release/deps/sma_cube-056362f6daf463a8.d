@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sma_cube-056362f6daf463a8.d: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+/root/repo/target/release/deps/libsma_cube-056362f6daf463a8.rlib: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+/root/repo/target/release/deps/libsma_cube-056362f6daf463a8.rmeta: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+crates/sma-cube/src/lib.rs:
+crates/sma-cube/src/bitmap.rs:
+crates/sma-cube/src/btree.rs:
+crates/sma-cube/src/cube.rs:
+crates/sma-cube/src/model.rs:

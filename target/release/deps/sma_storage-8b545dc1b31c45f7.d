@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sma_storage-8b545dc1b31c45f7.d: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+/root/repo/target/release/deps/libsma_storage-8b545dc1b31c45f7.rlib: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+/root/repo/target/release/deps/libsma_storage-8b545dc1b31c45f7.rmeta: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+crates/sma-storage/src/lib.rs:
+crates/sma-storage/src/checksum.rs:
+crates/sma-storage/src/cost.rs:
+crates/sma-storage/src/page.rs:
+crates/sma-storage/src/pool.rs:
+crates/sma-storage/src/store.rs:
+crates/sma-storage/src/table.rs:
+crates/sma-storage/src/test_util.rs:

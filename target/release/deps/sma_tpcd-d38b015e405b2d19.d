@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sma_tpcd-d38b015e405b2d19.d: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs
+
+/root/repo/target/release/deps/libsma_tpcd-d38b015e405b2d19.rlib: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs
+
+/root/repo/target/release/deps/libsma_tpcd-d38b015e405b2d19.rmeta: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs
+
+crates/sma-tpcd/src/lib.rs:
+crates/sma-tpcd/src/clustering.rs:
+crates/sma-tpcd/src/customer.rs:
+crates/sma-tpcd/src/generator.rs:
+crates/sma-tpcd/src/query1.rs:
+crates/sma-tpcd/src/query3.rs:
+crates/sma-tpcd/src/query4.rs:
+crates/sma-tpcd/src/query6.rs:
+crates/sma-tpcd/src/schema.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sma_types-d97a0848a1b2c859.d: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs
+
+/root/repo/target/release/deps/libsma_types-d97a0848a1b2c859.rlib: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs
+
+/root/repo/target/release/deps/libsma_types-d97a0848a1b2c859.rmeta: crates/sma-types/src/lib.rs crates/sma-types/src/date.rs crates/sma-types/src/decimal.rs crates/sma-types/src/rng.rs crates/sma-types/src/row.rs crates/sma-types/src/schema.rs crates/sma-types/src/value.rs
+
+crates/sma-types/src/lib.rs:
+crates/sma-types/src/date.rs:
+crates/sma-types/src/decimal.rs:
+crates/sma-types/src/rng.rs:
+crates/sma-types/src/row.rs:
+crates/sma-types/src/schema.rs:
+crates/sma-types/src/value.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/smadb-66c74f2b168a4cfc.d: src/lib.rs src/warehouse.rs
+
+/root/repo/target/release/deps/libsmadb-66c74f2b168a4cfc.rlib: src/lib.rs src/warehouse.rs
+
+/root/repo/target/release/deps/libsmadb-66c74f2b168a4cfc.rmeta: src/lib.rs src/warehouse.rs
+
+src/lib.rs:
+src/warehouse.rs:

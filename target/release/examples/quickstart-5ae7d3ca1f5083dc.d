@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5ae7d3ca1f5083dc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5ae7d3ca1f5083dc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tpcd_q1-a899a2717e8f5f18.d: examples/tpcd_q1.rs
+
+/root/repo/target/release/examples/tpcd_q1-a899a2717e8f5f18: examples/tpcd_q1.rs
+
+examples/tpcd_q1.rs:

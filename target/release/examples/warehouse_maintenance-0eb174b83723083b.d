@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/warehouse_maintenance-0eb174b83723083b.d: examples/warehouse_maintenance.rs
+
+/root/repo/target/release/examples/warehouse_maintenance-0eb174b83723083b: examples/warehouse_maintenance.rs
+
+examples/warehouse_maintenance.rs:

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use smadb::exec::{run_query1, AggSpec, AggregateQuery, Query1Config};
 use smadb::sma::{
-    col, encode_sma_stream, load_sma, load_sma_file, save_sma, save_sma_file, AggFn,
-    BucketPred, CmpOp, Sma, SmaDefinition, SmaError, SmaSet,
+    col, encode_sma_stream, load_sma, load_sma_file, save_sma, save_sma_file, AggFn, BucketPred,
+    CmpOp, Sma, SmaDefinition, SmaError, SmaSet,
 };
 use smadb::storage::test_util::{flip_bit_in_file, scratch_path, CrashStore};
 use smadb::storage::Table;
@@ -97,7 +97,10 @@ fn page_store_truncation_sweep() {
                 assert_eq!(encode_sma_stream(&back), canonical, "torn at {offset}");
             }
             Err(SmaError::Corrupt(_)) => {
-                assert!((offset as usize) < canonical.len(), "content survived {offset}");
+                assert!(
+                    (offset as usize) < canonical.len(),
+                    "content survived {offset}"
+                );
             }
             Err(other) => panic!("crash at {offset} gave non-corruption error: {other}"),
         }
@@ -186,10 +189,16 @@ fn bit_flip_sweep_scrub_rebuilds() {
         );
         assert!(report.pages_corrupt.is_empty());
         let got = w.query("SALES", query.clone()).unwrap();
-        assert_eq!(got.rows, expected, "answers diverged after flip at {offset}");
+        assert_eq!(
+            got.rows, expected,
+            "answers diverged after flip at {offset}"
+        );
         // Scrub re-saved a clean image; next iteration flips fresh bits.
         let clean = w.scrub(&dir).unwrap();
-        assert!(clean.is_clean(), "rebuild did not leave disk clean: {clean}");
+        assert!(
+            clean.is_clean(),
+            "rebuild did not leave disk clean: {clean}"
+        );
         let _ = std::fs::remove_file(dir.join("SALES.units.sma.quarantined"));
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -215,7 +224,10 @@ fn query1_after_rebuild_matches_full_scan() {
         rebuilt.push(Sma::build(&table, sma.def().clone()).unwrap());
         std::fs::remove_file(&path).unwrap();
     }
-    let cfg = Query1Config { cold: true, ..Query1Config::default() };
+    let cfg = Query1Config {
+        cold: true,
+        ..Query1Config::default()
+    };
     let with = run_query1(&table, Some(&rebuilt), &cfg).unwrap();
     let without = run_query1(&table, None, &cfg).unwrap();
     assert_eq!(with.rows, without.rows);

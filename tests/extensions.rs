@@ -36,11 +36,7 @@ fn hierarchical_smas_agree_with_flat_grading_on_tpcd() {
     .unwrap();
     let hier = HierarchicalMinMax::from_smas(&min, &max, 16);
     for delta in [30, 90, 500, 1500] {
-        let pred = BucketPred::cmp(
-            li::SHIPDATE,
-            CmpOp::Le,
-            Value::Date(q1_cutoff(delta)),
-        );
+        let pred = BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(q1_cutoff(delta)));
         let flat: Vec<Grade> = (0..table.bucket_count())
             .map(|b| pred.grade(b, &set))
             .collect();
@@ -113,12 +109,8 @@ fn join_sma_semijoin_on_tpcd_dates() {
 #[test]
 fn data_cube_and_sma_plan_agree() {
     let table = generate_lineitem_table(&GenConfig::tiny(Clustering::Uniform));
-    let cube = Query1Cube::build(
-        &table,
-        start_date(),
-        Date::from_ymd(1998, 12, 31).unwrap(),
-    )
-    .unwrap();
+    let cube =
+        Query1Cube::build(&table, start_date(), Date::from_ymd(1998, 12, 31).unwrap()).unwrap();
     let smas = SmaSet::build_query1_set(&table).unwrap();
     for delta in [60, 90, 120] {
         let cutoff = q1_cutoff(delta);
@@ -127,7 +119,10 @@ fn data_cube_and_sma_plan_agree() {
         let run = smadb::exec::run_query1(
             &table,
             Some(&smas),
-            &smadb::exec::Query1Config { delta, ..Default::default() },
+            &smadb::exec::Query1Config {
+                delta,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(from_cube.len(), oracle.len());
@@ -179,11 +174,14 @@ fn btree_on_shipdate_vs_sma_space() {
     );
     // …and the apples-to-apples comparison for *selection support* — the
     // tree vs just the min/max SMAs that replace it — is lopsided.
-    let selection_pages: usize = [smas.min_sma_for(li::SHIPDATE), smas.max_sma_for(li::SHIPDATE)]
-        .into_iter()
-        .flatten()
-        .map(|s| s.total_pages())
-        .sum();
+    let selection_pages: usize = [
+        smas.min_sma_for(li::SHIPDATE),
+        smas.max_sma_for(li::SHIPDATE),
+    ]
+    .into_iter()
+    .flatten()
+    .map(|s| s.total_pages())
+    .sum();
     assert!(
         tree.node_count() > selection_pages * 20,
         "B+ tree {} nodes vs min/max SMA {} pages",

@@ -1,11 +1,9 @@
 //! Fuzz-style robustness tests: arbitrary inputs must produce errors, not
 //! panics, at every parsing/decoding boundary.
 
-use proptest::prelude::*;
-
 use smadb::sma::parse::parse_define_sma;
 use smadb::storage::{MemStore, PageStore, SlottedPage, PAGE_SIZE};
-use smadb::types::{row, Column, DataType, Date, Decimal, Schema};
+use smadb::types::{row, Column, DataType, Date, Decimal, Schema, StdRng};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -15,41 +13,78 @@ fn schema() -> Schema {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string mixing SQL-ish tokens, punctuation, and oddball chars.
+fn random_text(rng: &mut StdRng, max_len: usize) -> String {
+    const CHARS: &[char] = &[
+        'a', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '(', ')', '*', ',', '.', ';', '\'', '"',
+        '-', '+', '/', '\\', '_', '%', 'é', '☃', '\0',
+    ];
+    let n = rng.random_range(0..=max_len);
+    (0..n)
+        .map(|_| CHARS[rng.random_range(0..CHARS.len())])
+        .collect()
+}
 
-    /// The `define sma` parser never panics on arbitrary input.
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
-        let _ = parse_define_sma(&input, &schema());
+/// The `define sma` parser never panics on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF022_0001);
+    let s = schema();
+    for _ in 0..256 {
+        let input = random_text(&mut rng, 200);
+        let _ = parse_define_sma(&input, &s);
     }
+}
 
-    /// The parser never panics on near-miss SQL either.
-    #[test]
-    fn parser_never_panics_on_sqlish(
-        name in "[a-z]{1,8}",
-        agg in prop_oneof!["min", "max", "sum", "count", "avg", "median"],
-        arg in prop_oneof!["\\*", "L_SHIPDATE", "L_DISCOUNT", "NOPE", "1 \\+ 2", "\\(\\("],
-        tail in prop_oneof!["", " group by L_SHIPDATE", " group by", " order by X", " , Y"],
-    ) {
+/// The parser never panics on near-miss SQL either.
+#[test]
+fn parser_never_panics_on_sqlish() {
+    const AGGS: &[&str] = &["min", "max", "sum", "count", "avg", "median"];
+    const ARGS: &[&str] = &["*", "L_SHIPDATE", "L_DISCOUNT", "NOPE", "1 + 2", "(("];
+    const TAILS: &[&str] = &[
+        "",
+        " group by L_SHIPDATE",
+        " group by",
+        " order by X",
+        " , Y",
+    ];
+    let mut rng = StdRng::seed_from_u64(0xF022_0002);
+    let s = schema();
+    for _ in 0..256 {
+        let name: String = (0..rng.random_range(1..=8usize))
+            .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+            .collect();
+        let agg = AGGS[rng.random_range(0..AGGS.len())];
+        let arg = ARGS[rng.random_range(0..ARGS.len())];
+        let tail = TAILS[rng.random_range(0..TAILS.len())];
         let stmt = format!("define sma {name} select {agg}({arg}) from LINEITEM{tail}");
-        let _ = parse_define_sma(&stmt, &schema());
+        let _ = parse_define_sma(&stmt, &s);
     }
+}
 
-    /// Tuple decoding never panics on arbitrary bytes.
-    #[test]
-    fn row_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
-        let _ = row::decode(&schema(), &bytes);
+/// Tuple decoding never panics on arbitrary bytes.
+#[test]
+fn row_decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF022_0003);
+    let s = schema();
+    for _ in 0..256 {
+        let n = rng.random_range(0..200usize);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.random_range(0..=255u8)).collect();
+        let _ = row::decode(&s, &bytes);
     }
+}
 
-    /// Page validation never panics on arbitrary images.
-    #[test]
-    fn page_from_bytes_never_panics(
-        mut image in proptest::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE),
-        corrupt_at in 0usize..64,
-        corrupt_val in any::<u8>(),
-    ) {
-        image[corrupt_at.min(PAGE_SIZE - 1)] = corrupt_val;
+/// Page validation never panics on arbitrary images.
+#[test]
+fn page_from_bytes_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF022_0004);
+    for _ in 0..256 {
+        let mut image = vec![0u8; PAGE_SIZE];
+        for b in image.iter_mut() {
+            *b = rng.random_range(0..=255u8);
+        }
+        let corrupt_at = rng.random_range(0..64usize);
+        image[corrupt_at.min(PAGE_SIZE - 1)] = rng.random_range(0..=255u8);
         if let Ok(page) = SlottedPage::from_bytes(&image) {
             // A page that validates must be safely iterable.
             for (_, img) in page.iter() {
@@ -57,16 +92,20 @@ proptest! {
             }
         }
     }
+}
 
-    /// SMA deserialization never panics on corrupted stores.
-    #[test]
-    fn sma_load_never_panics(
-        garbage in proptest::collection::vec(any::<u8>(), 0..PAGE_SIZE),
-    ) {
+/// SMA deserialization never panics on corrupted stores.
+#[test]
+fn sma_load_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF022_0005);
+    for _ in 0..256 {
+        let n = rng.random_range(0..PAGE_SIZE);
         let mut store = MemStore::new();
         let no = store.allocate().unwrap();
         let mut page = [0u8; PAGE_SIZE];
-        page[..garbage.len()].copy_from_slice(&garbage);
+        for b in page[..n].iter_mut() {
+            *b = rng.random_range(0..=255u8);
+        }
         store.write_page(no, &page).unwrap();
         let _ = smadb::sma::load_sma(&store, no);
     }

@@ -4,12 +4,10 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use smadb::exec::{collect, AggSpec, Filter, HashGAggr, SeqScan, SmaGAggr};
 use smadb::sma::{col, AggFn, BucketPred, CmpOp, Grade, SmaDefinition, SmaSet};
 use smadb::storage::{Table, TupleId};
-use smadb::types::{Column, DataType, Schema, Value};
+use smadb::types::{Column, DataType, Schema, StdRng, Value};
 
 fn schema() -> Arc<Schema> {
     Arc::new(Schema::new(vec![
@@ -136,19 +134,20 @@ fn updates_combine_delete_and_insert() {
     check_answers(&t, &smas);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random workload of inserts/deletes/updates mirrored into the SMAs:
-    /// grading soundness and exact answers must survive any interleaving.
-    #[test]
-    fn random_workload_stays_consistent(
-        ops in proptest::collection::vec((0u8..10, 0i64..100, 0usize..64), 1..80),
-    ) {
+/// Random workload of inserts/deletes/updates mirrored into the SMAs:
+/// grading soundness and exact answers must survive any interleaving.
+#[test]
+fn random_workload_stays_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x3A17_0001);
+    for _ in 0..24 {
+        let n_ops = rng.random_range(1..80usize);
         let mut t = Table::in_memory("t", schema(), 1);
         let mut smas = SmaSet::build(&t, defs()).unwrap();
         let mut live: Vec<(TupleId, Vec<Value>)> = Vec::new();
-        for (kind, k, pick) in ops {
+        for _ in 0..n_ops {
+            let kind = rng.random_range(0..10u8);
+            let k = rng.random_range(0i64..100);
+            let pick = rng.random_range(0..64usize);
             match kind {
                 // 60 % inserts, 20 % deletes, 20 % updates.
                 0..=5 => {
@@ -158,19 +157,24 @@ proptest! {
                     live.push((tid, tu));
                 }
                 6 | 7 => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (tid, tu) = live.swap_remove(pick % live.len());
                     t.delete(tid).unwrap();
                     smas.note_delete(t.bucket_of_page(tid.page), &tu).unwrap();
                 }
                 _ => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let idx = pick % live.len();
                     let (tid, old) = live[idx].clone();
                     let new = tuple(k, b'A' + (k % 3) as u8);
                     // Fixed-width tuple: same size, update stays in place.
                     let new_tid = t.update(tid, &new).unwrap();
-                    smas.note_update(t.bucket_of_page(tid.page), &old, &new).unwrap();
+                    smas.note_update(t.bucket_of_page(tid.page), &old, &new)
+                        .unwrap();
                     live[idx] = (new_tid, new);
                 }
             }

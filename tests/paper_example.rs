@@ -86,9 +86,21 @@ fn section_2_2_grading() {
     .unwrap();
     // select count(*) from LINEITEM where L_SHIPDATE < 97-04-30:
     let pred = BucketPred::cmp(0, CmpOp::Lt, date("1997-04-30"));
-    assert_eq!(pred.grade(0, &smas), Grade::Qualifies, "all of bucket 1 qualifies");
-    assert_eq!(pred.grade(1, &smas), Grade::Ambivalent, "bucket 2 is ambivalent");
-    assert_eq!(pred.grade(2, &smas), Grade::Disqualifies, "none of bucket 3 qualifies");
+    assert_eq!(
+        pred.grade(0, &smas),
+        Grade::Qualifies,
+        "all of bucket 1 qualifies"
+    );
+    assert_eq!(
+        pred.grade(1, &smas),
+        Grade::Ambivalent,
+        "bucket 2 is ambivalent"
+    );
+    assert_eq!(
+        pred.grade(2, &smas),
+        Grade::Disqualifies,
+        "none of bucket 3 qualifies"
+    );
 
     // Answer via SMA_GAggr: count SMA for bucket 1, bucket 2 inspected.
     t.reset_io_stats();

@@ -68,13 +68,13 @@ fn maintained_then_persisted_smas_stay_consistent() {
     let cfg = GenConfig::tiny(Clustering::SortedByShipdate);
     let (_, items) = generate(&cfg);
     let (base, extra) = items.split_at(items.len() - 100);
-    let mut table =
-        smadb::tpcd::load_lineitem(base, Box::new(MemStore::new()), 1, 1 << 14);
+    let mut table = smadb::tpcd::load_lineitem(base, Box::new(MemStore::new()), 1, 1 << 14);
     let mut smas = SmaSet::build_query1_set(&table).unwrap();
     for item in extra {
         let t = item.to_tuple();
         let tid = table.append(&t).unwrap();
-        smas.note_insert(table.bucket_of_page(tid.page), &t).unwrap();
+        smas.note_insert(table.bucket_of_page(tid.page), &t)
+            .unwrap();
     }
     // Persist post-maintenance state and reload.
     let mut store = MemStore::new();

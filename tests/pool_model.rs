@@ -2,9 +2,8 @@
 //! exactly like the raw store (contents), while hit counting stays
 //! consistent (accounting).
 
-use proptest::prelude::*;
-
 use smadb::storage::{BufferPool, MemStore, PageStore, PAGE_SIZE};
+use smadb::types::StdRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,27 +13,30 @@ enum Op {
     Cold,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..12).prop_map(Op::Read),
-            (0u8..12, any::<u8>()).prop_map(|(p, v)| Op::Write(p, v)),
-            Just(Op::Flush),
-            Just(Op::Cold),
-        ],
-        0..200,
-    )
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.random_range(0..200usize);
+    (0..n)
+        .map(|_| match rng.random_range(0..4u32) {
+            0 => Op::Read(rng.random_range(0..12u8)),
+            1 => Op::Write(rng.random_range(0..12u8), rng.random_range(0..=255u8)),
+            2 => Op::Flush,
+            _ => Op::Cold,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pool_is_transparent(ops in arb_ops(), capacity in 1usize..6) {
+#[test]
+fn pool_is_transparent() {
+    let mut rng = StdRng::seed_from_u64(0xB0F0_0001);
+    for case in 0..64 {
+        let ops = random_ops(&mut rng);
+        let capacity = rng.random_range(1..6usize);
         let n_pages = 12u32;
         let pool = {
             let mut store = MemStore::new();
-            for _ in 0..n_pages { store.allocate().unwrap(); }
+            for _ in 0..n_pages {
+                store.allocate().unwrap();
+            }
             BufferPool::new(Box::new(store), capacity)
         };
         // The model: raw page contents.
@@ -44,7 +46,7 @@ proptest! {
                 Op::Read(p) => {
                     let p = (p as u32) % n_pages;
                     let got = pool.with_page(p, |d| d[0]).unwrap();
-                    prop_assert_eq!(got, model[p as usize][0]);
+                    assert_eq!(got, model[p as usize][0], "case {case}");
                 }
                 Op::Write(p, v) => {
                     let p = (p as u32) % n_pages;
@@ -58,27 +60,39 @@ proptest! {
         // Final state: every page visible through the pool matches the model.
         for p in 0..n_pages {
             let got = pool.with_page(p, |d| d[0]).unwrap();
-            prop_assert_eq!(got, model[p as usize][0]);
+            assert_eq!(got, model[p as usize][0], "case {case}");
         }
         // Accounting sanity: hits + misses = logical, classification splits misses.
         let s = pool.stats();
-        prop_assert!(s.physical_reads <= s.logical_reads);
-        prop_assert_eq!(s.sequential_reads + s.random_reads, s.physical_reads);
-        prop_assert!((0.0..=1.0).contains(&s.hit_ratio()));
+        assert!(s.physical_reads <= s.logical_reads, "case {case}");
+        assert_eq!(
+            s.sequential_reads + s.random_reads,
+            s.physical_reads,
+            "case {case}"
+        );
+        assert!((0.0..=1.0).contains(&s.hit_ratio()), "case {case}");
     }
+}
 
-    /// With capacity >= working set, a second pass is all hits.
-    #[test]
-    fn warm_pass_is_free(pages in 1u32..8) {
+/// With capacity >= working set, a second pass is all hits.
+#[test]
+fn warm_pass_is_free() {
+    for pages in 1u32..8 {
         let pool = {
             let mut store = MemStore::new();
-            for _ in 0..pages { store.allocate().unwrap(); }
+            for _ in 0..pages {
+                store.allocate().unwrap();
+            }
             BufferPool::new(Box::new(store), 16)
         };
-        for p in 0..pages { pool.with_page(p, |_| ()).unwrap(); }
+        for p in 0..pages {
+            pool.with_page(p, |_| ()).unwrap();
+        }
         pool.reset_stats();
-        for p in 0..pages { pool.with_page(p, |_| ()).unwrap(); }
-        prop_assert_eq!(pool.stats().physical_reads, 0);
-        prop_assert_eq!(pool.stats().logical_reads, pages as u64);
+        for p in 0..pages {
+            pool.with_page(p, |_| ()).unwrap();
+        }
+        assert_eq!(pool.stats().physical_reads, 0);
+        assert_eq!(pool.stats().logical_reads, pages as u64);
     }
 }

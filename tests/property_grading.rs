@@ -9,12 +9,10 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use smadb::exec::{collect, AggSpec, Filter, HashGAggr, SeqScan, SmaGAggr, SmaScan};
 use smadb::sma::{col, AggFn, BucketPred, CmpOp, Grade, SmaDefinition, SmaSet};
 use smadb::storage::Table;
-use smadb::types::{Column, DataType, Schema, Value};
+use smadb::types::{Column, DataType, Schema, StdRng, Value};
 
 /// Builds a table of (K: Int, G: Char) rows, padded to 2 tuples per page.
 fn build_table(rows: &[(i64, u8)]) -> Table {
@@ -26,8 +24,12 @@ fn build_table(rows: &[(i64, u8)]) -> Table {
     let mut t = Table::in_memory("t", schema, 1);
     let pad = "p".repeat(1700);
     for &(k, g) in rows {
-        t.append(&vec![Value::Int(k), Value::Char(g), Value::Str(pad.clone())])
-            .unwrap();
+        t.append(&vec![
+            Value::Int(k),
+            Value::Char(g),
+            Value::Str(pad.clone()),
+        ])
+        .unwrap();
     }
     t
 }
@@ -46,64 +48,90 @@ fn build_smas(t: &Table) -> SmaSet {
     .unwrap()
 }
 
-fn arb_rows() -> impl Strategy<Value = Vec<(i64, u8)>> {
-    proptest::collection::vec((0i64..100, prop_oneof![Just(b'A'), Just(b'B')]), 1..120)
+fn random_rows(rng: &mut StdRng) -> Vec<(i64, u8)> {
+    let n = rng.random_range(1..120usize);
+    (0..n)
+        .map(|_| {
+            let k = rng.random_range(0i64..100);
+            let g = if rng.random_bool() { b'A' } else { b'B' };
+            (k, g)
+        })
+        .collect()
 }
 
-fn arb_pred() -> impl Strategy<Value = BucketPred> {
-    let op = prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ];
-    let atom = (op, -5i64..105).prop_map(|(op, c)| BucketPred::cmp(0, op, c));
+fn random_cmp(rng: &mut StdRng) -> CmpOp {
+    [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.random_range(0..5usize)]
+}
+
+fn random_pred(rng: &mut StdRng) -> BucketPred {
+    let atom = |rng: &mut StdRng| {
+        let op = random_cmp(rng);
+        let c = rng.random_range(-5i64..105);
+        BucketPred::cmp(0, op, c)
+    };
     // Depth-1 boolean combinations over column K.
-    prop_oneof![
-        atom.clone(),
-        proptest::collection::vec(atom.clone(), 2..4).prop_map(BucketPred::And),
-        proptest::collection::vec(atom, 2..4).prop_map(BucketPred::Or),
-    ]
+    match rng.random_range(0..3u32) {
+        0 => atom(rng),
+        1 => {
+            let n = rng.random_range(2..4usize);
+            BucketPred::And((0..n).map(|_| atom(rng)).collect())
+        }
+        _ => {
+            let n = rng.random_range(2..4usize);
+            BucketPred::Or((0..n).map(|_| atom(rng)).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn grading_is_sound(rows in arb_rows(), pred in arb_pred()) {
+#[test]
+fn grading_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x62AD_0001);
+    for _ in 0..48 {
+        let rows = random_rows(&mut rng);
+        let pred = random_pred(&mut rng);
         let t = build_table(&rows);
         let smas = build_smas(&t);
         for b in 0..t.bucket_count() {
             let tuples = t.scan_bucket(b).unwrap();
             let passing = tuples.iter().filter(|(_, tu)| pred.eval_tuple(tu)).count();
             match pred.grade(b, &smas) {
-                Grade::Qualifies => prop_assert_eq!(
-                    passing, tuples.len(),
-                    "qualifying bucket {} has non-passing tuples under {:?}", b, pred
+                Grade::Qualifies => assert_eq!(
+                    passing,
+                    tuples.len(),
+                    "qualifying bucket {b} has non-passing tuples under {pred:?}"
                 ),
-                Grade::Disqualifies => prop_assert_eq!(
+                Grade::Disqualifies => assert_eq!(
                     passing, 0,
-                    "disqualifying bucket {} has passing tuples under {:?}", b, pred
+                    "disqualifying bucket {b} has passing tuples under {pred:?}"
                 ),
                 Grade::Ambivalent => {}
             }
         }
     }
+}
 
-    #[test]
-    fn sma_scan_equals_filter_scan(rows in arb_rows(), pred in arb_pred()) {
+#[test]
+fn sma_scan_equals_filter_scan() {
+    let mut rng = StdRng::seed_from_u64(0x62AD_0002);
+    for _ in 0..48 {
+        let rows = random_rows(&mut rng);
+        let pred = random_pred(&mut rng);
         let t = build_table(&rows);
         let smas = build_smas(&t);
         let mut fast = SmaScan::new(&t, pred.clone(), &smas);
         let fast_rows = collect(&mut fast).unwrap();
         let mut slow = Filter::new(Box::new(SeqScan::new(&t)), pred);
         let slow_rows = collect(&mut slow).unwrap();
-        prop_assert_eq!(fast_rows, slow_rows);
+        assert_eq!(fast_rows, slow_rows);
     }
+}
 
-    #[test]
-    fn sma_gaggr_equals_naive_plan(rows in arb_rows(), pred in arb_pred()) {
+#[test]
+fn sma_gaggr_equals_naive_plan() {
+    let mut rng = StdRng::seed_from_u64(0x62AD_0003);
+    for _ in 0..48 {
+        let rows = random_rows(&mut rng);
+        let pred = random_pred(&mut rng);
         let t = build_table(&rows);
         let smas = build_smas(&t);
         let specs = vec![
@@ -111,8 +139,7 @@ proptest! {
             AggSpec::Sum(col(0)),
             AggSpec::Avg(col(0)),
         ];
-        let mut fast =
-            SmaGAggr::new(&t, pred.clone(), vec![1], specs.clone(), &smas).unwrap();
+        let mut fast = SmaGAggr::new(&t, pred.clone(), vec![1], specs.clone(), &smas).unwrap();
         let fast_rows = collect(&mut fast).unwrap();
         let mut slow = HashGAggr::new(
             Box::new(Filter::new(Box::new(SeqScan::new(&t)), pred)),
@@ -120,11 +147,16 @@ proptest! {
             specs,
         );
         let slow_rows = collect(&mut slow).unwrap();
-        prop_assert_eq!(fast_rows, slow_rows);
+        assert_eq!(fast_rows, slow_rows);
     }
+}
 
-    #[test]
-    fn grading_with_distinct_count_sma_is_sound(rows in arb_rows(), c in -5i64..105) {
+#[test]
+fn grading_with_distinct_count_sma_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x62AD_0004);
+    for _ in 0..48 {
+        let rows = random_rows(&mut rng);
+        let c = rng.random_range(-5i64..105);
         // Only the count-by-K SMA (no min/max): the §3.1 count rules alone.
         let t = build_table(&rows);
         let smas = SmaSet::build(
@@ -137,22 +169,27 @@ proptest! {
             let tuples = t.scan_bucket(b).unwrap();
             let passing = tuples.iter().filter(|(_, tu)| pred.eval_tuple(tu)).count();
             match pred.grade(b, &smas) {
-                Grade::Qualifies => prop_assert_eq!(passing, tuples.len()),
-                Grade::Disqualifies => prop_assert_eq!(passing, 0),
+                Grade::Qualifies => assert_eq!(passing, tuples.len()),
+                Grade::Disqualifies => assert_eq!(passing, 0),
                 Grade::Ambivalent => {
                     // With exact per-value counts, ambivalence must mean a
                     // genuinely mixed bucket.
-                    prop_assert!(passing > 0 && passing < tuples.len());
+                    assert!(passing > 0 && passing < tuples.len());
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn column_vs_column_grading_is_sound(
-        rows in proptest::collection::vec((0i64..50, 0i64..50), 1..80),
-    ) {
+#[test]
+fn column_vs_column_grading_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x62AD_0005);
+    for _ in 0..48 {
         // Two integer columns, A op B predicates.
+        let n = rng.random_range(1..80usize);
+        let rows: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.random_range(0i64..50), rng.random_range(0i64..50)))
+            .collect();
         let schema = Arc::new(Schema::new(vec![
             Column::new("A", DataType::Int),
             Column::new("B", DataType::Int),
@@ -180,8 +217,8 @@ proptest! {
                 let tuples = t.scan_bucket(bu).unwrap();
                 let passing = tuples.iter().filter(|(_, tu)| pred.eval_tuple(tu)).count();
                 match pred.grade(bu, &smas) {
-                    Grade::Qualifies => prop_assert_eq!(passing, tuples.len(), "{:?}", op),
-                    Grade::Disqualifies => prop_assert_eq!(passing, 0, "{:?}", op),
+                    Grade::Qualifies => assert_eq!(passing, tuples.len(), "{op:?}"),
+                    Grade::Disqualifies => assert_eq!(passing, 0, "{op:?}"),
                     Grade::Ambivalent => {}
                 }
             }

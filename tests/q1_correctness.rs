@@ -4,11 +4,11 @@
 
 use smadb::exec::{run_query1, PlanKind, Query1Config};
 use smadb::sma::SmaSet;
-use smadb::tpcd::{
-    generate_lineitem_table, load_lineitem, q1_cutoff, q1_reference_table, Clustering,
-    GenConfig, Q1Row,
-};
 use smadb::storage::MemStore;
+use smadb::tpcd::{
+    generate_lineitem_table, load_lineitem, q1_cutoff, q1_reference_table, Clustering, GenConfig,
+    Q1Row,
+};
 use smadb::types::Tuple;
 
 fn to_q1_rows(rows: &[Tuple]) -> Vec<Q1Row> {
@@ -33,7 +33,10 @@ fn every_clustering_every_delta() {
     for clustering in [
         Clustering::SortedByShipdate,
         Clustering::diagonal_default(),
-        Clustering::Diagonal { mean_lag_days: 20.0, std_dev_days: 60.0 },
+        Clustering::Diagonal {
+            mean_lag_days: 20.0,
+            std_dev_days: 60.0,
+        },
         Clustering::Uniform,
         Clustering::Shuffled,
     ] {
@@ -46,7 +49,10 @@ fn every_clustering_every_delta() {
         });
         let smas = SmaSet::build_query1_set(&table).unwrap();
         for delta in [0, 60, 90, 120, 2000] {
-            let cfg = Query1Config { delta, ..Query1Config::default() };
+            let cfg = Query1Config {
+                delta,
+                ..Query1Config::default()
+            };
             let with = run_query1(&table, Some(&smas), &cfg).unwrap();
             let oracle = q1_reference_table(&table, q1_cutoff(delta)).unwrap();
             assert_eq!(
@@ -75,14 +81,17 @@ fn bucket_sizes_do_not_change_answers() {
         let smas = SmaSet::build_query1_set(&table).unwrap();
         let with = run_query1(&table, Some(&smas), &Query1Config::default()).unwrap();
         let oracle = q1_reference_table(&table, q1_cutoff(90)).unwrap();
-        assert_eq!(to_q1_rows(&with.rows), oracle, "bucket_pages {bucket_pages}");
+        assert_eq!(
+            to_q1_rows(&with.rows),
+            oracle,
+            "bucket_pages {bucket_pages}"
+        );
     }
 }
 
 #[test]
 fn parallel_build_answers_identically() {
-    let table =
-        generate_lineitem_table(&GenConfig::tiny(Clustering::diagonal_default()));
+    let table = generate_lineitem_table(&GenConfig::tiny(Clustering::diagonal_default()));
     let defs = SmaSet::query1_definitions(&table).unwrap();
     let serial = SmaSet::build(&table, defs.clone()).unwrap();
     let parallel = SmaSet::build_parallel(&table, defs, 4).unwrap();
@@ -144,7 +153,10 @@ fn file_backed_table_cold_and_warm() {
     let cold = run_query1(
         &table,
         Some(&smas),
-        &Query1Config { cold: true, ..Query1Config::default() },
+        &Query1Config {
+            cold: true,
+            ..Query1Config::default()
+        },
     )
     .unwrap();
     assert_eq!(to_q1_rows(&cold.rows), oracle);
