@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paper_tables [e1|e2|e3|e4|e5|e6|a1|a2|a3|e8|all]
+//! paper_tables [e1|e2|e3|e4|e5|e6|a1|a2|a3|e8|e9|all]
 //! ```
 //!
 //! * `e1` — SMA creation times & sizes (§2.4 table)
@@ -14,6 +14,7 @@
 //! * `a2` — ablation: hierarchical SMAs (§4)
 //! * `a3` — ablation: join SMAs / semi-join reduction (§4)
 //! * `e8` — thread scaling: bucket-parallel bulkload and `SmaGAggr`
+//! * `e9` — degraded-path overhead: quarantined buckets & transient retries
 //!
 //! Scale with `SMA_SF` (default 0.002). Shapes, not absolute numbers, are
 //! the reproduction target: the paper ran on 1997 SCSI disks at SF 1.
@@ -69,6 +70,86 @@ fn main() {
     if all || which == "e8" {
         e8_thread_scaling();
     }
+    if all || which == "e9" {
+        e9_degradation();
+    }
+}
+
+/// E9 — degraded-path overhead (not in the paper): Query 1 through
+/// `SmaGAggr` with a growing fraction of buckets quarantined, so demoted
+/// to base-table scans, and a transient-fault run where the buffer pool
+/// rides the faults out by retrying. Answers are asserted identical to
+/// the healthy run throughout — degradation may only cost time.
+fn e9_degradation() {
+    println!("--- E9: degraded-path overhead (quarantine demotion & retries) ---");
+    let table = bench_table(Clustering::diagonal_default(), 1);
+    let defs = SmaSet::query1_definitions(&table).expect("defs");
+    let pred = BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(cutoff(90)));
+    let group_by = vec![li::RETURNFLAG, li::LINESTATUS];
+    let specs = vec![
+        sma_exec::AggSpec::CountStar,
+        sma_exec::AggSpec::Sum(col(li::QUANTITY)),
+        sma_exec::AggSpec::Avg(col(li::QUANTITY)),
+    ];
+    let run = |smas: &SmaSet, t: &Table| {
+        let mut op =
+            sma_exec::SmaGAggr::new(t, pred.clone(), group_by.clone(), specs.clone(), smas)
+                .expect("plan");
+        let started = Instant::now();
+        let rows = collect(&mut op).expect("run");
+        (rows, op.counters(), started.elapsed().as_secs_f64())
+    };
+    let healthy = SmaSet::build(&table, defs.clone()).expect("build");
+    let _ = run(&healthy, &table); // warm the pool so the baseline is steady
+    let (expected, _, base_s) = run(&healthy, &table);
+    println!(
+        "{:>12} {:>9} {:>12} {:>10}",
+        "quarantined", "demoted", "runtime", "vs healthy"
+    );
+    for pct in [0u64, 5, 25, 50, 100] {
+        let mut smas = SmaSet::build(&table, defs.clone()).expect("build");
+        for b in 0..table.bucket_count() {
+            // Evenly spread pct% of buckets (floor-fraction stride).
+            if (b as u64 * pct) / 100 != ((b as u64 + 1) * pct) / 100 {
+                smas.quarantine_bucket(b);
+            }
+        }
+        let (rows, counters, secs) = run(&smas, &table);
+        assert_eq!(rows, expected, "degraded answers must stay exact");
+        println!(
+            "{:>11}% {:>9} {:>10.2}ms {:>9.2}x",
+            pct,
+            counters.degradation.demoted_buckets.len(),
+            secs * 1e3,
+            secs / base_s
+        );
+    }
+    // Transient read faults on 40% of pages, bursts ≤ 3, absorbed by the
+    // pool's retry budget against a cold store.
+    let mut dest = sma_storage::MemStore::new();
+    table.export_to_store(&mut dest).expect("export");
+    let faulty = Table::new(
+        table.name().to_string(),
+        sma_tpcd::lineitem_schema(),
+        Box::new(sma_storage::FaultPlan::new(
+            dest,
+            sma_storage::FaultConfig::seeded(9).with_transient(40, 3),
+        )),
+        1 << 16,
+        table.bucket_pages(),
+    );
+    faulty.set_retry_policy(sma_storage::RetryPolicy {
+        max_retries: 3,
+        base_backoff_us: 0,
+    });
+    let (rows, counters, secs) = run(&healthy, &faulty);
+    assert_eq!(rows, expected, "retried answers must stay exact");
+    println!(
+        "transient chaos: {} retries spent, {:.2}ms ({:.2}x healthy)\n",
+        counters.degradation.retries_spent,
+        secs * 1e3,
+        secs / base_s
+    );
 }
 
 /// E8 — thread scaling of the bucket-parallel paths (not in the paper;
@@ -417,6 +498,7 @@ fn time_forced(table: &Table, smas: Option<&SmaSet>, force_sma: bool) -> std::ti
                     seq_read_ms: 1.0,
                     rand_read_ms: 1.0,
                     write_ms: 0.0,
+                    failed_read_ms: 0.0,
                 },
                 hard_breakeven: None,
             },

@@ -110,6 +110,12 @@ impl SmaCatalog {
         self.sets.get(relation)
     }
 
+    /// Mutable access to the SMA set for `relation` — the entry point for
+    /// quarantine marking and bucket-level healing.
+    pub fn set_for_mut(&mut self, relation: &str) -> Option<&mut SmaSet> {
+        self.sets.get_mut(relation)
+    }
+
     /// Installs an already-built SMA on `relation`, replacing any existing
     /// SMA of the same name.
     ///

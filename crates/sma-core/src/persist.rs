@@ -353,6 +353,9 @@ fn decode_payload(buf: &[u8]) -> Result<Sma, SmaError> {
         groups,
         null_seen,
         stale,
+        // Quarantine is runtime state: a freshly decoded image carries
+        // none (damaged SMAs are never saved in the first place).
+        quarantined: vec![false; n_buckets as usize],
     })
 }
 

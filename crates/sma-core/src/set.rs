@@ -140,11 +140,46 @@ impl SmaSet {
     }
 
     /// Refreshes every member's entries for `bucket` from the table.
+    /// Clears any quarantine on the bucket: the entries are authoritative
+    /// again after a rescan.
     pub fn refresh_bucket(&mut self, table: &Table, bucket: BucketNo) -> Result<(), SmaError> {
         for s in &mut self.smas {
             s.refresh_bucket(table, bucket)?;
         }
         Ok(())
+    }
+
+    /// Marks `bucket` as quarantined in every member SMA: its entries may
+    /// be garbage (corrupt page, inconsistent counts) and must not be
+    /// trusted for grading until [`SmaSet::refresh_bucket`] rebuilds them.
+    pub fn quarantine_bucket(&mut self, bucket: BucketNo) {
+        for s in &mut self.smas {
+            s.quarantine_bucket(bucket);
+        }
+    }
+
+    /// Whether *any* member SMA has `bucket` quarantined. One damaged
+    /// member poisons the whole bucket because query answers may draw on
+    /// every SMA in the set.
+    pub fn is_bucket_quarantined(&self, bucket: BucketNo) -> bool {
+        self.smas.iter().any(|s| s.is_quarantined(bucket))
+    }
+
+    /// Sorted, deduplicated list of buckets quarantined in at least one
+    /// member SMA.
+    pub fn quarantined_buckets(&self) -> Vec<BucketNo> {
+        let mut out: Vec<BucketNo> = Vec::new();
+        for s in &self.smas {
+            out.extend(s.quarantined_buckets());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether any member SMA carries quarantined buckets.
+    pub fn has_quarantine(&self) -> bool {
+        self.smas.iter().any(Sma::has_quarantine)
     }
 
     /// The definitions of Fig. 4: the eight SMAs that answer TPC-D
@@ -198,6 +233,9 @@ impl SmaSet {
 impl StatsProvider for SmaSet {
     fn min_of(&self, c: usize, bucket: BucketNo) -> Option<Value> {
         let sma = self.min_sma_for(c)?;
+        if sma.is_quarantined(bucket) {
+            return None;
+        }
         match sma.bucket_value_across_groups(bucket) {
             Value::Null => None,
             v => Some(v),
@@ -206,6 +244,9 @@ impl StatsProvider for SmaSet {
 
     fn max_of(&self, c: usize, bucket: BucketNo) -> Option<Value> {
         let sma = self.max_sma_for(c)?;
+        if sma.is_quarantined(bucket) {
+            return None;
+        }
         match sma.bucket_value_across_groups(bucket) {
             Value::Null => None,
             v => Some(v),
@@ -215,14 +256,20 @@ impl StatsProvider for SmaSet {
     fn null_free(&self, c: usize, bucket: BucketNo) -> bool {
         // Known null-free iff a min or max SMA on the column was built and
         // never saw a Null in this bucket (tracked at build/maintenance).
+        // Stale bounds are loose-but-sound, so they forfeit only the
+        // null-free claim; quarantined entries are possibly garbage and
+        // forfeit everything.
         self.min_sma_for(c)
             .or_else(|| self.max_sma_for(c))
-            .map(|s| !s.saw_null(bucket) && !s.is_stale(bucket))
+            .map(|s| !s.saw_null(bucket) && !s.is_stale(bucket) && !s.is_quarantined(bucket))
             .unwrap_or(false)
     }
 
     fn distinct_counts(&self, c: usize, bucket: BucketNo) -> Option<Vec<(Value, i64)>> {
         let sma = self.count_sma_grouped_by(c)?;
+        if sma.is_quarantined(bucket) {
+            return None;
+        }
         let mut out = Vec::new();
         for (key, file) in sma.groups() {
             let n = file.get(bucket)?.as_int().unwrap_or(0);
@@ -411,6 +458,31 @@ mod tests {
         set.refresh_bucket(&t, 0).unwrap();
         assert_eq!(set.min_of(0, 0), Some(date("1997-02-02")));
         assert!(set.null_free(0, 0));
+    }
+
+    #[test]
+    fn quarantine_downgrades_grading_until_refresh() {
+        let t = fig1_table();
+        let mut set = fig1_set(&t);
+        let pred = BucketPred::cmp(0, CmpOp::Lt, date("1997-04-30"));
+        assert_eq!(pred.grade(2, &set), Grade::Disqualifies);
+        set.quarantine_bucket(2);
+        assert!(set.is_bucket_quarantined(2));
+        assert!(set.has_quarantine());
+        assert_eq!(set.quarantined_buckets(), vec![2]);
+        // Damaged entries must not disqualify (or qualify) anything: the
+        // provider answers None/false, so grading lands on Ambivalent.
+        assert_eq!(pred.grade(2, &set), Grade::Ambivalent);
+        assert_eq!(set.min_of(0, 2), None);
+        assert_eq!(set.max_of(0, 2), None);
+        assert!(!set.null_free(0, 2));
+        assert_eq!(set.distinct_counts(1, 2), None);
+        // Untouched buckets are unaffected.
+        assert_eq!(pred.grade(0, &set), Grade::Qualifies);
+        // Rescanning the bucket restores trust and the original grade.
+        set.refresh_bucket(&t, 2).unwrap();
+        assert!(!set.has_quarantine());
+        assert_eq!(pred.grade(2, &set), Grade::Disqualifies);
     }
 
     #[test]

@@ -52,7 +52,17 @@ impl fmt::Display for SmaError {
     }
 }
 
-impl std::error::Error for SmaError {}
+impl std::error::Error for SmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmaError::Def(e) => Some(e),
+            SmaError::Expr(e) => Some(e),
+            SmaError::Table(e) => Some(e),
+            SmaError::Store(e) => Some(e),
+            SmaError::Corrupt(_) => None,
+        }
+    }
+}
 
 impl From<DefError> for SmaError {
     fn from(e: DefError) -> SmaError {
@@ -91,6 +101,15 @@ pub struct Sma {
     pub(crate) null_seen: Vec<bool>,
     /// Per bucket: whether a delete/update may have left min/max loose.
     pub(crate) stale: Vec<bool>,
+    /// Per bucket: whether the entries are *quarantined* — flagged as
+    /// damaged (corrupt page behind them, or an inconsistency observed at
+    /// query time) and not to be trusted for grading or merging. Unlike
+    /// `stale` (loose but sound bounds), quarantined entries may be
+    /// arbitrary garbage; execution demotes such buckets to base-table
+    /// scans and [`Sma::refresh_bucket`] heals them. Runtime state only —
+    /// never persisted (a damaged SMA is simply not saved; recovery
+    /// rebuilds it from the table).
+    pub(crate) quarantined: Vec<bool>,
 }
 
 impl Sma {
@@ -162,6 +181,40 @@ impl Sma {
         self.stale.get(bucket as usize).copied().unwrap_or(true)
     }
 
+    /// Flags `bucket`'s entries as damaged: grading stops trusting them,
+    /// execution demotes the bucket to a base-table scan, and
+    /// [`Sma::refresh_bucket`] (the heal path) clears the flag by
+    /// recomputing the entries from the table.
+    pub fn quarantine_bucket(&mut self, bucket: BucketNo) {
+        self.ensure_bucket(bucket);
+        self.quarantined[bucket as usize] = true;
+    }
+
+    /// Whether `bucket`'s entries are quarantined. Out-of-range buckets
+    /// answer `false`: they are *unknown* (see [`Sma::is_stale`]), not
+    /// damaged, and need no healing.
+    pub fn is_quarantined(&self, bucket: BucketNo) -> bool {
+        self.quarantined
+            .get(bucket as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The quarantined buckets, in ascending order.
+    pub fn quarantined_buckets(&self) -> Vec<BucketNo> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q)
+            .map(|(b, _)| b as BucketNo)
+            .collect()
+    }
+
+    /// Whether any bucket is quarantined.
+    pub fn has_quarantine(&self) -> bool {
+        self.quarantined.iter().any(|&q| q)
+    }
+
     /// Total physical size across all this SMA's files, in 4 KiB pages.
     pub fn total_pages(&self) -> usize {
         self.groups.values().map(SmaFile::size_pages).sum()
@@ -188,6 +241,7 @@ impl Sma {
         }
         self.null_seen.resize(bucket as usize + 1, false);
         self.stale.resize(bucket as usize + 1, false);
+        self.quarantined.resize(bucket as usize + 1, false);
         self.n_buckets = bucket + 1;
     }
 
@@ -277,6 +331,7 @@ impl Sma {
             self.note_insert(bucket, tuple)?;
         }
         self.stale[bucket as usize] = false;
+        self.quarantined[bucket as usize] = false;
         Ok(())
     }
 }
@@ -314,6 +369,7 @@ pub fn build_many(table: &Table, defs: Vec<SmaDefinition>) -> Result<Vec<Sma>, S
             groups: BTreeMap::new(),
             null_seen: Vec::new(),
             stale: Vec::new(),
+            quarantined: Vec::new(),
         });
     }
     let n_buckets = table.bucket_count();
@@ -405,6 +461,7 @@ pub fn build_many_parallel(
             groups: BTreeMap::new(),
             null_seen: vec![false; n_buckets as usize],
             stale: vec![false; n_buckets as usize],
+            quarantined: vec![false; n_buckets as usize],
         })
         .collect();
     let mut ordered: Vec<(u32, Partial)> = results.into_iter().collect::<Result<_, _>>()?;

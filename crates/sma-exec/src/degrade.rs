@@ -1,0 +1,135 @@
+//! Degradation accounting for self-healing execution.
+//!
+//! SMAs are redundant derived data (§3 of the paper: every entry is
+//! recomputable from its bucket), so a damaged SMA entry never has to fail
+//! a query — the operators demote the affected bucket to a plain scan of
+//! the base table and keep going. This module holds the record of what was
+//! given up: which buckets lost their SMA fast path and why, plus how many
+//! transient-I/O retries the storage layer spent underneath. Only base
+//! table damage remains a hard error, because base pages are primary data
+//! with nothing to rebuild them from.
+
+/// What a resilient operator had to give up during one execution.
+///
+/// Carried inside [`crate::ScanCounters`] and merged deterministically
+/// across morsel workers: bucket lists are kept sorted and deduplicated,
+/// so the report is identical at any thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Buckets answered by scanning the base table instead of the SMA
+    /// fast path (union of the quarantined and inconsistent lists).
+    pub demoted_buckets: Vec<u32>,
+    /// Demoted because a consulted SMA had the bucket quarantined
+    /// (possibly-garbage entries after detected corruption).
+    pub quarantined_buckets: Vec<u32>,
+    /// Demoted because the SMA set contradicted itself mid-merge: an
+    /// aggregate SMA materialized values the count SMA knows nothing
+    /// about, so group existence could not be derived from entries alone.
+    pub inconsistent_buckets: Vec<u32>,
+    /// Transient-I/O read retries the buffer pool spent while this
+    /// operator executed (successful recoveries — give-ups surface as
+    /// errors, not degradation).
+    pub retries_spent: u64,
+}
+
+impl DegradationReport {
+    /// True when execution ran entirely on the healthy fast path: no
+    /// bucket demoted and no retry spent.
+    pub fn is_empty(&self) -> bool {
+        self.demoted_buckets.is_empty()
+            && self.quarantined_buckets.is_empty()
+            && self.inconsistent_buckets.is_empty()
+            && self.retries_spent == 0
+    }
+
+    /// Records a bucket demoted because of quarantined SMA entries.
+    pub fn note_quarantined(&mut self, bucket: u32) {
+        self.demoted_buckets.push(bucket);
+        self.quarantined_buckets.push(bucket);
+    }
+
+    /// Records a bucket demoted because of an inconsistent SMA set.
+    pub fn note_inconsistent(&mut self, bucket: u32) {
+        self.demoted_buckets.push(bucket);
+        self.inconsistent_buckets.push(bucket);
+    }
+
+    /// Merges another worker's report into this one and re-normalizes, so
+    /// the combined report is independent of morsel boundaries and worker
+    /// completion order.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        self.demoted_buckets
+            .extend_from_slice(&other.demoted_buckets);
+        self.quarantined_buckets
+            .extend_from_slice(&other.quarantined_buckets);
+        self.inconsistent_buckets
+            .extend_from_slice(&other.inconsistent_buckets);
+        self.retries_spent += other.retries_spent;
+        self.normalize();
+    }
+
+    /// Sorts and deduplicates the bucket lists.
+    pub fn normalize(&mut self) {
+        for list in [
+            &mut self.demoted_buckets,
+            &mut self.quarantined_buckets,
+            &mut self.inconsistent_buckets,
+        ] {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "healthy (no degradation)");
+        }
+        write!(
+            f,
+            "{} bucket(s) demoted to base scan ({} quarantined, {} inconsistent), {} retry(ies) spent",
+            self.demoted_buckets.len(),
+            self.quarantined_buckets.len(),
+            self.inconsistent_buckets.len(),
+            self.retries_spent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_order_independent_and_dedups() {
+        let mut a = DegradationReport::default();
+        a.note_quarantined(5);
+        a.note_quarantined(1);
+        a.retries_spent = 2;
+        let mut b = DegradationReport::default();
+        b.note_inconsistent(3);
+        b.note_quarantined(5);
+        b.retries_spent = 1;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.demoted_buckets, vec![1, 3, 5]);
+        assert_eq!(ab.quarantined_buckets, vec![1, 5]);
+        assert_eq!(ab.inconsistent_buckets, vec![3]);
+        assert_eq!(ab.retries_spent, 3);
+    }
+
+    #[test]
+    fn emptiness_counts_retries() {
+        let mut r = DegradationReport::default();
+        assert!(r.is_empty());
+        r.retries_spent = 1;
+        assert!(!r.is_empty());
+        assert!(r.to_string().contains("1 retry"));
+        assert!(DegradationReport::default().to_string().contains("healthy"));
+    }
+}

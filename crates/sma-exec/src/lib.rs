@@ -6,6 +6,8 @@
 //! * [`gaggr`] — Dayal-style grouping/aggregation (`HashGAggr`),
 //! * [`sma_gaggr`] — `SmaGAggr` (Fig. 7),
 //! * [`parallel`] — the bucket-parallelism knob and morsel partitioning,
+//! * [`degrade`] — degradation accounting: buckets demoted to base scans
+//!   when SMA entries cannot be trusted, and retries spent underneath,
 //! * [`semijoin`] — semi-joins with SMA input reduction (§4),
 //! * [`planner`] — cost-based plan choice with the Fig. 5 breakeven,
 //! * [`query1`] — end-to-end TPC-D Query 1 runs.
@@ -13,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod basic;
+pub mod degrade;
 pub mod gaggr;
 pub mod op;
 pub mod parallel;
@@ -27,6 +30,7 @@ pub mod sma_gaggr;
 pub mod sort;
 
 pub use basic::{Filter, Project, SeqScan};
+pub use degrade::DegradationReport;
 pub use gaggr::{AggSpec, HashGAggr};
 pub use op::{collect, ExecError, PhysicalOp};
 pub use parallel::{morsels, Parallelism};

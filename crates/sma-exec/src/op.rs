@@ -43,7 +43,16 @@ impl fmt::Display for ExecError {
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Table(e) => Some(e),
+            ExecError::Sma(e) => Some(e),
+            ExecError::Expr(e) => Some(e),
+            ExecError::MissingSma(_) | ExecError::Plan(_) | ExecError::InconsistentSma(_) => None,
+        }
+    }
+}
 
 impl From<TableError> for ExecError {
     fn from(e: TableError) -> ExecError {

@@ -22,8 +22,9 @@ use sma_storage::{CostModel, Table};
 use sma_types::Tuple;
 
 use crate::basic::{Filter, SeqScan};
+use crate::degrade::DegradationReport;
 use crate::gaggr::{AggSpec, HashGAggr};
-use crate::op::{collect, ExecError};
+use crate::op::{collect, ExecError, PhysicalOp};
 use crate::scan::SmaScan;
 use crate::sma_gaggr::SmaGAggr;
 
@@ -92,6 +93,14 @@ pub struct Plan<'a> {
 impl Plan<'_> {
     /// Runs the plan to completion.
     pub fn execute(&self) -> Result<Vec<Tuple>, ExecError> {
+        Ok(self.execute_with_report()?.0)
+    }
+
+    /// Runs the plan to completion and reports what the resilience layer
+    /// had to give up: buckets demoted to base-table scans (quarantined or
+    /// inconsistent SMA entries) and transient-I/O retries spent. The
+    /// report is empty on a healthy run and for the SMA-less full scan.
+    pub fn execute_with_report(&self) -> Result<(Vec<Tuple>, DegradationReport), ExecError> {
         match self.kind {
             PlanKind::SmaGAggr => {
                 let smas = self.smas.expect("kind implies SMAs");
@@ -102,17 +111,25 @@ impl Plan<'_> {
                     self.query.specs.clone(),
                     smas,
                 )?;
-                collect(&mut op)
+                let rows = collect(&mut op)?;
+                Ok((rows, op.counters().degradation))
             }
             PlanKind::SmaScanGAggr => {
                 let smas = self.smas.expect("kind implies SMAs");
-                let scan = SmaScan::new(self.table, self.query.pred.clone(), smas);
+                // Drive the scan directly so its counters survive the
+                // aggregation; the filtered tuples are buffered, which
+                // leaves the page I/O pattern identical to the pipelined
+                // form (the scan does all its I/O either way).
+                let mut scan = SmaScan::new(self.table, self.query.pred.clone(), smas);
+                let filtered = collect(&mut scan)?;
+                let report = scan.counters().degradation;
                 let mut op = HashGAggr::new(
-                    Box::new(scan),
+                    Box::new(Buffered::new(filtered)),
                     self.query.group_by.clone(),
                     self.query.specs.clone(),
                 );
-                collect(&mut op)
+                let rows = collect(&mut op)?;
+                Ok((rows, report))
             }
             PlanKind::FullScan => {
                 let scan = SeqScan::new(self.table);
@@ -122,7 +139,8 @@ impl Plan<'_> {
                     self.query.group_by.clone(),
                     self.query.specs.clone(),
                 );
-                collect(&mut op)
+                let rows = collect(&mut op)?;
+                Ok((rows, DegradationReport::default()))
             }
         }
     }
@@ -156,6 +174,43 @@ impl Plan<'_> {
             self.query.pred
         ));
         out
+    }
+}
+
+/// Replays an already-materialized tuple vector through the operator
+/// interface (used by [`Plan::execute_with_report`] to keep a scan's
+/// counters accessible after aggregation consumes its output).
+struct Buffered {
+    rows: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Buffered {
+    fn new(rows: Vec<Tuple>) -> Buffered {
+        Buffered { rows, pos: 0 }
+    }
+}
+
+impl PhysicalOp for Buffered {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.pos < self.rows.len() {
+            let t = std::mem::take(&mut self.rows[self.pos]);
+            self.pos += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {}
+
+    fn describe(&self) -> String {
+        format!("Buffered({} rows)", self.rows.len())
     }
 }
 
@@ -434,6 +489,7 @@ mod tests {
             seq_read_ms: 1.0,
             rand_read_ms: 10.0,
             write_ms: 0.0,
+            failed_read_ms: 0.0,
         };
         // Contiguous run: 1 seek + 3 sequential.
         let run = vec![

@@ -10,6 +10,7 @@ use sma_core::{col, dec_lit, BucketPred, CmpOp, SmaSet};
 use sma_storage::{IoStats, Table};
 use sma_types::{Date, Tuple, Value};
 
+use crate::degrade::DegradationReport;
 use crate::gaggr::AggSpec;
 use crate::op::ExecError;
 use crate::planner::{plan, AggregateQuery, PlanKind, PlannerConfig};
@@ -51,6 +52,8 @@ pub struct Q1Execution {
     pub elapsed: Duration,
     /// Deterministic modeled I/O cost of the observed traffic, in ms.
     pub modeled_cost_ms: f64,
+    /// What the resilience layer gave up (empty on a healthy run).
+    pub degradation: DegradationReport,
 }
 
 /// Builds Query 1's algebraic form over `table`'s schema.
@@ -110,7 +113,7 @@ pub fn run_query1(
     }
     table.reset_io_stats();
     let started = Instant::now();
-    let rows = chosen.execute()?;
+    let (rows, degradation) = chosen.execute_with_report()?;
     let elapsed = started.elapsed();
     let io = table.io_stats();
     Ok(Q1Execution {
@@ -119,6 +122,7 @@ pub fn run_query1(
         io,
         elapsed,
         modeled_cost_ms: config.planner.cost_model.cost_ms(&io),
+        degradation,
     })
 }
 

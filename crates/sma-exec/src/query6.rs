@@ -12,6 +12,7 @@ use sma_core::{col, AggFn, BucketPred, CmpOp, SmaDefinition, SmaSet};
 use sma_storage::{IoStats, Table};
 use sma_types::{Decimal, Value};
 
+use crate::degrade::DegradationReport;
 use crate::gaggr::AggSpec;
 use crate::op::ExecError;
 use crate::planner::{plan, AggregateQuery, PlanKind, PlannerConfig};
@@ -122,6 +123,8 @@ pub struct Q6Execution {
     pub io: IoStats,
     /// Wall-clock execution time (excludes planning).
     pub elapsed: std::time::Duration,
+    /// What the resilience layer gave up (empty on a healthy run).
+    pub degradation: DegradationReport,
 }
 
 /// Plans and runs Query 6 over `table`; pass `smas` to allow SMA plans.
@@ -135,7 +138,7 @@ pub fn run_query6(
     let chosen = plan(table, query, smas, planner);
     table.reset_io_stats();
     let started = Instant::now();
-    let rows = chosen.execute()?;
+    let (rows, degradation) = chosen.execute_with_report()?;
     let elapsed = started.elapsed();
     let revenue = match rows.first() {
         Some(row) => row[0].as_decimal().unwrap_or(Decimal::ZERO),
@@ -146,6 +149,7 @@ pub fn run_query6(
         plan_kind: chosen.kind,
         io: table.io_stats(),
         elapsed,
+        degradation,
     })
 }
 

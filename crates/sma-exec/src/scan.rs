@@ -9,11 +9,12 @@ use sma_core::{BucketPred, Grade, SmaSet};
 use sma_storage::{Table, TupleId};
 use sma_types::Tuple;
 
+use crate::degrade::DegradationReport;
 use crate::op::{ExecError, PhysicalOp};
 use crate::parallel::{morsels, Parallelism};
 
 /// Bucket-level counters a finished scan reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScanCounters {
     /// Buckets whose every tuple qualified (read, no predicate evaluation).
     pub qualified: u64,
@@ -21,6 +22,9 @@ pub struct ScanCounters {
     pub disqualified: u64,
     /// Buckets read and filtered tuple-by-tuple.
     pub ambivalent: u64,
+    /// What the resilience layer had to give up: buckets demoted to base
+    /// scans and transient-I/O retries spent (empty on a healthy run).
+    pub degradation: DegradationReport,
 }
 
 impl ScanCounters {
@@ -44,6 +48,9 @@ pub struct SmaScan<'a> {
     /// Grades precomputed in `open` by worker threads (empty on the serial
     /// path, which grades lazily bucket by bucket).
     grades: Vec<Grade>,
+    /// Pool retry counter at `open`, so `counters` reports only the
+    /// retries this execution spent.
+    retries_at_open: u64,
 }
 
 impl<'a> SmaScan<'a> {
@@ -61,6 +68,7 @@ impl<'a> SmaScan<'a> {
             counters: ScanCounters::default(),
             parallelism: Parallelism::default(),
             grades: Vec::new(),
+            retries_at_open: 0,
         }
     }
 
@@ -76,7 +84,7 @@ impl<'a> SmaScan<'a> {
 
     /// Bucket-level counters (meaningful once the scan is drained).
     pub fn counters(&self) -> ScanCounters {
-        self.counters
+        self.counters.clone()
     }
 
     /// Fig. 6's `getBucket`: advances to the next qualifying or ambivalent
@@ -100,11 +108,23 @@ impl<'a> SmaScan<'a> {
                 Grade::Qualifies => self.counters.qualified += 1,
                 Grade::Ambivalent => self.counters.ambivalent += 1,
             }
+            // A quarantined bucket grades Ambivalent (the provider refuses
+            // to answer for it), so it lands here and is read and filtered
+            // from the base table — correct, just slower. Record the
+            // demotion from the SMA fast path.
+            if self.smas.is_bucket_quarantined(bucket) {
+                self.counters.degradation.note_quarantined(bucket);
+            }
             self.buffer.clear();
             self.pos = 0;
             for page in self.table.bucket_range(bucket) {
                 self.table.scan_page_into(page, &mut self.buffer)?;
             }
+            self.counters.degradation.retries_spent = self
+                .table
+                .io_stats()
+                .retried_reads
+                .saturating_sub(self.retries_at_open);
             return Ok(true);
         }
     }
@@ -117,6 +137,7 @@ impl PhysicalOp for SmaScan<'_> {
         self.pos = 0;
         self.counters = ScanCounters::default();
         self.grades.clear();
+        self.retries_at_open = self.table.io_stats().retried_reads;
         let n_buckets = self.table.bucket_count();
         let threads = self.parallelism.get().min(n_buckets.max(1) as usize);
         if threads > 1 {
@@ -287,6 +308,33 @@ mod tests {
             // surviving buckets are read.
             assert_eq!(t.io_stats().logical_reads, 3, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn quarantined_buckets_degrade_to_base_scan_with_correct_rows() {
+        let t = sorted_table(40); // 20 buckets
+        let healthy = minmax(&t);
+        let pred = BucketPred::cmp(0, CmpOp::Le, 5i64);
+        let mut scan = SmaScan::new(&t, pred.clone(), &healthy);
+        let expected = collect(&mut scan).unwrap();
+
+        // Quarantine one bucket the predicate would have disqualified and
+        // one it would have qualified: both must demote to filtered reads.
+        let mut damaged = healthy.clone();
+        damaged.quarantine_bucket(0);
+        damaged.quarantine_bucket(10);
+        let mut scan = SmaScan::new(&t, pred, &damaged);
+        let rows = collect(&mut scan).unwrap();
+        assert_eq!(keys(&rows), keys(&expected), "degraded run stays exact");
+        let c = scan.counters();
+        assert_eq!(c.degradation.demoted_buckets, vec![0, 10]);
+        assert_eq!(c.degradation.quarantined_buckets, vec![0, 10]);
+        assert!(c.degradation.inconsistent_buckets.is_empty());
+        // Both demoted buckets were executed as ambivalent reads; the
+        // other qualifying buckets kept their fast path.
+        assert_eq!(c.ambivalent, 2);
+        assert_eq!(c.qualified, 2);
+        assert_eq!(c.disqualified, 16);
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl<'a> SemiJoin<'a> {
 
     /// Bucket counters (meaningful once drained).
     pub fn counters(&self) -> ScanCounters {
-        self.counters
+        self.counters.clone()
     }
 
     fn tuple_has_partner(&self, t: &Tuple) -> bool {

@@ -125,14 +125,25 @@ impl<'a> SmaGAggr<'a> {
 
     /// Bucket-level counters (meaningful after `open`).
     pub fn counters(&self) -> ScanCounters {
-        self.counters
+        self.counters.clone()
     }
 
+    /// Whether any SMA this operator would draw entries from has `bucket`
+    /// quarantined — if so the entries may be garbage and the bucket must
+    /// be answered from the base table instead.
+    fn aggregate_entries_quarantined(&self, bucket: u32) -> bool {
+        self.count_sma.sma.is_quarantined(bucket)
+            || self.resolved.iter().any(|r| r.sma.is_quarantined(bucket))
+    }
+
+    /// Merges one qualifying bucket's SMA entries into a *fresh* group map
+    /// so an inconsistency detected mid-merge leaves the caller's state
+    /// untouched and the bucket can be demoted to a base scan instead.
     fn merge_qualifying_bucket(
         &self,
         bucket: u32,
-        groups: &mut BTreeMap<Vec<Value>, GroupState>,
-    ) -> Result<(), ExecError> {
+    ) -> Result<BTreeMap<Vec<Value>, GroupState>, ExecError> {
+        let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
         // Groups that received a materialized aggregate value this bucket;
         // each must also be covered by the count SMA, or group existence
         // (and averages) would be computed from thin air.
@@ -167,12 +178,16 @@ impl<'a> SmaGAggr<'a> {
                  {orphan:?} but the count SMA has no entry for that bucket"
             )));
         }
-        Ok(())
+        Ok(groups)
     }
 
     /// Fig. 7's bucket loop over one contiguous morsel: grade each bucket,
     /// answer qualifying ones from SMA entries, scan ambivalent ones.
-    /// Pure with respect to `self`, so morsels run on worker threads.
+    /// Buckets whose SMA entries cannot be trusted (quarantined) or do not
+    /// add up (inconsistent) are demoted to base-table scans — the base
+    /// table is the ground truth, so the answer stays exact and only the
+    /// fast path is lost. Pure with respect to `self`, so morsels run on
+    /// worker threads.
     fn process_buckets(
         &self,
         range: Range<u32>,
@@ -182,14 +197,35 @@ impl<'a> SmaGAggr<'a> {
         for bucket in range {
             match self.pred.grade(bucket, self.smas) {
                 Grade::Qualifies => {
-                    counters.qualified += 1;
-                    self.merge_qualifying_bucket(bucket, &mut groups)?;
+                    if self.aggregate_entries_quarantined(bucket) {
+                        counters.ambivalent += 1;
+                        counters.degradation.note_quarantined(bucket);
+                        self.scan_ambivalent_bucket(bucket, &mut groups)?;
+                        continue;
+                    }
+                    match self.merge_qualifying_bucket(bucket) {
+                        Ok(local) => {
+                            counters.qualified += 1;
+                            absorb_groups(&mut groups, local);
+                        }
+                        Err(ExecError::InconsistentSma(_)) => {
+                            counters.ambivalent += 1;
+                            counters.degradation.note_inconsistent(bucket);
+                            self.scan_ambivalent_bucket(bucket, &mut groups)?;
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
                 Grade::Disqualifies => {
                     counters.disqualified += 1;
                 }
                 Grade::Ambivalent => {
                     counters.ambivalent += 1;
+                    // Selection SMAs with a quarantined bucket grade it
+                    // Ambivalent; the base scan below is the demotion.
+                    if self.smas.is_bucket_quarantined(bucket) {
+                        counters.degradation.note_quarantined(bucket);
+                    }
                     self.scan_ambivalent_bucket(bucket, &mut groups)?;
                 }
             }
@@ -217,11 +253,27 @@ impl<'a> SmaGAggr<'a> {
     }
 }
 
+/// Merges a bucket-local (or morsel-local) group map into the combined one.
+fn absorb_groups(
+    into: &mut BTreeMap<Vec<Value>, GroupState>,
+    from: BTreeMap<Vec<Value>, GroupState>,
+) {
+    for (key, state) in from {
+        match into.entry(key) {
+            Entry::Occupied(e) => e.into_mut().absorb(state),
+            Entry::Vacant(e) => {
+                e.insert(state);
+            }
+        }
+    }
+}
+
 impl PhysicalOp for SmaGAggr<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         self.results.clear();
         self.pos = 0;
         self.counters = ScanCounters::default();
+        let retries_at_open = self.table.io_stats().retried_reads;
         let n_buckets = self.table.bucket_count();
         let threads = self.parallelism.get().min(n_buckets.max(1) as usize);
         // Fig. 7: "forall bucket in buckets: switch(grade(bucket, pred))".
@@ -229,7 +281,7 @@ impl PhysicalOp for SmaGAggr<'_> {
         // are disjoint), so the loop runs as contiguous morsels on worker
         // threads; partials merge back in bucket order, which keeps both
         // the result rows and the counters identical to the serial loop.
-        let (counters, groups) = if threads <= 1 {
+        let (mut counters, groups) = if threads <= 1 {
             self.process_buckets(0..n_buckets)?
         } else {
             let shared: &SmaGAggr<'_> = &*self;
@@ -250,17 +302,20 @@ impl PhysicalOp for SmaGAggr<'_> {
                 counters.qualified += c.qualified;
                 counters.disqualified += c.disqualified;
                 counters.ambivalent += c.ambivalent;
-                for (key, state) in partial_groups {
-                    match groups.entry(key) {
-                        Entry::Occupied(e) => e.into_mut().absorb(state),
-                        Entry::Vacant(e) => {
-                            e.insert(state);
-                        }
-                    }
-                }
+                // Bucket lists are sorted + deduplicated on merge, so the
+                // combined report is identical at any worker count.
+                counters.degradation.merge(&c.degradation);
+                absorb_groups(&mut groups, partial_groups);
             }
             (counters, groups)
         };
+        // Retries are a pool-level tally (morsels share the pool), so the
+        // per-execution figure is the delta across the whole bucket loop.
+        counters.degradation.retries_spent = self
+            .table
+            .io_stats()
+            .retried_reads
+            .saturating_sub(retries_at_open);
         self.counters = counters;
         // "Perform post processing for average aggregates" + drop groups
         // with no qualifying tuples.
@@ -489,13 +544,14 @@ mod tests {
         }
     }
 
-    /// Regression: a count SMA whose files stop short of a bucket that the
-    /// aggregate SMAs do cover used to make `merge_qualifying_bucket`
-    /// silently drop the affected groups (hidden count stayed 0). Such an
-    /// inconsistent set must fail loudly instead of returning a wrong,
-    /// smaller result.
+    /// A count SMA whose files stop short of a bucket that the aggregate
+    /// SMAs do cover used to make `merge_qualifying_bucket` silently drop
+    /// the affected groups, then (PR 2) fail the whole query with
+    /// `InconsistentSma`. Now the inconsistency demotes exactly the
+    /// affected buckets to base-table scans: the answer stays correct and
+    /// the degradation report names every demoted bucket.
     #[test]
-    fn count_sma_gap_is_an_error_not_a_dropped_group() {
+    fn count_sma_gap_demotes_to_scan_not_an_error() {
         let t = make_table(60); // 30 buckets
         let short = make_table(20); // 10 buckets
         let full = full_set(&t);
@@ -515,21 +571,78 @@ mod tests {
         mismatched.push(truncated.smas()[0].clone());
 
         let pred = BucketPred::cmp(0, CmpOp::Le, 100i64); // every bucket qualifies
-        let mut op = SmaGAggr::new(&t, pred, vec![1], specs(), &mismatched)
+        let mut op = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &mismatched)
             .unwrap()
             .with_parallelism(Parallelism::serial());
-        match op.open() {
-            Err(ExecError::InconsistentSma(msg)) => {
-                assert!(msg.contains("count SMA"), "{msg}");
-            }
-            other => panic!("expected InconsistentSma, got {other:?}"),
-        }
-        // The parallel path surfaces the same error.
-        let pred = BucketPred::cmp(0, CmpOp::Le, 100i64);
-        let mut op = SmaGAggr::new(&t, pred, vec![1], specs(), &mismatched)
+        let rows = collect(&mut op).unwrap();
+        assert_eq!(rows, baseline(&t, pred.clone()), "demoted run stays exact");
+        let c = op.counters();
+        assert_eq!(
+            c.degradation.inconsistent_buckets,
+            (10u32..30).collect::<Vec<_>>(),
+            "exactly the uncovered buckets were demoted"
+        );
+        assert_eq!(c.degradation.demoted_buckets.len(), 20);
+        assert_eq!(c.qualified, 10);
+        assert_eq!(c.ambivalent, 20);
+        // The parallel path produces the identical answer and report.
+        let mut par = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &mismatched)
             .unwrap()
             .with_parallelism(Parallelism::new(4));
-        assert!(matches!(op.open(), Err(ExecError::InconsistentSma(_))));
+        assert_eq!(collect(&mut par).unwrap(), rows);
+        assert_eq!(par.counters(), c);
+    }
+
+    /// Quarantined aggregate-SMA entries must not be trusted even when the
+    /// selection SMAs still grade the bucket as fully qualifying.
+    #[test]
+    fn quarantined_aggregate_bucket_demotes_even_when_qualifying() {
+        let t = make_table(60); // 30 buckets
+        let full = full_set(&t);
+        let mut damaged = SmaSet::new();
+        for sma in full.smas() {
+            let mut s = sma.clone();
+            if s.def().name == "sum_p" {
+                s.quarantine_bucket(3);
+            }
+            damaged.push(s);
+        }
+        let pred = BucketPred::cmp(0, CmpOp::Le, 100i64); // every bucket qualifies
+        let mut op = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &damaged)
+            .unwrap()
+            .with_parallelism(Parallelism::serial());
+        let rows = collect(&mut op).unwrap();
+        assert_eq!(rows, baseline(&t, pred.clone()));
+        let c = op.counters();
+        assert_eq!(c.degradation.quarantined_buckets, vec![3]);
+        assert_eq!(c.degradation.demoted_buckets, vec![3]);
+        assert_eq!(c.qualified, 29);
+        assert_eq!(c.ambivalent, 1);
+        // Deterministic across worker counts.
+        for threads in [2, 4, 8] {
+            let mut par = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &damaged)
+                .unwrap()
+                .with_parallelism(Parallelism::new(threads));
+            assert_eq!(collect(&mut par).unwrap(), rows, "{threads} threads");
+            assert_eq!(par.counters(), c, "{threads} threads");
+        }
+    }
+
+    /// Quarantining through the whole set (the `Warehouse` path) makes the
+    /// bucket ambivalent at grading time; the answer still matches.
+    #[test]
+    fn set_wide_quarantine_degrades_but_stays_exact() {
+        let t = make_table(60);
+        let mut smas = full_set(&t);
+        smas.quarantine_bucket(0);
+        smas.quarantine_bucket(7);
+        let pred = BucketPred::cmp(0, CmpOp::Le, 100i64);
+        let mut op = SmaGAggr::new(&t, pred.clone(), vec![1], specs(), &smas).unwrap();
+        let rows = collect(&mut op).unwrap();
+        assert_eq!(rows, baseline(&t, pred));
+        let c = op.counters();
+        assert_eq!(c.degradation.quarantined_buckets, vec![0, 7]);
+        assert_eq!(c.ambivalent, 2);
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub struct CostModel {
     pub rand_read_ms: f64,
     /// Cost of a physical page write, in ms.
     pub write_ms: f64,
+    /// Cost of a *failed* read attempt — a transient fault the pool
+    /// retried, or the final attempt of a read it gave up on. The device
+    /// still spent a round-trip even though no page arrived, so pricing
+    /// only successful I/O would under-report cold runs under faults.
+    /// Priced like a random read: a failed attempt forfeits the arm
+    /// position, so the eventual success pays a seek anyway.
+    pub failed_read_ms: f64,
 }
 
 impl Default for CostModel {
@@ -34,6 +41,7 @@ impl Default for CostModel {
             seq_read_ms: 0.7,
             rand_read_ms: 2.8,
             write_ms: 1.0,
+            failed_read_ms: 2.8,
         }
     }
 }
@@ -46,14 +54,20 @@ impl CostModel {
             seq_read_ms: page_ms,
             rand_read_ms: page_ms,
             write_ms: page_ms,
+            failed_read_ms: page_ms,
         }
     }
 
     /// Simulated milliseconds for the physical traffic in `stats`.
+    ///
+    /// Failed attempts count too: `retried_reads` (faults absorbed by the
+    /// retry policy) and `gaveup_reads` (reads abandoned after the budget)
+    /// are device time exactly like successful transfers.
     pub fn cost_ms(&self, stats: &IoStats) -> f64 {
         stats.sequential_reads as f64 * self.seq_read_ms
             + stats.random_reads as f64 * self.rand_read_ms
             + stats.physical_writes as f64 * self.write_ms
+            + (stats.retried_reads + stats.gaveup_reads) as f64 * self.failed_read_ms
     }
 }
 
@@ -69,13 +83,38 @@ mod tests {
             sequential_reads: 10,
             random_reads: 2,
             physical_writes: 3,
+            retried_reads: 0,
+            gaveup_reads: 0,
         };
         let m = CostModel {
             seq_read_ms: 1.0,
             rand_read_ms: 10.0,
             write_ms: 2.0,
+            failed_read_ms: 5.0,
         };
         assert!((m.cost_ms(&stats) - (10.0 + 20.0 + 6.0)).abs() < 1e-9);
+    }
+
+    /// Regression for the fault-pricing gap: a cold run that spent retries
+    /// (or gave a read up entirely) must model *costlier* than the same
+    /// successful traffic — the device round-trips happened either way.
+    #[test]
+    fn failed_attempts_are_priced() {
+        let m = CostModel::default();
+        let clean = IoStats {
+            physical_reads: 100,
+            sequential_reads: 99,
+            random_reads: 1,
+            ..Default::default()
+        };
+        let faulted = IoStats {
+            retried_reads: 7,
+            gaveup_reads: 2,
+            ..clean
+        };
+        let delta = m.cost_ms(&faulted) - m.cost_ms(&clean);
+        assert!((delta - 9.0 * m.failed_read_ms).abs() < 1e-9);
+        assert!(m.cost_ms(&faulted) > m.cost_ms(&clean));
     }
 
     #[test]

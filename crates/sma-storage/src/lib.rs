@@ -31,6 +31,7 @@ pub mod test_util;
 pub use checksum::crc32;
 pub use cost::CostModel;
 pub use page::{SlotId, SlottedPage, MAX_TUPLE_BYTES, PAGE_FOOTER_LEN, PAGE_SIZE};
-pub use pool::{BufferPool, IoStats};
+pub use pool::{BufferPool, IoStats, RetryPolicy};
 pub use store::{atomic_write_file, sync_dir, FileStore, MemStore, PageNo, PageStore, StoreError};
 pub use table::{BucketNo, PageVerification, Table, TableError, TupleId};
+pub use test_util::{FaultConfig, FaultPlan};

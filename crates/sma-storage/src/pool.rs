@@ -43,9 +43,13 @@ use crate::store::{PageNo, PageStore, StoreError};
 
 /// Counters describing pool traffic since the last reset.
 ///
-/// Failed physical reads are *not* counted: a read that errors (I/O fault,
-/// checksum mismatch) never produced a page, so counting it would skew the
-/// cost model that replays these counters.
+/// Failed physical reads are *not* counted in the transfer counters: a read
+/// that errors (I/O fault, checksum mismatch) never produced a page, so
+/// counting it would skew the cost model that replays these counters.
+/// Failed *attempts* are visible separately: every transient fault the pool
+/// retried bumps `retried_reads`, and every read abandoned after the retry
+/// budget ran out bumps `gaveup_reads` — so the cost model can price the
+/// wasted device round-trips without polluting the transfer pattern.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Page requests served (hit or miss).
@@ -58,6 +62,12 @@ pub struct IoStats {
     pub random_reads: u64,
     /// Dirty pages written back to the store.
     pub physical_writes: u64,
+    /// Transient read faults absorbed by the [`RetryPolicy`] (one per
+    /// failed attempt that was retried, successful or not in the end).
+    pub retried_reads: u64,
+    /// Reads abandoned because a transient fault outlasted the retry
+    /// budget; the error then propagated to the caller.
+    pub gaveup_reads: u64,
 }
 
 impl IoStats {
@@ -68,6 +78,54 @@ impl IoStats {
         } else {
             1.0 - self.physical_reads as f64 / self.logical_reads as f64
         }
+    }
+}
+
+/// How the pool reacts to [`StoreError::Transient`] read faults.
+///
+/// The schedule is deterministic: retry `k` (1-based) sleeps
+/// `base_backoff_us << (k - 1)` microseconds, so a given policy always
+/// issues the same attempt sequence — fault-injection tests replay
+/// byte-identically. Non-transient errors (corruption, out-of-range,
+/// unclassified I/O) are never retried: retrying cannot fix them and would
+/// only hide the diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first failed attempt (`0` = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in microseconds; doubles each
+    /// further retry. `0` disables sleeping (useful in tests).
+    pub base_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries with a 50 µs initial backoff: rides out momentary
+    /// device hiccups (a few hundred µs total) without stalling a query
+    /// noticeably when the fault turns out to be permanent.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_us: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — every transient fault propagates.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_us: 0,
+        }
+    }
+
+    /// The deterministic pause before retry `attempt` (1-based).
+    pub fn backoff_before(&self, attempt: u32) -> std::time::Duration {
+        let us = self.base_backoff_us.saturating_mul(
+            1u64.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u64::MAX),
+        );
+        std::time::Duration::from_micros(us)
     }
 }
 
@@ -92,6 +150,8 @@ struct AtomicIoStats {
     sequential_reads: AtomicU64,
     random_reads: AtomicU64,
     physical_writes: AtomicU64,
+    retried_reads: AtomicU64,
+    gaveup_reads: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -102,6 +162,8 @@ impl AtomicIoStats {
             sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
             random_reads: self.random_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            retried_reads: self.retried_reads.load(Ordering::Relaxed),
+            gaveup_reads: self.gaveup_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -111,6 +173,8 @@ impl AtomicIoStats {
         self.sequential_reads.store(0, Ordering::Relaxed);
         self.random_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.retried_reads.store(0, Ordering::Relaxed);
+        self.gaveup_reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +215,8 @@ pub struct BufferPool {
     stats: AtomicIoStats,
     /// Page number of the last successful physical read, or [`NO_LAST`].
     last_physical: AtomicU64,
+    /// How transient read faults are retried; see [`RetryPolicy`].
+    retry: RwLock<RetryPolicy>,
 }
 
 /// Locks a mutex, ignoring poisoning: a panicking worker thread must not
@@ -177,7 +243,18 @@ impl BufferPool {
             store: RwLock::new(store),
             stats: AtomicIoStats::default(),
             last_physical: AtomicU64::new(NO_LAST),
+            retry: RwLock::new(RetryPolicy::default()),
         }
+    }
+
+    /// Replaces the transient-fault retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// The current transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Pool capacity in pages.
@@ -326,6 +403,37 @@ impl BufferPool {
         }
     }
 
+    /// Reads page `no` from the store, retrying [`StoreError::Transient`]
+    /// faults under the pool's [`RetryPolicy`].
+    ///
+    /// Each absorbed fault bumps `retried_reads`; exhausting the budget
+    /// bumps `gaveup_reads` and propagates the final transient error so
+    /// the caller still sees the root cause. Non-transient errors
+    /// propagate immediately without touching either counter.
+    fn read_page_with_retry(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+        let policy = self.retry_policy();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.read_store().read_page(no, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.stats.retried_reads.fetch_add(1, Ordering::Relaxed);
+                    let pause = policy.backoff_before(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                Err(e) => {
+                    if e.is_transient() {
+                        self.stats.gaveup_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Returns the frame index of page `no` in `shard`, reading it from
     /// the store on a miss.
     ///
@@ -341,7 +449,7 @@ impl BufferPool {
             return Ok(idx);
         }
         let mut data = Box::new([0u8; PAGE_SIZE]);
-        self.read_store().read_page(no, &mut data[..])?;
+        self.read_page_with_retry(no, &mut data[..])?;
         verify_page(&data).map_err(|detail| StoreError::Corrupt { page: no, detail })?;
         self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
         self.note_physical_read(no);
@@ -574,6 +682,84 @@ mod tests {
         assert_eq!(after.physical_reads, 2);
         assert_eq!(after.sequential_reads, 1);
         assert_eq!(after.random_reads, 1);
+    }
+
+    /// Transient faults within the retry budget are invisible to callers:
+    /// every read succeeds, the absorbed faults show up in
+    /// `retried_reads`, and the transfer counters match a fault-free run.
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        use crate::test_util::{FaultConfig, FaultPlan};
+        let mut store = FaultPlan::new(
+            MemStore::new(),
+            FaultConfig::seeded(42).with_transient(100, 3),
+        );
+        for _ in 0..8 {
+            store.allocate().unwrap();
+        }
+        let planned: u64 = (0..8).map(|no| store.transient_burst(no)).sum();
+        assert!(planned >= 8, "pct=100 schedules a burst on every page");
+        let p = BufferPool::new(Box::new(store), 8);
+        p.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_backoff_us: 0,
+        });
+        for no in 0..8 {
+            p.with_page(no, |_| ()).unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.physical_reads, 8);
+        assert_eq!(s.retried_reads, planned, "each burst fault was retried");
+        assert_eq!(s.gaveup_reads, 0);
+    }
+
+    /// A burst longer than the retry budget propagates the transient error
+    /// — and only the retry/giveup counters move, never the transfer
+    /// counters (a failed read transferred no page).
+    #[test]
+    fn retry_exhaustion_propagates_the_transient_cause() {
+        use crate::test_util::{FaultConfig, FaultPlan};
+        let mut store = FaultPlan::new(
+            MemStore::new(),
+            FaultConfig::seeded(42).with_transient(100, 3),
+        );
+        for _ in 0..16 {
+            store.allocate().unwrap();
+        }
+        let victim = (0..16).find(|&no| store.transient_burst(no) >= 2).unwrap();
+        let burst = store.transient_burst(victim);
+        let p = BufferPool::new(Box::new(store), 4);
+        p.set_retry_policy(RetryPolicy {
+            max_retries: burst as u32 - 1,
+            base_backoff_us: 0,
+        });
+        let before = p.stats();
+        let err = p.with_page(victim, |_| ()).unwrap_err();
+        assert!(err.is_transient(), "the root cause survives: {err}");
+        let s = p.stats();
+        assert_eq!(s.retried_reads, burst - 1);
+        assert_eq!(s.gaveup_reads, 1);
+        assert_eq!(s.physical_reads, before.physical_reads);
+        assert_eq!(s.logical_reads, before.logical_reads);
+        // The burst is spent now; a bigger budget would also have worked —
+        // the next access rides out nothing and succeeds.
+        p.with_page(victim, |_| ()).unwrap();
+        assert_eq!(p.stats().physical_reads, 1);
+    }
+
+    /// Retry policies are deterministic: the backoff schedule is a pure
+    /// function of the attempt number.
+    #[test]
+    fn retry_policy_backoff_schedule() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff_us: 50,
+        };
+        assert_eq!(p.backoff_before(1).as_micros(), 50);
+        assert_eq!(p.backoff_before(2).as_micros(), 100);
+        assert_eq!(p.backoff_before(3).as_micros(), 200);
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+        assert!(RetryPolicy::none().backoff_before(1).is_zero());
     }
 
     /// Eight threads hammer a sharded pool with reads and dirty writes,

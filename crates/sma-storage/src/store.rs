@@ -36,8 +36,32 @@ pub enum StoreError {
         /// What exactly mismatched.
         detail: String,
     },
+    /// A read or write failed for a reason expected to clear on its own —
+    /// a dropped connection, a momentary device hiccup, a kernel `EAGAIN`.
+    /// The buffer pool retries these under its [`RetryPolicy`]
+    /// (`crate::pool::RetryPolicy`); only after the budget is exhausted
+    /// does the fault propagate, still tagged `Transient` so callers can
+    /// distinguish "the disk blinked" from "the data is gone".
+    Transient {
+        /// The page whose I/O blinked.
+        page: PageNo,
+        /// What the device reported.
+        detail: String,
+    },
     /// Underlying I/O failed.
     Io(io::Error),
+}
+
+impl StoreError {
+    /// Whether retrying the same operation could plausibly succeed.
+    ///
+    /// Only [`StoreError::Transient`] qualifies: out-of-range is a logic
+    /// error, corruption is permanent until rebuilt, and a plain
+    /// [`StoreError::Io`] is unclassified (a fault injector or device
+    /// driver that *knows* the failure is momentary says so explicitly).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient { .. })
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -49,12 +73,22 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { page, detail } => {
                 write!(f, "page {page} corrupt: {detail}")
             }
+            StoreError::Transient { page, detail } => {
+                write!(f, "transient I/O fault on page {page}: {detail}")
+            }
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> StoreError {
@@ -79,7 +113,7 @@ pub trait PageStore: Send + Sync {
 }
 
 /// In-memory page store.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct MemStore {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
 }
@@ -88,6 +122,26 @@ impl MemStore {
     /// Creates an empty store.
     pub fn new() -> MemStore {
         MemStore::default()
+    }
+
+    /// Total bytes currently stored (pages × page size).
+    pub(crate) fn len_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Keeps only the first `offset` bytes of the linear page image, as if
+    /// the kernel persisted a prefix before a crash: trailing whole pages
+    /// disappear and the page containing `offset` is torn — its tail reads
+    /// back as zeroes.
+    pub(crate) fn retain_prefix(&mut self, offset: u64) {
+        let full = (offset / PAGE_SIZE as u64) as usize;
+        let torn = (offset % PAGE_SIZE as u64) as usize;
+        self.pages.truncate(if torn > 0 { full + 1 } else { full });
+        if torn > 0 {
+            if let Some(last) = self.pages.last_mut() {
+                last[torn..].fill(0);
+            }
+        }
     }
 }
 
@@ -333,6 +387,40 @@ mod tests {
             msg.contains("42") && msg.contains("checksum mismatch"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn transient_is_the_only_retryable_class() {
+        let t = StoreError::Transient {
+            page: 9,
+            detail: "device momentarily unavailable".into(),
+        };
+        assert!(t.is_transient());
+        assert!(t.to_string().contains("page 9"), "{t}");
+        for e in [
+            StoreError::OutOfRange { page: 1, count: 0 },
+            StoreError::Corrupt {
+                page: 1,
+                detail: "x".into(),
+            },
+            StoreError::Io(io::Error::other("unclassified")),
+        ] {
+            assert!(!e.is_transient(), "{e}");
+        }
+    }
+
+    #[test]
+    fn io_errors_chain_through_source() {
+        use std::error::Error;
+        let e = StoreError::Io(io::Error::other("disk on fire"));
+        let src = e.source().expect("Io wraps a source");
+        assert!(src.to_string().contains("disk on fire"));
+        assert!(StoreError::Transient {
+            page: 0,
+            detail: String::new()
+        }
+        .source()
+        .is_none());
     }
 
     #[test]

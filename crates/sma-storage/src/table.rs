@@ -68,7 +68,17 @@ impl fmt::Display for TableError {
     }
 }
 
-impl std::error::Error for TableError {}
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Store(e) => Some(e),
+            TableError::Schema(e) => Some(e),
+            TableError::Codec(e) => Some(e),
+            TableError::Page(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StoreError> for TableError {
     fn from(e: StoreError) -> TableError {
@@ -341,6 +351,16 @@ impl Table {
     /// Zeroes the traffic counters.
     pub fn reset_io_stats(&self) {
         self.pool.reset_stats()
+    }
+
+    /// Replaces the buffer pool's transient-fault retry policy.
+    pub fn set_retry_policy(&self, policy: crate::pool::RetryPolicy) {
+        self.pool.set_retry_policy(policy)
+    }
+
+    /// The buffer pool's current transient-fault retry policy.
+    pub fn retry_policy(&self) -> crate::pool::RetryPolicy {
+        self.pool.retry_policy()
     }
 
     /// Flushes dirty pages and empties the cache: the next scan is cold.

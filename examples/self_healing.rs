@@ -1,0 +1,86 @@
+//! Self-healing execution: transient-I/O retry, degrade-to-scan, heal.
+//!
+//! SMAs are redundant derived data, so no SMA-side fault has to fail a
+//! query — the worst it can cost is the fast path. This walks the three
+//! resilience layers end to end: (1) a seeded `FaultPlan` device throwing
+//! transient read faults the buffer pool retries through, (2) quarantined
+//! SMA buckets demoted to base-table scans with the damage itemized in a
+//! `DegradationReport`, and (3) `Warehouse::heal` rebuilding exactly the
+//! damaged entries, verified by a scrub.
+//!
+//! Run with: `cargo run --release --example self_healing`
+
+use smadb::exec::{run_query1, PlanKind, Query1Config};
+use smadb::sma::SmaSet;
+use smadb::storage::test_util::scratch_path;
+use smadb::storage::{FaultConfig, FaultPlan, MemStore, RetryPolicy, Table};
+use smadb::tpcd::{generate_lineitem_table, lineitem_schema, Clustering, GenConfig};
+use smadb::Warehouse;
+
+fn main() {
+    let clean = generate_lineitem_table(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let baseline = run_query1(&clean, None, &Query1Config::default()).expect("baseline");
+
+    // 1. A flaky device: 40% of pages fail their first 1-3 reads with a
+    // transient error. The pool's retry policy rides every burst out.
+    let mut dest = MemStore::new();
+    clean.export_to_store(&mut dest).expect("export");
+    let faulty = Table::new(
+        "LINEITEM",
+        lineitem_schema(),
+        Box::new(FaultPlan::new(
+            dest,
+            FaultConfig::seeded(42).with_transient(40, 3),
+        )),
+        2048,
+        clean.bucket_pages(),
+    );
+    faulty.set_retry_policy(RetryPolicy {
+        max_retries: 3,
+        base_backoff_us: 0,
+    });
+    let run = run_query1(&faulty, None, &Query1Config::default()).expect("survives faults");
+    assert_eq!(run.rows, baseline.rows);
+    println!(
+        "flaky device: {} transient faults absorbed by retries, {} given up, answer exact",
+        run.io.retried_reads, run.io.gaveup_reads
+    );
+
+    // 2. Damaged SMA entries: quarantined buckets lose their fast path but
+    // never the answer.
+    let mut smas = SmaSet::build_query1_set(&clean).expect("build");
+    for b in [0, 7, 19] {
+        smas.quarantine_bucket(b);
+    }
+    let degraded = run_query1(&clean, Some(&smas), &Query1Config::default()).expect("degrades");
+    assert_eq!(degraded.rows, baseline.rows);
+    assert_ne!(degraded.plan_kind, PlanKind::FullScan);
+    println!(
+        "damaged SMAs: plan {:?}, {}",
+        degraded.plan_kind, degraded.degradation
+    );
+
+    // 3. Healing: the warehouse rebuilds exactly the quarantined buckets
+    // and a scrub confirms nothing is left degraded.
+    let mut w = Warehouse::new();
+    w.register(generate_lineitem_table(&GenConfig::tiny(
+        Clustering::SortedByShipdate,
+    )))
+    .expect("register");
+    w.define_sma("define sma min_ship select min(L_SHIPDATE) from LINEITEM")
+        .expect("ddl");
+    w.define_sma("define sma max_ship select max(L_SHIPDATE) from LINEITEM")
+        .expect("ddl");
+    let dir = scratch_path("self-healing");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    w.save_to_dir(&dir).expect("save");
+    w.quarantine_sma_buckets("LINEITEM", &[3, 11])
+        .expect("mark");
+    let report = w.scrub(&dir).expect("scrub");
+    println!("after damage : {report}");
+    let healed = w.heal("LINEITEM").expect("heal");
+    let report = w.scrub(&dir).expect("scrub");
+    println!("after heal({healed}): {report}");
+    assert!(report.is_clean());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use sma_core::catalog::{CatalogError, SmaCatalog};
 use sma_core::persist::{decode_definition, encode_definition, load_sma_file, save_sma_file};
 use sma_core::{Sma, SmaDefinition, SmaError, SmaSet};
-use sma_exec::{plan, AggregateQuery, ExecError, PlanKind, PlannerConfig};
+use sma_exec::{plan, AggregateQuery, DegradationReport, ExecError, PlanKind, PlannerConfig};
 use sma_storage::{
     atomic_write_file, crc32, sync_dir, FileStore, PageNo, StoreError, Table, TableError, TupleId,
 };
@@ -70,7 +70,20 @@ impl fmt::Display for WarehouseError {
     }
 }
 
-impl std::error::Error for WarehouseError {}
+impl std::error::Error for WarehouseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarehouseError::Table(e) => Some(e),
+            WarehouseError::Catalog(e) => Some(e),
+            WarehouseError::Exec(e) => Some(e),
+            WarehouseError::Io(e) => Some(e),
+            WarehouseError::Sma(e) => Some(e),
+            WarehouseError::UnknownTable(_)
+            | WarehouseError::DuplicateTable(_)
+            | WarehouseError::CorruptManifest(_) => None,
+        }
+    }
+}
 
 impl From<TableError> for WarehouseError {
     fn from(e: TableError) -> WarehouseError {
@@ -115,6 +128,10 @@ pub struct QueryResult {
     pub rows: Vec<Tuple>,
     /// The physical strategy the planner chose.
     pub plan_kind: PlanKind,
+    /// What the resilience layer gave up while executing: buckets demoted
+    /// from the SMA fast path to base-table scans, and transient-I/O
+    /// retries spent. Empty on a healthy run.
+    pub degradation: DegradationReport,
 }
 
 /// A data warehouse: named tables, their SMAs, and a planner.
@@ -245,6 +262,67 @@ impl Warehouse {
         Ok(self.catalog.refresh_stale(relation, table)?)
     }
 
+    /// Marks `buckets` of every SMA on `relation` as quarantined: their
+    /// entries may be garbage (detected corruption, torn write) and must
+    /// not be trusted. Queries keep answering correctly — the affected
+    /// buckets demote to base-table scans — until [`Warehouse::heal`]
+    /// rebuilds the entries.
+    pub fn quarantine_sma_buckets(
+        &mut self,
+        relation: &str,
+        buckets: &[u32],
+    ) -> Result<(), WarehouseError> {
+        if !self.tables.contains_key(relation) {
+            return Err(WarehouseError::UnknownTable(relation.to_string()));
+        }
+        if let Some(set) = self.catalog.set_for_mut(relation) {
+            for &b in buckets {
+                set.quarantine_bucket(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Buckets currently quarantined in at least one SMA on `relation`
+    /// (sorted, deduplicated).
+    pub fn quarantined_sma_buckets(&self, relation: &str) -> Vec<u32> {
+        self.catalog
+            .set_for(relation)
+            .map(SmaSet::quarantined_buckets)
+            .unwrap_or_default()
+    }
+
+    /// Heals `relation`'s SMAs: rescans exactly the quarantined buckets
+    /// from the base table and rebuilds their entries, clearing the
+    /// quarantine. Returns the number of buckets healed. SMAs are
+    /// redundant derived data, so healing never needs anything beyond the
+    /// base table — the paper's §3 maintenance argument applied to repair.
+    pub fn heal(&mut self, relation: &str) -> Result<usize, WarehouseError> {
+        let table = self
+            .tables
+            .get(relation)
+            .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
+        let Some(set) = self.catalog.set_for_mut(relation) else {
+            return Ok(0);
+        };
+        let buckets = set.quarantined_buckets();
+        for &b in &buckets {
+            set.refresh_bucket(table, b)?;
+        }
+        Ok(buckets.len())
+    }
+
+    /// Heals every relation's SMAs (see [`Warehouse::heal`]), returning
+    /// the total number of buckets healed.
+    pub fn heal_all(&mut self) -> Result<usize, WarehouseError> {
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        let mut healed = 0;
+        for name in names {
+            healed += self.heal(&name)?;
+        }
+        Ok(healed)
+    }
+
     /// Plans and runs an aggregate query against `relation`, using its
     /// SMAs when the cost model says they pay.
     pub fn query(
@@ -257,10 +335,11 @@ impl Warehouse {
             .get(relation)
             .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
         let chosen = plan(table, query, self.catalog.set_for(relation), &self.planner);
-        let rows = chosen.execute()?;
+        let (rows, degradation) = chosen.execute_with_report()?;
         Ok(QueryResult {
             rows,
             plan_kind: chosen.kind,
+            degradation,
         })
     }
 
@@ -312,7 +391,20 @@ impl Warehouse {
             put_u32(&mut manifest, smas.len() as u32);
             for sma in smas {
                 let sma_file = format!("{name}.{}.sma", sma.def().name);
-                save_sma_file(sma, &dir.join(&sma_file))?;
+                if sma.has_quarantine() {
+                    // Quarantined entries may be garbage and the flag is
+                    // runtime-only, so persisting the image would launder
+                    // the damage into a "clean" file. Drop any on-disk
+                    // image instead: the manifest still names the SMA, so
+                    // reopening rebuilds it from the base table.
+                    match fs::remove_file(dir.join(&sma_file)) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                } else {
+                    save_sma_file(sma, &dir.join(&sma_file))?;
+                }
                 put_str(&mut manifest, &sma.def().name);
                 put_str(&mut manifest, &sma_file);
                 let def = encode_definition(sma.def());
@@ -414,6 +506,11 @@ impl Warehouse {
                     }
                 }
             }
+            report.buckets_quarantined += self
+                .catalog
+                .set_for(&entry.name)
+                .map(|s| s.quarantined_buckets().len() as u64)
+                .unwrap_or(0);
             report.tables += 1;
         }
         Ok(report)
@@ -447,12 +544,20 @@ pub struct RecoveryReport {
     /// `table.sma` names that failed verification and were rebuilt from
     /// their base table.
     pub smas_rebuilt: Vec<String>,
+    /// Buckets still quarantined in the live catalog after the pass —
+    /// entries queries refuse to trust until [`Warehouse::heal`] runs.
+    /// A freshly recovered warehouse always reports zero (rebuilt SMAs
+    /// carry no quarantine).
+    pub buckets_quarantined: u64,
 }
 
 impl RecoveryReport {
-    /// True when nothing was corrupt and nothing had to be rebuilt.
+    /// True when nothing was corrupt, nothing had to be rebuilt, and no
+    /// bucket remains quarantined.
     pub fn is_clean(&self) -> bool {
-        self.pages_corrupt.is_empty() && self.smas_rebuilt.is_empty()
+        self.pages_corrupt.is_empty()
+            && self.smas_rebuilt.is_empty()
+            && self.buckets_quarantined == 0
     }
 }
 
@@ -469,6 +574,13 @@ impl fmt::Display for RecoveryReport {
         )?;
         if !self.smas_rebuilt.is_empty() {
             write!(f, " [{}]", self.smas_rebuilt.join(", "))?;
+        }
+        if self.buckets_quarantined > 0 {
+            write!(
+                f,
+                ", {} bucket(s) still quarantined",
+                self.buckets_quarantined
+            )?;
         }
         Ok(())
     }
@@ -887,6 +999,70 @@ mod tests {
         let report2 = reopened.scrub(&dir).unwrap();
         assert!(report2.is_clean(), "{report2}");
         assert_eq!(report2.smas_intact, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_degrades_queries_until_heal() {
+        let mut w = loaded_warehouse();
+        let healthy = w.query("SALES", sum_query(9)).unwrap();
+        assert_eq!(healthy.plan_kind, PlanKind::SmaGAggr);
+        assert!(healthy.degradation.is_empty());
+
+        w.quarantine_sma_buckets("SALES", &[0, 2]).unwrap();
+        assert_eq!(w.quarantined_sma_buckets("SALES"), vec![0, 2]);
+        let degraded = w.query("SALES", sum_query(9)).unwrap();
+        assert_eq!(degraded.rows, healthy.rows, "degraded answer stays exact");
+        assert_eq!(degraded.degradation.quarantined_buckets, vec![0, 2]);
+
+        let healed = w.heal("SALES").unwrap();
+        assert_eq!(healed, 2);
+        assert!(w.quarantined_sma_buckets("SALES").is_empty());
+        let after = w.query("SALES", sum_query(9)).unwrap();
+        assert_eq!(after.rows, healthy.rows);
+        assert!(after.degradation.is_empty(), "{}", after.degradation);
+        assert_eq!(w.heal("SALES").unwrap(), 0, "healing is idempotent");
+    }
+
+    #[test]
+    fn quarantined_smas_are_never_persisted_and_rebuild_on_reopen() {
+        let mut w = loaded_warehouse();
+        let expected = w.query("SALES", sum_query(1000)).unwrap();
+        let dir = scratch_dir("wh-quarantine-save");
+        // A first healthy save leaves images on disk; the quarantined
+        // re-save must remove them rather than persist garbage.
+        w.save_to_dir(&dir).unwrap();
+        w.quarantine_sma_buckets("SALES", &[1]).unwrap();
+        w.save_to_dir(&dir).unwrap();
+        for sma in ["min_day", "max_day", "cnt", "units"] {
+            assert!(
+                !dir.join(format!("SALES.{sma}.sma")).exists(),
+                "{sma} image should have been dropped"
+            );
+        }
+        let (reopened, report) = Warehouse::open_with_recovery(&dir).unwrap();
+        assert_eq!(report.smas_rebuilt.len(), 4, "{report}");
+        assert_eq!(report.buckets_quarantined, 0);
+        let got = reopened.query("SALES", sum_query(1000)).unwrap();
+        assert_eq!(got.rows, expected.rows);
+        assert!(got.degradation.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_counts_remaining_quarantine_and_heal_clears_it() {
+        let mut w = loaded_warehouse();
+        let dir = scratch_dir("wh-quarantine-scrub");
+        w.save_to_dir(&dir).unwrap();
+        w.quarantine_sma_buckets("SALES", &[3]).unwrap();
+        let report = w.scrub(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.buckets_quarantined, 1);
+        assert!(report.to_string().contains("still quarantined"));
+        w.heal("SALES").unwrap();
+        let report = w.scrub(&dir).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.buckets_quarantined, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

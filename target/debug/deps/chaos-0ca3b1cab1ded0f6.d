@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-0ca3b1cab1ded0f6.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-0ca3b1cab1ded0f6: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/sma_exec-92820334aacbb418.d: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs Cargo.toml
+/root/repo/target/debug/deps/sma_exec-92820334aacbb418.d: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsma_exec-92820334aacbb418.rmeta: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs Cargo.toml
+/root/repo/target/debug/deps/libsma_exec-92820334aacbb418.rmeta: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs Cargo.toml
 
 crates/sma-exec/src/lib.rs:
 crates/sma-exec/src/basic.rs:
+crates/sma-exec/src/degrade.rs:
 crates/sma-exec/src/gaggr.rs:
 crates/sma-exec/src/op.rs:
 crates/sma-exec/src/parallel.rs:
@@ -18,5 +19,5 @@ crates/sma-exec/src/sma_gaggr.rs:
 crates/sma-exec/src/sort.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -12,5 +12,5 @@ crates/sma-storage/src/table.rs:
 crates/sma-storage/src/test_util.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

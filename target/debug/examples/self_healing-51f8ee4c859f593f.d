@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/self_healing-51f8ee4c859f593f.d: examples/self_healing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libself_healing-51f8ee4c859f593f.rmeta: examples/self_healing.rs Cargo.toml
+
+examples/self_healing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

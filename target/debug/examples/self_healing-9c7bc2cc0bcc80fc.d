@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_healing-9c7bc2cc0bcc80fc.d: examples/self_healing.rs
+
+/root/repo/target/debug/examples/self_healing-9c7bc2cc0bcc80fc: examples/self_healing.rs
+
+examples/self_healing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-2fdf58fb1e783a3d.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-2fdf58fb1e783a3d: tests/chaos.rs
+
+tests/chaos.rs:

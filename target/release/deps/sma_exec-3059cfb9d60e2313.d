@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/sma_exec-3059cfb9d60e2313.d: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
+/root/repo/target/release/deps/sma_exec-3059cfb9d60e2313.d: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
 
-/root/repo/target/release/deps/libsma_exec-3059cfb9d60e2313.rlib: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
+/root/repo/target/release/deps/libsma_exec-3059cfb9d60e2313.rlib: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
 
-/root/repo/target/release/deps/libsma_exec-3059cfb9d60e2313.rmeta: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
+/root/repo/target/release/deps/libsma_exec-3059cfb9d60e2313.rmeta: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
 
 crates/sma-exec/src/lib.rs:
 crates/sma-exec/src/basic.rs:
+crates/sma-exec/src/degrade.rs:
 crates/sma-exec/src/gaggr.rs:
 crates/sma-exec/src/op.rs:
 crates/sma-exec/src/parallel.rs:

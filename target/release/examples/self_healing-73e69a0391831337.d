@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/self_healing-73e69a0391831337.d: examples/self_healing.rs
+
+/root/repo/target/release/examples/self_healing-73e69a0391831337: examples/self_healing.rs
+
+examples/self_healing.rs:
