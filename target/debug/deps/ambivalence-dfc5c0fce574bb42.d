@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ambivalence-dfc5c0fce574bb42.d: crates/sma-bench/benches/ambivalence.rs
+
+/root/repo/target/debug/deps/libambivalence-dfc5c0fce574bb42.rmeta: crates/sma-bench/benches/ambivalence.rs
+
+crates/sma-bench/benches/ambivalence.rs:

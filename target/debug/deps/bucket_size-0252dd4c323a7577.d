@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bucket_size-0252dd4c323a7577.d: crates/sma-bench/benches/bucket_size.rs
+
+/root/repo/target/debug/deps/libbucket_size-0252dd4c323a7577.rmeta: crates/sma-bench/benches/bucket_size.rs
+
+crates/sma-bench/benches/bucket_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-00b9f33d18a64858.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-00b9f33d18a64858.rmeta: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-045d90c39b86cfbb.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/libconcurrency-045d90c39b86cfbb.rmeta: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-7d318d7c2cc08514.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/libcrash_recovery-7d318d7c2cc08514.rmeta: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

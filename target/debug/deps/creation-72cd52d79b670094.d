@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/creation-72cd52d79b670094.d: crates/sma-bench/benches/creation.rs
+
+/root/repo/target/debug/deps/libcreation-72cd52d79b670094.rmeta: crates/sma-bench/benches/creation.rs
+
+crates/sma-bench/benches/creation.rs:

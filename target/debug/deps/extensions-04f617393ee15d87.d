@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-04f617393ee15d87.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-04f617393ee15d87.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

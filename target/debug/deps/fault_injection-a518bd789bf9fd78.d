@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-a518bd789bf9fd78.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-a518bd789bf9fd78.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing-b763e91fbf5daf55.d: tests/fuzzing.rs
+
+/root/repo/target/debug/deps/libfuzzing-b763e91fbf5daf55.rmeta: tests/fuzzing.rs
+
+tests/fuzzing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grading-39d5a9ab8fdeedee.d: crates/sma-bench/benches/grading.rs
+
+/root/repo/target/debug/deps/libgrading-39d5a9ab8fdeedee.rmeta: crates/sma-bench/benches/grading.rs
+
+crates/sma-bench/benches/grading.rs:

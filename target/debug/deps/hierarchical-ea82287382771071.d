@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchical-ea82287382771071.d: crates/sma-bench/benches/hierarchical.rs
+
+/root/repo/target/debug/deps/libhierarchical-ea82287382771071.rmeta: crates/sma-bench/benches/hierarchical.rs
+
+crates/sma-bench/benches/hierarchical.rs:

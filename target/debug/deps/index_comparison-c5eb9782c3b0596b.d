@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_comparison-c5eb9782c3b0596b.d: crates/sma-bench/benches/index_comparison.rs
+
+/root/repo/target/debug/deps/libindex_comparison-c5eb9782c3b0596b.rmeta: crates/sma-bench/benches/index_comparison.rs
+
+crates/sma-bench/benches/index_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_sma-f4db8bf08dc76d24.d: crates/sma-bench/benches/join_sma.rs
+
+/root/repo/target/debug/deps/libjoin_sma-f4db8bf08dc76d24.rmeta: crates/sma-bench/benches/join_sma.rs
+
+crates/sma-bench/benches/join_sma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-36207e43ae22ebcf.d: crates/sma-bench/benches/maintenance.rs
+
+/root/repo/target/debug/deps/libmaintenance-36207e43ae22ebcf.rmeta: crates/sma-bench/benches/maintenance.rs
+
+crates/sma-bench/benches/maintenance.rs:

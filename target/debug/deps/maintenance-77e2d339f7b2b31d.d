@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-77e2d339f7b2b31d.d: tests/maintenance.rs
+
+/root/repo/target/debug/deps/libmaintenance-77e2d339f7b2b31d.rmeta: tests/maintenance.rs
+
+tests/maintenance.rs:

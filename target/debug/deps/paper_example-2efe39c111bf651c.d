@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-2efe39c111bf651c.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/libpaper_example-2efe39c111bf651c.rmeta: tests/paper_example.rs
+
+tests/paper_example.rs:

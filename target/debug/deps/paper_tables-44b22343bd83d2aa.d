@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-44b22343bd83d2aa.d: crates/sma-bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-44b22343bd83d2aa.rmeta: crates/sma-bench/src/bin/paper_tables.rs
+
+crates/sma-bench/src/bin/paper_tables.rs:

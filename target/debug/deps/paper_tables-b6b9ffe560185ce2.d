@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-b6b9ffe560185ce2.d: crates/sma-bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-b6b9ffe560185ce2.rmeta: crates/sma-bench/src/bin/paper_tables.rs
+
+crates/sma-bench/src/bin/paper_tables.rs:

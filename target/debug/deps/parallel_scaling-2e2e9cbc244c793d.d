@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-2e2e9cbc244c793d.d: crates/sma-bench/benches/parallel_scaling.rs
+
+/root/repo/target/debug/deps/libparallel_scaling-2e2e9cbc244c793d.rmeta: crates/sma-bench/benches/parallel_scaling.rs
+
+crates/sma-bench/benches/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-e62bf26505e8aaaf.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/libpersistence-e62bf26505e8aaaf.rmeta: tests/persistence.rs
+
+tests/persistence.rs:

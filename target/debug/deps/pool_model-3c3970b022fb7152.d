@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_model-3c3970b022fb7152.d: tests/pool_model.rs
+
+/root/repo/target/debug/deps/libpool_model-3c3970b022fb7152.rmeta: tests/pool_model.rs
+
+tests/pool_model.rs:

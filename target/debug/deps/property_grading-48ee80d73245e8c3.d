@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_grading-48ee80d73245e8c3.d: tests/property_grading.rs
+
+/root/repo/target/debug/deps/libproperty_grading-48ee80d73245e8c3.rmeta: tests/property_grading.rs
+
+tests/property_grading.rs:

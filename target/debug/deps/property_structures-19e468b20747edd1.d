@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_structures-19e468b20747edd1.d: tests/property_structures.rs
+
+/root/repo/target/debug/deps/libproperty_structures-19e468b20747edd1.rmeta: tests/property_structures.rs
+
+tests/property_structures.rs:

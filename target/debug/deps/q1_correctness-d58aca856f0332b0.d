@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/q1_correctness-d58aca856f0332b0.d: tests/q1_correctness.rs
+
+/root/repo/target/debug/deps/libq1_correctness-d58aca856f0332b0.rmeta: tests/q1_correctness.rs
+
+tests/q1_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query1-0e0b84c1186648a6.d: crates/sma-bench/benches/query1.rs
+
+/root/repo/target/debug/deps/libquery1-0e0b84c1186648a6.rmeta: crates/sma-bench/benches/query1.rs
+
+crates/sma-bench/benches/query1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query6-39a6a0ce020d74ac.d: crates/sma-bench/benches/query6.rs
+
+/root/repo/target/debug/deps/libquery6-39a6a0ce020d74ac.rmeta: crates/sma-bench/benches/query6.rs
+
+crates/sma-bench/benches/query6.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sma_bench-c0667541dd5c1d52.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsma_bench-c0667541dd5c1d52.rmeta: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:

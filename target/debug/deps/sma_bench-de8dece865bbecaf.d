@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sma_bench-de8dece865bbecaf.d: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsma_bench-de8dece865bbecaf.rmeta: crates/sma-bench/src/lib.rs crates/sma-bench/src/harness.rs
+
+crates/sma-bench/src/lib.rs:
+crates/sma-bench/src/harness.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sma_core-8e582d3b8f15109f.d: crates/sma-core/src/lib.rs crates/sma-core/src/agg.rs crates/sma-core/src/catalog.rs crates/sma-core/src/def.rs crates/sma-core/src/expr.rs crates/sma-core/src/file.rs crates/sma-core/src/grade.rs crates/sma-core/src/hierarchical.rs crates/sma-core/src/join_sma.rs crates/sma-core/src/parse.rs crates/sma-core/src/persist.rs crates/sma-core/src/projection.rs crates/sma-core/src/set.rs crates/sma-core/src/sma.rs
+
+/root/repo/target/debug/deps/libsma_core-8e582d3b8f15109f.rmeta: crates/sma-core/src/lib.rs crates/sma-core/src/agg.rs crates/sma-core/src/catalog.rs crates/sma-core/src/def.rs crates/sma-core/src/expr.rs crates/sma-core/src/file.rs crates/sma-core/src/grade.rs crates/sma-core/src/hierarchical.rs crates/sma-core/src/join_sma.rs crates/sma-core/src/parse.rs crates/sma-core/src/persist.rs crates/sma-core/src/projection.rs crates/sma-core/src/set.rs crates/sma-core/src/sma.rs
+
+crates/sma-core/src/lib.rs:
+crates/sma-core/src/agg.rs:
+crates/sma-core/src/catalog.rs:
+crates/sma-core/src/def.rs:
+crates/sma-core/src/expr.rs:
+crates/sma-core/src/file.rs:
+crates/sma-core/src/grade.rs:
+crates/sma-core/src/hierarchical.rs:
+crates/sma-core/src/join_sma.rs:
+crates/sma-core/src/parse.rs:
+crates/sma-core/src/persist.rs:
+crates/sma-core/src/projection.rs:
+crates/sma-core/src/set.rs:
+crates/sma-core/src/sma.rs:

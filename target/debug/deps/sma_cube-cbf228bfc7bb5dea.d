@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sma_cube-cbf228bfc7bb5dea.d: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+/root/repo/target/debug/deps/libsma_cube-cbf228bfc7bb5dea.rmeta: crates/sma-cube/src/lib.rs crates/sma-cube/src/bitmap.rs crates/sma-cube/src/btree.rs crates/sma-cube/src/cube.rs crates/sma-cube/src/model.rs
+
+crates/sma-cube/src/lib.rs:
+crates/sma-cube/src/bitmap.rs:
+crates/sma-cube/src/btree.rs:
+crates/sma-cube/src/cube.rs:
+crates/sma-cube/src/model.rs:

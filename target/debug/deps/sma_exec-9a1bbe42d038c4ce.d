@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sma_exec-9a1bbe42d038c4ce.d: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
+
+/root/repo/target/debug/deps/libsma_exec-9a1bbe42d038c4ce.rmeta: crates/sma-exec/src/lib.rs crates/sma-exec/src/basic.rs crates/sma-exec/src/degrade.rs crates/sma-exec/src/gaggr.rs crates/sma-exec/src/op.rs crates/sma-exec/src/parallel.rs crates/sma-exec/src/planner.rs crates/sma-exec/src/query1.rs crates/sma-exec/src/query3.rs crates/sma-exec/src/query4.rs crates/sma-exec/src/query6.rs crates/sma-exec/src/scan.rs crates/sma-exec/src/semijoin.rs crates/sma-exec/src/sma_gaggr.rs crates/sma-exec/src/sort.rs
+
+crates/sma-exec/src/lib.rs:
+crates/sma-exec/src/basic.rs:
+crates/sma-exec/src/degrade.rs:
+crates/sma-exec/src/gaggr.rs:
+crates/sma-exec/src/op.rs:
+crates/sma-exec/src/parallel.rs:
+crates/sma-exec/src/planner.rs:
+crates/sma-exec/src/query1.rs:
+crates/sma-exec/src/query3.rs:
+crates/sma-exec/src/query4.rs:
+crates/sma-exec/src/query6.rs:
+crates/sma-exec/src/scan.rs:
+crates/sma-exec/src/semijoin.rs:
+crates/sma-exec/src/sma_gaggr.rs:
+crates/sma-exec/src/sort.rs:

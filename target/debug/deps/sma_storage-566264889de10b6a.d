@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sma_storage-566264889de10b6a.d: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+/root/repo/target/debug/deps/libsma_storage-566264889de10b6a.rmeta: crates/sma-storage/src/lib.rs crates/sma-storage/src/checksum.rs crates/sma-storage/src/cost.rs crates/sma-storage/src/page.rs crates/sma-storage/src/pool.rs crates/sma-storage/src/store.rs crates/sma-storage/src/table.rs crates/sma-storage/src/test_util.rs
+
+crates/sma-storage/src/lib.rs:
+crates/sma-storage/src/checksum.rs:
+crates/sma-storage/src/cost.rs:
+crates/sma-storage/src/page.rs:
+crates/sma-storage/src/pool.rs:
+crates/sma-storage/src/store.rs:
+crates/sma-storage/src/table.rs:
+crates/sma-storage/src/test_util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sma_tpcd-d0fe7d954e7c9200.d: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs
+
+/root/repo/target/debug/deps/libsma_tpcd-d0fe7d954e7c9200.rmeta: crates/sma-tpcd/src/lib.rs crates/sma-tpcd/src/clustering.rs crates/sma-tpcd/src/customer.rs crates/sma-tpcd/src/generator.rs crates/sma-tpcd/src/query1.rs crates/sma-tpcd/src/query3.rs crates/sma-tpcd/src/query4.rs crates/sma-tpcd/src/query6.rs crates/sma-tpcd/src/schema.rs
+
+crates/sma-tpcd/src/lib.rs:
+crates/sma-tpcd/src/clustering.rs:
+crates/sma-tpcd/src/customer.rs:
+crates/sma-tpcd/src/generator.rs:
+crates/sma-tpcd/src/query1.rs:
+crates/sma-tpcd/src/query3.rs:
+crates/sma-tpcd/src/query4.rs:
+crates/sma-tpcd/src/query6.rs:
+crates/sma-tpcd/src/schema.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smadb-99c6df2380f94468.d: src/lib.rs src/warehouse.rs
+
+/root/repo/target/debug/deps/libsmadb-99c6df2380f94468.rmeta: src/lib.rs src/warehouse.rs
+
+src/lib.rs:
+src/warehouse.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smadb-b184835ce08bbde0.d: src/lib.rs src/warehouse.rs
+
+/root/repo/target/debug/deps/libsmadb-b184835ce08bbde0.rmeta: src/lib.rs src/warehouse.rs
+
+src/lib.rs:
+src/warehouse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_micro-bc33dedf8c9c7999.d: crates/sma-bench/benches/storage_micro.rs
+
+/root/repo/target/debug/deps/libstorage_micro-bc33dedf8c9c7999.rmeta: crates/sma-bench/benches/storage_micro.rs
+
+crates/sma-bench/benches/storage_micro.rs:

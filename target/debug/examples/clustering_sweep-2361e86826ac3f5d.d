@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_sweep-2361e86826ac3f5d.d: examples/clustering_sweep.rs
+
+/root/repo/target/debug/examples/libclustering_sweep-2361e86826ac3f5d.rmeta: examples/clustering_sweep.rs
+
+examples/clustering_sweep.rs:

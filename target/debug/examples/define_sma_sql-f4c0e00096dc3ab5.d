@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/define_sma_sql-f4c0e00096dc3ab5.d: examples/define_sma_sql.rs
+
+/root/repo/target/debug/examples/libdefine_sma_sql-f4c0e00096dc3ab5.rmeta: examples/define_sma_sql.rs
+
+examples/define_sma_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchical_smas-60f90f908a7c32c9.d: examples/hierarchical_smas.rs
+
+/root/repo/target/debug/examples/libhierarchical_smas-60f90f908a7c32c9.rmeta: examples/hierarchical_smas.rs
+
+examples/hierarchical_smas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6fe5e54d6e1d6d22.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6fe5e54d6e1d6d22.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

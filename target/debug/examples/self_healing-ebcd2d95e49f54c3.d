@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_healing-ebcd2d95e49f54c3.d: examples/self_healing.rs
+
+/root/repo/target/debug/examples/libself_healing-ebcd2d95e49f54c3.rmeta: examples/self_healing.rs
+
+examples/self_healing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/semijoin_reduction-68423d40ed53b2e6.d: examples/semijoin_reduction.rs
+
+/root/repo/target/debug/examples/libsemijoin_reduction-68423d40ed53b2e6.rmeta: examples/semijoin_reduction.rs
+
+examples/semijoin_reduction.rs:

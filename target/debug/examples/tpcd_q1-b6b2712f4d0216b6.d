@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcd_q1-b6b2712f4d0216b6.d: examples/tpcd_q1.rs
+
+/root/repo/target/debug/examples/libtpcd_q1-b6b2712f4d0216b6.rmeta: examples/tpcd_q1.rs
+
+examples/tpcd_q1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_maintenance-1da8598c8d11f5e4.d: examples/warehouse_maintenance.rs
+
+/root/repo/target/debug/examples/libwarehouse_maintenance-1da8598c8d11f5e4.rmeta: examples/warehouse_maintenance.rs
+
+examples/warehouse_maintenance.rs:
