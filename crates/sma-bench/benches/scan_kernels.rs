@@ -1,0 +1,42 @@
+//! Materialized vs zero-copy scan kernels: the per-bucket filter loop and
+//! the per-query aggregation loops of Query 1, measured on an
+//! all-ambivalent table (the case where per-tuple costs dominate). The
+//! same kernels back `paper_tables e10`, which records the medians in
+//! `BENCH_scan_kernels.json`.
+
+use sma_bench::harness::{black_box, Criterion};
+use sma_bench::kernels::scan_kernel_fixture;
+use sma_bench::{criterion_group, criterion_main};
+
+fn bench_scan_kernels(c: &mut Criterion) {
+    let fx = scan_kernel_fixture();
+    assert_eq!(
+        fx.filter_bucket_materialized(),
+        fx.filter_bucket_zero_copy(),
+        "kernels must agree before being compared"
+    );
+    let expected = fx.q1_materialized();
+    assert_eq!(expected, fx.q1_sma_ambivalent());
+    assert_eq!(expected, fx.q1_full_scan_fused());
+
+    let mut group = c.benchmark_group("scan_kernels");
+    group.bench_function("bucket_filter/materialized", |b| {
+        b.iter(|| black_box(fx.filter_bucket_materialized()))
+    });
+    group.bench_function("bucket_filter/zero_copy", |b| {
+        b.iter(|| black_box(fx.filter_bucket_zero_copy()))
+    });
+    group.bench_function("query1_ambivalent/materialized", |b| {
+        b.iter(|| black_box(fx.q1_materialized()))
+    });
+    group.bench_function("query1_ambivalent/zero_copy_sma_gaggr", |b| {
+        b.iter(|| black_box(fx.q1_sma_ambivalent()))
+    });
+    group.bench_function("query1_full_scan/zero_copy_fused", |b| {
+        b.iter(|| black_box(fx.q1_full_scan_fused()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_kernels);
+criterion_main!(benches);

@@ -15,14 +15,14 @@ fn bench_storage(c: &mut Criterion) {
     let schema = sma_tpcd::lineitem_schema();
     let tuple = items[0].to_tuple();
     let mut image = Vec::new();
-    row::encode(&schema, &tuple, &mut image);
+    row::encode(&schema, &tuple, &mut image).unwrap();
 
     let mut group = c.benchmark_group("storage_micro");
     group.bench_function("codec/encode_lineitem", |b| {
         let mut buf = Vec::with_capacity(256);
         b.iter(|| {
             buf.clear();
-            row::encode(&schema, &tuple, &mut buf);
+            row::encode(&schema, &tuple, &mut buf).expect("encodable tuple");
             buf.len()
         })
     });

@@ -15,6 +15,8 @@
 //! * `a3` — ablation: join SMAs / semi-join reduction (§4)
 //! * `e8` — thread scaling: bucket-parallel bulkload and `SmaGAggr`
 //! * `e9` — degraded-path overhead: quarantined buckets & transient retries
+//! * `e10` — zero-copy scan kernels vs their materializing predecessors
+//!   (also writes `BENCH_scan_kernels.json` at the repo root)
 //!
 //! Scale with `SMA_SF` (default 0.002). Shapes, not absolute numbers, are
 //! the reproduction target: the paper ran on 1997 SCSI disks at SF 1.
@@ -72,6 +74,53 @@ fn main() {
     }
     if all || which == "e9" {
         e9_degradation();
+    }
+    if all || which == "e10" {
+        e10_scan_kernels();
+    }
+}
+
+/// E10 — scan-kernel comparison (not in the paper): the zero-copy view
+/// kernels against their materializing predecessors, on a table dialed to
+/// all-ambivalent for Query 1 — the case where per-tuple costs dominate.
+/// Each pair is asserted to compute the identical answer before being
+/// timed; medians land in `BENCH_scan_kernels.json` at the repo root.
+fn e10_scan_kernels() {
+    println!("--- E10: zero-copy scan kernels vs materialized ---");
+    let timings = sma_bench::kernels::scan_kernel_timings(15);
+    println!(
+        "{:>32} {:>14} {:>14} {:>9}",
+        "kernel", "materialized", "zero-copy", "speedup"
+    );
+    let mut entries = String::new();
+    for t in &timings {
+        println!(
+            "{:>32} {:>12}ns {:>12}ns {:>8.2}x",
+            t.name,
+            t.materialized_ns,
+            t.zero_copy_ns,
+            t.speedup()
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"name\": \"{}\", \"materialized_ns\": {}, \"zero_copy_ns\": {}, \"speedup\": {:.3}}}",
+            t.name,
+            t.materialized_ns,
+            t.zero_copy_ns,
+            t.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"scan_kernels\",\n  \"scale_factor\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        bench_scale_factor(),
+        entries
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan_kernels.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => println!("  could not write {path}: {e}"),
     }
 }
 

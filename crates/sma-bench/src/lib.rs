@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod kernels;
 
 use sma_core::SmaSet;
 use sma_exec::{run_query1, Q1Execution, Query1Config};

@@ -89,6 +89,26 @@ impl ScalarExpr {
         }
     }
 
+    /// Evaluates against a zero-copy [`sma_types::RowView`], with the
+    /// same semantics as [`ScalarExpr::eval`]. Heap-allocates only when a
+    /// `Str` column or literal flows through the tree — never for the
+    /// numeric expressions aggregation uses.
+    pub fn eval_view(&self, row: &sma_types::RowView<'_>) -> Result<Value, ExprError> {
+        match self {
+            ScalarExpr::Column(i) => {
+                if *i >= row.columns() {
+                    return Err(ExprError(format!("column {i} out of range")));
+                }
+                row.get(*i)
+                    .map_err(|e| ExprError(format!("column {i}: {e}")))
+            }
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Add(a, b) => binary(a.eval_view(row)?, b.eval_view(row)?, BinOp::Add),
+            ScalarExpr::Sub(a, b) => binary(a.eval_view(row)?, b.eval_view(row)?, BinOp::Sub),
+            ScalarExpr::Mul(a, b) => binary(a.eval_view(row)?, b.eval_view(row)?, BinOp::Mul),
+        }
+    }
+
     /// All column indexes referenced, ascending and deduplicated.
     pub fn referenced_columns(&self) -> Vec<usize> {
         let mut cols = Vec::new();

@@ -154,6 +154,39 @@ impl BucketPred {
         }
     }
 
+    /// Evaluates the predicate against a zero-copy [`sma_types::RowView`]
+    /// with exactly the semantics of [`BucketPred::eval_tuple`]: `Null`
+    /// operands, type mismatches, and out-of-range columns are `false`,
+    /// empty `And` is `true`, empty `Or` is `false`. Allocation-free for
+    /// every column type (strings compare borrowed); errors surface only
+    /// for corrupt images whose string payloads cannot be read.
+    pub fn eval_view(&self, row: &sma_types::RowView<'_>) -> Result<bool, sma_types::CodecError> {
+        Ok(match self {
+            BucketPred::Cmp { col, op, value } => row
+                .cmp_value(*col, value)?
+                .is_some_and(|ord| op.matches(ord)),
+            BucketPred::ColCmp { left, op, right } => row
+                .cmp_cols(*left, *right)?
+                .is_some_and(|ord| op.matches(ord)),
+            BucketPred::And(ps) => {
+                for p in ps {
+                    if !p.eval_view(row)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            BucketPred::Or(ps) => {
+                for p in ps {
+                    if p.eval_view(row)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+        })
+    }
+
     /// All column indexes the predicate references.
     pub fn referenced_columns(&self) -> Vec<usize> {
         let mut cols = Vec::new();

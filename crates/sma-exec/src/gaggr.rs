@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use sma_core::{Accumulator, AggFn, ScalarExpr};
-use sma_types::{Tuple, Value};
+use sma_types::{DataType, RowView, Schema, Tuple, Value};
 
 use crate::op::{ExecError, PhysicalOp};
 
@@ -83,6 +83,24 @@ impl GroupState {
         Ok(())
     }
 
+    /// Folds one zero-copy row view into every aggregate. Identical math
+    /// to [`GroupState::update`]; the aggregate inputs are evaluated
+    /// straight off the encoded image without materializing the tuple.
+    pub fn update_view(
+        &mut self,
+        specs: &[AggSpec],
+        row: &sma_types::RowView<'_>,
+    ) -> Result<(), ExecError> {
+        for (spec, acc) in specs.iter().zip(&mut self.accs) {
+            match spec.input() {
+                Some(e) => acc.update(&e.eval_view(row)?),
+                None => acc.update(&Value::Int(1)),
+            }
+        }
+        self.hidden_count += 1;
+        Ok(())
+    }
+
     /// Merges a partial state for the same group (computed over a disjoint
     /// bucket range) into this one. Folding each partial's finished value
     /// back in is exact because min/max/sum/count are associative and the
@@ -113,6 +131,90 @@ impl GroupState {
                 }
             })
             .collect()
+    }
+}
+
+/// A direct-indexed group table for all-`Char` group keys of at most two
+/// columns — the TPC-D Q1 shape, `group by RETURNFLAG, LINESTATUS`.
+///
+/// Indexing a flat array by the raw key bytes replaces both the per-tuple
+/// key `Vec` allocation and the ordered-map probe in the ambivalent-bucket
+/// hot loop. `Null` group keys (legal in the model, absent in TPC-D data)
+/// overflow to an ordered side map, so nothing is lost. Flat-index order
+/// equals `Value` order for `Char` keys (both are byte order, and `Null`
+/// sorts first in the `BTreeMap` everything folds back into), so results
+/// are byte-identical to the generic path.
+pub(crate) struct DenseGroups {
+    cols: Vec<usize>,
+    slots: Vec<Option<GroupState>>,
+    overflow: BTreeMap<Vec<Value>, GroupState>,
+}
+
+impl DenseGroups {
+    /// Builds the table when the grouping is dense-indexable: one or two
+    /// group columns, all of type `Char`. Returns `None` otherwise (the
+    /// caller falls back to the ordered map).
+    pub fn try_new(schema: &Schema, group_by: &[usize]) -> Option<DenseGroups> {
+        if group_by.is_empty() || group_by.len() > 2 {
+            return None;
+        }
+        if !group_by
+            .iter()
+            .all(|&c| c < schema.len() && schema.column(c).ty == DataType::Char)
+        {
+            return None;
+        }
+        let mut slots = Vec::new();
+        slots.resize_with(1usize << (8 * group_by.len()), || None);
+        Some(DenseGroups {
+            cols: group_by.to_vec(),
+            slots,
+            overflow: BTreeMap::new(),
+        })
+    }
+
+    /// Folds one passing row into its group — allocation-free for
+    /// non-null keys.
+    pub fn update(&mut self, specs: &[AggSpec], row: &RowView<'_>) -> Result<(), ExecError> {
+        let mut idx = 0usize;
+        for (pos, &c) in self.cols.iter().enumerate() {
+            match row.char_at(c) {
+                Some(b) => idx = (idx << 8) | b as usize,
+                None => {
+                    let mut key = Vec::with_capacity(self.cols.len());
+                    for &k in &self.cols[..pos] {
+                        key.push(Value::Char(row.char_at(k).expect("walked past")));
+                    }
+                    for &k in &self.cols[pos..] {
+                        key.push(row.get(k)?);
+                    }
+                    return self
+                        .overflow
+                        .entry(key)
+                        .or_insert_with(|| GroupState::new(specs))
+                        .update_view(specs, row);
+                }
+            }
+        }
+        self.slots[idx]
+            .get_or_insert_with(|| GroupState::new(specs))
+            .update_view(specs, row)
+    }
+
+    /// Converts back to the ordered map the merge machinery uses.
+    pub fn into_groups(self) -> BTreeMap<Vec<Value>, GroupState> {
+        let mut out = self.overflow;
+        let two_cols = self.cols.len() == 2;
+        for (idx, slot) in self.slots.into_iter().enumerate() {
+            let Some(state) = slot else { continue };
+            let key = if two_cols {
+                vec![Value::Char((idx >> 8) as u8), Value::Char(idx as u8)]
+            } else {
+                vec![Value::Char(idx as u8)]
+            };
+            out.insert(key, state);
+        }
+        out
     }
 }
 

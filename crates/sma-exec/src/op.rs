@@ -60,6 +60,12 @@ impl From<TableError> for ExecError {
     }
 }
 
+impl From<sma_types::CodecError> for ExecError {
+    fn from(e: sma_types::CodecError) -> ExecError {
+        ExecError::Table(TableError::from(e))
+    }
+}
+
 impl From<SmaError> for ExecError {
     fn from(e: SmaError) -> ExecError {
         ExecError::Sma(e)

@@ -17,16 +17,17 @@
 //! An optional hard breakeven threshold reproduces the paper's simpler
 //! decision rule.
 
+use std::collections::BTreeMap;
+
 use sma_core::{BucketPred, Classification, Grade, SmaSet};
 use sma_storage::{CostModel, Table};
-use sma_types::Tuple;
+use sma_types::{RowLayout, Tuple, Value};
 
-use crate::basic::{Filter, SeqScan};
 use crate::degrade::DegradationReport;
-use crate::gaggr::{AggSpec, HashGAggr};
+use crate::gaggr::{AggSpec, DenseGroups, GroupState, HashGAggr};
 use crate::op::{collect, ExecError, PhysicalOp};
 use crate::scan::SmaScan;
-use crate::sma_gaggr::SmaGAggr;
+use crate::sma_gaggr::{absorb_groups, SmaGAggr};
 
 /// An aggregate query: `select <group_by>, <specs> from R where <pred>
 /// group by <group_by>` (output sorted by the group key).
@@ -132,14 +133,7 @@ impl Plan<'_> {
                 Ok((rows, report))
             }
             PlanKind::FullScan => {
-                let scan = SeqScan::new(self.table);
-                let filtered = Filter::new(Box::new(scan), self.query.pred.clone());
-                let mut op = HashGAggr::new(
-                    Box::new(filtered),
-                    self.query.group_by.clone(),
-                    self.query.specs.clone(),
-                );
-                let rows = collect(&mut op)?;
+                let rows = full_scan_aggregate(self.table, &self.query)?;
                 Ok((rows, DegradationReport::default()))
             }
         }
@@ -212,6 +206,48 @@ impl PhysicalOp for Buffered {
     fn describe(&self) -> String {
         format!("Buffered({} rows)", self.rows.len())
     }
+}
+
+/// The SMA-less baseline, fused: one pass over the data pages in physical
+/// order, evaluating the predicate and folding aggregate inputs directly
+/// on zero-copy views — no per-tuple materialization anywhere. Pages are
+/// visited in exactly [`crate::basic::SeqScan`]'s order, so the I/O trace
+/// is unchanged, and groups come out of an ordered map (or the flat `Char`
+/// table that folds back into one), so the rows match what
+/// `SeqScan → Filter → HashGAggr` produces.
+fn full_scan_aggregate(table: &Table, query: &AggregateQuery) -> Result<Vec<Tuple>, ExecError> {
+    let layout = RowLayout::new(table.schema());
+    let mut dense = DenseGroups::try_new(table.schema(), &query.group_by);
+    let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+    for page in 0..table.page_count() {
+        table.for_each_on_page::<ExecError, _>(page, |_, image| {
+            let row = layout.view(image)?;
+            if !query.pred.eval_view(&row)? {
+                return Ok(());
+            }
+            if let Some(d) = &mut dense {
+                return d.update(&query.specs, &row);
+            }
+            let mut key = Vec::with_capacity(query.group_by.len());
+            for &g in &query.group_by {
+                key.push(row.get(g)?);
+            }
+            groups
+                .entry(key)
+                .or_insert_with(|| GroupState::new(&query.specs))
+                .update_view(&query.specs, &row)
+        })?;
+    }
+    if let Some(d) = dense {
+        absorb_groups(&mut groups, d.into_groups());
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key, state) in groups {
+        let mut row = key;
+        row.extend(state.finish(&query.specs));
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 /// Whether `smas` can answer every aggregate of `query`.

@@ -7,7 +7,7 @@
 
 use sma_core::{BucketPred, Grade, SmaSet};
 use sma_storage::{Table, TupleId};
-use sma_types::Tuple;
+use sma_types::{RowLayout, Tuple};
 
 use crate::degrade::DegradationReport;
 use crate::op::{ExecError, PhysicalOp};
@@ -41,6 +41,12 @@ pub struct SmaScan<'a> {
     smas: &'a SmaSet,
     curr_grade: Grade,
     next_bucket: u32,
+    /// Byte offsets of the row codec, computed once so ambivalent buckets
+    /// can be filtered on zero-copy views.
+    layout: RowLayout,
+    /// Tuples of the current bucket. Ambivalent buckets arrive already
+    /// filtered (only passing tuples were materialized); qualifying
+    /// buckets arrive whole, with no predicate evaluation either way.
     buffer: Vec<(TupleId, Tuple)>,
     pos: usize,
     counters: ScanCounters,
@@ -63,6 +69,7 @@ impl<'a> SmaScan<'a> {
             smas,
             curr_grade: Grade::Ambivalent,
             next_bucket: 0,
+            layout: RowLayout::new(table.schema()),
             buffer: Vec::new(),
             pos: 0,
             counters: ScanCounters::default(),
@@ -117,8 +124,27 @@ impl<'a> SmaScan<'a> {
             }
             self.buffer.clear();
             self.pos = 0;
-            for page in self.table.bucket_range(bucket) {
-                self.table.scan_page_into(page, &mut self.buffer)?;
+            if self.curr_grade == Grade::Qualifies {
+                // Every tuple is wanted: plain materializing read.
+                for page in self.table.bucket_range(bucket) {
+                    self.table.scan_page_into(page, &mut self.buffer)?;
+                }
+            } else {
+                // Ambivalent: evaluate the predicate on zero-copy views
+                // straight out of the page frames and materialize only the
+                // tuples that pass. Pages are visited in the same order as
+                // the materializing read, so the I/O trace is unchanged.
+                let table = self.table;
+                let layout = &self.layout;
+                let pred = &self.pred;
+                let buffer = &mut self.buffer;
+                table.for_each_in_bucket::<ExecError, _>(bucket, |tid, image| {
+                    let row = layout.view(image)?;
+                    if pred.eval_view(&row)? {
+                        buffer.push((tid, row.materialize()?));
+                    }
+                    Ok(())
+                })?;
             }
             self.counters.degradation.retries_spent = self
                 .table
@@ -162,13 +188,10 @@ impl PhysicalOp for SmaScan<'_> {
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
-            while self.pos < self.buffer.len() {
+            if self.pos < self.buffer.len() {
                 let idx = self.pos;
                 self.pos += 1;
-                if self.curr_grade == Grade::Qualifies || self.pred.eval_tuple(&self.buffer[idx].1)
-                {
-                    return Ok(Some(std::mem::take(&mut self.buffer[idx].1)));
-                }
+                return Ok(Some(std::mem::take(&mut self.buffer[idx].1)));
             }
             if !self.get_bucket()? {
                 return Ok(None);

@@ -13,9 +13,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 
 use sma_core::{BucketPred, Grade, Sma, SmaSet};
-use sma_types::{Tuple, Value};
+use sma_types::{RowLayout, Tuple, Value};
 
-use crate::gaggr::{AggSpec, GroupState};
+use crate::gaggr::{AggSpec, DenseGroups, GroupState};
 use crate::op::{ExecError, PhysicalOp};
 use crate::parallel::{morsels, Parallelism};
 use crate::scan::ScanCounters;
@@ -37,6 +37,9 @@ pub struct SmaGAggr<'a> {
     smas: &'a SmaSet,
     resolved: Vec<ResolvedSpec<'a>>,
     count_sma: ResolvedSpec<'a>,
+    /// Byte offsets of the row codec, computed once so ambivalent buckets
+    /// can be filtered and aggregated on zero-copy views.
+    layout: RowLayout,
     results: Vec<Tuple>,
     pos: usize,
     counters: ScanCounters,
@@ -100,6 +103,7 @@ impl<'a> SmaGAggr<'a> {
         }
         // The hidden count(*) (group existence + averages).
         let count_sma = resolve(smas, sma_core::AggFn::Count, None, &group_by, "count(*)")?;
+        let layout = RowLayout::new(table.schema());
         Ok(SmaGAggr {
             table,
             pred,
@@ -108,6 +112,7 @@ impl<'a> SmaGAggr<'a> {
             smas,
             resolved,
             count_sma,
+            layout,
             results: Vec::new(),
             pos: 0,
             counters: ScanCounters::default(),
@@ -194,13 +199,18 @@ impl<'a> SmaGAggr<'a> {
     ) -> Result<(ScanCounters, BTreeMap<Vec<Value>, GroupState>), ExecError> {
         let mut counters = ScanCounters::default();
         let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+        // All-`Char` group keys (the Q1 shape) accumulate in a flat
+        // direct-indexed table instead of the ordered map; it folds back
+        // into `groups` once at the end of the morsel. Aggregate merging
+        // is commutative, so the deferred fold changes nothing.
+        let mut dense = DenseGroups::try_new(self.table.schema(), &self.group_by);
         for bucket in range {
             match self.pred.grade(bucket, self.smas) {
                 Grade::Qualifies => {
                     if self.aggregate_entries_quarantined(bucket) {
                         counters.ambivalent += 1;
                         counters.degradation.note_quarantined(bucket);
-                        self.scan_ambivalent_bucket(bucket, &mut groups)?;
+                        self.scan_ambivalent_bucket(bucket, &mut groups, &mut dense)?;
                         continue;
                     }
                     match self.merge_qualifying_bucket(bucket) {
@@ -211,7 +221,7 @@ impl<'a> SmaGAggr<'a> {
                         Err(ExecError::InconsistentSma(_)) => {
                             counters.ambivalent += 1;
                             counters.degradation.note_inconsistent(bucket);
-                            self.scan_ambivalent_bucket(bucket, &mut groups)?;
+                            self.scan_ambivalent_bucket(bucket, &mut groups, &mut dense)?;
                         }
                         Err(e) => return Err(e),
                     }
@@ -226,35 +236,49 @@ impl<'a> SmaGAggr<'a> {
                     if self.smas.is_bucket_quarantined(bucket) {
                         counters.degradation.note_quarantined(bucket);
                     }
-                    self.scan_ambivalent_bucket(bucket, &mut groups)?;
+                    self.scan_ambivalent_bucket(bucket, &mut groups, &mut dense)?;
                 }
             }
+        }
+        if let Some(d) = dense {
+            absorb_groups(&mut groups, d.into_groups());
         }
         Ok((counters, groups))
     }
 
+    /// Reads one bucket straight out of the buffer pool's page frames:
+    /// the predicate and the aggregate inputs are evaluated on zero-copy
+    /// [`sma_types::RowView`]s, so qualifying tuples fold into their group
+    /// without ever being materialized (no image copy, no `Vec<Value>`).
     fn scan_ambivalent_bucket(
         &self,
         bucket: u32,
         groups: &mut BTreeMap<Vec<Value>, GroupState>,
+        dense: &mut Option<DenseGroups>,
     ) -> Result<(), ExecError> {
-        let rows = self.table.scan_bucket(bucket)?;
-        for (_, tuple) in rows {
-            if !self.pred.eval_tuple(&tuple) {
-                continue;
-            }
-            let key: Vec<Value> = self.group_by.iter().map(|&g| tuple[g].clone()).collect();
-            groups
-                .entry(key)
-                .or_insert_with(|| GroupState::new(&self.specs))
-                .update(&self.specs, &tuple)?;
-        }
-        Ok(())
+        self.table
+            .for_each_in_bucket::<ExecError, _>(bucket, |_, image| {
+                let row = self.layout.view(image)?;
+                if !self.pred.eval_view(&row)? {
+                    return Ok(());
+                }
+                if let Some(d) = dense {
+                    return d.update(&self.specs, &row);
+                }
+                let mut key = Vec::with_capacity(self.group_by.len());
+                for &g in &self.group_by {
+                    key.push(row.get(g)?);
+                }
+                groups
+                    .entry(key)
+                    .or_insert_with(|| GroupState::new(&self.specs))
+                    .update_view(&self.specs, &row)
+            })
     }
 }
 
 /// Merges a bucket-local (or morsel-local) group map into the combined one.
-fn absorb_groups(
+pub(crate) fn absorb_groups(
     into: &mut BTreeMap<Vec<Value>, GroupState>,
     from: BTreeMap<Vec<Value>, GroupState>,
 ) {

@@ -305,6 +305,66 @@ impl SlottedPage {
     }
 }
 
+/// Visits every live tuple image of a raw page image in slot order,
+/// **without** copying the page into an owned [`SlottedPage`] first.
+///
+/// Runs the same header and slot-directory validation as
+/// [`SlottedPage::from_bytes`] before visiting, then calls
+/// `f(slot, image)` with images borrowed straight from `buf` — this is
+/// the zero-copy primitive behind the table layer's lending bucket
+/// visitors. The error type is generic so callers can thread their own
+/// error through the closure (`E: From<PageError>` covers the
+/// validation failures raised here).
+pub fn for_each_image<E, F>(buf: &[u8; PAGE_SIZE], mut f: F) -> Result<(), E>
+where
+    E: From<PageError>,
+    F: FnMut(SlotId, &[u8]) -> Result<(), E>,
+{
+    let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    let free_end = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+    if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAYLOAD_END {
+        return Err(PageError(format!("corrupt header: {n} slots, free_end {free_end}")).into());
+    }
+    let slot = |s: usize| {
+        let base = HEADER_LEN + s * SLOT_LEN;
+        (
+            u16::from_le_bytes([buf[base], buf[base + 1]]) as usize,
+            u16::from_le_bytes([buf[base + 2], buf[base + 3]]) as usize,
+        )
+    };
+    for s in 0..n {
+        let (off, len) = slot(s);
+        if len > 0 && off < free_end {
+            return Err(PageError(format!(
+                "slot {s} points into free space (off {off}, free_end {free_end})"
+            ))
+            .into());
+        }
+        if off + len > PAYLOAD_END {
+            return Err(PageError(format!("slot {s} overruns payload region")).into());
+        }
+    }
+    for s in 0..n {
+        let (off, len) = slot(s);
+        if len > 0 {
+            f(s as SlotId, &buf[off..off + len])?;
+        }
+    }
+    Ok(())
+}
+
+impl SlottedPage {
+    /// Visits every live tuple image in slot order — the owned-page
+    /// counterpart of the free function [`for_each_image`].
+    pub fn for_each_image<E, F>(&self, f: F) -> Result<(), E>
+    where
+        E: From<PageError>,
+        F: FnMut(SlotId, &[u8]) -> Result<(), E>,
+    {
+        for_each_image(&self.data, f)
+    }
+}
+
 /// Error produced when validating a raw page image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageError(pub String);
@@ -556,6 +616,57 @@ mod tests {
                 assert_eq!(reread.get(i as u16), m.as_deref());
             }
         }
+    }
+
+    #[test]
+    fn for_each_image_matches_iter() {
+        let mut rng = StdRng::seed_from_u64(0x9A6E3);
+        for _ in 0..64 {
+            let mut page = SlottedPage::new();
+            for _ in 0..rng.random_range(0usize..80) {
+                match random_op(&mut rng, 150) {
+                    Op::Insert(img) => {
+                        page.insert(&img);
+                    }
+                    Op::Delete(s) => {
+                        page.delete(s);
+                    }
+                }
+            }
+            let owned: Vec<(u16, Vec<u8>)> =
+                page.iter().map(|(s, img)| (s, img.to_vec())).collect();
+            let mut visited = Vec::new();
+            for_each_image::<PageError, _>(page.as_bytes(), |s, img| {
+                visited.push((s, img.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(visited, owned);
+            let mut via_method = Vec::new();
+            page.for_each_image::<PageError, _>(|s, img| {
+                via_method.push((s, img.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(via_method, owned);
+        }
+    }
+
+    #[test]
+    fn for_each_image_rejects_garbage_and_propagates_errors() {
+        let mut garbage = [0xFFu8; PAGE_SIZE];
+        garbage[0] = 200; // huge slot count with tiny free_end
+        assert!(for_each_image::<PageError, _>(&garbage, |_, _| Ok(())).is_err());
+        let mut p = SlottedPage::new();
+        p.insert(b"abc");
+        p.insert(b"def");
+        let mut seen = 0;
+        let r: Result<(), PageError> = for_each_image(p.as_bytes(), |_, _| {
+            seen += 1;
+            Err(PageError("stop".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(seen, 1, "visit stops at the first closure error");
     }
 
     #[derive(Debug, Clone)]

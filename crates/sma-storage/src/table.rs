@@ -205,7 +205,7 @@ impl Table {
     pub fn append(&mut self, tuple: &Tuple) -> Result<TupleId, TableError> {
         self.schema.validate(tuple)?;
         let mut image = Vec::new();
-        encode(&self.schema, tuple, &mut image);
+        encode(&self.schema, tuple, &mut image)?;
         if image.len() > MAX_TUPLE_BYTES {
             return Err(TableError::TupleTooLarge { bytes: image.len() });
         }
@@ -281,7 +281,7 @@ impl Table {
             return Err(TableError::NotFound(tid));
         }
         let mut image = Vec::new();
-        encode(&self.schema, tuple, &mut image);
+        encode(&self.schema, tuple, &mut image)?;
         let result = self.pool.with_page_mut(tid.page, |buf| {
             let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
             if page.get(tid.slot).is_none() {
@@ -301,7 +301,57 @@ impl Table {
         result
     }
 
-    /// Decodes all live tuples in bucket `b`, in physical order.
+    /// Visits every live tuple image on `page_no` in slot order, borrowed
+    /// straight from the pinned page frame — zero per-tuple image copies.
+    ///
+    /// The closure runs under the page's buffer-pool shard lock, so it
+    /// must not touch this table's pool again (per-tuple decode/predicate
+    /// work is fine; that is what it is for). The error type is generic so
+    /// executor layers can thread their own error out of the closure.
+    pub fn for_each_on_page<E, F>(&self, page_no: PageNo, mut f: F) -> Result<(), E>
+    where
+        E: From<TableError>,
+        F: FnMut(TupleId, &[u8]) -> Result<(), E>,
+    {
+        let visited = self
+            .pool
+            .with_page(page_no, |buf| {
+                crate::page::for_each_image::<VisitError<E>, _>(buf, |slot, img| {
+                    f(
+                        TupleId {
+                            page: page_no,
+                            slot,
+                        },
+                        img,
+                    )
+                    .map_err(VisitError::Caller)
+                })
+            })
+            .map_err(|e| E::from(TableError::Store(e)))?;
+        visited.map_err(|e| match e {
+            VisitError::Page(p) => E::from(TableError::Page(p)),
+            VisitError::Caller(c) => c,
+        })
+    }
+
+    /// Visits every live tuple image in bucket `b`, page by page in
+    /// physical order — the lending-scan counterpart of
+    /// [`Table::scan_bucket`]. I/O accounting is identical to the
+    /// materialized scan: each page is fetched exactly once, in the same
+    /// order.
+    pub fn for_each_in_bucket<E, F>(&self, b: BucketNo, mut f: F) -> Result<(), E>
+    where
+        E: From<TableError>,
+        F: FnMut(TupleId, &[u8]) -> Result<(), E>,
+    {
+        for page_no in self.bucket_range(b) {
+            self.for_each_on_page(page_no, &mut f)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes all live tuples in bucket `b`, in physical order. Thin
+    /// materializing wrapper over [`Table::for_each_in_bucket`].
     pub fn scan_bucket(&self, b: BucketNo) -> Result<Vec<(TupleId, Tuple)>, TableError> {
         let mut out = Vec::new();
         for page_no in self.bucket_range(b) {
@@ -316,22 +366,10 @@ impl Table {
         page_no: PageNo,
         out: &mut Vec<(TupleId, Tuple)>,
     ) -> Result<(), TableError> {
-        let images = self.pool.with_page(page_no, |buf| {
-            let page = SlottedPage::from_bytes(buf).expect("own pages are valid");
-            page.iter()
-                .map(|(s, img)| (s, img.to_vec()))
-                .collect::<Vec<_>>()
-        })?;
-        for (slot, img) in images {
-            out.push((
-                TupleId {
-                    page: page_no,
-                    slot,
-                },
-                decode(&self.schema, &img)?,
-            ));
-        }
-        Ok(())
+        self.for_each_on_page::<TableError, _>(page_no, |tid, img| {
+            out.push((tid, decode(&self.schema, img)?));
+            Ok(())
+        })
     }
 
     /// Full sequential scan: every live tuple in physical order.
@@ -415,6 +453,21 @@ impl Table {
         }
         self.live_tuples = live;
         Ok(report)
+    }
+}
+
+/// Internal error split for the lending visitors: page validation
+/// failures raised by the walker vs. errors returned by the caller's
+/// closure, re-merged into the caller's error type after the page lock
+/// is released.
+enum VisitError<E> {
+    Page(crate::page::PageError),
+    Caller(E),
+}
+
+impl<E> From<crate::page::PageError> for VisitError<E> {
+    fn from(e: crate::page::PageError) -> VisitError<E> {
+        VisitError::Page(e)
     }
 }
 
@@ -543,6 +596,61 @@ mod tests {
         let mut t = Table::in_memory("t", schema(), 1);
         let err = t.append(&tuple(1, &"z".repeat(5000))).unwrap_err();
         assert!(matches!(err, TableError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn lending_visitor_matches_materialized_scan_and_io() {
+        let mut t = Table::in_memory("t", schema(), 2);
+        let long = "x".repeat(700);
+        for k in 0..40 {
+            t.append(&tuple(k, &long)).unwrap();
+        }
+        let deleted = t.scan().unwrap()[5].0;
+        t.delete(deleted).unwrap();
+        for b in 0..t.bucket_count() {
+            t.reset_io_stats();
+            let owned = t.scan_bucket(b).unwrap();
+            let owned_io = t.io_stats();
+            t.reset_io_stats();
+            let mut visited = Vec::new();
+            t.for_each_in_bucket::<TableError, _>(b, |tid, img| {
+                visited.push((tid, sma_types::row::decode(t.schema(), img)?));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(visited, owned, "bucket {b}");
+            assert_eq!(t.io_stats(), owned_io, "bucket {b}: identical I/O trace");
+        }
+    }
+
+    #[test]
+    fn visitor_propagates_closure_errors() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        for k in 0..3 {
+            t.append(&tuple(k, "x")).unwrap();
+        }
+        let mut seen = 0;
+        let err = t
+            .for_each_in_bucket::<TableError, _>(0, |tid, _| {
+                seen += 1;
+                Err(TableError::NotFound(tid))
+            })
+            .unwrap_err();
+        assert!(matches!(err, TableError::NotFound(_)));
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn oversized_string_surfaces_as_codec_error() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let too_long = "x".repeat(u16::MAX as usize + 1);
+        let err = t.append(&tuple(1, &too_long)).unwrap_err();
+        assert!(matches!(err, TableError::Codec(_)), "got {err:?}");
+        assert_eq!(t.live_tuples(), 0, "failed append leaves the table clean");
+        let id = t.append(&tuple(1, "ok")).unwrap();
+        let err = t.update(id, &tuple(1, &too_long)).unwrap_err();
+        assert!(matches!(err, TableError::Codec(_)), "got {err:?}");
+        assert_eq!(t.get(id).unwrap(), Some(tuple(1, "ok")));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod value;
+pub mod view;
 
 pub use date::{Date, DateError};
 pub use decimal::{Decimal, DecimalError};
@@ -26,3 +27,4 @@ pub use rng::StdRng;
 pub use row::{CodecError, Tuple};
 pub use schema::{Column, DataType, Schema, SchemaError, SchemaRef};
 pub use value::Value;
+pub use view::{Projection, RowLayout, RowView};

@@ -42,8 +42,22 @@ pub fn encoded_len(schema: &Schema, tuple: &[Value]) -> usize {
 }
 
 /// Encodes `tuple` (which must validate against `schema`) into `out`.
-pub fn encode(schema: &Schema, tuple: &[Value], out: &mut Vec<u8>) {
+///
+/// Fails — leaving `out` untouched — when a string payload exceeds the
+/// `u16` length slot of the fixed section.
+pub fn encode(schema: &Schema, tuple: &[Value], out: &mut Vec<u8>) -> Result<(), CodecError> {
     debug_assert!(schema.validate(tuple).is_ok());
+    for (v, c) in tuple.iter().zip(schema.columns()) {
+        if let Value::Str(s) = v {
+            if s.len() > u16::MAX as usize {
+                return Err(CodecError(format!(
+                    "string column {:?} is {} bytes, exceeding the u16 length slot",
+                    c.name,
+                    s.len()
+                )));
+            }
+        }
+    }
     let bitmap_len = schema.len().div_ceil(8);
     let bitmap_start = out.len();
     out.resize(bitmap_start + bitmap_len, 0);
@@ -62,7 +76,7 @@ pub fn encode(schema: &Schema, tuple: &[Value], out: &mut Vec<u8>) {
             (DataType::Date, Value::Date(d)) => out.extend_from_slice(&d.days().to_le_bytes()),
             (DataType::Char, Value::Char(ch)) => out.push(*ch),
             (DataType::Str, Value::Str(s)) => {
-                let len = u16::try_from(s.len()).expect("string longer than u16::MAX");
+                let len = s.len() as u16; // checked above
                 out.extend_from_slice(&len.to_le_bytes());
                 strings.push(s);
             }
@@ -73,6 +87,7 @@ pub fn encode(schema: &Schema, tuple: &[Value], out: &mut Vec<u8>) {
     for s in strings {
         out.extend_from_slice(s.as_bytes());
     }
+    Ok(())
 }
 
 /// Decodes one tuple image produced by [`encode`].
@@ -164,7 +179,7 @@ mod tests {
         let s = schema();
         let t = tuple();
         let mut buf = Vec::new();
-        encode(&s, &t, &mut buf);
+        encode(&s, &t, &mut buf).unwrap();
         assert_eq!(buf.len(), encoded_len(&s, &t));
         assert_eq!(decode(&s, &buf).unwrap(), t);
     }
@@ -181,7 +196,7 @@ mod tests {
             Value::Str("tail".into()),
         ];
         let mut buf = Vec::new();
-        encode(&s, &t, &mut buf);
+        encode(&s, &t, &mut buf).unwrap();
         assert_eq!(decode(&s, &buf).unwrap(), t);
     }
 
@@ -189,7 +204,7 @@ mod tests {
     fn rejects_truncated() {
         let s = schema();
         let mut buf = Vec::new();
-        encode(&s, &tuple(), &mut buf);
+        encode(&s, &tuple(), &mut buf).unwrap();
         assert!(decode(&s, &buf[..buf.len() - 3]).is_err());
         assert!(decode(&s, &[]).is_err());
     }
@@ -199,11 +214,26 @@ mod tests {
         let s = schema();
         let t = tuple();
         let mut buf = Vec::new();
-        encode(&s, &t, &mut buf);
+        encode(&s, &t, &mut buf).unwrap();
         let first_len = buf.len();
-        encode(&s, &t, &mut buf);
+        encode(&s, &t, &mut buf).unwrap();
         assert_eq!(decode(&s, &buf[..first_len]).unwrap(), t);
         assert_eq!(decode(&s, &buf[first_len..]).unwrap(), t);
+    }
+
+    #[test]
+    fn oversized_string_is_an_error_not_a_panic() {
+        let s = schema();
+        let mut t = tuple();
+        t[4] = Value::Str("x".repeat(u16::MAX as usize + 1));
+        let mut buf = Vec::new();
+        let err = encode(&s, &t, &mut buf).unwrap_err();
+        assert!(err.0.contains("u16"), "{err}");
+        assert!(buf.is_empty(), "failed encode must leave the buffer clean");
+        // One byte under the limit still round-trips.
+        t[4] = Value::Str("x".repeat(u16::MAX as usize));
+        encode(&s, &t, &mut buf).unwrap();
+        assert_eq!(decode(&s, &buf).unwrap(), t);
     }
 
     /// A random value of `ty`, `Null` with probability 1/10 — mirrors the
@@ -241,7 +271,7 @@ mod tests {
                 .map(|c| random_value(&mut rng, c.ty))
                 .collect();
             let mut buf = Vec::new();
-            encode(&s, &t, &mut buf);
+            encode(&s, &t, &mut buf).unwrap();
             assert_eq!(buf.len(), encoded_len(&s, &t));
             assert_eq!(decode(&s, &buf).unwrap(), t);
         }

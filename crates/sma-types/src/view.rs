@@ -1,0 +1,456 @@
+//! Zero-copy tuple views and projection pushdown.
+//!
+//! A [`RowView`] reads individual columns straight out of an encoded
+//! tuple image (the [`crate::row`] layout) without materializing a
+//! [`crate::Tuple`]: fixed-width slots are read at offsets computed once
+//! per schema by [`RowLayout`], and string payloads are borrowed from the
+//! var section of the image. A [`Projection`] names the column subset an
+//! operator actually needs, so scan kernels can prove up front that a hot
+//! loop touches only fixed-width slots and therefore never allocates.
+//!
+//! Borrowing rules: a `RowView` borrows both its layout and the page
+//! frame holding the image, so it lives only inside the storage layer's
+//! lending visitors (`Table::for_each_in_bucket`). Anything that must
+//! outlive the visit is materialized into an owned `Tuple` via
+//! [`RowView::materialize`].
+
+use std::cmp::Ordering;
+
+use crate::date::Date;
+use crate::decimal::Decimal;
+use crate::row::CodecError;
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+
+/// Schema-derived byte offsets of the row codec, computed once per scan
+/// and shared by every [`RowView`] of that scan.
+#[derive(Debug, Clone)]
+pub struct RowLayout {
+    /// Bytes of null bitmap at the head of the image.
+    bitmap_len: usize,
+    /// Per column: data type and byte offset of its fixed slot.
+    cols: Vec<(DataType, usize)>,
+    /// Offset of the var section (= bitmap + all fixed slots).
+    var_start: usize,
+}
+
+impl RowLayout {
+    /// Computes the layout of tuples encoded under `schema`.
+    pub fn new(schema: &Schema) -> RowLayout {
+        let bitmap_len = schema.len().div_ceil(8);
+        let mut off = bitmap_len;
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| {
+                let slot = off;
+                off += c.ty.fixed_width();
+                (c.ty, slot)
+            })
+            .collect();
+        RowLayout {
+            bitmap_len,
+            cols,
+            var_start: off,
+        }
+    }
+
+    /// Number of columns in the underlying schema.
+    pub fn columns(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Bytes of null bitmap at the head of every image.
+    pub fn bitmap_len(&self) -> usize {
+        self.bitmap_len
+    }
+
+    /// Byte offset of the var section (bitmap plus all fixed slots) —
+    /// also the minimum valid image length.
+    pub fn var_start(&self) -> usize {
+        self.var_start
+    }
+
+    /// The declared type of column `col`.
+    pub fn data_type(&self, col: usize) -> DataType {
+        self.cols[col].0
+    }
+
+    /// Wraps `image` in a view. Errors if the image is shorter than the
+    /// bitmap plus fixed sections (the same bound [`crate::row::decode`]
+    /// enforces); var-section bounds are checked lazily on access.
+    pub fn view<'a>(&'a self, image: &'a [u8]) -> Result<RowView<'a>, CodecError> {
+        if image.len() < self.var_start {
+            return Err(CodecError(format!(
+                "image too short: {} bytes, need at least {}",
+                image.len(),
+                self.var_start
+            )));
+        }
+        Ok(RowView {
+            layout: self,
+            image,
+        })
+    }
+}
+
+/// A borrowed, column-at-a-time view of one encoded tuple image.
+///
+/// Every accessor is allocation-free except [`RowView::get`] on a `Str`
+/// column (which must produce an owned [`Value::Str`]).
+#[derive(Clone, Copy)]
+pub struct RowView<'a> {
+    layout: &'a RowLayout,
+    image: &'a [u8],
+}
+
+impl<'a> RowView<'a> {
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.layout.columns()
+    }
+
+    /// Whether column `col` is SQL `NULL` (null-bitmap bit set).
+    pub fn is_null(&self, col: usize) -> bool {
+        self.image[col / 8] & (1 << (col % 8)) != 0
+    }
+
+    fn slot(&self, col: usize) -> &'a [u8] {
+        let (ty, off) = self.layout.cols[col];
+        &self.image[off..off + ty.fixed_width()]
+    }
+
+    /// The `i64` at an `Int` column; `None` when null.
+    pub fn int_at(&self, col: usize) -> Option<i64> {
+        debug_assert_eq!(self.layout.data_type(col), DataType::Int);
+        (!self.is_null(col)).then(|| i64::from_le_bytes(self.slot(col).try_into().expect("8B")))
+    }
+
+    /// The [`Decimal`] at a `Decimal` column; `None` when null.
+    pub fn decimal_at(&self, col: usize) -> Option<Decimal> {
+        debug_assert_eq!(self.layout.data_type(col), DataType::Decimal);
+        (!self.is_null(col)).then(|| {
+            Decimal::from_cents(i64::from_le_bytes(self.slot(col).try_into().expect("8B")))
+        })
+    }
+
+    /// The [`Date`] at a `Date` column; `None` when null.
+    pub fn date_at(&self, col: usize) -> Option<Date> {
+        debug_assert_eq!(self.layout.data_type(col), DataType::Date);
+        (!self.is_null(col))
+            .then(|| Date::from_days(i32::from_le_bytes(self.slot(col).try_into().expect("4B"))))
+    }
+
+    /// The flag byte at a `Char` column; `None` when null.
+    pub fn char_at(&self, col: usize) -> Option<u8> {
+        debug_assert_eq!(self.layout.data_type(col), DataType::Char);
+        (!self.is_null(col)).then(|| self.slot(col)[0])
+    }
+
+    /// The borrowed payload of a `Str` column; `Ok(None)` when null.
+    ///
+    /// Walks the length slots of the preceding non-null `Str` columns to
+    /// locate the payload, exactly mirroring [`crate::row::decode`]'s var
+    /// cursor (null strings contribute no var bytes).
+    pub fn str_at(&self, col: usize) -> Result<Option<&'a str>, CodecError> {
+        debug_assert_eq!(self.layout.data_type(col), DataType::Str);
+        if self.is_null(col) {
+            return Ok(None);
+        }
+        let mut var_pos = self.layout.var_start;
+        for (i, &(ty, off)) in self.layout.cols[..col].iter().enumerate() {
+            if ty == DataType::Str && !self.is_null(i) {
+                let len =
+                    u16::from_le_bytes(self.image[off..off + 2].try_into().expect("2B")) as usize;
+                var_pos += len;
+            }
+        }
+        let len = u16::from_le_bytes(self.slot(col).try_into().expect("2B")) as usize;
+        let end = var_pos + len;
+        if end > self.image.len() {
+            return Err(CodecError(format!(
+                "string column {col} overruns image ({} > {})",
+                end,
+                self.image.len()
+            )));
+        }
+        std::str::from_utf8(&self.image[var_pos..end])
+            .map(Some)
+            .map_err(|e| CodecError(format!("invalid utf-8 in column {col}: {e}")))
+    }
+
+    /// The column as an owned [`Value`] — allocates only for `Str`.
+    pub fn get(&self, col: usize) -> Result<Value, CodecError> {
+        if self.is_null(col) {
+            return Ok(Value::Null);
+        }
+        Ok(match self.layout.data_type(col) {
+            DataType::Int => Value::Int(self.int_at(col).expect("non-null")),
+            DataType::Decimal => Value::Decimal(self.decimal_at(col).expect("non-null")),
+            DataType::Date => Value::Date(self.date_at(col).expect("non-null")),
+            DataType::Char => Value::Char(self.char_at(col).expect("non-null")),
+            DataType::Str => Value::Str(self.str_at(col)?.expect("non-null").to_string()),
+        })
+    }
+
+    /// Compares column `col` against a constant with the semantics of
+    /// [`Value::partial_cmp_typed`]: `None` when the column is null, the
+    /// constant is `Null`, the types differ, or `col` is out of range.
+    /// No allocation for any type (strings compare borrowed).
+    pub fn cmp_value(&self, col: usize, other: &Value) -> Result<Option<Ordering>, CodecError> {
+        if col >= self.columns() || self.is_null(col) {
+            return Ok(None);
+        }
+        Ok(match (self.layout.data_type(col), other) {
+            (DataType::Int, Value::Int(b)) => Some(self.int_at(col).expect("non-null").cmp(b)),
+            (DataType::Decimal, Value::Decimal(b)) => {
+                Some(self.decimal_at(col).expect("non-null").cmp(b))
+            }
+            (DataType::Date, Value::Date(b)) => Some(self.date_at(col).expect("non-null").cmp(b)),
+            (DataType::Char, Value::Char(b)) => Some(self.char_at(col).expect("non-null").cmp(b)),
+            (DataType::Str, Value::Str(b)) => {
+                Some(self.str_at(col)?.expect("non-null").cmp(b.as_str()))
+            }
+            _ => None,
+        })
+    }
+
+    /// Compares two columns of this row under the same typed semantics.
+    pub fn cmp_cols(&self, left: usize, right: usize) -> Result<Option<Ordering>, CodecError> {
+        if left >= self.columns() || right >= self.columns() {
+            return Ok(None);
+        }
+        if self.is_null(left) || self.is_null(right) {
+            return Ok(None);
+        }
+        Ok(
+            match (self.layout.data_type(left), self.layout.data_type(right)) {
+                (DataType::Int, DataType::Int) => Some(
+                    self.int_at(left)
+                        .expect("non-null")
+                        .cmp(&self.int_at(right).expect("non-null")),
+                ),
+                (DataType::Decimal, DataType::Decimal) => Some(
+                    self.decimal_at(left)
+                        .expect("non-null")
+                        .cmp(&self.decimal_at(right).expect("non-null")),
+                ),
+                (DataType::Date, DataType::Date) => Some(
+                    self.date_at(left)
+                        .expect("non-null")
+                        .cmp(&self.date_at(right).expect("non-null")),
+                ),
+                (DataType::Char, DataType::Char) => Some(
+                    self.char_at(left)
+                        .expect("non-null")
+                        .cmp(&self.char_at(right).expect("non-null")),
+                ),
+                (DataType::Str, DataType::Str) => Some(
+                    self.str_at(left)?
+                        .expect("non-null")
+                        .cmp(self.str_at(right)?.expect("non-null")),
+                ),
+                _ => None,
+            },
+        )
+    }
+
+    /// Decodes the full row into an owned tuple (the operator-boundary
+    /// materialization). Equivalent to [`crate::row::decode`].
+    pub fn materialize(&self) -> Result<Vec<Value>, CodecError> {
+        (0..self.columns()).map(|c| self.get(c)).collect()
+    }
+}
+
+/// The set of columns an operator needs from each tuple, in ascending
+/// order without duplicates — the unit of projection pushdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    cols: Vec<usize>,
+}
+
+impl Projection {
+    /// A projection over exactly `cols` (sorted, deduplicated here).
+    pub fn new(mut cols: Vec<usize>) -> Projection {
+        cols.sort_unstable();
+        cols.dedup();
+        Projection { cols }
+    }
+
+    /// Every column of `schema`.
+    pub fn all(schema: &Schema) -> Projection {
+        Projection {
+            cols: (0..schema.len()).collect(),
+        }
+    }
+
+    /// The projected column indexes, ascending.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Whether `col` is projected.
+    pub fn contains(&self, col: usize) -> bool {
+        self.cols.binary_search(&col).is_ok()
+    }
+
+    /// True when every projected column of `schema` has a fixed-width
+    /// type — the precondition for a fully allocation-free scan kernel
+    /// (no `Str` payloads, so no owned `String` ever needs to exist).
+    pub fn is_fixed_width_only(&self, schema: &Schema) -> bool {
+        self.cols
+            .iter()
+            .all(|&c| c < schema.len() && schema.column(c).ty != DataType::Str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::encode;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("P", DataType::Decimal),
+            Column::new("D", DataType::Date),
+            Column::new("F", DataType::Char),
+            Column::new("S", DataType::Str),
+            Column::new("T", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn typed_accessors_read_the_encoded_values() {
+        let s = schema();
+        let t = vec![
+            Value::Int(-42),
+            Value::Decimal(Decimal::from_cents(123456)),
+            Value::Date(Date::parse("1997-04-30").unwrap()),
+            Value::Char(b'N'),
+            Value::Str("hello".into()),
+            Value::Str("".into()),
+        ];
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf).unwrap();
+        let layout = RowLayout::new(&s);
+        let row = layout.view(&buf).unwrap();
+        assert_eq!(row.int_at(0), Some(-42));
+        assert_eq!(row.decimal_at(1), Some(Decimal::from_cents(123456)));
+        assert_eq!(row.date_at(2), Some(Date::parse("1997-04-30").unwrap()));
+        assert_eq!(row.char_at(3), Some(b'N'));
+        assert_eq!(row.str_at(4).unwrap(), Some("hello"));
+        assert_eq!(row.str_at(5).unwrap(), Some(""));
+        assert_eq!(row.materialize().unwrap(), t);
+    }
+
+    #[test]
+    fn null_str_columns_shift_no_var_bytes() {
+        let s = schema();
+        let t = vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Str("tail".into()),
+        ];
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf).unwrap();
+        let layout = RowLayout::new(&s);
+        let row = layout.view(&buf).unwrap();
+        assert!(row.is_null(0) && row.is_null(4));
+        assert_eq!(row.str_at(4).unwrap(), None);
+        assert_eq!(row.str_at(5).unwrap(), Some("tail"));
+        assert_eq!(row.int_at(0), None);
+    }
+
+    #[test]
+    fn short_images_are_rejected() {
+        let s = schema();
+        let layout = RowLayout::new(&s);
+        assert!(layout.view(&[]).is_err());
+        let mut buf = Vec::new();
+        encode(
+            &s,
+            &[
+                Value::Int(1),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ],
+            &mut buf,
+        )
+        .unwrap();
+        assert!(layout.view(&buf[..buf.len() - 1]).is_err());
+        // Truncating only the var section passes construction but fails
+        // the lazy bounds check on access.
+        let t = vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Str("long enough".into()),
+            Value::Null,
+        ];
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf).unwrap();
+        let short = &buf[..buf.len() - 3];
+        let row = layout.view(short).unwrap();
+        assert!(row.str_at(4).is_err());
+        assert!(row.get(4).is_err());
+        assert!(row.materialize().is_err());
+    }
+
+    #[test]
+    fn cmp_value_mirrors_partial_cmp_typed() {
+        let s = schema();
+        let t = vec![
+            Value::Int(7),
+            Value::Decimal(Decimal::from_cents(250)),
+            Value::Null,
+            Value::Char(b'A'),
+            Value::Str("mm".into()),
+            Value::Null,
+        ];
+        let mut buf = Vec::new();
+        encode(&s, &t, &mut buf).unwrap();
+        let layout = RowLayout::new(&s);
+        let row = layout.view(&buf).unwrap();
+        for (col, probe) in [
+            (0, Value::Int(8)),
+            (0, Value::Decimal(Decimal::from_cents(8))), // type mismatch
+            (1, Value::Decimal(Decimal::from_cents(250))),
+            (2, Value::Date(Date::from_days(0))), // null column
+            (3, Value::Char(b'A')),
+            (4, Value::Str("zz".into())),
+            (4, Value::Null),
+        ] {
+            assert_eq!(
+                row.cmp_value(col, &probe).unwrap(),
+                t[col].partial_cmp_typed(&probe),
+                "col {col} vs {probe:?}"
+            );
+        }
+        // Out of range is None, matching `tuple.get(col)` semantics.
+        assert_eq!(row.cmp_value(99, &Value::Int(1)).unwrap(), None);
+        assert_eq!(row.cmp_cols(0, 99).unwrap(), None);
+        assert_eq!(row.cmp_cols(0, 1).unwrap(), None); // Int vs Decimal
+        assert_eq!(row.cmp_cols(4, 4).unwrap(), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn projection_normalizes_and_classifies() {
+        let s = schema();
+        let p = Projection::new(vec![3, 0, 3, 2]);
+        assert_eq!(p.columns(), &[0, 2, 3]);
+        assert!(p.contains(2) && !p.contains(1));
+        assert!(p.is_fixed_width_only(&s));
+        assert!(!Projection::new(vec![0, 4]).is_fixed_width_only(&s));
+        assert_eq!(Projection::all(&s).columns().len(), s.len());
+        assert!(!Projection::all(&s).is_fixed_width_only(&s));
+    }
+}

@@ -121,7 +121,7 @@ fn decode_survives_hostile_string_lengths() {
         smadb::types::Value::Str("hi".into()),
     ];
     let mut buf = Vec::new();
-    row::encode(&s, &t, &mut buf);
+    row::encode(&s, &t, &mut buf).unwrap();
     // Inflate the string length field (bitmap 1 byte + date 4 + decimal 8 = offset 13).
     buf[13] = 0xFF;
     buf[14] = 0xFF;
