@@ -42,7 +42,7 @@ fn bench_hierarchical(c: &mut Criterion) {
         b.iter(|| Classification::classify(&pred, table.bucket_count(), &set))
     });
     for fanout in [8u32, 32, 128] {
-        let h = HierarchicalMinMax::from_smas(&min, &max, fanout);
+        let h = HierarchicalMinMax::from_smas(&min, &max, fanout).unwrap();
         group.bench_with_input(BenchmarkId::new("two_level", fanout), &fanout, |b, _| {
             b.iter(|| h.prune(&pred))
         });

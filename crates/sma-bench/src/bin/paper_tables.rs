@@ -730,7 +730,7 @@ fn a2_hierarchical() {
         "fanout", "l2 size", "l1 inspected", "l1 skipped", "saving"
     );
     for fanout in [8u32, 32, 128] {
-        let h = HierarchicalMinMax::from_smas(&min, &max, fanout);
+        let h = HierarchicalMinMax::from_smas(&min, &max, fanout).unwrap();
         let pred = BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(cutoff(90)));
         let p = h.prune(&pred);
         println!(

@@ -2,7 +2,8 @@
 //! and figures. See `DESIGN.md` §2 for the experiment index and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod harness;
 pub mod kernels;

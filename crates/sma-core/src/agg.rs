@@ -22,13 +22,13 @@ pub enum AggFn {
 }
 
 impl AggFn {
-    /// Result type given the input expression's type (`None` for `count(*)`).
-    pub fn result_type(self, input: Option<DataType>) -> DataType {
+    /// Result type given the input expression's type (`None` for
+    /// `count(*)`). Min/max/sum with no input expression have no result
+    /// type — [`crate::SmaDefinition::validate`] rejects such definitions.
+    pub fn result_type(self, input: Option<DataType>) -> Option<DataType> {
         match self {
-            AggFn::Count => DataType::Int,
-            AggFn::Min | AggFn::Max | AggFn::Sum => {
-                input.expect("min/max/sum require an input expression")
-            }
+            AggFn::Count => Some(DataType::Int),
+            AggFn::Min | AggFn::Max | AggFn::Sum => input,
         }
     }
 
@@ -37,8 +37,8 @@ impl AggFn {
     /// 8 bytes for everything else (§2.4).
     pub fn entry_bytes(self, input: Option<DataType>) -> usize {
         match self.result_type(input) {
-            DataType::Date => 4,
-            DataType::Int if self == AggFn::Count => 4,
+            Some(DataType::Date) => 4,
+            Some(DataType::Int) if self == AggFn::Count => 4,
             _ => 8,
         }
     }
@@ -77,40 +77,33 @@ impl Accumulator {
     }
 
     /// Folds in one input value. `Null` inputs are ignored by min/max/sum
-    /// (SQL semantics) but still counted by `count(*)`.
+    /// (SQL semantics) but still counted by `count(*)`. Int sums saturate
+    /// at the `i64` endpoints instead of overflowing; type-mismatched
+    /// inputs (unreachable after schema validation) are ignored.
     pub fn update(&mut self, v: &Value) {
         match self.agg {
             AggFn::Count => {
-                self.state = Value::Int(self.state.as_int().expect("count state") + 1);
+                self.state = Value::Int(self.state.as_int().unwrap_or(0).saturating_add(1));
             }
             AggFn::Min => self.state = self.state.min_value(v),
             AggFn::Max => self.state = self.state.max_value(v),
-            AggFn::Sum => {
-                self.state = self
-                    .state
-                    .checked_add(v)
-                    .expect("sum input type consistent and within i64 range");
-            }
+            AggFn::Sum => self.state = saturating_sum(&self.state, v),
         }
     }
 
     /// Folds in an already-aggregated value (e.g. a SMA entry for a whole
     /// bucket). For `count`, `v` is the bucket's count. `Null` merges are
-    /// no-ops for min/max/sum and invalid for count.
+    /// no-ops for min/max/sum; a non-Int count merge (unreachable — SMA
+    /// count entries are Int by construction) is ignored.
     pub fn merge(&mut self, v: &Value) {
         match self.agg {
             AggFn::Count => {
-                let n = v.as_int().expect("count merge needs an Int");
-                self.state = Value::Int(self.state.as_int().expect("count state") + n);
+                let n = v.as_int().unwrap_or(0);
+                self.state = Value::Int(self.state.as_int().unwrap_or(0).saturating_add(n));
             }
             AggFn::Min => self.state = self.state.min_value(v),
             AggFn::Max => self.state = self.state.max_value(v),
-            AggFn::Sum => {
-                self.state = self
-                    .state
-                    .checked_add(v)
-                    .expect("sum merge type consistent and within i64 range");
-            }
+            AggFn::Sum => self.state = saturating_sum(&self.state, v),
         }
     }
 
@@ -120,7 +113,7 @@ impl Accumulator {
     pub fn retract(&mut self, v: &Value) -> Result<(), RetractError> {
         match self.agg {
             AggFn::Count => {
-                self.state = Value::Int(self.state.as_int().expect("count state") - 1);
+                self.state = Value::Int(self.state.as_int().unwrap_or(0).saturating_sub(1));
                 Ok(())
             }
             AggFn::Sum => {
@@ -128,14 +121,15 @@ impl Accumulator {
                     return Ok(());
                 }
                 let negated = match v {
-                    Value::Int(n) => Value::Int(-n),
+                    Value::Int(n) => {
+                        Value::Int(n.checked_neg().ok_or_else(|| {
+                            RetractError("cannot retract i64::MIN from sum".into())
+                        })?)
+                    }
                     Value::Decimal(d) => Value::Decimal(-*d),
                     other => return Err(RetractError(format!("cannot retract {other} from sum"))),
                 };
-                self.state = self
-                    .state
-                    .checked_add(&negated)
-                    .expect("sum retract within range");
+                self.state = saturating_sum(&self.state, &negated);
                 Ok(())
             }
             AggFn::Min | AggFn::Max => Err(RetractError(
@@ -152,6 +146,21 @@ impl Accumulator {
     /// Consumes the accumulator, yielding the final value.
     pub fn finish(self) -> Value {
         self.state
+    }
+}
+
+/// Total fallback-aware sum: like [`Value::checked_add`] but Int overflow
+/// saturates at the `i64` endpoints and a type-mismatched operand leaves
+/// the running state unchanged (mismatches are unreachable for tuples that
+/// passed schema validation, but the accumulator stays panic-free even on
+/// hostile input).
+fn saturating_sum(state: &Value, v: &Value) -> Value {
+    match state.checked_add(v) {
+        Some(s) => s,
+        None => match (state, v) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.saturating_add(*b)),
+            _ => state.clone(),
+        },
     }
 }
 
@@ -249,6 +258,15 @@ mod tests {
         assert_eq!(count.finish(), Value::Int(0));
     }
 
+    /// Regression: retracting `i64::MIN` used to negate unchecked and
+    /// overflow-panic in debug builds; it must report a retract error.
+    #[test]
+    fn retract_i64_min_is_an_error_not_a_panic() {
+        let mut sum = Accumulator::new(AggFn::Sum);
+        sum.update(&Value::Int(5));
+        assert!(sum.retract(&Value::Int(i64::MIN)).is_err());
+    }
+
     #[test]
     fn retract_minmax_rejected() {
         let mut m = Accumulator::new(AggFn::Min);
@@ -269,11 +287,15 @@ mod tests {
 
     #[test]
     fn result_types() {
-        assert_eq!(AggFn::Count.result_type(None), DataType::Int);
-        assert_eq!(AggFn::Min.result_type(Some(DataType::Date)), DataType::Date);
+        assert_eq!(AggFn::Count.result_type(None), Some(DataType::Int));
+        assert_eq!(
+            AggFn::Min.result_type(Some(DataType::Date)),
+            Some(DataType::Date)
+        );
         assert_eq!(
             AggFn::Sum.result_type(Some(DataType::Decimal)),
-            DataType::Decimal
+            Some(DataType::Decimal)
         );
+        assert_eq!(AggFn::Sum.result_type(None), None);
     }
 }

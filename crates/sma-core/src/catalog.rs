@@ -102,7 +102,12 @@ impl SmaCatalog {
         let name = def.name.clone();
         let sma = Sma::build(table, def)?;
         set.push(sma);
-        Ok(set.by_name(&name).expect("just pushed"))
+        // Just pushed under this name; `UnknownSma` here is unreachable but
+        // reported rather than assumed.
+        set.by_name(&name).ok_or(CatalogError::UnknownSma {
+            relation: rel_key,
+            sma: name,
+        })
     }
 
     /// The SMA set for `relation`, if any SMAs are defined on it.

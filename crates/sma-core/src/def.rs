@@ -72,7 +72,7 @@ impl SmaDefinition {
             != self
                 .group_by
                 .iter()
-                .collect::<std::collections::HashSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
                 .len()
         {
             return Err(DefError(format!(

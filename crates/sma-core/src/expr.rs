@@ -50,6 +50,7 @@ pub fn lit(v: impl Into<Value>) -> ScalarExpr {
 /// Shorthand for a decimal literal from a string like `"1.00"`.
 pub fn dec_lit(s: &str) -> ScalarExpr {
     ScalarExpr::Literal(Value::Decimal(
+        // sma-lint: allow(P2-expect) -- DSL constructor fed compile-time literal strings; a typo here is a programming error every test run catches
         Decimal::parse(s).expect("valid decimal literal"),
     ))
 }

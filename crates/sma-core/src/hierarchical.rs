@@ -49,19 +49,19 @@ impl HierarchicalMinMax {
     /// Builds the two-level structure from built `min` and `max` SMAs over
     /// the same bare column. `fanout` is the number of level-1 entries one
     /// level-2 entry covers.
-    pub fn from_smas(min_sma: &Sma, max_sma: &Sma, fanout: u32) -> HierarchicalMinMax {
-        assert!(fanout >= 2, "a fanout below 2 adds a level without pruning");
-        let (min_agg, col) = min_sma
-            .def()
-            .minmax_column()
-            .expect("min SMA over a bare column");
-        let (max_agg, col2) = max_sma
-            .def()
-            .minmax_column()
-            .expect("max SMA over a bare column");
-        assert_eq!(col, col2, "min and max SMAs must cover the same column");
-        assert_eq!(min_agg, crate::agg::AggFn::Min);
-        assert_eq!(max_agg, crate::agg::AggFn::Max);
+    ///
+    /// Returns `None` when the inputs do not form a usable pair: a fanout
+    /// below 2 (a level without pruning), SMAs that are not min/max over a
+    /// bare column, or min and max covering different columns.
+    pub fn from_smas(min_sma: &Sma, max_sma: &Sma, fanout: u32) -> Option<HierarchicalMinMax> {
+        if fanout < 2 {
+            return None;
+        }
+        let (min_agg, col) = min_sma.def().minmax_column()?;
+        let (max_agg, col2) = max_sma.def().minmax_column()?;
+        if col != col2 || min_agg != crate::agg::AggFn::Min || max_agg != crate::agg::AggFn::Max {
+            return None;
+        }
         let n = min_sma.n_buckets().max(max_sma.n_buckets());
         let mut l1 = Vec::with_capacity(n as usize);
         let mut l1_null = Vec::with_capacity(n as usize);
@@ -83,7 +83,7 @@ impl HierarchicalMinMax {
             l2_null: Vec::new(),
         };
         out.rebuild_l2();
-        out
+        Some(out)
     }
 
     fn rebuild_l2(&mut self) {
@@ -225,7 +225,7 @@ mod tests {
     fn hier(t: &Table, fanout: u32) -> HierarchicalMinMax {
         let min = Sma::build(t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
         let max = Sma::build(t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
-        HierarchicalMinMax::from_smas(&min, &max, fanout)
+        HierarchicalMinMax::from_smas(&min, &max, fanout).unwrap()
     }
 
     #[test]
@@ -314,9 +314,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fanout")]
     fn fanout_one_rejected() {
         let t = sorted_table(8);
-        hier(&t, 1);
+        let min = Sma::build(&t, SmaDefinition::new("min", AggFn::Min, col(0))).unwrap();
+        let max = Sma::build(&t, SmaDefinition::new("max", AggFn::Max, col(0))).unwrap();
+        assert!(HierarchicalMinMax::from_smas(&min, &max, 1).is_none());
+        // Mismatched aggregate pairing is also rejected, not a panic.
+        assert!(HierarchicalMinMax::from_smas(&max, &min, 4).is_none());
     }
 }

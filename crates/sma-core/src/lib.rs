@@ -45,7 +45,8 @@
 //! assert_eq!(BucketPred::cmp(0, CmpOp::Gt, 99i64).grade(0, &smas), Grade::Disqualifies);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod agg;
 pub mod catalog;
@@ -60,6 +61,7 @@ pub mod persist;
 pub mod projection;
 pub mod set;
 pub mod sma;
+pub mod validate;
 
 pub use agg::{Accumulator, AggFn, RetractError};
 pub use catalog::{CatalogError, SmaCatalog};
@@ -77,3 +79,4 @@ pub use persist::{
 pub use projection::ProjectionIndex;
 pub use set::{merge_bucket_into_group, SmaSet};
 pub use sma::{build_many, build_many_parallel, GroupKey, Sma, SmaError};
+pub use validate::{check_set, check_sma, debug_check_sma, Violation};

@@ -30,7 +30,7 @@ use std::path::Path;
 
 use sma_storage::checksum::crc32;
 use sma_storage::{atomic_write_file, PageStore, StoreError, PAGE_SIZE};
-use sma_types::{Date, Decimal, Value};
+use sma_types::{bytes, Date, Decimal, Value};
 
 use crate::agg::AggFn;
 use crate::def::SmaDefinition;
@@ -54,8 +54,17 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Encode-side length narrowing. Every length written into an SMA image
+/// (names, column indexes, bucket/group counts) is structurally far below
+/// `u32::MAX`; saturating keeps the encoders total, and a saturated length
+/// would fail the decoder's structural checks instead of silently
+/// corrupting.
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+    put_u32(out, len_u32(s.len()));
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -64,15 +73,15 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
         Value::Null => out.push(0),
         Value::Int(n) => {
             out.push(1);
-            put_u64(out, *n as u64);
+            put_u64(out, bytes::u64_bits(*n));
         }
         Value::Decimal(d) => {
             out.push(2);
-            put_u64(out, d.cents() as u64);
+            put_u64(out, bytes::u64_bits(d.cents()));
         }
         Value::Date(d) => {
             out.push(3);
-            put_u32(out, d.days() as u32);
+            put_u32(out, bytes::u32_bits(d.days()));
         }
         Value::Char(c) => {
             out.push(4);
@@ -89,7 +98,7 @@ fn put_expr(out: &mut Vec<u8>, e: &ScalarExpr) {
     match e {
         ScalarExpr::Column(c) => {
             out.push(0);
-            put_u32(out, *c as u32);
+            put_u32(out, len_u32(*c));
         }
         ScalarExpr::Literal(v) => {
             out.push(1);
@@ -114,7 +123,7 @@ fn put_expr(out: &mut Vec<u8>, e: &ScalarExpr) {
 }
 
 fn put_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
-    put_u32(out, bits.len() as u32);
+    put_u32(out, len_u32(bits.len()));
     let mut byte = 0u8;
     for (i, &b) in bits.iter().enumerate() {
         if b {
@@ -149,9 +158,9 @@ pub fn encode_definition(def: &SmaDefinition) -> Vec<u8> {
             put_expr(&mut out, e);
         }
     }
-    put_u32(&mut out, def.group_by.len() as u32);
+    put_u32(&mut out, len_u32(def.group_by.len()));
     for &g in &def.group_by {
-        put_u32(&mut out, g as u32);
+        put_u32(&mut out, len_u32(g));
     }
     out
 }
@@ -159,18 +168,18 @@ pub fn encode_definition(def: &SmaDefinition) -> Vec<u8> {
 fn encode_payload(sma: &Sma) -> Vec<u8> {
     let mut out = encode_definition(&sma.def);
     // Entry width + buckets + bitmaps.
-    put_u32(&mut out, sma.entry_bytes as u32);
+    put_u32(&mut out, len_u32(sma.entry_bytes));
     put_u32(&mut out, sma.n_buckets);
     put_bitmap(&mut out, &sma.null_seen);
     put_bitmap(&mut out, &sma.stale);
     // Groups.
-    put_u32(&mut out, sma.groups.len() as u32);
+    put_u32(&mut out, len_u32(sma.groups.len()));
     for (key, file) in &sma.groups {
-        put_u32(&mut out, key.len() as u32);
+        put_u32(&mut out, len_u32(key.len()));
         for v in key {
             put_value(&mut out, v);
         }
-        put_u32(&mut out, file.entries().len() as u32);
+        put_u32(&mut out, len_u32(file.entries().len()));
         for v in file.entries() {
             put_value(&mut out, v);
         }
@@ -198,20 +207,23 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    fn short(&self) -> SmaError {
+        SmaError::Corrupt(format!("short read at offset {}", self.pos))
+    }
+
     fn u8(&mut self) -> Result<u8, SmaError> {
-        Ok(self.take(1)?[0])
+        let s = self.take(1)?;
+        s.first().copied().ok_or_else(|| self.short())
     }
 
     fn u32(&mut self) -> Result<u32, SmaError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let s = self.take(4)?;
+        bytes::get_u32_le(s, 0).ok_or_else(|| self.short())
     }
 
     fn u64(&mut self) -> Result<u64, SmaError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let s = self.take(8)?;
+        bytes::get_u64_le(s, 0).ok_or_else(|| self.short())
     }
 
     fn string(&mut self) -> Result<String, SmaError> {
@@ -224,9 +236,9 @@ impl<'a> Reader<'a> {
     fn value(&mut self) -> Result<Value, SmaError> {
         Ok(match self.u8()? {
             0 => Value::Null,
-            1 => Value::Int(self.u64()? as i64),
-            2 => Value::Decimal(Decimal::from_cents(self.u64()? as i64)),
-            3 => Value::Date(Date::from_days(self.u32()? as i32)),
+            1 => Value::Int(bytes::i64_bits(self.u64()?)),
+            2 => Value::Decimal(Decimal::from_cents(bytes::i64_bits(self.u64()?))),
+            3 => Value::Date(Date::from_days(bytes::i32_bits(self.u32()?))),
             4 => Value::Char(self.u8()?),
             5 => Value::Str(self.string()?),
             tag => return Err(SmaError::Corrupt(format!("unknown value tag {tag}"))),
@@ -367,7 +379,7 @@ pub fn encode_sma_stream(sma: &Sma) -> Vec<u8> {
     let payload = encode_payload(sma);
     let mut out = Vec::with_capacity(V2_HEADER + payload.len());
     out.extend_from_slice(MAGIC_V2);
-    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, len_u32(payload.len()));
     put_u32(&mut out, crc32(&payload));
     out.extend_from_slice(&payload);
     out
@@ -384,8 +396,9 @@ pub fn decode_sma_stream(buf: &[u8]) -> Result<Sma, SmaError> {
         if buf.len() < V2_HEADER {
             return Err(SmaError::Corrupt("SMA2 header truncated".into()));
         }
-        let payload_len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
-        let want = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let header_short = || SmaError::Corrupt("SMA2 header truncated".into());
+        let payload_len = bytes::get_u32_le(buf, 4).ok_or_else(header_short)? as usize;
+        let want = bytes::get_u32_le(buf, 8).ok_or_else(header_short)?;
         let Some(payload) = buf[V2_HEADER..].get(..payload_len) else {
             return Err(SmaError::Corrupt(format!(
                 "SMA2 stream truncated: header claims {payload_len} payload \
@@ -411,7 +424,9 @@ pub fn decode_sma_stream(buf: &[u8]) -> Result<Sma, SmaError> {
             "stream too short for any SMA format".into(),
         ));
     }
-    let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    let body_len = bytes::get_u32_le(buf, 0)
+        .ok_or_else(|| SmaError::Corrupt("stream too short for any SMA format".into()))?
+        as usize;
     let Some(body) = buf[4..].get(..body_len) else {
         return Err(SmaError::Corrupt(format!(
             "SMA1 stream truncated: header claims {body_len} body bytes, {} present",
@@ -430,17 +445,24 @@ pub fn decode_sma_stream(buf: &[u8]) -> Result<Sma, SmaError> {
 /// Returns `(first_page, page_count)`.
 pub fn save_sma(sma: &Sma, store: &mut dyn PageStore) -> Result<(u32, u32), SmaError> {
     let stream = encode_sma_stream(sma);
-    let pages = stream.len().div_ceil(PAGE_SIZE) as u32;
+    let pages = u32::try_from(stream.len().div_ceil(PAGE_SIZE))
+        .map_err(|_| SmaError::Corrupt("SMA image exceeds the u32 page space".into()))?;
     let first = store.allocate()?;
     for p in 1..pages {
         let got = store.allocate()?;
         debug_assert_eq!(got, first + p, "contiguous allocation");
     }
     let mut page = [0u8; PAGE_SIZE];
-    for (i, chunk) in stream.chunks(PAGE_SIZE).enumerate() {
+    for (page_no, chunk) in (first..).zip(stream.chunks(PAGE_SIZE)) {
         page.fill(0);
-        page[..chunk.len()].copy_from_slice(chunk);
-        store.write_page(first + i as u32, &page)?;
+        page.get_mut(..chunk.len())
+            .ok_or_else(|| SmaError::Corrupt("chunk larger than a page".into()))?
+            .copy_from_slice(chunk);
+        // SMA images bypass the slotted-page pool by design: they are raw
+        // chunked stream pages with a stream-level CRC, not tuple pages
+        // with slot directories and per-page footers (DESIGN.md §5).
+        // sma-lint: allow(L1-page-discipline) -- SMA image layer writes raw stream pages; integrity is the stream CRC, not the pool's page footer
+        store.write_page(page_no, &page)?;
     }
     store.sync()?;
     Ok((first, pages))
@@ -458,16 +480,24 @@ pub fn load_sma(store: &dyn PageStore, first_page: u32) -> Result<Sma, SmaError>
         )));
     }
     let mut head = [0u8; PAGE_SIZE];
+    // sma-lint: allow(L1-page-discipline) -- SMA image layer reads raw stream pages; integrity is the stream CRC, not the pool's page footer
     store.read_page(first_page, &mut head)?;
     // Both formats put a u32 length in the first 8 bytes; over-reading a
     // few trailing zero-padded bytes is harmless, so derive a page count
     // from whichever header is present.
-    let total = if &head[..4] == MAGIC_V2 {
-        V2_HEADER + u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) as usize
-    } else {
-        4 + u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize
+    let head_len = |off: usize| -> Result<usize, SmaError> {
+        Ok(bytes::get_u32_le(&head, off)
+            .ok_or_else(|| SmaError::Corrupt("SMA image header unreadable".into()))?
+            as usize)
     };
-    let pages = total.div_ceil(PAGE_SIZE) as u32;
+    let total = if head.starts_with(MAGIC_V2) {
+        V2_HEADER + head_len(4)?
+    } else {
+        4 + head_len(0)?
+    };
+    // `total` is bounded by u32::MAX + 12, so the page count always fits.
+    let pages = u32::try_from(total.div_ceil(PAGE_SIZE))
+        .map_err(|_| SmaError::Corrupt("SMA image header claims absurd size".into()))?;
     if (first_page as u64) + (pages as u64) > store.page_count() as u64 {
         return Err(SmaError::Corrupt(format!(
             "SMA image truncated: needs {pages} pages from page {first_page}, \
@@ -479,6 +509,7 @@ pub fn load_sma(store: &dyn PageStore, first_page: u32) -> Result<Sma, SmaError>
     stream.extend_from_slice(&head);
     let mut page = [0u8; PAGE_SIZE];
     for p in 1..pages {
+        // sma-lint: allow(L1-page-discipline) -- SMA image layer reads raw stream pages; integrity is the stream CRC, not the pool's page footer
         store.read_page(first_page + p, &mut page)?;
         stream.extend_from_slice(&page);
     }

@@ -291,14 +291,13 @@ pub fn merge_bucket_into_group(
 ) {
     let positions: Vec<usize> = query_cols
         .iter()
-        .map(|qc| {
-            sma.def()
-                .group_by
-                .iter()
-                .position(|g| g == qc)
-                .expect("caller checked grouping compatibility")
-        })
+        .filter_map(|qc| sma.def().group_by.iter().position(|g| g == qc))
         .collect();
+    if positions.len() != query_cols.len() {
+        // Callers pre-check grouping compatibility (`covers_grouping`); an
+        // incompatible SMA contributes nothing rather than panicking.
+        return;
+    }
     for (key, file) in sma.groups() {
         let projected: Vec<Value> = positions.iter().map(|&p| key[p].clone()).collect();
         if &projected == target {

@@ -116,7 +116,11 @@ impl Sma {
     /// Bulkloads `def` over `table` with a single sequential scan.
     pub fn build(table: &Table, def: SmaDefinition) -> Result<Sma, SmaError> {
         let mut smas = build_many(table, vec![def])?;
-        Ok(smas.pop().expect("one definition in, one sma out"))
+        let sma = smas.pop().ok_or_else(|| {
+            SmaError::Corrupt("build_many returned no SMA for the single definition".into())
+        })?;
+        crate::validate::debug_check_sma(table, &sma);
+        Ok(sma)
     }
 
     /// The definition this SMA materializes.
@@ -266,7 +270,12 @@ impl Sma {
         if v.is_null() && matches!(self.def.agg, AggFn::Min | AggFn::Max) {
             self.null_seen[bucket as usize] = true;
         }
-        let file = self.groups.get_mut(&key).expect("ensured above");
+        let Some(file) = self.groups.get_mut(&key) else {
+            // `ensure_group` above makes this unreachable; report anyway.
+            return Err(SmaError::Def(DefError(format!(
+                "insert into unknown group {key:?}"
+            ))));
+        };
         let mut acc = Accumulator::new(self.def.agg);
         acc.merge_entry_then_update(file.get(bucket), &v);
         file.set(bucket, acc.finish());
@@ -447,23 +456,30 @@ pub fn build_many_parallel(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("no panics"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(SmaError::Corrupt(
+                    "parallel SMA build worker panicked".into(),
+                )),
+            })
             .collect()
     });
 
     // Stitch the partials, in bucket order.
     let mut smas: Vec<Sma> = defs
         .iter()
-        .map(|def| Sma {
-            def: def.clone(),
-            entry_bytes: def.entry_bytes(schema).expect("validated above"),
-            n_buckets,
-            groups: BTreeMap::new(),
-            null_seen: vec![false; n_buckets as usize],
-            stale: vec![false; n_buckets as usize],
-            quarantined: vec![false; n_buckets as usize],
+        .map(|def| {
+            Ok(Sma {
+                entry_bytes: def.entry_bytes(schema)?,
+                def: def.clone(),
+                n_buckets,
+                groups: BTreeMap::new(),
+                null_seen: vec![false; n_buckets as usize],
+                stale: vec![false; n_buckets as usize],
+                quarantined: vec![false; n_buckets as usize],
+            })
         })
-        .collect();
+        .collect::<Result<_, SmaError>>()?;
     let mut ordered: Vec<(u32, Partial)> = results.into_iter().collect::<Result<_, _>>()?;
     ordered.sort_by_key(|(start, _)| *start);
     for (start, partial) in ordered {
@@ -475,9 +491,12 @@ pub fn build_many_parallel(
             }
             for (key, entries) in groups {
                 sma.ensure_group(&key);
-                let file = sma.groups.get_mut(&key).expect("ensured");
-                for (bucket, value) in entries {
-                    file.set(bucket, value);
+                // `ensure_group` just inserted the file, so this always
+                // takes the Some branch.
+                if let Some(file) = sma.groups.get_mut(&key) {
+                    for (bucket, value) in entries {
+                        file.set(bucket, value);
+                    }
                 }
             }
         }

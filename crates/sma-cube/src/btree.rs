@@ -164,10 +164,13 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             if pos < keys.len() && &keys[pos] == key {
                 return Some(&vals[pos]);
             }
-            if pos < keys.len() || next.is_none() {
+            if pos < keys.len() {
                 return None;
             }
-            n = next.unwrap();
+            match next {
+                Some(link) => n = *link,
+                None => return None,
+            }
         }
     }
 

@@ -11,7 +11,24 @@
 use std::collections::BTreeMap;
 
 use sma_storage::{Table, TableError};
-use sma_types::{Date, Decimal};
+use sma_types::{Date, Decimal, Schema, SchemaError};
+
+/// Resolves a required LINEITEM column, as a schema error rather than a
+/// panic, so cube construction over an arbitrary table stays total.
+fn col(schema: &Schema, name: &str) -> Result<usize, TableError> {
+    schema.index_of(name).ok_or_else(|| {
+        TableError::Schema(SchemaError(format!(
+            "cube needs a LINEITEM-shaped table; column {name} is missing"
+        )))
+    })
+}
+
+/// Error for a value whose runtime type contradicts the schema column —
+/// unreachable for tuples decoded against the same schema, but reported
+/// rather than panicking.
+fn mistyped(name: &str) -> TableError {
+    TableError::Schema(SchemaError(format!("column {name} has an unexpected type")))
+}
 
 /// One cube cell: the six Query 1 base aggregates (averages derive from
 /// sums ÷ count at lookup time, as in §3.3).
@@ -57,13 +74,13 @@ impl Query1Cube {
     /// `[from, to]` (TPC-D: 1992-01-01 … 1998-12-31, 2556+ days).
     pub fn build(table: &Table, from: Date, to: Date) -> Result<Query1Cube, TableError> {
         let schema = table.schema();
-        let ship = schema.index_of("L_SHIPDATE").expect("LINEITEM-shaped");
-        let flag = schema.index_of("L_RETURNFLAG").expect("LINEITEM-shaped");
-        let stat = schema.index_of("L_LINESTATUS").expect("LINEITEM-shaped");
-        let qty = schema.index_of("L_QUANTITY").expect("LINEITEM-shaped");
-        let ext = schema.index_of("L_EXTENDEDPRICE").expect("LINEITEM-shaped");
-        let dis = schema.index_of("L_DISCOUNT").expect("LINEITEM-shaped");
-        let tax = schema.index_of("L_TAX").expect("LINEITEM-shaped");
+        let ship = col(schema, "L_SHIPDATE")?;
+        let flag = col(schema, "L_RETURNFLAG")?;
+        let stat = col(schema, "L_LINESTATUS")?;
+        let qty = col(schema, "L_QUANTITY")?;
+        let ext = col(schema, "L_EXTENDEDPRICE")?;
+        let dis = col(schema, "L_DISCOUNT")?;
+        let tax = col(schema, "L_TAX")?;
         let base_day = from.days();
         let days = (to.days() - base_day + 1).max(0) as usize;
         let mut per_day: BTreeMap<(u8, u8), Vec<CubeCell>> = BTreeMap::new();
@@ -72,22 +89,27 @@ impl Query1Cube {
             rows.clear();
             table.scan_page_into(page, &mut rows)?;
             for (_, t) in &rows {
-                let d = t[ship].as_date().expect("typed");
+                let d = t[ship].as_date().ok_or_else(|| mistyped("L_SHIPDATE"))?;
                 let idx = (d.days() - base_day).clamp(0, days as i32 - 1) as usize;
                 let key = (
-                    t[flag].as_char().expect("typed"),
-                    t[stat].as_char().expect("typed"),
+                    t[flag].as_char().ok_or_else(|| mistyped("L_RETURNFLAG"))?,
+                    t[stat].as_char().ok_or_else(|| mistyped("L_LINESTATUS"))?,
                 );
-                let e = t[ext].as_decimal().expect("typed");
-                let disc = t[dis].as_decimal().expect("typed");
-                let tx = t[tax].as_decimal().expect("typed");
+                let e = t[ext]
+                    .as_decimal()
+                    .ok_or_else(|| mistyped("L_EXTENDEDPRICE"))?;
+                let disc = t[dis].as_decimal().ok_or_else(|| mistyped("L_DISCOUNT"))?;
+                let tx = t[tax].as_decimal().ok_or_else(|| mistyped("L_TAX"))?;
                 let disc_price = e.mul_round(Decimal::ONE - disc);
                 let charge = disc_price.mul_round(Decimal::ONE + tx);
                 let cell = per_day
                     .entry(key)
                     .or_insert_with(|| vec![CubeCell::default(); days]);
                 let c = &mut cell[idx];
-                c.sum_qty += t[qty].as_decimal().expect("typed").cents();
+                c.sum_qty += t[qty]
+                    .as_decimal()
+                    .ok_or_else(|| mistyped("L_QUANTITY"))?
+                    .cents();
                 c.sum_base += e.cents();
                 c.sum_disc_price += disc_price.cents();
                 c.sum_charge += charge.cents();
@@ -147,6 +169,22 @@ mod tests {
     use sma_tpcd::{
         generate_lineitem_table, q1_cutoff, q1_reference_table, start_date, Clustering, GenConfig,
     };
+
+    /// Regression: building over a table that is not LINEITEM-shaped used
+    /// to panic on a missing-column `expect`; it must report a schema error.
+    #[test]
+    fn wrong_schema_is_an_error_not_a_panic() {
+        use sma_types::{Column, DataType, Schema, Value};
+        use std::sync::Arc;
+        let schema = Arc::new(Schema::new(vec![Column::new("X", DataType::Int)]));
+        let mut t = Table::in_memory("not_lineitem", schema, 1);
+        t.append(&vec![Value::Int(1)]).unwrap();
+        let err = Query1Cube::build(&t, start_date(), start_date()).map(|_| ());
+        assert!(
+            matches!(err, Err(sma_storage::TableError::Schema(_))),
+            "{err:?}"
+        );
+    }
 
     fn cube(table: &Table) -> Query1Cube {
         Query1Cube::build(table, start_date(), Date::from_ymd(1998, 12, 31).unwrap()).unwrap()

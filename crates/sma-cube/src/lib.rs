@@ -9,7 +9,8 @@
 //! * [`bitmap`] — a value-list bitmap index, the other related-work index
 //!   family (\[15\]), for the per-tuple vs per-bucket comparison.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod bitmap;
 pub mod btree;

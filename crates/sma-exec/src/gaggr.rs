@@ -183,7 +183,9 @@ impl DenseGroups {
                 None => {
                     let mut key = Vec::with_capacity(self.cols.len());
                     for &k in &self.cols[..pos] {
-                        key.push(Value::Char(row.char_at(k).expect("walked past")));
+                        // These columns yielded Some earlier in this very
+                        // loop; Null is the generic fallback for a null key.
+                        key.push(row.char_at(k).map(Value::Char).unwrap_or(Value::Null));
                     }
                     for &k in &self.cols[pos..] {
                         key.push(row.get(k)?);

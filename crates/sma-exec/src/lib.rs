@@ -12,7 +12,8 @@
 //! * [`planner`] — cost-based plan choice with the Fig. 5 breakeven,
 //! * [`query1`] — end-to-end TPC-D Query 1 runs.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod basic;
 pub mod degrade;

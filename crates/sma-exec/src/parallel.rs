@@ -31,7 +31,7 @@ impl Parallelism {
 
     /// `threads` worker threads (clamped up to at least 1).
     pub fn new(threads: usize) -> Parallelism {
-        Parallelism(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"))
+        Parallelism(NonZeroUsize::new(threads.max(1)).unwrap_or(NonZeroUsize::MIN))
     }
 
     /// One thread per available core (falls back to 1 when the runtime

@@ -104,7 +104,9 @@ impl Plan<'_> {
     pub fn execute_with_report(&self) -> Result<(Vec<Tuple>, DegradationReport), ExecError> {
         match self.kind {
             PlanKind::SmaGAggr => {
-                let smas = self.smas.expect("kind implies SMAs");
+                let Some(smas) = self.smas else {
+                    return Err(ExecError::Plan("SMA plan chosen without a SMA set".into()));
+                };
                 let mut op = SmaGAggr::new(
                     self.table,
                     self.query.pred.clone(),
@@ -116,7 +118,9 @@ impl Plan<'_> {
                 Ok((rows, op.counters().degradation))
             }
             PlanKind::SmaScanGAggr => {
-                let smas = self.smas.expect("kind implies SMAs");
+                let Some(smas) = self.smas else {
+                    return Err(ExecError::Plan("SMA plan chosen without a SMA set".into()));
+                };
                 // Drive the scan directly so its counters survive the
                 // aggregation; the filtered tuples are buffered, which
                 // leaves the page I/O pattern identical to the pipelined

@@ -6,8 +6,7 @@
 //! through CUSTOMER's segment filter and finishes with the algebra's
 //! `Sort` + `Limit` (`ORDER BY REVENUE DESC, O_ORDERDATE` top 10).
 
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
 
 use sma_core::{dec_lit, BucketPred, CmpOp, SmaSet};
 use sma_storage::Table;
@@ -31,6 +30,7 @@ impl Default for Q3Params {
     fn default() -> Q3Params {
         Q3Params {
             segment: "BUILDING".to_string(),
+            // sma-lint: allow(P2-expect) -- compile-time constant date; cannot fail
             date: Date::from_ymd(1995, 3, 15).expect("valid constant"),
             limit: 10,
         }
@@ -78,10 +78,10 @@ pub fn run_query3(
     let l_extendedprice = need(lineitem, "L_EXTENDEDPRICE")?;
     let l_discount = need(lineitem, "L_DISCOUNT")?;
 
-    let started = Instant::now();
+    let started = sma_storage::Stopwatch::start();
 
     // Build side 1: segment customers (small relation, plain scan).
-    let mut seg_customers: HashSet<i64> = HashSet::new();
+    let mut seg_customers: BTreeSet<i64> = BTreeSet::new();
     let mut rows = Vec::new();
     for page in 0..customer.page_count() {
         rows.clear();
@@ -98,7 +98,7 @@ pub fn run_query3(
     // Build side 2: open orders via SMA-graded date scan of ORDERS.
     let open_pred = BucketPred::cmp(o_orderdate, CmpOp::Lt, Value::Date(p.date));
     let mut o_scan = SmaScan::new(orders, open_pred, orders_smas);
-    let mut open_orders: HashMap<i64, (Date, i64)> = HashMap::new();
+    let mut open_orders: BTreeMap<i64, (Date, i64)> = BTreeMap::new();
     o_scan.open()?;
     while let Some(t) = o_scan.next()? {
         let Some(custkey) = t[o_custkey].as_int() else {
@@ -122,7 +122,7 @@ pub fn run_query3(
     // Probe side: SMA-graded shipdate scan of LINEITEM, accumulate revenue.
     let ship_pred = BucketPred::cmp(l_shipdate, CmpOp::Gt, Value::Date(p.date));
     let mut l_scan = SmaScan::new(lineitem, ship_pred, lineitem_smas);
-    let mut revenue: HashMap<i64, Decimal> = HashMap::new();
+    let mut revenue: BTreeMap<i64, Decimal> = BTreeMap::new();
     l_scan.open()?;
     while let Some(t) = l_scan.next()? {
         let Some(key) = t[l_orderkey].as_int() else {
@@ -168,14 +168,19 @@ pub fn run_query3(
     let rows = out
         .into_iter()
         .map(|r| {
-            (
-                r[0].as_int().expect("key"),
-                r[1].as_decimal().expect("revenue"),
-                r[2].as_date().expect("date"),
-                r[3].as_int().expect("priority"),
-            )
+            match (
+                r[0].as_int(),
+                r[1].as_decimal(),
+                r[2].as_date(),
+                r[3].as_int(),
+            ) {
+                (Some(key), Some(rev), Some(date), Some(prio)) => Ok((key, rev, date, prio)),
+                _ => Err(ExecError::Plan(
+                    "query 3 output row has unexpected shape".into(),
+                )),
+            }
         })
-        .collect();
+        .collect::<Result<Vec<_>, ExecError>>()?;
 
     Ok(Q3Execution {
         rows,

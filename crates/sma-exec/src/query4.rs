@@ -14,8 +14,7 @@
 //!    late line item via a hash set built from the (already SMA-filtered)
 //!    LINEITEM side.
 
-use std::collections::{BTreeMap, HashSet};
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
 
 use sma_core::{BucketPred, CmpOp, Grade, SmaSet};
 use sma_storage::{IoStats, Table};
@@ -41,6 +40,7 @@ mod sma_tpcd_params {
     impl Default for Q4Params {
         fn default() -> Q4Params {
             Q4Params {
+                // sma-lint: allow(P2-expect) -- compile-time constant date; cannot fail
                 date: Date::from_ymd(1993, 7, 1).expect("valid constant"),
             }
         }
@@ -98,13 +98,13 @@ pub fn run_query4(
 
     orders.reset_io_stats();
     lineitem.reset_io_stats();
-    let started = Instant::now();
+    let started = sma_storage::Stopwatch::start();
 
     // Phase 1: late order keys from LINEITEM via SmaScan under
     // L_COMMITDATE < L_RECEIPTDATE (the §3.1 A < B rule).
     let late_pred = BucketPred::col_cmp(l_commit, CmpOp::Lt, l_receipt);
     let mut l_scan = SmaScan::new(lineitem, late_pred, lineitem_smas);
-    let mut late: HashSet<i64> = HashSet::new();
+    let mut late: BTreeSet<i64> = BTreeSet::new();
     l_scan.open()?;
     while let Some(t) = l_scan.next()? {
         if let Some(k) = t[l_orderkey].as_int() {

@@ -6,8 +6,6 @@
 //! data lets the ship-date atoms disqualify most buckets outright, and the
 //! other atoms can only *add* disqualification evidence.
 
-use std::time::Instant;
-
 use sma_core::{col, AggFn, BucketPred, CmpOp, SmaDefinition, SmaSet};
 use sma_storage::{IoStats, Table};
 use sma_types::{Decimal, Value};
@@ -40,7 +38,9 @@ mod sma_tpcd_params {
     impl Default for Q6Params {
         fn default() -> Q6Params {
             Q6Params {
+                // sma-lint: allow(P2-expect) -- compile-time constant date; cannot fail
                 date: Date::from_ymd(1994, 1, 1).expect("valid constant"),
+                // sma-lint: allow(P2-expect) -- compile-time constant decimal; cannot fail
                 discount: Decimal::parse("0.06").expect("valid constant"),
                 quantity: 24,
             }
@@ -137,7 +137,7 @@ pub fn run_query6(
     let query = query6_query(table, p)?;
     let chosen = plan(table, query, smas, planner);
     table.reset_io_stats();
-    let started = Instant::now();
+    let started = sma_storage::Stopwatch::start();
     let (rows, degradation) = chosen.execute_with_report()?;
     let elapsed = started.elapsed();
     let revenue = match rows.first() {

@@ -169,7 +169,7 @@ impl PhysicalOp for SmaScan<'_> {
         if threads > 1 {
             let pred = &self.pred;
             let smas = self.smas;
-            let parts: Vec<Vec<Grade>> = std::thread::scope(|scope| {
+            let parts: Result<Vec<Vec<Grade>>, ExecError> = std::thread::scope(|scope| {
                 let handles: Vec<_> = morsels(n_buckets, threads)
                     .into_iter()
                     .map(|r| {
@@ -178,10 +178,13 @@ impl PhysicalOp for SmaScan<'_> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("grading worker panicked"))
+                    .map(|h| {
+                        h.join()
+                            .map_err(|_| ExecError::Plan("grading worker panicked".into()))
+                    })
                     .collect()
             });
-            self.grades = parts.into_iter().flatten().collect();
+            self.grades = parts?.into_iter().flatten().collect();
         }
         Ok(())
     }

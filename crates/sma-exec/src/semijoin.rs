@@ -11,7 +11,7 @@
 //! The per-tuple existence test uses S's bounds for the ordering
 //! operators (exact) and a hash set of S.B values for `=`.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use sma_core::{semijoin_prune, CmpOp, Grade, MinimaxOf, SmaSet};
 use sma_storage::Table;
@@ -31,7 +31,7 @@ pub struct SemiJoin<'a> {
     smas: Option<&'a SmaSet>,
     // Execution state:
     minimax: Option<MinimaxOf>,
-    eq_set: HashSet<Value>,
+    eq_set: BTreeSet<Value>,
     grades: Vec<Grade>,
     bucket: u32,
     buffer: Vec<(sma_storage::TupleId, Tuple)>,
@@ -58,7 +58,7 @@ impl<'a> SemiJoin<'a> {
             b_col,
             smas,
             minimax: None,
-            eq_set: HashSet::new(),
+            eq_set: BTreeSet::new(),
             grades: Vec::new(),
             bucket: 0,
             buffer: Vec::new(),
@@ -78,7 +78,10 @@ impl<'a> SemiJoin<'a> {
         if a.is_null() {
             return false;
         }
-        let mm = self.minimax.as_ref().expect("opened");
+        let Some(mm) = self.minimax.as_ref() else {
+            // Polled before open(): no partner evidence exists yet.
+            return false;
+        };
         match self.theta {
             CmpOp::Eq => self.eq_set.contains(a),
             CmpOp::Lt | CmpOp::Le => mm.max.as_ref().is_some_and(|hi| self.theta.eval(a, hi)),

@@ -56,16 +56,17 @@ fn resolve<'a>(
     let sma = smas
         .find_aggregate(agg, input, group_by)
         .ok_or_else(|| ExecError::MissingSma(format!("{agg} SMA for {what}")))?;
-    let key_positions = group_by
+    let key_positions: Vec<usize> = group_by
         .iter()
-        .map(|qc| {
-            sma.def()
-                .group_by
-                .iter()
-                .position(|g| g == qc)
-                .expect("find_aggregate guarantees grouping refinement")
-        })
+        .filter_map(|qc| sma.def().group_by.iter().position(|g| g == qc))
         .collect();
+    if key_positions.len() != group_by.len() {
+        // `find_aggregate` guarantees grouping refinement; report rather
+        // than assume if that contract is ever broken.
+        return Err(ExecError::MissingSma(format!(
+            "{agg} SMA grouping does not refine {what}"
+        )));
+    }
     Ok(ResolvedSpec { sma, key_positions })
 }
 
@@ -316,7 +317,10 @@ impl PhysicalOp for SmaGAggr<'_> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("bucket worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(_) => Err(ExecError::Plan("bucket worker panicked".into())),
+                    })
                     .collect()
             });
             let mut counters = ScanCounters::default();

@@ -1,0 +1,485 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lexer understands just enough Rust to make lexical rules sound:
+//! line and (nested) block comments, plain and raw strings, byte strings,
+//! char literals vs. lifetimes, raw identifiers, and numeric literals.
+//! Everything a rule matches on is a real code token — never text inside a
+//! string or comment.
+//!
+//! Comments are not emitted as tokens, but their text is scanned for
+//! `sma-lint: allow(...)` directives, which are collected per line so the
+//! rule engine can honor (or reject) them.
+
+/// A single lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`foo`, `as`, `unwrap`). Raw identifiers
+    /// (`r#type`) are normalized to their bare name.
+    Ident(String),
+    /// Integer literal, verbatim (`0`, `0xFF_u32`).
+    Int(String),
+    /// Float literal, verbatim.
+    Float(String),
+    /// Any string, raw-string, byte-string, or char literal (content dropped).
+    Literal,
+    /// A lifetime such as `'a` (name dropped).
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `[`, `!`, `#`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// An `// sma-lint: allow(rule-id) -- justification` directive found in a
+/// comment. The directive suppresses matching diagnostics on its own line
+/// and on the following line (so it can sit above the offending code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive appears on.
+    pub line: u32,
+    /// Rule IDs listed inside `allow(...)`, comma separated.
+    pub rules: Vec<String>,
+    /// Whether a non-empty justification follows the closing paren
+    /// (after a `--` separator). Bare allows are themselves a violation.
+    pub justified: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Allow directives harvested from comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lexes `src` into tokens and allow directives.
+///
+/// The lexer is total: unexpected bytes are skipped rather than reported,
+/// because the compiler — not this tool — owns syntax errors.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Returns the char at `i + k`, if any.
+    let peek = |i: usize, k: usize| -> Option<char> { bytes.get(i + k).copied() };
+
+    while i < bytes.len() {
+        let c = match bytes.get(i) {
+            Some(&c) => c,
+            None => break,
+        };
+        // --- whitespace -------------------------------------------------
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // --- comments ---------------------------------------------------
+        if c == '/' && peek(i, 1) == Some('/') {
+            let start = i;
+            while i < bytes.len() && bytes.get(i) != Some(&'\n') {
+                i += 1;
+            }
+            let text: String = bytes.get(start..i).unwrap_or(&[]).iter().collect();
+            scan_allow(&text, line, &mut out.allows);
+            continue;
+        }
+        if c == '/' && peek(i, 1) == Some('*') {
+            let start = i;
+            let start_line = line;
+            i += 2;
+            let mut depth = 1u32;
+            while i < bytes.len() && depth > 0 {
+                match (bytes.get(i), peek(i, 1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        i += 2;
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        i += 2;
+                    }
+                    (Some('\n'), _) => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let text: String = bytes.get(start..i).unwrap_or(&[]).iter().collect();
+            scan_allow(&text, start_line, &mut out.allows);
+            continue;
+        }
+        // --- raw strings & raw identifiers ------------------------------
+        if c == 'r' || c == 'b' {
+            // br"..." / rb is not legal; handle r"...", r#"..."#, b"...",
+            // br"...", b'...' and raw identifiers r#name.
+            let mut j = i;
+            let mut saw_b = false;
+            if bytes.get(j) == Some(&'b') {
+                saw_b = true;
+                j += 1;
+            }
+            let saw_r = bytes.get(j) == Some(&'r');
+            if saw_r {
+                j += 1;
+            }
+            if saw_r {
+                // Count hashes.
+                let mut hashes = 0usize;
+                while bytes.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if bytes.get(j + hashes) == Some(&'"') {
+                    // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    i = j + hashes + 1;
+                    loop {
+                        match bytes.get(i) {
+                            None => break,
+                            Some('\n') => {
+                                line += 1;
+                                i += 1;
+                            }
+                            Some('"') => {
+                                let mut k = 0usize;
+                                while k < hashes && bytes.get(i + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                i += 1 + k;
+                                if k == hashes {
+                                    break;
+                                }
+                            }
+                            Some(_) => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                    continue;
+                }
+                if !saw_b && hashes == 1 && bytes.get(j + 1).is_some_and(|&c| is_ident_start(c)) {
+                    // Raw identifier r#name.
+                    let mut k = j + 1;
+                    while bytes.get(k).is_some_and(|&c| is_ident_continue(c)) {
+                        k += 1;
+                    }
+                    let name: String = bytes.get(j + 1..k).unwrap_or(&[]).iter().collect();
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(name),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            if saw_b && bytes.get(i + 1) == Some(&'"') {
+                // Byte string b"..."
+                i = consume_quoted(&bytes, i + 1, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+                continue;
+            }
+            if saw_b && bytes.get(i + 1) == Some(&'\'') {
+                // Byte char b'x'
+                i = consume_char_literal(&bytes, i + 1, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // --- identifiers ------------------------------------------------
+        if is_ident_start(c) {
+            let start = i;
+            while bytes.get(i).is_some_and(|&c| is_ident_continue(c)) {
+                i += 1;
+            }
+            let name: String = bytes.get(start..i).unwrap_or(&[]).iter().collect();
+            out.tokens.push(Token {
+                tok: Tok::Ident(name),
+                line,
+            });
+            continue;
+        }
+        // --- strings ----------------------------------------------------
+        if c == '"' {
+            i = consume_quoted(&bytes, i, &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        // --- char literal vs lifetime -----------------------------------
+        if c == '\'' {
+            let next = peek(i, 1);
+            let after = peek(i, 2);
+            let is_lifetime = next.is_some_and(is_ident_start) && after != Some('\'');
+            if is_lifetime {
+                i += 1;
+                while bytes.get(i).is_some_and(|&c| is_ident_continue(c)) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line,
+                });
+            } else {
+                i = consume_char_literal(&bytes, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            continue;
+        }
+        // --- numbers ----------------------------------------------------
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while bytes
+                .get(i)
+                .is_some_and(|&ch| ch.is_ascii_alphanumeric() || ch == '_')
+            {
+                i += 1;
+            }
+            let mut is_float = false;
+            // A `.` continues the number only when followed by a digit
+            // (so `0..10` stays two ints and a range).
+            if bytes.get(i) == Some(&'.') && peek(i, 1).is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                i += 1;
+                while bytes
+                    .get(i)
+                    .is_some_and(|&ch| ch.is_ascii_alphanumeric() || ch == '_')
+                {
+                    i += 1;
+                }
+            }
+            let text: String = bytes.get(start..i).unwrap_or(&[]).iter().collect();
+            let tok = if is_float || text.contains('e') && !text.starts_with("0x") {
+                // `1e3` floats; hex like 0xE3 stays Int via the prefix check.
+                Tok::Float(text)
+            } else {
+                Tok::Int(text)
+            };
+            out.tokens.push(Token { tok, line });
+            continue;
+        }
+        // --- punctuation ------------------------------------------------
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Consumes a `"`-delimited string starting at `i` (which must point at the
+/// opening quote). Returns the index one past the closing quote.
+fn consume_quoted(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let mut i = i + 1;
+    while i < bytes.len() {
+        match bytes.get(i) {
+            Some('\\') => {
+                // An escaped newline (string line-continuation) still ends
+                // a source line — count it or every later line drifts.
+                if bytes.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            Some('\n') => {
+                *line += 1;
+                i += 1;
+            }
+            Some('"') => return i + 1,
+            Some(_) => i += 1,
+            None => break,
+        }
+    }
+    i
+}
+
+/// Consumes a `'`-delimited char literal starting at `i`. Returns the index
+/// one past the closing quote.
+fn consume_char_literal(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let mut i = i + 1;
+    while i < bytes.len() {
+        match bytes.get(i) {
+            Some('\\') => {
+                if bytes.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            Some('\n') => {
+                *line += 1;
+                i += 1;
+            }
+            Some('\'') => return i + 1,
+            Some(_) => i += 1,
+            None => break,
+        }
+    }
+    i
+}
+
+/// Scans comment text for `sma-lint: allow(id[, id]) -- justification`.
+fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
+    let Some(pos) = comment.find("sma-lint:") else {
+        return;
+    };
+    let rest = comment
+        .get(pos + "sma-lint:".len()..)
+        .unwrap_or("")
+        .trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(close) = body.find(')') else {
+        return;
+    };
+    let ids: Vec<String> = body
+        .get(..close)
+        .unwrap_or("")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let tail = body.get(close + 1..).unwrap_or("").trim_start();
+    // A justification is required: `-- <non-empty text>`.
+    let justified = tail
+        .strip_prefix("--")
+        .map(|j| !j.trim().is_empty())
+        .unwrap_or(false);
+    if !ids.is_empty() {
+        out.push(AllowDirective {
+            line,
+            rules: ids,
+            justified,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic!() in /* nested */ block */
+            let s = "unwrap() inside string";
+            let r = r#"expect( in raw string "quoted" here"#;
+            let c = '"';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Literal)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_directives_parsed() {
+        let src = "\n// sma-lint: allow(P1-unwrap) -- init-only, len checked above\nx.unwrap();\n// sma-lint: allow(U2-debug-output)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        let a = lexed.allows.first().expect("first directive");
+        assert_eq!(a.line, 2);
+        assert_eq!(a.rules, vec!["P1-unwrap".to_string()]);
+        assert!(a.justified);
+        let b = lexed.allows.get(1).expect("second directive");
+        assert!(!b.justified);
+    }
+
+    #[test]
+    fn raw_idents_and_numbers() {
+        let src = "let r#type = 0xFF_u32; let x = 1.5e3; let y = 0..10;";
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Ident("type".into())));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Int(s) if s == "0xFF_u32")));
+        // `0..10` is two ints, not a float.
+        let ints = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Int(_)))
+            .count();
+        assert!(ints >= 3);
+    }
+}

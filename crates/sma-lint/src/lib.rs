@@ -1,0 +1,167 @@
+//! `sma-lint` — the architectural lint wall for the SMA workspace.
+//!
+//! A std-only, dependency-free static-analysis pass that tokenizes every
+//! Rust source in the workspace with a small hand-rolled lexer
+//! ([`lexer`]) and enforces the codified layering, panic-freedom,
+//! determinism, and hygiene rules ([`rules`]) that the SMA consistency
+//! argument rests on. See DESIGN.md §9 for the rule catalog and rationale.
+//!
+//! Run it as `cargo run -p sma-lint` (add `--json` for a machine-readable
+//! report). Exit codes are script-friendly: `0` clean, `1` violations,
+//! `2` internal error.
+//!
+//! Violations are suppressed only by an inline
+//! `// sma-lint: allow(rule-id) -- justification` directive; a bare allow
+//! without justification is itself a violation (`A1-bare-allow`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{classify, lint_source, Diagnostic, RuleInfo, Severity, RULES};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".github",
+    // The linter's own sources and fixtures contain deliberate rule
+    // violations (fixtures assert each rule fires) — linting them would
+    // make the workspace permanently dirty.
+    "crates/sma-lint",
+];
+
+/// Walks `root` and lints every `.rs` file, returning diagnostics sorted
+/// by file then line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .map_err(|e| format!("{}: {e}", f.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        diags.extend(lint_source(&rel, &src));
+    }
+    diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(diags)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rel = dir
+        .strip_prefix(root)
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .unwrap_or_default();
+    if SKIP_DIRS.iter().any(|s| rel == *s) {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if ty.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: ascends from `start` until a `Cargo.toml`
+/// containing `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Renders diagnostics as a JSON report:
+/// `{"clean":bool,"total":n,"counts":{rule:n},"diagnostics":[...]}`.
+///
+/// Hand-rolled (std-only crate); all emitted strings are escaped.
+pub fn json_report(diags: &[Diagnostic]) -> String {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"clean\": {},\n", diags.is_empty()));
+    s.push_str(&format!("  \"total\": {},\n", diags.len()));
+    s.push_str("  \"counts\": {");
+    let mut first = true;
+    for (rule, n) in &counts {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!("\n    \"{}\": {}", json_escape(rule), n));
+    }
+    if !counts.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("},\n");
+    s.push_str("  \"diagnostics\": [");
+    let mut first = true;
+    for d in diags {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(d.rule),
+            d.severity.label(),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

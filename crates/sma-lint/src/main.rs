@@ -1,0 +1,107 @@
+//! CLI entry point for `sma-lint`.
+//!
+//! Usage: `cargo run -p sma-lint [-- --json] [path]`
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` internal error
+//! (bad arguments, unreadable workspace).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sma_lint::{find_workspace_root, json_report, lint_workspace, Severity, RULES};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut show_rules = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => show_rules = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("sma-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => root_arg = Some(PathBuf::from(path)),
+        }
+    }
+
+    if show_rules {
+        for r in RULES {
+            println!("{:<22} [{}] {}", r.id, r.severity.label(), r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sma-lint: cannot determine current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root_arg {
+        Some(p) => p,
+        None => match find_workspace_root(&cwd) {
+            Some(r) => r,
+            None => {
+                eprintln!("sma-lint: no workspace root found above {}", cwd.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sma-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", json_report(&diags));
+    } else {
+        for d in &diags {
+            println!(
+                "{}[{}] {}:{}: {}",
+                d.severity.label(),
+                d.rule,
+                d.file,
+                d.line,
+                d.message
+            );
+        }
+        if diags.is_empty() {
+            println!("sma-lint: clean ({} rules enforced)", RULES.len());
+        } else {
+            println!("sma-lint: {} violation(s)", diags.len());
+        }
+    }
+
+    let failing = diags.iter().any(|d| d.severity == Severity::Error);
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_help() {
+    println!(
+        "sma-lint: architectural lint wall for the SMA workspace\n\
+         \n\
+         USAGE: sma-lint [--json] [--rules] [root]\n\
+         \n\
+         --json    emit a machine-readable JSON report\n\
+         --rules   list the rule catalog\n\
+         root      workspace root (default: nearest [workspace] above cwd)\n\
+         \n\
+         Exit codes: 0 clean, 1 violations, 2 internal error.\n\
+         Suppress a finding with `// sma-lint: allow(rule-id) -- justification`."
+    );
+}

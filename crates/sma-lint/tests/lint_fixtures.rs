@@ -1,0 +1,273 @@
+//! One known-bad fixture per rule ID, asserting the exact diagnostic
+//! (rule, file, line) each produces, plus the allowlist contract:
+//! a justified directive suppresses, a bare one is itself a violation.
+
+use sma_lint::{lint_source, Diagnostic};
+
+/// Lints `src` as if it lived at `rel` and returns `(rule, line)` pairs.
+fn fire(rel: &str, src: &str) -> Vec<(&'static str, u32)> {
+    lint_source(rel, src)
+        .into_iter()
+        .map(|d: Diagnostic| {
+            assert_eq!(d.file, rel, "diagnostic carries the linted path");
+            (d.rule, d.line)
+        })
+        .collect()
+}
+
+// --- L1: page discipline -------------------------------------------------
+
+#[test]
+fn l1_raw_page_access_outside_storage() {
+    let src = "//! docs\n\
+               use sma_storage::page::SlottedPage;\n\
+               pub fn peek(buf: &[u8]) {\n\
+               \tlet _ = SlottedPage::from_bytes(buf);\n\
+               }\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(
+        got,
+        vec![("L1-page-discipline", 2), ("L1-page-discipline", 4)]
+    );
+}
+
+#[test]
+fn l1_silent_inside_sma_storage() {
+    let src = "pub fn peek(buf: &[u8]) { let _ = SlottedPage::from_bytes(buf); }\n";
+    assert!(fire("crates/sma-storage/src/page_util.rs", src).is_empty());
+}
+
+// --- L2: codec byte fiddling ---------------------------------------------
+
+#[test]
+fn l2_le_bytes_outside_codec_home() {
+    let src = "pub fn decode(b: [u8; 4]) -> u32 { u32::from_le_bytes(b) }\n";
+    let got = fire("crates/sma-exec/src/rogue.rs", src);
+    assert_eq!(got, vec![("L2-codec-bytes", 1)]);
+}
+
+#[test]
+fn l2_silent_inside_codec_home() {
+    let src = "pub fn decode(b: [u8; 4]) -> u32 { u32::from_le_bytes(b) }\n";
+    assert!(fire("crates/sma-types/src/bytes.rs", src)
+        .iter()
+        .all(|(rule, _)| *rule != "L2-codec-bytes"));
+}
+
+// --- L3: sma-types upward dependencies -----------------------------------
+
+#[test]
+fn l3_types_naming_upper_layer() {
+    let src = "//! docs\npub fn touch(t: &sma_storage::Table) { let _ = t; }\n";
+    let got = fire("crates/sma-types/src/rogue.rs", src);
+    assert_eq!(got, vec![("L3-type-deps", 2)]);
+}
+
+// --- P1 / P2 / P3: panic freedom -----------------------------------------
+
+#[test]
+fn p1_unwrap_in_library_code() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\tx.unwrap()\n}\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("P1-unwrap", 2)]);
+}
+
+#[test]
+fn p2_expect_in_library_code() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\tx.expect(\"present\")\n}\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("P2-expect", 2)]);
+}
+
+#[test]
+fn p3_panic_macro_in_library_code() {
+    let src = "pub fn f() {\n\tpanic!(\"boom\");\n}\npub fn g() {\n\ttodo!()\n}\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("P3-panic", 2), ("P3-panic", 5)]);
+}
+
+#[test]
+fn panic_rules_exempt_test_modules() {
+    let src = "pub fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \t#[test]\n\
+               \tfn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+               }\n";
+    assert!(fire("crates/sma-core/src/rogue.rs", src).is_empty());
+}
+
+#[test]
+fn panic_rules_exempt_bench_and_bin_targets() {
+    let src = "fn main() { Some(1).unwrap(); }\n";
+    assert!(fire("crates/sma-bench/src/bin/tool.rs", src).is_empty());
+    assert!(fire("benches/scan.rs", src).is_empty());
+}
+
+// --- P4: literal indexing in codec modules --------------------------------
+
+#[test]
+fn p4_literal_index_in_codec_module() {
+    let src = "pub fn first(buf: &[u8]) -> u8 {\n\tbuf[0]\n}\n";
+    let got = fire("crates/sma-storage/src/page.rs", src);
+    assert_eq!(got, vec![("P4-literal-index", 2)]);
+}
+
+#[test]
+fn p4_variable_index_is_fine() {
+    let src = "pub fn at(buf: &[u8], base: usize) -> u8 {\n\tbuf[base + 1]\n}\n";
+    assert!(fire("crates/sma-storage/src/page.rs", src).is_empty());
+}
+
+// --- D1: wall clock --------------------------------------------------------
+
+#[test]
+fn d1_instant_outside_cost_module() {
+    let src = "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n";
+    let got = fire("crates/sma-exec/src/rogue.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("D1-wall-clock", 1),
+            ("D1-wall-clock", 2),
+            ("D1-wall-clock", 2)
+        ]
+    );
+}
+
+#[test]
+fn d1_silent_in_cost_module() {
+    let src = "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n";
+    assert!(fire("crates/sma-storage/src/cost.rs", src).is_empty());
+}
+
+// --- D2: hash-ordered iteration -------------------------------------------
+
+#[test]
+fn d2_hashmap_in_exec_path() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn group() -> HashMap<u8, u8> { HashMap::new() }\n";
+    let got = fire("crates/sma-exec/src/rogue.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("D2-ordered-iteration", 1),
+            ("D2-ordered-iteration", 2),
+            ("D2-ordered-iteration", 2)
+        ]
+    );
+}
+
+#[test]
+fn d2_not_enforced_outside_exec_core() {
+    let src = "use std::collections::HashMap;\npub fn g() -> HashMap<u8, u8> { HashMap::new() }\n";
+    assert!(fire("crates/sma-tpcd/src/rogue.rs", src).is_empty());
+}
+
+// --- U1: crate headers ------------------------------------------------------
+
+#[test]
+fn u1_missing_crate_headers() {
+    let src = "//! A crate.\npub fn f() {}\n";
+    let got = fire("crates/sma-core/src/lib.rs", src);
+    assert_eq!(got, vec![("U1-crate-header", 1), ("U1-crate-header", 1)]);
+}
+
+#[test]
+fn u1_satisfied_by_both_headers() {
+    let src = "//! A crate.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+    assert!(fire("crates/sma-core/src/lib.rs", src).is_empty());
+}
+
+// --- U2: debug output -------------------------------------------------------
+
+#[test]
+fn u2_println_in_library_code() {
+    let src = "pub fn f() {\n\tprintln!(\"dbg\");\n\tdbg!(42);\n}\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("U2-debug-output", 2), ("U2-debug-output", 3)]);
+}
+
+// --- U3: narrowing casts in codec modules -----------------------------------
+
+#[test]
+fn u3_narrowing_cast_in_codec_module() {
+    let src = "pub fn off(n: usize) -> u16 {\n\tn as u16\n}\n";
+    let got = fire("crates/sma-storage/src/page.rs", src);
+    assert_eq!(got, vec![("U3-narrowing-cast", 2)]);
+}
+
+#[test]
+fn u3_cast_to_wide_or_alias_is_fine() {
+    let src = "pub fn wide(n: u16) -> u64 {\n\tn as u64\n}\n\
+               pub fn alias(n: usize) -> SlotId {\n\tn as SlotId\n}\n";
+    assert!(fire("crates/sma-storage/src/page.rs", src).is_empty());
+}
+
+// --- Allow directives --------------------------------------------------------
+
+#[test]
+fn justified_allow_suppresses_same_and_next_line() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+               \t// sma-lint: allow(P1-unwrap) -- fixture exercises the suppression path\n\
+               \tx.unwrap()\n\
+               }\n";
+    assert!(fire("crates/sma-core/src/rogue.rs", src).is_empty());
+}
+
+#[test]
+fn justified_allow_does_not_reach_two_lines_down() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+               \t// sma-lint: allow(P1-unwrap) -- too far away to matter\n\
+               \tlet y = x;\n\
+               \ty.unwrap()\n\
+               }\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("P1-unwrap", 4)]);
+}
+
+#[test]
+fn allow_only_suppresses_the_named_rule() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+               \t// sma-lint: allow(P2-expect) -- names the wrong rule\n\
+               \tx.unwrap()\n\
+               }\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("P1-unwrap", 3)]);
+}
+
+#[test]
+fn a1_bare_allow_is_rejected_and_suppresses_nothing() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+               \t// sma-lint: allow(P1-unwrap)\n\
+               \tx.unwrap()\n\
+               }\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("A1-bare-allow", 2), ("P1-unwrap", 3)]);
+}
+
+// --- Lexer soundness: strings and comments are not code ----------------------
+
+#[test]
+fn strings_and_comments_never_fire_rules() {
+    let src = "pub fn f() -> &'static str {\n\
+               \t// x.unwrap() in a comment\n\
+               \t/* panic!(\"nope\") */\n\
+               \t\"x.unwrap() and panic! in a string\"\n\
+               }\n";
+    assert!(fire("crates/sma-core/src/rogue.rs", src).is_empty());
+}
+
+// --- JSON report --------------------------------------------------------------
+
+#[test]
+fn json_report_counts_by_rule() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let diags = lint_source("crates/sma-core/src/rogue.rs", src);
+    let json = sma_lint::json_report(&diags);
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"total\": 1"));
+    assert!(json.contains("\"P1-unwrap\": 1"));
+    let clean = sma_lint::json_report(&[]);
+    assert!(clean.contains("\"clean\": true"));
+}

@@ -13,7 +13,8 @@ fn table() -> &'static [u32; 256] {
     TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, entry) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
+            // i < 256, so the conversion is lossless; saturate defensively.
+            let mut c = u32::try_from(i).unwrap_or(u32::MAX);
             for _ in 0..8 {
                 c = if c & 1 != 0 {
                     0xEDB8_8320 ^ (c >> 1)
@@ -32,7 +33,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     let t = table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }

@@ -149,3 +149,30 @@ mod tests {
         assert!((m.rand_read_ms / m.seq_read_ms - 4.0).abs() < 0.01);
     }
 }
+
+/// The one blessed wall-clock site outside `cost.rs` and the bench
+/// harness.
+///
+/// Query executors report elapsed wall time as telemetry next to the
+/// deterministic [`CostModel`] price. Routing every reading through this
+/// type keeps `std::time::Instant` out of result-shaping code (enforced
+/// by the `D1-wall-clock` lint rule) and gives benchmarks a single seam
+/// to audit: wall time may *accompany* results, never *determine* them.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall-clock time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}

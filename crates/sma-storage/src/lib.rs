@@ -18,7 +18,8 @@
 //! [`store::atomic_write_file`] provides the write-temp → fsync → rename →
 //! fsync-dir commit recipe used by SMA and catalog persistence.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod checksum;
 pub mod cost;
@@ -29,7 +30,7 @@ pub mod table;
 pub mod test_util;
 
 pub use checksum::crc32;
-pub use cost::CostModel;
+pub use cost::{CostModel, Stopwatch};
 pub use page::{SlotId, SlottedPage, MAX_TUPLE_BYTES, PAGE_FOOTER_LEN, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, RetryPolicy};
 pub use store::{atomic_write_file, sync_dir, FileStore, MemStore, PageNo, PageStore, StoreError};

@@ -31,6 +31,14 @@
 use std::fmt;
 
 use crate::checksum::crc32;
+use sma_types::bytes;
+
+/// Narrows a page offset/length to the `u16` the slotted header stores.
+/// Every caller passes a value `< PAGE_SIZE` (4096), so this is lossless;
+/// the saturation is a defensive bound, never a wrap.
+fn off16(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
 
 /// Page size in bytes (fixed, as in the paper's space accounting).
 pub const PAGE_SIZE: usize = 4096;
@@ -53,7 +61,8 @@ const CRC_OFF: usize = PAGE_SIZE - 4;
 
 /// The footer's write counter (0 = never stamped).
 pub fn page_write_counter(buf: &[u8; PAGE_SIZE]) -> u32 {
-    u32::from_le_bytes(buf[COUNTER_OFF..CRC_OFF].try_into().expect("4 bytes"))
+    // COUNTER_OFF + 4 == PAGE_SIZE - 4, always in bounds for a full page.
+    bytes::get_u32_le(buf.as_slice(), COUNTER_OFF).unwrap_or(0)
 }
 
 /// Bumps the write counter and recomputes the footer CRC. Called by the
@@ -72,7 +81,7 @@ pub fn stamp_page(buf: &mut [u8; PAGE_SIZE]) {
 /// passes: there is nothing durable to protect yet.
 pub fn verify_page(buf: &[u8; PAGE_SIZE]) -> Result<(), String> {
     let counter = page_write_counter(buf);
-    let stored = u32::from_le_bytes(buf[CRC_OFF..].try_into().expect("4 bytes"));
+    let stored = bytes::get_u32_le(buf.as_slice(), CRC_OFF).unwrap_or(0);
     if counter == 0 && stored == 0 {
         return Ok(());
     }
@@ -120,7 +129,7 @@ impl SlottedPage {
     pub fn new() -> SlottedPage {
         let mut data = Box::new([0u8; PAGE_SIZE]);
         // free_end starts at the payload end (the footer is reserved).
-        data[2..4].copy_from_slice(&(PAYLOAD_END as u16).to_le_bytes());
+        data[2..4].copy_from_slice(&off16(PAYLOAD_END).to_le_bytes());
         SlottedPage { data }
     }
 
@@ -132,14 +141,14 @@ impl SlottedPage {
         let mut data = Box::new([0u8; PAGE_SIZE]);
         data.copy_from_slice(bytes);
         let page = SlottedPage { data };
-        let n = page.slot_count() as usize;
+        let n = page.slot_count();
         let free_end = page.free_end() as usize;
-        if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAYLOAD_END {
+        if HEADER_LEN + usize::from(n) * SLOT_LEN > free_end || free_end > PAYLOAD_END {
             return Err(PageError(format!(
                 "corrupt header: {n} slots, free_end {free_end}"
             )));
         }
-        for s in 0..n as u16 {
+        for s in 0..n {
             let (off, len) = page.slot(s);
             if len > 0 && (off as usize) < free_end {
                 return Err(PageError(format!(
@@ -159,11 +168,11 @@ impl SlottedPage {
     }
 
     fn slot_count(&self) -> u16 {
-        u16::from_le_bytes([self.data[0], self.data[1]])
+        bytes::get_u16_le(self.data.as_slice(), 0).unwrap_or(0)
     }
 
     fn free_end(&self) -> u16 {
-        u16::from_le_bytes([self.data[2], self.data[3]])
+        bytes::get_u16_le(self.data.as_slice(), 2).unwrap_or(0)
     }
 
     fn set_slot_count(&mut self, n: u16) {
@@ -216,9 +225,10 @@ impl SlottedPage {
         let id = self.slot_count();
         let new_end = self.free_end() as usize - image.len();
         self.data[new_end..new_end + image.len()].copy_from_slice(image);
-        self.set_slot(id, new_end as u16, image.len() as u16);
+        self.set_slot(id, off16(new_end), off16(image.len()));
         self.set_slot_count(id + 1);
-        self.set_free_end(new_end as u16);
+        self.set_free_end(off16(new_end));
+        self.debug_validate("insert");
         Some(id)
     }
 
@@ -260,6 +270,7 @@ impl SlottedPage {
         }
         if len as usize == image.len() {
             self.data[off as usize..off as usize + image.len()].copy_from_slice(image);
+            self.debug_validate("update");
             return Some(slot);
         }
         self.delete(slot);
@@ -290,18 +301,72 @@ impl SlottedPage {
         let mut images: Vec<Option<Vec<u8>>> =
             (0..n).map(|s| self.get(s).map(<[u8]>::to_vec)).collect();
         let mut end = PAYLOAD_END;
-        for (s, img) in images.drain(..).enumerate() {
+        for (s, img) in (0..n).zip(images.drain(..)) {
             match img {
                 Some(img) => {
                     end -= img.len();
                     self.data[end..end + img.len()].copy_from_slice(&img);
-                    self.set_slot(s as SlotId, end as u16, img.len() as u16);
+                    self.set_slot(s, off16(end), off16(img.len()));
                 }
-                None => self.set_slot(s as SlotId, 0, 0),
+                None => self.set_slot(s, 0, 0),
             }
         }
-        self.set_free_end(end as u16);
+        self.set_free_end(off16(end));
+        self.debug_validate("compact");
         reclaimed
+    }
+
+    /// Verifies the slot directory's structural invariants: the header is
+    /// in range, every live slot's image lies inside the used payload
+    /// region, and no two live images overlap. [`SlottedPage::from_bytes`]
+    /// runs a subset of this on entry; this full check is the debug-build
+    /// postcondition of every mutation ([`SlottedPage::insert`],
+    /// [`SlottedPage::update`], [`SlottedPage::compact`]).
+    pub fn check_invariants(&self) -> Result<(), PageError> {
+        let n = self.slot_count() as usize;
+        let free_end = self.free_end() as usize;
+        if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAYLOAD_END {
+            return Err(PageError(format!(
+                "corrupt header: {n} slots, free_end {free_end}"
+            )));
+        }
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for s in 0..self.slot_count() {
+            let (off, len) = self.slot(s);
+            let (off, len) = (off as usize, len as usize);
+            if len == 0 {
+                continue;
+            }
+            if off < free_end || off + len > PAYLOAD_END {
+                return Err(PageError(format!(
+                    "slot {s} image [{off}, {}) escapes the used region [{free_end}, {PAYLOAD_END})",
+                    off + len
+                )));
+            }
+            live.push((off, len));
+        }
+        live.sort_unstable();
+        for pair in live.windows(2) {
+            let &[(a_off, a_len), (b_off, _)] = pair else {
+                continue;
+            };
+            if a_off + a_len > b_off {
+                return Err(PageError(format!(
+                    "overlapping tuple images at offsets {a_off} and {b_off}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build hook: asserts [`SlottedPage::check_invariants`] after a
+    /// mutation. Compiles to nothing in release builds.
+    fn debug_validate(&self, op: &str) {
+        if cfg!(debug_assertions) {
+            if let Err(e) = self.check_invariants() {
+                debug_assert!(false, "slot directory corrupt after {op}: {e}");
+            }
+        }
     }
 }
 
@@ -320,8 +385,8 @@ where
     E: From<PageError>,
     F: FnMut(SlotId, &[u8]) -> Result<(), E>,
 {
-    let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-    let free_end = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+    let n = usize::from(bytes::get_u16_le(buf.as_slice(), 0).unwrap_or(0));
+    let free_end = usize::from(bytes::get_u16_le(buf.as_slice(), 2).unwrap_or(0));
     if HEADER_LEN + n * SLOT_LEN > free_end || free_end > PAYLOAD_END {
         return Err(PageError(format!("corrupt header: {n} slots, free_end {free_end}")).into());
     }

@@ -474,9 +474,14 @@ impl BufferPool {
             shard.frames.push(frame);
             return Ok(idx);
         }
-        let victim = (0..shard.frames.len())
-            .min_by_key(|&i| shard.frames[i].last_used)
-            .expect("capacity > 0");
+        let Some(victim) = (0..shard.frames.len()).min_by_key(|&i| shard.frames[i].last_used)
+        else {
+            // Only reachable with a zero-capacity shard — misconfiguration,
+            // not data loss; report it instead of panicking.
+            return Err(StoreError::Io(std::io::Error::other(
+                "buffer pool shard has zero capacity",
+            )));
+        };
         if shard.frames[victim].dirty {
             self.write_back(&mut shard.frames[victim])?;
         }

@@ -213,13 +213,13 @@ impl Table {
         if pages > 0 {
             let last = pages - 1;
             let slot = self.pool.with_page_mut(last, |buf| {
-                let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+                let mut page = SlottedPage::from_bytes(buf)?;
                 let slot = page.insert(&image);
                 if slot.is_some() {
                     buf.copy_from_slice(&page.as_bytes()[..]);
                 }
-                slot
-            })?;
+                Ok::<_, TableError>(slot)
+            })??;
             if let Some(slot) = slot {
                 self.live_tuples += 1;
                 return Ok(TupleId { page: last, slot });
@@ -228,10 +228,16 @@ impl Table {
         let no = self.pool.allocate()?;
         let slot = self.pool.with_page_mut(no, |buf| {
             let mut page = SlottedPage::new();
-            let slot = page.insert(&image).expect("tuple fits an empty page");
-            buf.copy_from_slice(&page.as_bytes()[..]);
+            let slot = page.insert(&image);
+            if slot.is_some() {
+                buf.copy_from_slice(&page.as_bytes()[..]);
+            }
             slot
         })?;
+        // `insert` on an empty page only refuses images that are empty or
+        // larger than MAX_TUPLE_BYTES (checked above) — but report rather
+        // than assume.
+        let slot = slot.ok_or(TableError::TupleTooLarge { bytes: image.len() })?;
         self.live_tuples += 1;
         Ok(TupleId { page: no, slot })
     }
@@ -242,9 +248,9 @@ impl Table {
             return Ok(None);
         }
         let image = self.pool.with_page(tid.page, |buf| {
-            let page = SlottedPage::from_bytes(buf).expect("own pages are valid");
-            page.get(tid.slot).map(<[u8]>::to_vec)
-        })?;
+            let page = SlottedPage::from_bytes(buf)?;
+            Ok::<_, TableError>(page.get(tid.slot).map(<[u8]>::to_vec))
+        })??;
         match image {
             Some(img) => Ok(Some(decode(&self.schema, &img)?)),
             None => Ok(None),
@@ -257,13 +263,13 @@ impl Table {
             return Err(TableError::NotFound(tid));
         }
         let removed = self.pool.with_page_mut(tid.page, |buf| {
-            let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+            let mut page = SlottedPage::from_bytes(buf)?;
             let removed = page.delete(tid.slot);
             if removed {
                 buf.copy_from_slice(&page.as_bytes()[..]);
             }
-            removed
-        })?;
+            Ok::<_, TableError>(removed)
+        })??;
         if !removed {
             return Err(TableError::NotFound(tid));
         }
@@ -283,7 +289,7 @@ impl Table {
         let mut image = Vec::new();
         encode(&self.schema, tuple, &mut image)?;
         let result = self.pool.with_page_mut(tid.page, |buf| {
-            let mut page = SlottedPage::from_bytes(buf).expect("own pages are valid");
+            let mut page = SlottedPage::from_bytes(buf)?;
             if page.get(tid.slot).is_none() {
                 return Err(TableError::NotFound(tid));
             }

@@ -10,7 +10,8 @@
 //! * [`query1`] — a reference implementation of Query 1 used as the
 //!   correctness oracle for SMA-accelerated plans.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod clustering;
 pub mod customer;

@@ -7,7 +7,15 @@
 use std::collections::BTreeMap;
 
 use sma_storage::{Table, TableError};
-use sma_types::{Date, Decimal};
+use sma_types::{Date, Decimal, SchemaError};
+
+/// Reports a LINEITEM column whose stored value does not carry the type
+/// the oracle scan expects.
+fn typed<T>(v: Option<T>, what: &str) -> Result<T, TableError> {
+    v.ok_or_else(|| {
+        TableError::Schema(SchemaError(format!("column {what} has an unexpected type")))
+    })
+}
 
 use crate::generator::LineItem;
 use crate::schema::lineitem as li;
@@ -80,7 +88,7 @@ impl Acc {
 /// `[60, 120]`; the canonical validation value is 90.
 pub fn q1_cutoff(delta: i32) -> Date {
     Date::from_ymd(1998, 12, 1)
-        .expect("valid constant")
+        .expect("valid constant") // sma-lint: allow(P2-expect) -- compile-time constant date; cannot fail
         .add_days(-delta)
 }
 
@@ -107,17 +115,17 @@ pub fn q1_reference_table(table: &Table, cutoff: Date) -> Result<Vec<Q1Row>, Tab
         page_rows.clear();
         table.scan_page_into(page, &mut page_rows)?;
         for (_, t) in &page_rows {
-            let shipdate = t[li::SHIPDATE].as_date().expect("typed column");
+            let shipdate = typed(t[li::SHIPDATE].as_date(), "L_SHIPDATE")?;
             if shipdate <= cutoff {
                 let key = (
-                    t[li::RETURNFLAG].as_char().expect("typed column"),
-                    t[li::LINESTATUS].as_char().expect("typed column"),
+                    typed(t[li::RETURNFLAG].as_char(), "L_RETURNFLAG")?,
+                    typed(t[li::LINESTATUS].as_char(), "L_LINESTATUS")?,
                 );
                 groups.entry(key).or_default().add(
-                    t[li::QUANTITY].as_decimal().expect("typed column"),
-                    t[li::EXTENDEDPRICE].as_decimal().expect("typed column"),
-                    t[li::DISCOUNT].as_decimal().expect("typed column"),
-                    t[li::TAX].as_decimal().expect("typed column"),
+                    typed(t[li::QUANTITY].as_decimal(), "L_QUANTITY")?,
+                    typed(t[li::EXTENDEDPRICE].as_decimal(), "L_EXTENDEDPRICE")?,
+                    typed(t[li::DISCOUNT].as_decimal(), "L_DISCOUNT")?,
+                    typed(t[li::TAX].as_decimal(), "L_TAX")?,
                 );
             }
         }

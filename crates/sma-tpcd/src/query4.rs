@@ -35,6 +35,7 @@ impl Default for Q4Params {
     fn default() -> Q4Params {
         // The TPC-D validation parameter.
         Q4Params {
+            // sma-lint: allow(P2-expect) -- compile-time constant date; cannot fail
             date: Date::from_ymd(1993, 7, 1).expect("valid constant"),
         }
     }

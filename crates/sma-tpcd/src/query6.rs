@@ -16,7 +16,7 @@
 //! the buckets outright.
 
 use sma_storage::{Table, TableError};
-use sma_types::{Date, Decimal};
+use sma_types::{Date, Decimal, SchemaError};
 
 use crate::generator::LineItem;
 use crate::schema::lineitem as li;
@@ -36,7 +36,9 @@ impl Default for Q6Params {
     fn default() -> Q6Params {
         // The TPC-D validation parameters.
         Q6Params {
+            // sma-lint: allow(P2-expect) -- compile-time constant date; cannot fail
             date: Date::from_ymd(1994, 1, 1).expect("valid constant"),
+            // sma-lint: allow(P2-expect) -- compile-time constant rate; cannot fail
             discount: Decimal::parse("0.06").expect("valid constant"),
             quantity: 24,
         }
@@ -88,16 +90,25 @@ pub fn q6_reference_table(table: &Table, p: &Q6Params) -> Result<Decimal, TableE
         rows.clear();
         table.scan_page_into(page, &mut rows)?;
         for (_, t) in &rows {
-            let ship = t[li::SHIPDATE].as_date().expect("typed");
-            let disc = t[li::DISCOUNT].as_decimal().expect("typed");
-            let qty = t[li::QUANTITY].as_decimal().expect("typed");
+            let typed = |v: Option<Decimal>, what: &str| -> Result<Decimal, TableError> {
+                v.ok_or_else(|| {
+                    TableError::Schema(SchemaError(format!("column {what} has an unexpected type")))
+                })
+            };
+            let ship = t[li::SHIPDATE].as_date().ok_or_else(|| {
+                TableError::Schema(SchemaError(
+                    "column L_SHIPDATE has an unexpected type".into(),
+                ))
+            })?;
+            let disc = typed(t[li::DISCOUNT].as_decimal(), "L_DISCOUNT")?;
+            let qty = typed(t[li::QUANTITY].as_decimal(), "L_QUANTITY")?;
             if ship >= p.date
                 && ship < p.date_hi()
                 && disc >= p.discount_lo()
                 && disc <= p.discount_hi()
                 && qty < qty_bound
             {
-                let ext = t[li::EXTENDEDPRICE].as_decimal().expect("typed");
+                let ext = typed(t[li::EXTENDEDPRICE].as_decimal(), "L_EXTENDEDPRICE")?;
                 revenue += ext.mul_round(disc);
             }
         }

@@ -11,8 +11,10 @@
 //! Widths deliberately match the paper's accounting (§2.4): dates and
 //! counts take 4 bytes, all other aggregate values 8 bytes.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+pub mod bytes;
 pub mod date;
 pub mod decimal;
 pub mod rng;

@@ -12,6 +12,7 @@
 //! `Char` 1 byte; a `Str` slot holds the payload length as `u16`. Null
 //! columns keep a zeroed slot so offsets stay schema-computable.
 
+use crate::bytes;
 use crate::date::Date;
 use crate::decimal::Decimal;
 use crate::schema::{DataType, Schema};
@@ -76,7 +77,14 @@ pub fn encode(schema: &Schema, tuple: &[Value], out: &mut Vec<u8>) -> Result<(),
             (DataType::Date, Value::Date(d)) => out.extend_from_slice(&d.days().to_le_bytes()),
             (DataType::Char, Value::Char(ch)) => out.push(*ch),
             (DataType::Str, Value::Str(s)) => {
-                let len = s.len() as u16; // checked above
+                // Re-checked here so the narrowing stays locally provable
+                // (the loop above already rejected oversized payloads).
+                let len = u16::try_from(s.len()).map_err(|_| {
+                    CodecError(format!(
+                        "string column {:?} exceeds u16 length slot",
+                        c.name
+                    ))
+                })?;
                 out.extend_from_slice(&len.to_le_bytes());
                 strings.push(s);
             }
@@ -115,17 +123,18 @@ pub fn decode(schema: &Schema, buf: &[u8]) -> Result<Tuple, CodecError> {
             tuple.push(Value::Null);
             continue;
         }
+        let short = || CodecError(format!("column {:?} slot out of bounds", c.name));
         let v = match c.ty {
-            DataType::Int => Value::Int(i64::from_le_bytes(slot.try_into().unwrap())),
-            DataType::Decimal => Value::Decimal(Decimal::from_cents(i64::from_le_bytes(
-                slot.try_into().unwrap(),
-            ))),
-            DataType::Date => Value::Date(Date::from_days(i32::from_le_bytes(
-                slot.try_into().unwrap(),
-            ))),
-            DataType::Char => Value::Char(slot[0]),
+            DataType::Int => Value::Int(bytes::get_i64_le(slot, 0).ok_or_else(short)?),
+            DataType::Decimal => Value::Decimal(Decimal::from_cents(
+                bytes::get_i64_le(slot, 0).ok_or_else(short)?,
+            )),
+            DataType::Date => Value::Date(Date::from_days(
+                bytes::get_i32_le(slot, 0).ok_or_else(short)?,
+            )),
+            DataType::Char => Value::Char(slot.first().copied().ok_or_else(short)?),
             DataType::Str => {
-                let len = u16::from_le_bytes(slot.try_into().unwrap()) as usize;
+                let len = usize::from(bytes::get_u16_le(slot, 0).ok_or_else(short)?);
                 let end = var_pos + len;
                 if end > buf.len() {
                     return Err(CodecError(format!(

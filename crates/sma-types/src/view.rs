@@ -16,6 +16,7 @@
 
 use std::cmp::Ordering;
 
+use crate::bytes;
 use crate::date::Date;
 use crate::decimal::Decimal;
 use crate::row::CodecError;
@@ -123,28 +124,37 @@ impl<'a> RowView<'a> {
     /// The `i64` at an `Int` column; `None` when null.
     pub fn int_at(&self, col: usize) -> Option<i64> {
         debug_assert_eq!(self.layout.data_type(col), DataType::Int);
-        (!self.is_null(col)).then(|| i64::from_le_bytes(self.slot(col).try_into().expect("8B")))
+        if self.is_null(col) {
+            return None;
+        }
+        bytes::get_i64_le(self.slot(col), 0)
     }
 
     /// The [`Decimal`] at a `Decimal` column; `None` when null.
     pub fn decimal_at(&self, col: usize) -> Option<Decimal> {
         debug_assert_eq!(self.layout.data_type(col), DataType::Decimal);
-        (!self.is_null(col)).then(|| {
-            Decimal::from_cents(i64::from_le_bytes(self.slot(col).try_into().expect("8B")))
-        })
+        if self.is_null(col) {
+            return None;
+        }
+        bytes::get_i64_le(self.slot(col), 0).map(Decimal::from_cents)
     }
 
     /// The [`Date`] at a `Date` column; `None` when null.
     pub fn date_at(&self, col: usize) -> Option<Date> {
         debug_assert_eq!(self.layout.data_type(col), DataType::Date);
-        (!self.is_null(col))
-            .then(|| Date::from_days(i32::from_le_bytes(self.slot(col).try_into().expect("4B"))))
+        if self.is_null(col) {
+            return None;
+        }
+        bytes::get_i32_le(self.slot(col), 0).map(Date::from_days)
     }
 
     /// The flag byte at a `Char` column; `None` when null.
     pub fn char_at(&self, col: usize) -> Option<u8> {
         debug_assert_eq!(self.layout.data_type(col), DataType::Char);
-        (!self.is_null(col)).then(|| self.slot(col)[0])
+        if self.is_null(col) {
+            return None;
+        }
+        self.slot(col).first().copied()
     }
 
     /// The borrowed payload of a `Str` column; `Ok(None)` when null.
@@ -157,15 +167,23 @@ impl<'a> RowView<'a> {
         if self.is_null(col) {
             return Ok(None);
         }
+        let too_short = |what: &str| CodecError(format!("string column {what} slot out of bounds"));
         let mut var_pos = self.layout.var_start;
-        for (i, &(ty, off)) in self.layout.cols[..col].iter().enumerate() {
+        for (i, &(ty, off)) in self
+            .layout
+            .cols
+            .get(..col)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
             if ty == DataType::Str && !self.is_null(i) {
-                let len =
-                    u16::from_le_bytes(self.image[off..off + 2].try_into().expect("2B")) as usize;
-                var_pos += len;
+                let len = bytes::get_u16_le(self.image, off).ok_or_else(|| too_short("length"))?;
+                var_pos += usize::from(len);
             }
         }
-        let len = u16::from_le_bytes(self.slot(col).try_into().expect("2B")) as usize;
+        let len =
+            usize::from(bytes::get_u16_le(self.slot(col), 0).ok_or_else(|| too_short("payload"))?);
         let end = var_pos + len;
         if end > self.image.len() {
             return Err(CodecError(format!(
@@ -184,12 +202,21 @@ impl<'a> RowView<'a> {
         if self.is_null(col) {
             return Ok(Value::Null);
         }
+        // The accessors return `None` only for null columns, which the
+        // check above already routed to `Value::Null`; mapping a residual
+        // `None` back to `Null` keeps every path total without a panic.
         Ok(match self.layout.data_type(col) {
-            DataType::Int => Value::Int(self.int_at(col).expect("non-null")),
-            DataType::Decimal => Value::Decimal(self.decimal_at(col).expect("non-null")),
-            DataType::Date => Value::Date(self.date_at(col).expect("non-null")),
-            DataType::Char => Value::Char(self.char_at(col).expect("non-null")),
-            DataType::Str => Value::Str(self.str_at(col)?.expect("non-null").to_string()),
+            DataType::Int => self.int_at(col).map(Value::Int).unwrap_or(Value::Null),
+            DataType::Decimal => self
+                .decimal_at(col)
+                .map(Value::Decimal)
+                .unwrap_or(Value::Null),
+            DataType::Date => self.date_at(col).map(Value::Date).unwrap_or(Value::Null),
+            DataType::Char => self.char_at(col).map(Value::Char).unwrap_or(Value::Null),
+            DataType::Str => self
+                .str_at(col)?
+                .map(|s| Value::Str(s.to_string()))
+                .unwrap_or(Value::Null),
         })
     }
 
@@ -202,15 +229,11 @@ impl<'a> RowView<'a> {
             return Ok(None);
         }
         Ok(match (self.layout.data_type(col), other) {
-            (DataType::Int, Value::Int(b)) => Some(self.int_at(col).expect("non-null").cmp(b)),
-            (DataType::Decimal, Value::Decimal(b)) => {
-                Some(self.decimal_at(col).expect("non-null").cmp(b))
-            }
-            (DataType::Date, Value::Date(b)) => Some(self.date_at(col).expect("non-null").cmp(b)),
-            (DataType::Char, Value::Char(b)) => Some(self.char_at(col).expect("non-null").cmp(b)),
-            (DataType::Str, Value::Str(b)) => {
-                Some(self.str_at(col)?.expect("non-null").cmp(b.as_str()))
-            }
+            (DataType::Int, Value::Int(b)) => self.int_at(col).map(|v| v.cmp(b)),
+            (DataType::Decimal, Value::Decimal(b)) => self.decimal_at(col).map(|v| v.cmp(b)),
+            (DataType::Date, Value::Date(b)) => self.date_at(col).map(|v| v.cmp(b)),
+            (DataType::Char, Value::Char(b)) => self.char_at(col).map(|v| v.cmp(b)),
+            (DataType::Str, Value::Str(b)) => self.str_at(col)?.map(|v| v.cmp(b.as_str())),
             _ => None,
         })
     }
@@ -223,33 +246,21 @@ impl<'a> RowView<'a> {
         if self.is_null(left) || self.is_null(right) {
             return Ok(None);
         }
+        fn both<T: Ord>(a: Option<T>, b: Option<T>) -> Option<Ordering> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.cmp(&b)),
+                _ => None,
+            }
+        }
         Ok(
             match (self.layout.data_type(left), self.layout.data_type(right)) {
-                (DataType::Int, DataType::Int) => Some(
-                    self.int_at(left)
-                        .expect("non-null")
-                        .cmp(&self.int_at(right).expect("non-null")),
-                ),
-                (DataType::Decimal, DataType::Decimal) => Some(
-                    self.decimal_at(left)
-                        .expect("non-null")
-                        .cmp(&self.decimal_at(right).expect("non-null")),
-                ),
-                (DataType::Date, DataType::Date) => Some(
-                    self.date_at(left)
-                        .expect("non-null")
-                        .cmp(&self.date_at(right).expect("non-null")),
-                ),
-                (DataType::Char, DataType::Char) => Some(
-                    self.char_at(left)
-                        .expect("non-null")
-                        .cmp(&self.char_at(right).expect("non-null")),
-                ),
-                (DataType::Str, DataType::Str) => Some(
-                    self.str_at(left)?
-                        .expect("non-null")
-                        .cmp(self.str_at(right)?.expect("non-null")),
-                ),
+                (DataType::Int, DataType::Int) => both(self.int_at(left), self.int_at(right)),
+                (DataType::Decimal, DataType::Decimal) => {
+                    both(self.decimal_at(left), self.decimal_at(right))
+                }
+                (DataType::Date, DataType::Date) => both(self.date_at(left), self.date_at(right)),
+                (DataType::Char, DataType::Char) => both(self.char_at(left), self.char_at(right)),
+                (DataType::Str, DataType::Str) => both(self.str_at(left)?, self.str_at(right)?),
                 _ => None,
             },
         )

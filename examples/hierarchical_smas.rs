@@ -34,7 +34,7 @@ fn main() {
     );
 
     for fanout in [8u32, 32, 128] {
-        let h = HierarchicalMinMax::from_smas(&min, &max, fanout);
+        let h = HierarchicalMinMax::from_smas(&min, &max, fanout).expect("well-formed inputs");
         println!("\nfanout {fanout}: {} level-2 entries", h.l2_len());
         println!(
             "  {:>12} {:>14} {:>14} {:>10}",

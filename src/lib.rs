@@ -27,6 +27,9 @@
 //! assert_eq!(with.rows, without.rows);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod warehouse;
 
 pub use sma_core as sma;

@@ -659,7 +659,7 @@ fn recover_sma(
 // ------------------------------------------------------- manifest codec
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
+    sma_types::bytes::put_u32_le(out, v);
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -700,9 +700,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WarehouseError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let s = self.take(4)?;
+        sma_types::bytes::get_u32_le(s, 0)
+            .ok_or_else(|| WarehouseError::CorruptManifest("short u32".into()))
     }
 
     fn string(&mut self) -> Result<String, WarehouseError> {
@@ -716,8 +716,9 @@ fn decode_manifest(bytes: &[u8]) -> Result<Vec<ManifestTable>, WarehouseError> {
     if bytes.len() < 12 || &bytes[..4] != MANIFEST_MAGIC {
         return Err(WarehouseError::CorruptManifest("bad magic".into()));
     }
-    let payload_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
-    let want = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let header_short = || WarehouseError::CorruptManifest("truncated header".into());
+    let payload_len = sma_types::bytes::get_u32_le(bytes, 4).ok_or_else(header_short)? as usize;
+    let want = sma_types::bytes::get_u32_le(bytes, 8).ok_or_else(header_short)?;
     let Some(payload) = bytes[12..].get(..payload_len) else {
         return Err(WarehouseError::CorruptManifest(format!(
             "truncated: header claims {payload_len} payload bytes, {} present",

@@ -34,7 +34,7 @@ fn hierarchical_smas_agree_with_flat_grading_on_tpcd() {
         ],
     )
     .unwrap();
-    let hier = HierarchicalMinMax::from_smas(&min, &max, 16);
+    let hier = HierarchicalMinMax::from_smas(&min, &max, 16).expect("well-formed inputs");
     for delta in [30, 90, 500, 1500] {
         let pred = BucketPred::cmp(li::SHIPDATE, CmpOp::Le, Value::Date(q1_cutoff(delta)));
         let flat: Vec<Grade> = (0..table.bucket_count())

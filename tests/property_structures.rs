@@ -101,7 +101,7 @@ fn hierarchical_equals_flat() {
             ],
         )
         .unwrap();
-        let h = HierarchicalMinMax::from_smas(&min, &max, fanout);
+        let h = HierarchicalMinMax::from_smas(&min, &max, fanout).expect("well-formed inputs");
         let pred = BucketPred::cmp(0, op, cutoff);
         let flat = Classification::classify(&pred, t.bucket_count(), &set);
         let pruned = h.prune(&pred);
