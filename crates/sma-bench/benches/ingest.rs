@@ -1,0 +1,51 @@
+//! Durable streaming ingest: what the WAL fsync costs per acknowledged
+//! insert, and what an unflushed memtable overlay costs readers, against
+//! the bulk-load and sealed-segment baselines. The same fixture backs
+//! `paper_tables e11`, which records the medians in `BENCH_ingest.json`.
+
+use sma_bench::harness::{black_box, Criterion};
+use sma_bench::ingest::IngestFixture;
+use sma_bench::{criterion_group, criterion_main};
+
+fn bench_ingest(c: &mut Criterion) {
+    let fx = IngestFixture::new("bench", 150);
+    let expected = fx.bulk_answer();
+
+    // The whole load live in the overlay, and the same load sealed.
+    let overlay = fx.stream_into(&fx.sample_dir("overlay"));
+    let mut flushed = fx.stream_into(&fx.sample_dir("flushed"));
+    flushed.flush().expect("flush");
+    for sw in [&overlay, &flushed] {
+        assert_eq!(
+            sw.query("LINEITEM", fx.query.clone()).expect("query").rows,
+            expected,
+            "every measured path must answer like the bulk load"
+        );
+    }
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    let stream_dir = fx.sample_dir("stream");
+    group.bench_function("insert_load/streamed_wal_fsync", |b| {
+        b.iter(|| black_box(fx.stream_into(&stream_dir)))
+    });
+    group.bench_function("insert_load/bulk_no_wal", |b| {
+        b.iter(|| {
+            let mut w = fx.fresh_warehouse();
+            for t in &fx.rows {
+                w.insert("LINEITEM", t).expect("insert");
+            }
+            black_box(w)
+        })
+    });
+    group.bench_function("query/memtable_overlay", |b| {
+        b.iter(|| black_box(overlay.query("LINEITEM", fx.query.clone()).expect("query")))
+    });
+    group.bench_function("query/flushed_segments", |b| {
+        b.iter(|| black_box(flushed.query("LINEITEM", fx.query.clone()).expect("query")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paper_tables [e1|e2|e3|e4|e5|e6|a1|a2|a3|e8|e9|all]
+//! paper_tables [e1|e2|e3|e4|e5|e6|a1|a2|a3|e8|e9|e10|e11|all]
 //! ```
 //!
 //! * `e1` — SMA creation times & sizes (§2.4 table)
@@ -17,6 +17,8 @@
 //! * `e9` — degraded-path overhead: quarantined buckets & transient retries
 //! * `e10` — zero-copy scan kernels vs their materializing predecessors
 //!   (also writes `BENCH_scan_kernels.json` at the repo root)
+//! * `e11` — durable streaming ingest: WAL overhead per acked insert and
+//!   memtable-overlay query interference (writes `BENCH_ingest.json`)
 //!
 //! Scale with `SMA_SF` (default 0.002). Shapes, not absolute numbers, are
 //! the reproduction target: the paper ran on 1997 SCSI disks at SF 1.
@@ -77,6 +79,64 @@ fn main() {
     }
     if all || which == "e10" {
         e10_scan_kernels();
+    }
+    if all || which == "e11" {
+        e11_ingest();
+    }
+}
+
+/// E11 — durable streaming ingest (not in the paper): the per-insert
+/// price of the WAL fsync against the no-durability bulk load, query
+/// latency with the load live in the memtable overlay against sealed
+/// segments with SMAs, plus the flush and cold-recovery transitions.
+/// Every timed path is asserted byte-identical to a bulk load first;
+/// medians land in `BENCH_ingest.json` at the repo root.
+fn e11_ingest() {
+    println!("--- E11: streaming ingest — WAL overhead & overlay interference ---");
+    let r = sma_bench::ingest::ingest_timings(9);
+    println!("{} line items per load", r.rows);
+    println!("{:>32} {:>14}", "measurement", "median");
+    let rows = [
+        ("insert, streamed (WAL fsync)", r.streamed_insert_ns, "/row"),
+        ("insert, bulk (no WAL)", r.bulk_insert_ns, "/row"),
+        ("query, memtable overlay", r.overlay_query_ns, ""),
+        ("query, flushed segments", r.flushed_query_ns, ""),
+        ("flush (segments+manifest+WAL)", r.flush_ns, ""),
+        ("recovery (full WAL replay)", r.recovery_ns, ""),
+    ];
+    for (name, ns, unit) in rows {
+        println!(
+            "{:>32} {:>12}{}",
+            name,
+            sma_bench::harness::fmt_ns(ns as f64),
+            unit
+        );
+    }
+    println!(
+        "durability overhead: {:.2}x per insert; overlay penalty: {:.2}x per query",
+        r.wal_overhead(),
+        r.overlay_penalty()
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"ingest\",\n  \"rows\": {},\n  \
+         \"streamed_insert_ns_per_row\": {},\n  \"bulk_insert_ns_per_row\": {},\n  \
+         \"wal_overhead_factor\": {:.3},\n  \"overlay_query_ns\": {},\n  \
+         \"flushed_query_ns\": {},\n  \"overlay_penalty_factor\": {:.3},\n  \
+         \"flush_ns\": {},\n  \"recovery_replay_ns\": {}\n}}\n",
+        r.rows,
+        r.streamed_insert_ns,
+        r.bulk_insert_ns,
+        r.wal_overhead(),
+        r.overlay_query_ns,
+        r.flushed_query_ns,
+        r.overlay_penalty(),
+        r.flush_ns,
+        r.recovery_ns
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote {path}\n"),
+        Err(e) => println!("  could not write {path}: {e}\n"),
     }
 }
 

@@ -6,6 +6,7 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod ingest;
 pub mod kernels;
 
 use sma_core::SmaSet;

@@ -75,12 +75,36 @@ impl From<SmaError> for CatalogError {
 #[derive(Debug, Default)]
 pub struct SmaCatalog {
     sets: BTreeMap<String, SmaSet>,
+    /// Flush generation of the sealed state this catalog describes.
+    /// Bumped by every committed streaming flush; persisted in the
+    /// warehouse manifest and stamped into the WAL header so replay can
+    /// reject frames from older generations.
+    epoch: u64,
 }
 
 impl SmaCatalog {
     /// An empty catalog.
     pub fn new() -> SmaCatalog {
         SmaCatalog::default()
+    }
+
+    /// The flush generation of the sealed state (0 until a streaming
+    /// flush commits or a manifest carrying an epoch is recovered).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the flush generation — recovery installs the manifest's
+    /// committed epoch here.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Bumps the flush generation, returning the new value. Called once
+    /// per committed flush.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Executes a `define sma` statement against `table`, bulkloading the

@@ -17,9 +17,10 @@
 //! An optional hard breakeven threshold reproduces the paper's simpler
 //! decision rule.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
-use sma_core::{BucketPred, Classification, Grade, SmaSet};
+use sma_core::{Accumulator, BucketPred, Classification, Grade, SmaSet};
 use sma_storage::{CostModel, Table};
 use sma_types::{RowLayout, Tuple, Value};
 
@@ -85,13 +86,29 @@ pub struct Plan<'a> {
     table: &'a Table,
     smas: Option<&'a SmaSet>,
     query: AggregateQuery,
+    /// Unsealed tuples (a streaming memtable) unioned with the table at
+    /// execution time — see [`Plan::with_overlay`].
+    overlay: Vec<Tuple>,
     /// The chosen strategy.
     pub kind: PlanKind,
     /// The estimate that drove the choice (`None` without SMAs).
     pub estimate: Option<Estimate>,
 }
 
-impl Plan<'_> {
+impl<'a> Plan<'a> {
+    /// Attaches unsealed tuples to the plan: rows that logically belong to
+    /// the relation but have not been flushed into the sealed, SMA-indexed
+    /// table yet. Execution aggregates them separately (the predicate
+    /// applied per tuple, no SMA pruning — there are no SMAs over volatile
+    /// data) and merges the partial groups into the sealed result, which
+    /// is exact because every aggregate here is decomposable: min/max/sum/
+    /// count are associative, and `avg` is rewritten to `sum` + `count(*)`
+    /// and divided after the merge, exactly as §3.3 computes it.
+    pub fn with_overlay(mut self, rows: Vec<Tuple>) -> Plan<'a> {
+        self.overlay = rows;
+        self
+    }
+
     /// Runs the plan to completion.
     pub fn execute(&self) -> Result<Vec<Tuple>, ExecError> {
         Ok(self.execute_with_report()?.0)
@@ -102,6 +119,111 @@ impl Plan<'_> {
     /// inconsistent SMA entries) and transient-I/O retries spent. The
     /// report is empty on a healthy run and for the SMA-less full scan.
     pub fn execute_with_report(&self) -> Result<(Vec<Tuple>, DegradationReport), ExecError> {
+        if self.overlay.is_empty() {
+            return self.run_base(&self.query.specs);
+        }
+        // Rewrite every `avg` to its decomposable base (`sum`) and make
+        // sure a `count(*)` column exists to divide by after the merge.
+        let mut eff: Vec<AggSpec> = self
+            .query
+            .specs
+            .iter()
+            .map(|s| match s {
+                AggSpec::Avg(e) => AggSpec::Sum(e.clone()),
+                other => other.clone(),
+            })
+            .collect();
+        let count_at = self
+            .query
+            .specs
+            .iter()
+            .position(|s| matches!(s, AggSpec::CountStar));
+        if count_at.is_none() {
+            eff.push(AggSpec::CountStar);
+        }
+        let (base_rows, report) = self.run_base(&eff)?;
+        let key_len = self.query.group_by.len();
+        let mut merged: BTreeMap<Vec<Value>, Vec<Value>> = base_rows
+            .into_iter()
+            .map(|mut row| {
+                let aggs = row.split_off(key_len);
+                (row, aggs)
+            })
+            .collect();
+        for (key, state) in self.aggregate_overlay(&eff)? {
+            // `eff` holds no `avg`, so `finish` yields the raw partials.
+            let partial = state.finish(&eff);
+            match merged.entry(key) {
+                Entry::Occupied(mut e) => {
+                    for (i, spec) in eff.iter().enumerate() {
+                        let mut acc = Accumulator::new(spec.base_fn());
+                        acc.merge(&e.get()[i]);
+                        acc.merge(&partial[i]);
+                        e.get_mut()[i] = acc.finish();
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert(partial);
+                }
+            }
+        }
+        let count_idx = count_at.unwrap_or(eff.len() - 1);
+        let mut rows = Vec::with_capacity(merged.len());
+        for (key, mut aggs) in merged {
+            let n = match aggs.get(count_idx) {
+                Some(Value::Int(n)) => *n,
+                _ => 0,
+            };
+            if count_at.is_none() {
+                aggs.pop(); // drop the count column the rewrite added
+            }
+            for (i, spec) in self.query.specs.iter().enumerate() {
+                if spec.is_avg() && n > 0 {
+                    aggs[i] = match std::mem::replace(&mut aggs[i], Value::Null) {
+                        Value::Decimal(d) => Value::Decimal(d.div_count(n)),
+                        Value::Int(v) => Value::Int(v / n),
+                        other => other,
+                    };
+                }
+            }
+            let mut row = key;
+            row.extend(aggs);
+            rows.push(row);
+        }
+        Ok((rows, report))
+    }
+
+    /// Groups and aggregates the overlay tuples under `specs` (which must
+    /// be decomposable — no `avg`), applying the query predicate per tuple.
+    fn aggregate_overlay(
+        &self,
+        specs: &[AggSpec],
+    ) -> Result<BTreeMap<Vec<Value>, GroupState>, ExecError> {
+        let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
+        for t in &self.overlay {
+            if !self.query.pred.eval_tuple(t) {
+                continue;
+            }
+            let mut key = Vec::with_capacity(self.query.group_by.len());
+            for &g in &self.query.group_by {
+                key.push(t.get(g).cloned().ok_or_else(|| {
+                    ExecError::Plan(format!(
+                        "group column {g} out of range for an overlay tuple"
+                    ))
+                })?);
+            }
+            groups
+                .entry(key)
+                .or_insert_with(|| GroupState::new(specs))
+                .update(specs, t)?;
+        }
+        Ok(groups)
+    }
+
+    /// Runs the chosen physical strategy over the sealed table with the
+    /// given aggregate list (the query's own, or the decomposable rewrite
+    /// the overlay path substitutes).
+    fn run_base(&self, specs: &[AggSpec]) -> Result<(Vec<Tuple>, DegradationReport), ExecError> {
         match self.kind {
             PlanKind::SmaGAggr => {
                 let Some(smas) = self.smas else {
@@ -111,7 +233,7 @@ impl Plan<'_> {
                     self.table,
                     self.query.pred.clone(),
                     self.query.group_by.clone(),
-                    self.query.specs.clone(),
+                    specs.to_vec(),
                     smas,
                 )?;
                 let rows = collect(&mut op)?;
@@ -131,13 +253,13 @@ impl Plan<'_> {
                 let mut op = HashGAggr::new(
                     Box::new(Buffered::new(filtered)),
                     self.query.group_by.clone(),
-                    self.query.specs.clone(),
+                    specs.to_vec(),
                 );
                 let rows = collect(&mut op)?;
                 Ok((rows, report))
             }
             PlanKind::FullScan => {
-                let rows = full_scan_aggregate(self.table, &self.query)?;
+                let rows = full_scan_aggregate(self.table, &self.query, specs)?;
                 Ok((rows, DegradationReport::default()))
             }
         }
@@ -219,7 +341,11 @@ impl PhysicalOp for Buffered {
 /// is unchanged, and groups come out of an ordered map (or the flat `Char`
 /// table that folds back into one), so the rows match what
 /// `SeqScan → Filter → HashGAggr` produces.
-fn full_scan_aggregate(table: &Table, query: &AggregateQuery) -> Result<Vec<Tuple>, ExecError> {
+fn full_scan_aggregate(
+    table: &Table,
+    query: &AggregateQuery,
+    specs: &[AggSpec],
+) -> Result<Vec<Tuple>, ExecError> {
     let layout = RowLayout::new(table.schema());
     let mut dense = DenseGroups::try_new(table.schema(), &query.group_by);
     let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
@@ -230,7 +356,7 @@ fn full_scan_aggregate(table: &Table, query: &AggregateQuery) -> Result<Vec<Tupl
                 return Ok(());
             }
             if let Some(d) = &mut dense {
-                return d.update(&query.specs, &row);
+                return d.update(specs, &row);
             }
             let mut key = Vec::with_capacity(query.group_by.len());
             for &g in &query.group_by {
@@ -238,8 +364,8 @@ fn full_scan_aggregate(table: &Table, query: &AggregateQuery) -> Result<Vec<Tupl
             }
             groups
                 .entry(key)
-                .or_insert_with(|| GroupState::new(&query.specs))
-                .update_view(&query.specs, &row)
+                .or_insert_with(|| GroupState::new(specs))
+                .update_view(specs, &row)
         })?;
     }
     if let Some(d) = dense {
@@ -248,7 +374,7 @@ fn full_scan_aggregate(table: &Table, query: &AggregateQuery) -> Result<Vec<Tupl
     let mut rows = Vec::with_capacity(groups.len());
     for (key, state) in groups {
         let mut row = key;
-        row.extend(state.finish(&query.specs));
+        row.extend(state.finish(specs));
         rows.push(row);
     }
     Ok(rows)
@@ -320,6 +446,7 @@ pub fn plan<'a>(
             table,
             smas,
             query,
+            overlay: Vec::new(),
             kind: PlanKind::FullScan,
             estimate: None,
         };
@@ -374,6 +501,7 @@ pub fn plan<'a>(
         table,
         smas,
         query,
+        overlay: Vec::new(),
         kind,
         estimate: Some(estimate),
     }
@@ -495,6 +623,7 @@ mod tests {
                         table: &t,
                         smas: Some(&set),
                         query: q.clone(),
+                        overlay: Vec::new(),
                         kind,
                         estimate: None,
                     };
@@ -504,6 +633,114 @@ mod tests {
                 assert_eq!(answers[1], answers[2], "sorted={sorted} cutoff={cutoff}");
             }
         }
+    }
+
+    #[test]
+    fn overlay_matches_bulk_load_for_every_plan_kind() {
+        // Sealed table holds rows 0..40; the overlay holds rows 40..60.
+        // Every plan kind over (sealed + overlay) must equal the full
+        // scan over a single 60-row table — including `avg`, which the
+        // overlay path rewrites to sum + count(*).
+        let sealed = make_table(60, true); // template for tuples
+        let all_rows: Vec<Tuple> = {
+            let mut t = Vec::new();
+            for (_, row) in sealed.scan().unwrap() {
+                t.push(row);
+            }
+            t
+        };
+        let schema = sealed.schema().clone();
+        let mut base = Table::in_memory("t", schema, 1);
+        for row in &all_rows[..40] {
+            base.append(row).unwrap();
+        }
+        // Aggregate SMAs covering every spec below, so the forced
+        // SmaGAggr kind is actually executable.
+        let set = SmaSet::build(
+            &base,
+            vec![
+                SmaDefinition::new("min", AggFn::Min, col(0)),
+                SmaDefinition::new("max", AggFn::Max, col(0)),
+                SmaDefinition::count("count").group_by(vec![1]),
+                SmaDefinition::new("sum_p", AggFn::Sum, col(2)).group_by(vec![1]),
+                SmaDefinition::new("sum_k", AggFn::Sum, col(0)).group_by(vec![1]),
+                SmaDefinition::new("min_k", AggFn::Min, col(0)).group_by(vec![1]),
+            ],
+        )
+        .unwrap();
+        for cutoff in [5i64, 39, 45, 59] {
+            for specs in [
+                vec![AggSpec::CountStar, AggSpec::Sum(col(2))],
+                vec![AggSpec::Avg(col(2)), AggSpec::Min(col(0))],
+                vec![AggSpec::Avg(col(0))],
+            ] {
+                let q = AggregateQuery {
+                    pred: BucketPred::cmp(0, CmpOp::Le, cutoff),
+                    group_by: vec![1],
+                    specs,
+                };
+                let expected = {
+                    let p = plan(&sealed, q.clone(), None, &PlannerConfig::default());
+                    p.execute().unwrap()
+                };
+                for kind in [
+                    PlanKind::SmaGAggr,
+                    PlanKind::SmaScanGAggr,
+                    PlanKind::FullScan,
+                ] {
+                    let p = Plan {
+                        table: &base,
+                        smas: Some(&set),
+                        query: q.clone(),
+                        overlay: Vec::new(),
+                        kind,
+                        estimate: None,
+                    }
+                    .with_overlay(all_rows[40..].to_vec());
+                    assert_eq!(
+                        p.execute().unwrap(),
+                        expected,
+                        "kind={kind:?} cutoff={cutoff}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_only_groups_and_empty_overlay() {
+        // Groups that exist only in the overlay must appear; an overlay
+        // none of whose tuples pass the predicate must change nothing.
+        let t = make_table(20, true);
+        let set = full_set(&t);
+        let q = query(1000);
+        let baseline = plan(&t, q.clone(), Some(&set), &PlannerConfig::default())
+            .execute()
+            .unwrap();
+        // 'Z' is a group absent from the sealed table.
+        let extra = vec![
+            Value::Int(100),
+            Value::Char(b'Z'),
+            Value::Decimal(Decimal::from_int(7)),
+            Value::Str("x".into()),
+        ];
+        let with_new_group = plan(&t, q.clone(), Some(&set), &PlannerConfig::default())
+            .with_overlay(vec![extra.clone()])
+            .execute()
+            .unwrap();
+        assert_eq!(with_new_group.len(), baseline.len() + 1);
+        let z = with_new_group.last().unwrap();
+        assert_eq!(z[0], Value::Char(b'Z'));
+        assert_eq!(z[1], Value::Int(1));
+        // Filtered-out overlay tuple: identical to baseline.
+        let filtered = plan(&t, query(5), Some(&set), &PlannerConfig::default())
+            .with_overlay(vec![extra])
+            .execute()
+            .unwrap();
+        let narrow = plan(&t, query(5), Some(&set), &PlannerConfig::default())
+            .execute()
+            .unwrap();
+        assert_eq!(filtered, narrow);
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no HashMap/HashSet in exec/core paths whose iteration can feed output ordering — use BTreeMap/BTreeSet or an explicit sort",
     },
     RuleInfo {
+        id: "D3-fsync-confinement",
+        severity: Severity::Error,
+        summary: "no raw sync_all/sync_data outside sma-storage's store.rs — durability barriers go through PageStore::sync, atomic_write_file, or the WAL",
+    },
+    RuleInfo {
         id: "U1-crate-header",
         severity: Severity::Error,
         summary: "library crates must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]",
@@ -299,6 +304,19 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                 {
                     diags.push(diag("D1-wall-clock", &rel, line,
                         format!("`{name}` outside cost.rs/bench harness — use sma_storage::cost::Stopwatch")));
+                }
+                // --- D3: raw fsync outside the blessed durability core ----
+                // An unaudited fsync is how "crash-safe" claims rot: every
+                // barrier must be one the recovery protocol accounts for.
+                if class.product
+                    && is_lib_code
+                    && !class.test_support
+                    && !in_test.get(i).copied().unwrap_or(false)
+                    && rel != "crates/sma-storage/src/store.rs"
+                    && matches!(name.as_str(), "sync_all" | "sync_data")
+                {
+                    diags.push(diag("D3-fsync-confinement", &rel, line,
+                        format!("raw `{name}` outside store.rs — use PageStore::sync, atomic_write_file, or the WAL's sync")));
                 }
                 // --- D2: hash-ordered collections in exec/core ------------
                 if matches!(class.crate_name.as_str(), "sma-exec" | "sma-core")

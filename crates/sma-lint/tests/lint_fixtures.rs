@@ -164,6 +164,34 @@ fn d2_not_enforced_outside_exec_core() {
     assert!(fire("crates/sma-tpcd/src/rogue.rs", src).is_empty());
 }
 
+// --- D3: fsync confinement --------------------------------------------------
+
+#[test]
+fn d3_raw_fsync_outside_store_module() {
+    let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
+               \tf.sync_all()\n\
+               }\n";
+    let got = fire("src/warehouse.rs", src);
+    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
+    let got = fire("crates/sma-storage/src/wal.rs", src);
+    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
+    let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
+               \tf.sync_data()\n\
+               }\n";
+    let got = fire("crates/sma-core/src/persist.rs", src);
+    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
+}
+
+#[test]
+fn d3_silent_in_store_module_and_tests() {
+    let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
+               \tf.sync_all()\n\
+               }\n";
+    assert!(fire("crates/sma-storage/src/store.rs", src).is_empty());
+    assert!(fire("tests/ingest.rs", src).is_empty());
+    assert!(fire("crates/sma-storage/src/test_util.rs", src).is_empty());
+}
+
 // --- U1: crate headers ------------------------------------------------------
 
 #[test]

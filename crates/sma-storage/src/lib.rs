@@ -6,7 +6,9 @@
 //! * [`store`] — page stores ([`MemStore`], [`FileStore`]),
 //! * [`pool`] — LRU buffer pool with I/O accounting (cold vs. warm),
 //! * [`table`] — heap tables with positional *buckets*, the SMA granularity,
-//! * [`cost`] — deterministic pricing of observed I/O patterns.
+//! * [`cost`] — deterministic pricing of observed I/O patterns,
+//! * [`wal`] / [`memtable`] — the durable streaming-ingest pair: an
+//!   append-only CRC32-framed log and the volatile buffer it protects.
 //!
 //! The paper (§2.1) requires buckets to be "sets of consecutive tuples on
 //! disk"; [`Table`] enforces this by appending strictly in physical order
@@ -23,16 +25,20 @@
 
 pub mod checksum;
 pub mod cost;
+pub mod memtable;
 pub mod page;
 pub mod pool;
 pub mod store;
 pub mod table;
 pub mod test_util;
+pub mod wal;
 
 pub use checksum::crc32;
 pub use cost::{CostModel, Stopwatch};
+pub use memtable::{MemRow, Memtable};
 pub use page::{SlotId, SlottedPage, MAX_TUPLE_BYTES, PAGE_FOOTER_LEN, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, RetryPolicy};
 pub use store::{atomic_write_file, sync_dir, FileStore, MemStore, PageNo, PageStore, StoreError};
 pub use table::{BucketNo, PageVerification, Table, TableError, TupleId};
 pub use test_util::{FaultConfig, FaultPlan};
+pub use wal::{make_wal_record, Wal, WalReplay};

@@ -1,0 +1,112 @@
+//! In-memory table of acknowledged-but-unflushed inserts.
+//!
+//! The memtable is the volatile half of the streaming ingest path: a
+//! tuple lands here only *after* its WAL record is durable, so losing
+//! the memtable in a crash loses nothing — recovery rebuilds it by
+//! replaying the WAL. Queries read it as an overlay on top of the
+//! sealed, SMA-indexed tables; a flush drains it (in sequence order)
+//! into the warehouse's append path and then truncates the WAL.
+//!
+//! Rows are kept per relation in a [`BTreeMap`] and in arrival order
+//! within each relation, so drains are deterministic and a flushed
+//! segment is byte-identical to a bulk load of the same tuples.
+
+use std::collections::BTreeMap;
+
+use sma_types::Tuple;
+
+/// One buffered insert: the WAL sequence number that made it durable,
+/// and the tuple itself.
+pub type MemRow = (u64, Tuple);
+
+/// Buffer of acknowledged inserts not yet flushed to sealed storage.
+#[derive(Debug, Clone, Default)]
+pub struct Memtable {
+    rows: BTreeMap<String, Vec<MemRow>>,
+    len: usize,
+    max_seq: u64,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Buffers one acknowledged insert. `seq` values must arrive in
+    /// increasing order warehouse-wide (they do: both live appends and
+    /// WAL replay deliver them that way).
+    pub fn insert(&mut self, relation: &str, seq: u64, tuple: Tuple) {
+        self.rows
+            .entry(relation.to_string())
+            .or_default()
+            .push((seq, tuple));
+        self.len += 1;
+        self.max_seq = self.max_seq.max(seq);
+    }
+
+    /// Total buffered tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Highest WAL sequence number buffered since creation (0 if none) —
+    /// the watermark a flush publishes in the manifest.
+    pub fn max_seq(&self) -> u64 {
+        self.max_seq
+    }
+
+    /// Buffered rows of `relation`, in arrival (= sequence) order.
+    pub fn rows_for(&self, relation: &str) -> &[MemRow] {
+        self.rows.get(relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Relations with at least one buffered row, in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.rows.keys().map(String::as_str)
+    }
+
+    /// Empties the memtable, returning every buffered row grouped by
+    /// relation (names in order, rows in sequence order). `max_seq` is
+    /// deliberately retained: it tracks the high-water mark of what was
+    /// ever acknowledged, which outlives any one flush.
+    pub fn drain(&mut self) -> BTreeMap<String, Vec<MemRow>> {
+        self.len = 0;
+        std::mem::take(&mut self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_types::Value;
+
+    fn t(v: i64) -> Tuple {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn insert_query_drain() {
+        let mut m = Memtable::new();
+        assert!(m.is_empty());
+        m.insert("B", 1, t(10));
+        m.insert("A", 2, t(20));
+        m.insert("B", 3, t(30));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.max_seq(), 3);
+        assert_eq!(m.rows_for("B"), &[(1, t(10)), (3, t(30))]);
+        assert_eq!(m.rows_for("missing"), &[]);
+        assert_eq!(m.relations().collect::<Vec<_>>(), vec!["A", "B"]);
+        let drained = m.drain();
+        assert!(m.is_empty());
+        assert_eq!(m.max_seq(), 3, "watermark survives the drain");
+        assert_eq!(drained.keys().collect::<Vec<_>>(), vec!["A", "B"]);
+        assert_eq!(drained["B"].len(), 2);
+        assert!(m.rows_for("B").is_empty());
+    }
+}

@@ -27,6 +27,10 @@ pub const WRITE_FAILURE: &str = "injected write failure";
 /// Error message carried by injected transient read faults.
 pub const TRANSIENT_FAILURE: &str = "injected transient fault";
 
+/// Error message carried by injected sync (fsync) failures — the fault the
+/// WAL's acknowledgement protocol must refuse to ride over.
+pub const SYNC_FAILURE: &str = "injected sync failure";
+
 /// A unique scratch-file path under the system temp directory.
 ///
 /// Unique per process *and* per call, so parallel tests never collide.
@@ -63,6 +67,10 @@ pub struct FaultConfig {
     /// Percentage (0–100) of writes that tear: only a prefix of the new
     /// image reaches the store, the tail keeps its previous contents.
     pub torn_write_pct: u8,
+    /// Percentage (0–100) of `sync` calls that fail with a hard I/O
+    /// error. The data may or may not be durable — the caller must treat
+    /// the operation as unacknowledged either way.
+    pub sync_fail_pct: u8,
 }
 
 impl FaultConfig {
@@ -74,6 +82,7 @@ impl FaultConfig {
             max_burst: 0,
             corrupt_pct: 0,
             torn_write_pct: 0,
+            sync_fail_pct: 0,
         }
     }
 
@@ -104,6 +113,12 @@ impl FaultConfig {
         self.torn_write_pct = pct;
         self
     }
+
+    /// Fails `pct`% of `sync` calls.
+    pub fn with_sync_faults(mut self, pct: u8) -> FaultConfig {
+        self.sync_fail_pct = pct;
+        self
+    }
 }
 
 /// One deterministic draw: an independent 64-bit stream per `(seed, salt,
@@ -132,6 +147,8 @@ pub struct FaultPlan<S: PageStore = MemStore> {
     reads_seen: Mutex<HashMap<PageNo, u64>>,
     /// Writes seen so far — drives the torn-write schedule.
     writes_seen: AtomicU64,
+    /// Syncs seen so far — drives the sync-fault schedule.
+    syncs_seen: AtomicU64,
     reads_left: Arc<AtomicU64>,
     writes_left: Arc<AtomicU64>,
 }
@@ -144,6 +161,7 @@ impl<S: PageStore> FaultPlan<S> {
             config,
             reads_seen: Mutex::new(HashMap::new()),
             writes_seen: AtomicU64::new(0),
+            syncs_seen: AtomicU64::new(0),
             reads_left: Arc::new(AtomicU64::new(u64::MAX)),
             writes_left: Arc::new(AtomicU64::new(u64::MAX)),
         }
@@ -204,6 +222,18 @@ impl<S: PageStore> FaultPlan<S> {
         c.corrupt_pct > 0 && draw(c.seed, 3, no as u64) % 100 < c.corrupt_pct as u64
     }
 
+    /// Whether the `index`-th `sync` call (0-based) will fail.
+    /// Deterministic; tests use it to predict which inserts get acked.
+    pub fn sync_fails_at(&self, index: u64) -> bool {
+        let c = &self.config;
+        c.sync_fail_pct > 0 && draw(c.seed, 7, index) % 100 < c.sync_fail_pct as u64
+    }
+
+    /// How many `sync` calls the plan has seen.
+    pub fn syncs_seen(&self) -> u64 {
+        self.syncs_seen.load(Ordering::Relaxed)
+    }
+
     /// Whether the plan schedules any fault at all for pages `0..pages`.
     pub fn any_fault_planned(&self, pages: PageNo) -> bool {
         (0..pages).any(|no| self.transient_burst(no) > 0 || self.is_corrupt_page(no))
@@ -241,6 +271,7 @@ impl<S: PageStore + Clone> Clone for FaultPlan<S> {
                     .clone(),
             ),
             writes_seen: AtomicU64::new(self.writes_seen.load(Ordering::Relaxed)),
+            syncs_seen: AtomicU64::new(self.syncs_seen.load(Ordering::Relaxed)),
             reads_left: Arc::new(AtomicU64::new(self.reads_left.load(Ordering::Relaxed))),
             writes_left: Arc::new(AtomicU64::new(self.writes_left.load(Ordering::Relaxed))),
         }
@@ -306,6 +337,14 @@ impl<S: PageStore> PageStore for FaultPlan<S> {
     }
 
     fn sync(&mut self) -> Result<(), StoreError> {
+        let s = self.syncs_seen.fetch_add(1, Ordering::Relaxed);
+        let c = self.config;
+        if c.sync_fail_pct > 0 && draw(c.seed, 7, s) % 100 < c.sync_fail_pct as u64 {
+            // Deliberately ambiguous, like a real failed fsync: the pages
+            // were written to the inner store, but the caller got an error
+            // and must not acknowledge anything that depended on this sync.
+            return Err(StoreError::Io(io::Error::other(SYNC_FAILURE)));
+        }
         self.inner.sync()
     }
 }
@@ -389,9 +428,25 @@ impl Default for CrashStore {
 impl CrashStore {
     /// An empty store.
     pub fn new() -> CrashStore {
+        CrashStore::with_config(FaultConfig::none())
+    }
+
+    /// An empty store with a seeded fault schedule layered under the
+    /// crash semantics — e.g. sync faults against a WAL's ack protocol.
+    pub fn with_config(config: FaultConfig) -> CrashStore {
         CrashStore {
-            plan: FaultPlan::new(MemStore::new(), FaultConfig::none()),
+            plan: FaultPlan::new(MemStore::new(), config),
         }
+    }
+
+    /// Whether the `index`-th `sync` call (0-based) will fail.
+    pub fn sync_fails_at(&self, index: u64) -> bool {
+        self.plan.sync_fails_at(index)
+    }
+
+    /// How many `sync` calls this store has seen.
+    pub fn syncs_seen(&self) -> u64 {
+        self.plan.syncs_seen()
     }
 
     /// Total bytes currently stored.
@@ -420,6 +475,10 @@ impl PageStore for CrashStore {
 
     fn allocate(&mut self) -> Result<PageNo, StoreError> {
         self.plan.allocate()
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.plan.sync()
     }
 }
 
@@ -563,6 +622,31 @@ mod tests {
         assert!(back[..cut].iter().all(|&x| x == 0x22), "prefix is new");
         assert!(back[cut..].iter().all(|&x| x == 0x11), "tail is old");
         assert!(cut < PAGE_SIZE, "pct=100 must tear");
+    }
+
+    #[test]
+    fn fault_plan_sync_faults_follow_the_schedule() {
+        let cfg = FaultConfig::seeded(13).with_sync_faults(40);
+        let mut plan = FaultPlan::new(MemStore::new(), cfg);
+        let mut failed = 0;
+        for i in 0..50u64 {
+            let predicted = plan.sync_fails_at(i);
+            let got = plan.sync();
+            assert_eq!(got.is_err(), predicted, "sync {i}");
+            if let Err(e) = got {
+                assert!(e.to_string().contains(SYNC_FAILURE), "{e}");
+                assert!(!e.is_transient(), "sync faults must not be retried");
+                failed += 1;
+            }
+        }
+        assert_eq!(plan.syncs_seen(), 50);
+        assert!(failed > 0, "pct=40 over 50 draws must fire at least once");
+        assert!(failed < 50, "and must not fire every time");
+        // A quiet plan never injects.
+        let mut quiet = FaultPlan::new(MemStore::new(), FaultConfig::none());
+        for _ in 0..10 {
+            quiet.sync().unwrap();
+        }
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub fn put_i64_le(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Appends a `u64` in little-endian order.
+pub fn put_u64_le(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Writes a `u16` into `b` at `off`. Returns `false` (writing nothing)
 /// if the destination range is out of bounds.
 pub fn write_u16_le(b: &mut [u8], off: usize, v: u16) -> bool {

@@ -22,6 +22,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 pub mod view;
+pub mod walrec;
 
 pub use date::{Date, DateError};
 pub use decimal::{Decimal, DecimalError};
@@ -30,3 +31,4 @@ pub use row::{CodecError, Tuple};
 pub use schema::{Column, DataType, Schema, SchemaError, SchemaRef};
 pub use value::Value;
 pub use view::{Projection, RowLayout, RowView};
+pub use walrec::{decode_wal_record, encode_wal_record, WalRecord};

@@ -1,0 +1,149 @@
+//! Write-ahead-log record codec.
+//!
+//! One WAL record describes one acknowledged insert: which relation it
+//! targets and the row-codec image of the tuple, tagged with the log
+//! *epoch* it was written under and a warehouse-wide *sequence number*.
+//! The storage layer frames these bytes with a length + CRC32 header (see
+//! `sma-storage`'s WAL); this module only defines the payload layout, so
+//! the type layer stays ignorant of pages and files:
+//!
+//! ```text
+//! payload := epoch u64 | seq u64 | rel_len u32 | relation utf-8 |
+//!            row_len u32 | row-codec bytes
+//! ```
+//!
+//! The epoch lets replay reject frames left over from a previous log
+//! generation after an in-place truncation (stale bytes are never zeroed);
+//! the sequence number lets replay skip records already folded into the
+//! sealed warehouse state (the manifest's watermark), which is what makes
+//! replay idempotent. The row bytes are opaque here — they are exactly
+//! what [`crate::row::encode`] produced for the target relation's schema,
+//! so decoding them requires that schema and happens in the ingest layer.
+
+use crate::bytes;
+use crate::row::CodecError;
+
+/// Fixed-width prefix of every record: epoch, seq, and two length fields.
+const FIXED: usize = 8 + 8 + 4 + 4;
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log generation the record was appended under.
+    pub epoch: u64,
+    /// Warehouse-wide monotonically increasing sequence number.
+    pub seq: u64,
+    /// Target relation name.
+    pub relation: String,
+    /// Row-codec image of the inserted tuple (schema lives with the
+    /// relation, not the record).
+    pub row: Vec<u8>,
+}
+
+/// Serializes `rec` into the payload layout above.
+pub fn encode_wal_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FIXED + rec.relation.len() + rec.row.len());
+    bytes::put_u64_le(&mut out, rec.epoch);
+    bytes::put_u64_le(&mut out, rec.seq);
+    bytes::put_u32_le(&mut out, saturate_len(rec.relation.len()));
+    out.extend_from_slice(rec.relation.as_bytes());
+    bytes::put_u32_le(&mut out, saturate_len(rec.row.len()));
+    out.extend_from_slice(&rec.row);
+    out
+}
+
+/// Encode-side length narrowing: relation names and row images are far
+/// below `u32::MAX`; a saturated length fails the decoder's structural
+/// checks instead of silently wrapping.
+fn saturate_len(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Inverse of [`encode_wal_record`]. The whole buffer must be exactly one
+/// record; truncation, trailing bytes, and bad UTF-8 all surface as
+/// [`CodecError`] — a torn or stale frame must never decode into a
+/// plausible record.
+pub fn decode_wal_record(buf: &[u8]) -> Result<WalRecord, CodecError> {
+    let short = || CodecError("wal record truncated".into());
+    let epoch = bytes::get_u64_le(buf, 0).ok_or_else(short)?;
+    let seq = bytes::get_u64_le(buf, 8).ok_or_else(short)?;
+    let rel_len = bytes::get_u32_le(buf, 16).ok_or_else(short)? as usize;
+    let rel_end = 20usize.checked_add(rel_len).ok_or_else(short)?;
+    let rel_bytes = buf.get(20..rel_end).ok_or_else(short)?;
+    let relation = std::str::from_utf8(rel_bytes)
+        .map_err(|e| CodecError(format!("wal record relation not utf-8: {e}")))?
+        .to_string();
+    let row_len = bytes::get_u32_le(buf, rel_end).ok_or_else(short)? as usize;
+    let row_start = rel_end + 4;
+    let row_end = row_start.checked_add(row_len).ok_or_else(short)?;
+    let row = buf.get(row_start..row_end).ok_or_else(short)?.to_vec();
+    if row_end != buf.len() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after wal record",
+            buf.len() - row_end
+        )));
+    }
+    Ok(WalRecord {
+        epoch,
+        seq,
+        relation,
+        row,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalRecord {
+        WalRecord {
+            epoch: 3,
+            seq: 42,
+            relation: "LINEITEM".into(),
+            row: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rec = sample();
+        assert_eq!(decode_wal_record(&encode_wal_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn empty_row_and_relation_roundtrip() {
+        let rec = WalRecord {
+            epoch: 0,
+            seq: 0,
+            relation: String::new(),
+            row: Vec::new(),
+        };
+        assert_eq!(decode_wal_record(&encode_wal_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn every_truncation_fails() {
+        let full = encode_wal_record(&sample());
+        for cut in 0..full.len() {
+            assert!(
+                decode_wal_record(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_fail() {
+        let mut b = encode_wal_record(&sample());
+        b.push(0);
+        assert!(decode_wal_record(&b).is_err());
+    }
+
+    #[test]
+    fn bad_utf8_fails() {
+        let mut b = encode_wal_record(&sample());
+        // First relation byte lives at offset 20.
+        b[20] = 0xFF;
+        assert!(decode_wal_record(&b).is_err());
+    }
+}

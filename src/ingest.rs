@@ -1,0 +1,477 @@
+//! Durable streaming ingest: WAL + memtable + crash-recoverable flush.
+//!
+//! [`StreamingWarehouse`] wraps a [`Warehouse`] with an arrival path that
+//! survives crashes at any byte:
+//!
+//! 1. **Log** — every insert is framed into the write-ahead log
+//!    ([`sma_storage::Wal`]) and fsynced; only then is it acknowledged.
+//! 2. **Buffer** — acknowledged tuples live in a [`Memtable`] and are
+//!    visible to queries immediately: plans run over the sealed segments
+//!    and merge the memtable as an overlay, producing byte-identical
+//!    results to a bulk-loaded equivalent.
+//! 3. **Flush** — when the memtable reaches its threshold (or on demand)
+//!    the buffered tuples are folded into the sealed tables through the
+//!    ordinary insert path, so SMAs are maintained online and the physical
+//!    bucket layout matches a bulk load. The new generation is written to
+//!    fresh `.e{epoch}` segment files, committed by atomically replacing
+//!    the manifest, and only then is the WAL truncated.
+//!
+//! The flush protocol's commit point is the manifest rename. Every earlier
+//! step only adds files the old manifest does not reference; every later
+//! step only removes files the new manifest does not reference. A crash at
+//! any stage therefore recovers to exactly one committed generation plus
+//! the WAL suffix past its watermark — no acknowledged tuple is lost, none
+//! is applied twice. [`StreamingWarehouse::flush_until`] exposes each stage
+//! so the crash tests can stop the protocol at every seam.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::warehouse::{
+    commit_manifest, manifest_files, CommitMeta, QueryResult, RecoveryReport, Warehouse,
+    WarehouseError,
+};
+use sma_exec::AggregateQuery;
+use sma_storage::{make_wal_record, FileStore, Memtable, StoreError, Wal};
+use sma_types::{CodecError, Tuple};
+
+/// File name of the ingest write-ahead log inside the warehouse directory.
+pub const WAL_FILE: &str = "ingest.swal";
+
+/// Errors from the streaming-ingest layer.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The sealed warehouse (tables, SMAs, manifest) failed.
+    Warehouse(WarehouseError),
+    /// The write-ahead log failed.
+    Wal(StoreError),
+    /// A tuple did not fit its relation's schema.
+    Encode(CodecError),
+    /// A filesystem operation on the warehouse directory failed.
+    Io(io::Error),
+    /// An insert or replayed WAL record named a relation the warehouse
+    /// does not have.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Warehouse(e) => write!(f, "{e}"),
+            IngestError::Wal(e) => write!(f, "wal: {e}"),
+            IngestError::Encode(e) => write!(f, "{e}"),
+            IngestError::Io(e) => write!(f, "ingest i/o failed: {e}"),
+            IngestError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Warehouse(e) => Some(e),
+            IngestError::Wal(e) => Some(e),
+            IngestError::Encode(e) => Some(e),
+            IngestError::Io(e) => Some(e),
+            IngestError::UnknownRelation(_) => None,
+        }
+    }
+}
+
+impl From<WarehouseError> for IngestError {
+    fn from(e: WarehouseError) -> IngestError {
+        IngestError::Warehouse(e)
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> IngestError {
+        IngestError::Wal(e)
+    }
+}
+
+impl From<CodecError> for IngestError {
+    fn from(e: CodecError) -> IngestError {
+        IngestError::Encode(e)
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> IngestError {
+        IngestError::Io(e)
+    }
+}
+
+/// The stages of the flush protocol, in order. [`StreamingWarehouse::flush_until`]
+/// runs the protocol up to and including the named stage and then returns,
+/// which lets crash tests simulate dying at every seam: drop the
+/// [`StreamingWarehouse`] and reopen the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlushStage {
+    /// Memtable drained into the in-memory sealed tables (online SMA
+    /// maintenance done). Nothing on disk has changed.
+    Applied,
+    /// New-generation `.tbl`/`.sma` segment files written and fsynced.
+    /// The manifest still names the old generation.
+    SegmentsWritten,
+    /// Manifest atomically replaced — **the commit point**. The old
+    /// generation's files and the WAL are still on disk.
+    Committed,
+    /// Files the new manifest does not reference have been deleted.
+    Cleaned,
+    /// WAL truncated to the new epoch. A full [`StreamingWarehouse::flush`].
+    Complete,
+}
+
+/// What [`StreamingWarehouse::open_with_recovery`] found and did.
+#[derive(Debug, Default)]
+pub struct IngestRecoveryReport {
+    /// The sealed warehouse's own recovery report (scrubbed pages,
+    /// quarantined/rebuilt SMAs, committed epoch and watermark).
+    pub warehouse: RecoveryReport,
+    /// WAL records re-buffered into the memtable (acknowledged before the
+    /// crash, not yet folded into the sealed generation).
+    pub replayed: usize,
+    /// WAL records discarded because the committed watermark already
+    /// covers them — the idempotence guard after a crash between manifest
+    /// commit and WAL truncation.
+    pub skipped: usize,
+    /// The WAL ended in a torn frame (a record cut mid-write). The torn
+    /// record was never acknowledged, so nothing durable is lost.
+    pub torn_tail: bool,
+    /// The WAL header was missing or corrupt and the log was
+    /// reinitialized empty at the committed epoch.
+    pub wal_reset: bool,
+    /// The WAL's epoch lagged the manifest's (crash after commit, before
+    /// truncation); the log was truncated forward to realign.
+    pub wal_realigned: bool,
+    /// Files deleted because no committed manifest referenced them —
+    /// segments of a half-flushed generation, stale segments of a
+    /// superseded one, or abandoned `.tmp` files.
+    pub orphans_removed: Vec<String>,
+}
+
+impl IngestRecoveryReport {
+    /// True when recovery found a pristine shutdown: nothing scrubbed,
+    /// nothing torn, nothing to clean up.
+    pub fn is_clean(&self) -> bool {
+        self.warehouse.is_clean()
+            && !self.torn_tail
+            && !self.wal_reset
+            && !self.wal_realigned
+            && self.orphans_removed.is_empty()
+    }
+}
+
+/// A [`Warehouse`] with a durable streaming-ingest front end.
+///
+/// ```
+/// use smadb::ingest::StreamingWarehouse;
+/// use smadb::Warehouse;
+/// use smadb::storage::Table;
+/// use smadb::types::{Column, DataType, Schema, Value};
+/// use smadb::sma::{BucketPred, CmpOp};
+/// use smadb::exec::{AggSpec, AggregateQuery};
+/// use std::sync::Arc;
+///
+/// let dir = std::env::temp_dir().join(format!("smadb-doc-{}", std::process::id()));
+/// let schema = Arc::new(Schema::new(vec![Column::new("X", DataType::Int)]));
+/// let mut w = Warehouse::new();
+/// w.register(Table::in_memory("S", schema, 1)).unwrap();
+/// let mut s = StreamingWarehouse::create(&dir, w, 0).unwrap();
+///
+/// for x in 0..10 { s.insert("S", &vec![Value::Int(x)]).unwrap(); }
+/// let q = AggregateQuery { pred: BucketPred::cmp(0, CmpOp::Ge, 0i64), group_by: vec![], specs: vec![AggSpec::CountStar] };
+/// assert_eq!(s.query("S", q).unwrap().rows[0][0], Value::Int(10));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct StreamingWarehouse {
+    warehouse: Warehouse,
+    dir: PathBuf,
+    wal: Wal<FileStore>,
+    memtable: Memtable,
+    next_seq: u64,
+    flush_threshold: usize,
+}
+
+impl StreamingWarehouse {
+    /// Seals `warehouse` into `dir` as the initial committed generation
+    /// and opens a fresh WAL beside it.
+    ///
+    /// `flush_threshold` is the memtable size (in tuples) that triggers an
+    /// automatic [`StreamingWarehouse::flush`] from
+    /// [`StreamingWarehouse::insert`]; `0` disables automatic flushing.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        warehouse: Warehouse,
+        flush_threshold: usize,
+    ) -> Result<StreamingWarehouse, IngestError> {
+        let dir = dir.as_ref().to_path_buf();
+        warehouse.save_to_dir(&dir)?;
+        let store = FileStore::create(dir.join(WAL_FILE))?;
+        let wal = Wal::create(store, warehouse.epoch())?;
+        let next_seq = warehouse.watermark() + 1;
+        Ok(StreamingWarehouse {
+            warehouse,
+            dir,
+            wal,
+            memtable: Memtable::new(),
+            next_seq,
+            flush_threshold,
+        })
+    }
+
+    /// Reopens a streaming warehouse after a shutdown or crash.
+    ///
+    /// Recovery sequence:
+    ///
+    /// 1. load the committed generation through
+    ///    [`Warehouse::open_with_recovery`] (page scrub, SMA
+    ///    quarantine/rebuild);
+    /// 2. delete every `.tbl`/`.sma` file the manifest does not reference
+    ///    and every abandoned `.tmp` file — the debris of a generation
+    ///    that never committed or one that was superseded;
+    /// 3. replay the WAL, dropping a torn tail and anything at or below
+    ///    the committed watermark (already folded in — the replay is
+    ///    idempotent), re-buffering the survivors into the memtable;
+    /// 4. realign the WAL's epoch with the manifest's if a crash landed
+    ///    between commit and truncation.
+    pub fn open_with_recovery(
+        dir: impl AsRef<Path>,
+        flush_threshold: usize,
+    ) -> Result<(StreamingWarehouse, IngestRecoveryReport), IngestError> {
+        let dir = dir.as_ref().to_path_buf();
+        let (warehouse, wreport) = Warehouse::open_with_recovery(&dir)?;
+        let mut report = IngestRecoveryReport {
+            warehouse: wreport,
+            ..Default::default()
+        };
+        report.orphans_removed = remove_unreferenced(&dir)?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let wal_missing = !wal_path.exists();
+        let (mut wal, replay) = if wal_missing {
+            // The log vanished entirely. By protocol it only ever holds
+            // unflushed acknowledged records, so this loses whatever was
+            // buffered — report it as a reset rather than failing hard.
+            let wal = Wal::create(FileStore::create(&wal_path)?, warehouse.epoch())?;
+            (wal, sma_storage::WalReplay::default())
+        } else {
+            Wal::open(FileStore::open(&wal_path)?, warehouse.epoch())?
+        };
+        report.torn_tail = replay.torn_tail;
+        report.wal_reset = replay.header_reset || wal_missing;
+
+        let mut memtable = Memtable::new();
+        let mut next_seq = warehouse.watermark() + 1;
+        for rec in &replay.records {
+            if rec.epoch != warehouse.epoch() || rec.seq <= warehouse.watermark() {
+                // Stale epoch or already folded into the sealed
+                // generation: applying it again would duplicate the tuple.
+                report.skipped += 1;
+                continue;
+            }
+            let table = warehouse
+                .table(&rec.relation)
+                .ok_or_else(|| IngestError::UnknownRelation(rec.relation.clone()))?;
+            let tuple = sma_types::row::decode(table.schema(), &rec.row)?;
+            memtable.insert(&rec.relation, rec.seq, tuple);
+            next_seq = rec.seq + 1;
+            report.replayed += 1;
+        }
+        if wal.epoch() != warehouse.epoch() {
+            // Crash after manifest commit, before WAL truncation: finish
+            // the interrupted protocol now.
+            wal.truncate(warehouse.epoch())?;
+            report.wal_realigned = true;
+        }
+
+        Ok((
+            StreamingWarehouse {
+                warehouse,
+                dir,
+                wal,
+                memtable,
+                next_seq,
+                flush_threshold,
+            },
+            report,
+        ))
+    }
+
+    /// Durably inserts one tuple and returns its WAL sequence number.
+    ///
+    /// The tuple is acknowledged — and this method returns `Ok` — only
+    /// after its WAL frame is written *and* fsynced. It is immediately
+    /// visible to [`StreamingWarehouse::query`]. If the memtable has
+    /// reached the flush threshold, a flush runs before returning.
+    pub fn insert(&mut self, relation: &str, tuple: &Tuple) -> Result<u64, IngestError> {
+        let schema = self
+            .warehouse
+            .table(relation)
+            .ok_or_else(|| IngestError::UnknownRelation(relation.to_string()))?
+            .schema()
+            .clone();
+        let seq = self.next_seq;
+        let rec = make_wal_record(self.wal.epoch(), seq, relation, &schema, tuple)?;
+        self.wal.append(&rec)?;
+        self.wal.sync()?;
+        // Durable from here: a crash on any later line replays this tuple.
+        self.memtable.insert(relation, seq, tuple.clone());
+        self.next_seq = seq + 1;
+        if self.flush_threshold > 0 && self.memtable.len() >= self.flush_threshold {
+            self.flush()?;
+        }
+        Ok(seq)
+    }
+
+    /// Plans and runs an aggregate query over the union of the sealed
+    /// segments and the live memtable. Results are byte-identical to the
+    /// same query against a warehouse bulk-loaded with the same tuples.
+    pub fn query(&self, relation: &str, query: AggregateQuery) -> Result<QueryResult, IngestError> {
+        let table = self
+            .warehouse
+            .table(relation)
+            .ok_or_else(|| IngestError::UnknownRelation(relation.to_string()))?;
+        let overlay: Vec<Tuple> = self
+            .memtable
+            .rows_for(relation)
+            .iter()
+            .map(|(_, t)| t.clone())
+            .collect();
+        let chosen = sma_exec::plan(
+            table,
+            query,
+            self.warehouse.catalog().set_for(relation),
+            self.warehouse.planner(),
+        )
+        .with_overlay(overlay);
+        let (rows, degradation) = chosen.execute_with_report().map_err(WarehouseError::from)?;
+        Ok(QueryResult {
+            rows,
+            plan_kind: chosen.kind,
+            degradation,
+        })
+    }
+
+    /// Folds the memtable into the sealed tables and commits a new
+    /// generation to disk. Equivalent to `flush_until(FlushStage::Complete)`.
+    pub fn flush(&mut self) -> Result<(), IngestError> {
+        self.flush_until(FlushStage::Complete)
+    }
+
+    /// Runs the flush protocol up to and including `stage`, then stops.
+    ///
+    /// This is the crash-injection seam: the tests run every prefix of the
+    /// protocol, drop the warehouse (the "crash"), and assert that
+    /// [`StreamingWarehouse::open_with_recovery`] restores exactly the
+    /// acknowledged state. Production code calls
+    /// [`StreamingWarehouse::flush`], which runs to
+    /// [`FlushStage::Complete`].
+    ///
+    /// Stopping early leaves a *consistent but unfinished* state: the
+    /// in-memory warehouse has absorbed the tuples, the WAL still covers
+    /// them, and the next flush or recovery completes the job. An `Err`
+    /// from any stage leaves the same guarantee — nothing acknowledged can
+    /// be lost, because the WAL is only truncated after the commit point.
+    pub fn flush_until(&mut self, stage: FlushStage) -> Result<(), IngestError> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        // Stage 1: fold buffered tuples into the sealed tables in arrival
+        // order through the ordinary insert path, so bucket layout and SMA
+        // maintenance are identical to a bulk load.
+        let drained = self.memtable.drain();
+        for (relation, rows) in &drained {
+            for (_seq, tuple) in rows {
+                self.warehouse.insert(relation, tuple)?;
+            }
+        }
+        if stage == FlushStage::Applied {
+            return Ok(());
+        }
+        // Stage 2: write the new generation's segments under fresh
+        // `.e{epoch}` names. The old generation's files are never opened.
+        let watermark = self.memtable.max_seq();
+        let epoch = self.warehouse.begin_flush_generation(watermark);
+        let suffix = format!(".e{epoch}");
+        let meta = CommitMeta { epoch, watermark };
+        let manifest = self.warehouse.save_generation(&self.dir, meta, &suffix)?;
+        if stage == FlushStage::SegmentsWritten {
+            return Ok(());
+        }
+        // Stage 3: the commit point.
+        commit_manifest(&self.dir, &manifest)?;
+        if stage == FlushStage::Committed {
+            return Ok(());
+        }
+        // Stage 4: the old generation is now unreferenced debris.
+        remove_unreferenced(&self.dir)?;
+        if stage == FlushStage::Cleaned {
+            return Ok(());
+        }
+        // Stage 5: everything at or below the watermark is sealed; reset
+        // the log to the new epoch.
+        self.wal.truncate(epoch)?;
+        Ok(())
+    }
+
+    /// The sealed warehouse under this ingest front end.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// Tuples buffered in the memtable, not yet flushed.
+    pub fn buffered(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// The committed generation number.
+    pub fn epoch(&self) -> u64 {
+        self.warehouse.epoch()
+    }
+
+    /// Highest WAL sequence number folded into the sealed generation.
+    pub fn watermark(&self) -> u64 {
+        self.warehouse.watermark()
+    }
+
+    /// The sequence number the next insert will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Bytes of record frames currently in the WAL.
+    pub fn wal_tail_bytes(&self) -> u64 {
+        self.wal.tail_bytes()
+    }
+
+    /// The warehouse directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Deletes every `.tbl`/`.sma` file in `dir` that the committed manifest
+/// does not reference, plus abandoned `.tmp` files. Quarantined SMA images
+/// (`*.quarantined`) are kept for post-mortems. Returns the sorted names
+/// of the files removed.
+fn remove_unreferenced(dir: &Path) -> Result<Vec<String>, IngestError> {
+    let keep: BTreeSet<String> = manifest_files(dir)?.into_iter().collect();
+    let mut removed = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let dead = name.ends_with(".tmp")
+            || ((name.ends_with(".tbl") || name.ends_with(".sma")) && !keep.contains(&name));
+        if dead {
+            fs::remove_file(entry.path())?;
+            removed.push(name);
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}

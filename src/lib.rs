@@ -11,6 +11,11 @@
 //! * [`exec`] — physical operators (`SmaScan`, `SmaGAggr`) and planner,
 //! * [`cube`] — the comparators (materialized data cube, B+ tree).
 //!
+//! The umbrella crate itself contributes the durability layer:
+//! [`warehouse`] (named tables + SMAs + crash-safe persistence) and
+//! [`ingest`] (WAL + memtable streaming ingest with crash-recoverable
+//! flush).
+//!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs`; in short:
@@ -30,12 +35,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ingest;
 pub mod warehouse;
 
+pub use ingest::{FlushStage, IngestError, IngestRecoveryReport, StreamingWarehouse, WAL_FILE};
 pub use sma_core as sma;
 pub use sma_cube as cube;
 pub use sma_exec as exec;
 pub use sma_storage as storage;
 pub use sma_tpcd as tpcd;
 pub use sma_types as types;
-pub use warehouse::{QueryResult, RecoveryReport, Warehouse, WarehouseError, MANIFEST_FILE};
+pub use warehouse::{
+    CommitMeta, QueryResult, RecoveryReport, Warehouse, WarehouseError, MANIFEST_FILE,
+};

@@ -165,6 +165,10 @@ pub struct Warehouse {
     tables: BTreeMap<String, Table>,
     catalog: SmaCatalog,
     planner: PlannerConfig,
+    /// Highest WAL sequence number folded into the sealed tables —
+    /// persisted in the manifest so recovery can skip already-applied
+    /// records (streaming-ingest idempotence). 0 for bulk-loaded data.
+    watermark: u64,
 }
 
 impl Warehouse {
@@ -204,6 +208,35 @@ impl Warehouse {
     /// The SMA set defined on `relation`, if any.
     pub fn smas(&self, relation: &str) -> Option<&SmaSet> {
         self.catalog.set_for(relation)
+    }
+
+    /// The flush generation of the sealed state (see
+    /// [`sma_core::catalog::SmaCatalog::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.catalog.epoch()
+    }
+
+    /// Highest WAL sequence number folded into the sealed tables.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Bumps the flush generation and records the new watermark — called
+    /// by the streaming flush path just before it persists the new
+    /// segment generation.
+    pub(crate) fn begin_flush_generation(&mut self, watermark: u64) -> u64 {
+        self.watermark = watermark;
+        self.catalog.advance_epoch()
+    }
+
+    /// The planner configuration this warehouse queries with.
+    pub(crate) fn planner(&self) -> &PlannerConfig {
+        &self.planner
+    }
+
+    /// Read access to the SMA catalog (ingest layer).
+    pub(crate) fn catalog(&self) -> &SmaCatalog {
+        &self.catalog
     }
 
     /// Executes a `define sma` statement: parses it against the target
@@ -365,14 +398,44 @@ impl Warehouse {
     /// directory that [`Warehouse::open_with_recovery`] reads as either
     /// the old state or the new state, never a mixture.
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), WarehouseError> {
+        let meta = CommitMeta {
+            epoch: self.catalog.epoch(),
+            watermark: self.watermark,
+        };
+        let dir = dir.as_ref();
+        let stream = self.save_generation(dir, meta, "")?;
+        commit_manifest(dir, &stream)
+    }
+
+    /// The segment-writing half of [`Warehouse::save_to_dir`], with an
+    /// explicit commit point and a filename `suffix` spliced in before
+    /// each `.tbl`/`.sma` extension. Every table and SMA file is fully
+    /// written, fsynced and renamed into place; the manifest stream that
+    /// names them is *returned*, not written — nothing is committed until
+    /// the caller passes it to [`commit_manifest`].
+    ///
+    /// The streaming flush path saves every generation under a distinct
+    /// suffix (`.e1`, `.e2`, …): segment files of the previous generation
+    /// are never opened for writing, so a crash anywhere before the
+    /// manifest rename leaves the old generation fully intact and a crash
+    /// after it leaves the new one — the directory is always exactly one
+    /// committed state plus, at worst, dead files that cleanup removes.
+    pub(crate) fn save_generation(
+        &self,
+        dir: impl AsRef<Path>,
+        meta: CommitMeta,
+        suffix: &str,
+    ) -> Result<Vec<u8>, WarehouseError> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let mut manifest = Vec::new();
+        put_u64(&mut manifest, meta.epoch);
+        put_u64(&mut manifest, meta.watermark);
         put_u32(&mut manifest, self.tables.len() as u32);
         for (name, table) in &self.tables {
             // Table and SMA names come from the SQL parser (identifiers:
             // alphanumerics and underscores), so they are filename-safe.
-            let tbl_file = format!("{name}.tbl");
+            let tbl_file = format!("{name}{suffix}.tbl");
             let tmp = dir.join(format!("{tbl_file}.tmp"));
             let mut store = FileStore::create(&tmp)?;
             table.export_to_store(&mut store)?;
@@ -390,7 +453,7 @@ impl Warehouse {
             let smas = self.catalog.set_for(name).map(SmaSet::smas).unwrap_or(&[]);
             put_u32(&mut manifest, smas.len() as u32);
             for sma in smas {
-                let sma_file = format!("{name}.{}.sma", sma.def().name);
+                let sma_file = format!("{name}.{}{suffix}.sma", sma.def().name);
                 if sma.has_quarantine() {
                     // Quarantined entries may be garbage and the flag is
                     // runtime-only, so persisting the image would launder
@@ -417,9 +480,7 @@ impl Warehouse {
         put_u32(&mut stream, manifest.len() as u32);
         put_u32(&mut stream, crc32(&manifest));
         stream.extend_from_slice(&manifest);
-        atomic_write_file(dir.join(MANIFEST_FILE), &stream)?;
-        sync_dir(dir)?;
-        Ok(())
+        Ok(stream)
     }
 
     /// Reopens a warehouse saved with [`Warehouse::save_to_dir`],
@@ -441,9 +502,15 @@ impl Warehouse {
     ) -> Result<(Warehouse, RecoveryReport), WarehouseError> {
         let dir = dir.as_ref();
         let bytes = fs::read(dir.join(MANIFEST_FILE))?;
-        let entries = decode_manifest(&bytes)?;
+        let (meta, entries) = decode_manifest(&bytes)?;
         let mut w = Warehouse::new();
-        let mut report = RecoveryReport::default();
+        w.catalog.set_epoch(meta.epoch);
+        w.watermark = meta.watermark;
+        let mut report = RecoveryReport {
+            epoch: meta.epoch,
+            watermark: meta.watermark,
+            ..RecoveryReport::default()
+        };
         for entry in entries {
             let store = FileStore::open(dir.join(&entry.file))?;
             let schema = Arc::new(Schema::new(entry.columns));
@@ -479,8 +546,12 @@ impl Warehouse {
     pub fn scrub(&mut self, dir: impl AsRef<Path>) -> Result<RecoveryReport, WarehouseError> {
         let dir = dir.as_ref();
         let bytes = fs::read(dir.join(MANIFEST_FILE))?;
-        let entries = decode_manifest(&bytes)?;
-        let mut report = RecoveryReport::default();
+        let (meta, entries) = decode_manifest(&bytes)?;
+        let mut report = RecoveryReport {
+            epoch: meta.epoch,
+            watermark: meta.watermark,
+            ..RecoveryReport::default()
+        };
         for entry in entries {
             let Some(table) = self.tables.get_mut(&entry.name) else {
                 continue;
@@ -523,6 +594,19 @@ pub const MANIFEST_FILE: &str = "catalog.smac";
 
 const MANIFEST_MAGIC: &[u8; 4] = b"SMAC";
 
+/// The commit point a manifest records for the streaming ingest path:
+/// which flush generation the sealed files belong to and the highest WAL
+/// sequence number folded into them. Bulk-loaded warehouses carry the
+/// default (epoch 0, watermark 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitMeta {
+    /// Flush generation of the sealed segment files.
+    pub epoch: u64,
+    /// Highest WAL sequence number applied to the sealed state — replay
+    /// skips records at or below it.
+    pub watermark: u64,
+}
+
 /// Buffer-pool pages for tables reopened from disk (matches
 /// `Table::in_memory`'s generous default).
 const POOL_CAPACITY: usize = 1 << 16;
@@ -549,6 +633,10 @@ pub struct RecoveryReport {
     /// A freshly recovered warehouse always reports zero (rebuilt SMAs
     /// carry no quarantine).
     pub buckets_quarantined: u64,
+    /// Flush generation the committed manifest named (0 for bulk loads).
+    pub epoch: u64,
+    /// Highest WAL sequence number the sealed state covers.
+    pub watermark: u64,
 }
 
 impl RecoveryReport {
@@ -662,6 +750,10 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     sma_types::bytes::put_u32_le(out, v);
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    sma_types::bytes::put_u64_le(out, v);
+}
+
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
@@ -705,6 +797,12 @@ impl<'a> Cursor<'a> {
             .ok_or_else(|| WarehouseError::CorruptManifest("short u32".into()))
     }
 
+    fn u64(&mut self) -> Result<u64, WarehouseError> {
+        let s = self.take(8)?;
+        sma_types::bytes::get_u64_le(s, 0)
+            .ok_or_else(|| WarehouseError::CorruptManifest("short u64".into()))
+    }
+
     fn string(&mut self) -> Result<String, WarehouseError> {
         let len = self.u32()? as usize;
         String::from_utf8(self.take(len)?.to_vec())
@@ -712,7 +810,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_manifest(bytes: &[u8]) -> Result<Vec<ManifestTable>, WarehouseError> {
+fn decode_manifest(bytes: &[u8]) -> Result<(CommitMeta, Vec<ManifestTable>), WarehouseError> {
     if bytes.len() < 12 || &bytes[..4] != MANIFEST_MAGIC {
         return Err(WarehouseError::CorruptManifest("bad magic".into()));
     }
@@ -734,6 +832,10 @@ fn decode_manifest(bytes: &[u8]) -> Result<Vec<ManifestTable>, WarehouseError> {
     let mut c = Cursor {
         buf: payload,
         pos: 0,
+    };
+    let meta = CommitMeta {
+        epoch: c.u64()?,
+        watermark: c.u64()?,
     };
     let n_tables = c.u32()? as usize;
     let mut tables = Vec::with_capacity(n_tables.min(1024));
@@ -788,7 +890,32 @@ fn decode_manifest(bytes: &[u8]) -> Result<Vec<ManifestTable>, WarehouseError> {
             payload.len() - c.pos
         )));
     }
-    Ok(tables)
+    Ok((meta, tables))
+}
+
+/// The commit point of a save: atomically replaces [`MANIFEST_FILE`] with
+/// `stream` (as returned by `save_generation`) and fsyncs the directory.
+/// Until this returns, the previously committed generation is still the
+/// one recovery will load.
+pub(crate) fn commit_manifest(dir: &Path, stream: &[u8]) -> Result<(), WarehouseError> {
+    atomic_write_file(dir.join(MANIFEST_FILE), stream)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+/// Every file name the committed manifest in `dir` references — the set
+/// the ingest layer's orphan cleanup must preserve.
+pub(crate) fn manifest_files(dir: &Path) -> Result<Vec<String>, WarehouseError> {
+    let bytes = fs::read(dir.join(MANIFEST_FILE))?;
+    let (_, entries) = decode_manifest(&bytes)?;
+    let mut files = Vec::new();
+    for entry in entries {
+        files.push(entry.file);
+        for sma in entry.smas {
+            files.push(sma.file);
+        }
+    }
+    Ok(files)
 }
 
 /// Extracts the `from <relation>` identifier from a `define sma`

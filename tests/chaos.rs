@@ -19,10 +19,10 @@ use smadb::exec::{
     Parallelism, PlanKind, PlannerConfig, Q6Params, Query1Config, SmaGAggr,
 };
 use smadb::sma::{col, BucketPred, CmpOp, SmaSet};
-use smadb::storage::test_util::{scratch_path, FaultConfig, FaultPlan};
-use smadb::storage::{MemStore, RetryPolicy, StoreError, Table};
+use smadb::storage::test_util::{scratch_path, CrashStore, FaultConfig, FaultPlan, SYNC_FAILURE};
+use smadb::storage::{MemStore, RetryPolicy, StoreError, Table, Wal, PAGE_SIZE};
 use smadb::tpcd::{generate_lineitem_table, lineitem_schema, Clustering, GenConfig};
-use smadb::types::{StdRng, Value};
+use smadb::types::{StdRng, Value, WalRecord};
 use smadb::Warehouse;
 
 /// The fixed seed sweep, extended by `CHAOS_SEED` when CI sets it.
@@ -346,6 +346,89 @@ fn quarantine_heal_scrub_roundtrip_is_exact() {
         assert_eq!(after.rows, healthy.rows, "seed {seed}");
         assert!(after.degradation.is_empty(), "{}", after.degradation);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The streaming-ingest WAL under a seeded storm of fsync failures, then
+/// a crash at every legal byte offset: an insert counts as acknowledged
+/// only when append *and* sync both succeeded, and for every crash point
+/// replay returns a duplicate-free prefix of the attempted records that
+/// contains every acknowledged one — zero lost, zero double-applied.
+///
+/// Sync faults are deliberately ambiguous (the bytes may be durable even
+/// though the call failed), so recovering *more* than was acknowledged is
+/// legal; recovering less, reordering, or inventing records never is.
+#[test]
+fn ingest_wal_survives_sync_fault_storms_and_crashes_at_every_offset() {
+    for seed in seeds() {
+        let config = FaultConfig::seeded(seed).with_sync_faults(30);
+        let wal = match Wal::create(CrashStore::with_config(config), 1) {
+            Ok(w) => w,
+            Err(e) => {
+                // The device failed the very first fsync: the log was
+                // never born, nothing was ever acknowledged. Legal.
+                assert!(e.to_string().contains(SYNC_FAILURE), "seed {seed}: {e}");
+                continue;
+            }
+        };
+        let mut wal = wal;
+        let mut attempted = Vec::new();
+        // A successful fsync acknowledges every record appended so far,
+        // including ones whose own sync call failed earlier.
+        let mut acked = 0usize;
+        let mut failed_syncs = 0usize;
+        // No acked byte may be cut: fsync success means durability.
+        let mut durable_end = PAGE_SIZE as u64;
+        for seq in 1..=60u64 {
+            let rec = WalRecord {
+                epoch: 1,
+                seq,
+                relation: "S".into(),
+                row: vec![seq as u8; 11 + (seq as usize * 7) % 90],
+            };
+            wal.append(&rec).expect("no write faults in this schedule");
+            attempted.push(rec);
+            match wal.sync() {
+                Ok(()) => {
+                    acked = attempted.len();
+                    durable_end = PAGE_SIZE as u64 + wal.tail_bytes();
+                }
+                Err(e) => {
+                    assert!(e.to_string().contains(SYNC_FAILURE), "seed {seed}: {e}");
+                    failed_syncs += 1;
+                }
+            }
+        }
+        assert!(acked > 0, "seed {seed}: 30% faults cannot kill every sync");
+        assert!(failed_syncs > 0, "seed {seed}: 30% over 60 draws must fire");
+
+        let full = wal.into_store();
+        for cut in durable_end..=full.len_bytes() {
+            let mut crashed = full.clone();
+            crashed.truncate_at(cut);
+            let (_, replay) = match Wal::open(crashed, 1) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    // Truncating the torn tail needs a sync of its own,
+                    // which the storm may also fail; recovery reports the
+                    // fault instead of trusting the device.
+                    assert!(e.to_string().contains(SYNC_FAILURE), "seed {seed}: {e}");
+                    continue;
+                }
+            };
+            assert!(
+                replay.records.len() >= acked,
+                "seed {seed} cut {cut}: lost acknowledged records \
+                 ({} recovered < {acked} acked)",
+                replay.records.len()
+            );
+            assert_eq!(
+                replay.records,
+                attempted[..replay.records.len()],
+                "seed {seed} cut {cut}: recovered set must be an exact \
+                 prefix of the attempted sequence (no dups, no phantoms)"
+            );
+        }
     }
 }
 

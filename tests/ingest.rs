@@ -1,0 +1,477 @@
+//! Durable streaming ingest: crash sweeps and streamed-vs-bulk equivalence.
+//!
+//! The contract under test, from the ingest design:
+//!
+//! * **No acknowledged tuple is ever lost.** An insert is acknowledged only
+//!   after its WAL frame is written and fsynced; recovery replays every
+//!   acknowledged record a crash left unflushed.
+//! * **No tuple is ever applied twice.** The committed watermark makes WAL
+//!   replay idempotent — a crash between manifest commit and WAL
+//!   truncation must not double-apply.
+//! * **Streaming is invisible to queries.** Any interleaving of inserts
+//!   and flushes answers every query byte-identically to one bulk load of
+//!   the same tuples.
+//!
+//! The sweeps are exhaustive where the state space allows: every byte
+//! offset of the WAL (simulated power cut mid-write) and every stage of
+//! the flush protocol (via [`StreamingWarehouse::flush_until`]).
+
+use std::sync::Arc;
+
+use smadb::exec::{AggSpec, AggregateQuery};
+use smadb::ingest::{FlushStage, StreamingWarehouse, WAL_FILE};
+use smadb::sma::{col, BucketPred, CmpOp};
+use smadb::storage::test_util::{scratch_path, CrashStore};
+use smadb::storage::{Table, Wal, PAGE_SIZE};
+use smadb::tpcd::{generate_lineitem_table, lineitem_schema, Clustering, GenConfig};
+use smadb::types::{Column, DataType, Schema, StdRng, Tuple, Value, WalRecord};
+use smadb::Warehouse;
+
+/// The fixed seed sweep, extended by `CHAOS_SEED` when CI sets it.
+fn seeds() -> Vec<u64> {
+    let mut s = vec![0xC0FFEE, 17, 4242];
+    if let Ok(v) = std::env::var("CHAOS_SEED") {
+        if let Ok(n) = v.parse::<u64>() {
+            if !s.contains(&n) {
+                s.push(n);
+            }
+        }
+    }
+    s
+}
+
+fn small_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Column::new("G", DataType::Char),
+        Column::new("X", DataType::Int),
+    ]))
+}
+
+fn small_tuple(i: i64) -> Tuple {
+    vec![Value::Char(b'A' + (i % 3) as u8), Value::Int(i)]
+}
+
+/// A warehouse over one empty table `S` with the full SMA complement, so
+/// the fast path is in play and online maintenance is exercised.
+fn small_warehouse() -> Warehouse {
+    let mut w = Warehouse::new();
+    w.register(Table::in_memory("S", small_schema(), 1))
+        .unwrap();
+    for stmt in [
+        "define sma s_min select min(X) from S",
+        "define sma s_max select max(X) from S",
+        "define sma s_cnt select count(*) from S group by G",
+        "define sma s_sum select sum(X) from S group by G",
+    ] {
+        w.define_sma(stmt).unwrap();
+    }
+    w
+}
+
+/// Group by flag, count + sum + avg over the rows with `X <= hi`.
+fn small_query(hi: i64) -> AggregateQuery {
+    AggregateQuery {
+        pred: BucketPred::cmp(1, CmpOp::Le, hi),
+        group_by: vec![0],
+        specs: vec![
+            AggSpec::CountStar,
+            AggSpec::Sum(col(1)),
+            AggSpec::Avg(col(1)),
+        ],
+    }
+}
+
+/// The reference answer: the same tuples bulk-loaded in the same order.
+fn bulk_reference(rows: &[Tuple], hi: i64) -> Vec<Tuple> {
+    let mut w = small_warehouse();
+    for t in rows {
+        w.insert("S", t).unwrap();
+    }
+    w.query("S", small_query(hi)).unwrap().rows
+}
+
+// ---------------------------------------------------------------- WAL sweep
+
+/// Power cut at EVERY byte offset of the WAL file: recovery yields exactly
+/// the longest prefix of appended records that the persisted bytes fully
+/// contain — never a torn record, never a reordering, never a phantom.
+#[test]
+fn wal_crash_at_every_byte_offset_recovers_the_exact_prefix() {
+    let mut wal = Wal::create(CrashStore::new(), 7).unwrap();
+    let mut appended = Vec::new();
+    // Byte offset (absolute, including the header page) one past each
+    // record's frame: the acknowledgement point of that record.
+    let mut frame_ends = Vec::new();
+    for seq in 1..=20u64 {
+        let rec = WalRecord {
+            epoch: 7,
+            seq,
+            relation: "S".into(),
+            row: vec![seq as u8; 17 + (seq as usize * 13) % 400],
+        };
+        wal.append(&rec).unwrap();
+        wal.sync().unwrap();
+        frame_ends.push(PAGE_SIZE as u64 + wal.tail_bytes());
+        appended.push(rec);
+    }
+    let full = wal.into_store();
+    let total = full.len_bytes();
+    assert!(total > PAGE_SIZE as u64, "records span pages");
+
+    for cut in 0..=total {
+        let mut crashed = full.clone();
+        crashed.truncate_at(cut);
+        let (wal, replay) = Wal::open(crashed, 7).expect("open never fails on a torn log");
+        let expect = frame_ends.iter().take_while(|&&e| e <= cut).count();
+        assert_eq!(
+            replay.records,
+            appended[..expect],
+            "cut at byte {cut}: must recover exactly the {expect}-record prefix"
+        );
+        // The header CRC covers its first 12 bytes; any cut inside them
+        // reinitializes the log instead of trusting garbage.
+        if cut < 12 {
+            assert!(replay.header_reset, "cut at byte {cut}");
+        }
+        assert_eq!(wal.epoch(), 7, "cut at byte {cut}");
+    }
+}
+
+// ------------------------------------------------------------- flush sweep
+
+/// Crash after every stage of the flush protocol: recovery restores
+/// exactly the acknowledged tuples — zero lost, zero duplicated — and a
+/// query over the recovered warehouse matches the bulk-loaded reference.
+#[test]
+fn flush_crash_at_every_stage_loses_nothing_and_duplicates_nothing() {
+    let sealed = 20i64; // tuples flushed into the starting generation
+    let streamed = 25i64; // tuples acknowledged but unflushed at the crash
+    let all: Vec<Tuple> = (0..sealed + streamed).map(small_tuple).collect();
+    let expected = bulk_reference(&all, i64::MAX);
+    let expected_lo = bulk_reference(&all, 11);
+
+    for stage in [
+        FlushStage::Applied,
+        FlushStage::SegmentsWritten,
+        FlushStage::Committed,
+        FlushStage::Cleaned,
+        FlushStage::Complete,
+    ] {
+        let dir = scratch_path(&format!("ingest-stage-{stage:?}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+        for t in &all[..sealed as usize] {
+            sw.insert("S", t).unwrap();
+        }
+        sw.flush().unwrap();
+        assert_eq!(sw.epoch(), 1, "first flush commits generation 1");
+        for t in &all[sealed as usize..] {
+            sw.insert("S", t).unwrap();
+        }
+        sw.flush_until(stage).unwrap();
+        drop(sw); // the crash
+
+        let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+        assert!(
+            report.warehouse.is_clean(),
+            "{stage:?}: sealed data must scrub clean: {}",
+            report.warehouse
+        );
+        let committed = matches!(
+            stage,
+            FlushStage::Committed | FlushStage::Cleaned | FlushStage::Complete
+        );
+        if committed {
+            // The generation committed before the crash: the WAL records
+            // are all at or below the watermark and must NOT re-apply.
+            assert_eq!(sw.epoch(), 2, "{stage:?}");
+            assert_eq!(report.replayed, 0, "{stage:?}: nothing past the watermark");
+            assert_eq!(sw.buffered(), 0, "{stage:?}");
+        } else {
+            // The generation never committed: every unflushed acked tuple
+            // comes back through WAL replay.
+            assert_eq!(sw.epoch(), 1, "{stage:?}");
+            assert_eq!(report.replayed, streamed as usize, "{stage:?}");
+            assert_eq!(report.skipped, 0, "{stage:?}");
+            assert_eq!(sw.buffered(), streamed as usize, "{stage:?}");
+        }
+        if stage == FlushStage::Complete {
+            assert!(report.is_clean(), "{stage:?}: a finished flush is pristine");
+        }
+
+        // Zero lost, zero duplicated, exact aggregates — overlay or not.
+        let got = sw.query("S", small_query(i64::MAX)).unwrap();
+        assert_eq!(got.rows, expected, "{stage:?}");
+        let got = sw.query("S", small_query(11)).unwrap();
+        assert_eq!(got.rows, expected_lo, "{stage:?}");
+
+        // Recovery composes: finish the interrupted flush, crash again,
+        // reopen — still exact, and now pristine.
+        let mut sw = sw;
+        sw.flush().unwrap();
+        drop(sw);
+        let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+        assert!(report.is_clean(), "{stage:?}: after completing the flush");
+        let got = sw.query("S", small_query(i64::MAX)).unwrap();
+        assert_eq!(got.rows, expected, "{stage:?} after re-flush");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The satellite regression: replaying the same WAL twice (crash between
+/// segment write and WAL truncation, then recover, crash again without
+/// writing, recover again) yields identical warehouse state, identical
+/// on-disk SMA images, and never a double-applied tuple.
+#[test]
+fn wal_replay_after_partial_flush_is_idempotent() {
+    for stage in [FlushStage::SegmentsWritten, FlushStage::Committed] {
+        let dir = scratch_path(&format!("ingest-idem-{stage:?}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let all: Vec<Tuple> = (0..30).map(small_tuple).collect();
+        let expected = bulk_reference(&all, i64::MAX);
+
+        let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+        for t in &all {
+            sw.insert("S", t).unwrap();
+        }
+        sw.flush_until(stage).unwrap();
+        drop(sw);
+
+        let snapshot = |tag: &str| {
+            let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+            let rows = sw.query("S", small_query(i64::MAX)).unwrap().rows;
+            assert_eq!(rows, expected, "{stage:?} {tag}: exactly once");
+            drop(sw); // crash again, having written nothing new
+            let mut images: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .filter(|p| p.extension().is_some_and(|e| e == "sma" || e == "tbl"))
+                .map(|p| {
+                    (
+                        p.file_name().unwrap().to_string_lossy().into_owned(),
+                        std::fs::read(&p).unwrap(),
+                    )
+                })
+                .collect();
+            images.sort();
+            (report.replayed, images)
+        };
+
+        // (The second recovery may legitimately skip fewer records than
+        // the first — recovering from a post-commit crash realigns the
+        // WAL, so the already-covered records are gone, not re-skipped.)
+        let (replayed1, images1) = snapshot("first recovery");
+        let (replayed2, images2) = snapshot("second recovery");
+        assert_eq!(replayed1, replayed2, "{stage:?}: replay count is stable");
+        assert_eq!(
+            images1.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            images2.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "{stage:?}: recovery must not create or drop segment files"
+        );
+        for ((name, a), (_, b)) in images1.iter().zip(&images2) {
+            assert_eq!(a, b, "{stage:?}: {name} changed across an idle recovery");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ----------------------------------------------------- streamed == bulk
+
+/// Property test: streaming the TPC-D lineitem rows through the WAL with
+/// flushes at seeded random thresholds answers Query-1-shaped aggregates
+/// byte-identically to one bulk load — across all four clustering models,
+/// both mid-stream (memtable overlay live) and after the final flush,
+/// when the physical layout must match the bulk load bucket for bucket.
+#[test]
+fn streamed_inserts_match_bulk_load_across_clusterings() {
+    let schema = lineitem_schema();
+    let shipdate = schema.index_of("L_SHIPDATE").unwrap();
+    let flag = schema.index_of("L_RETURNFLAG").unwrap();
+    let qty = schema.index_of("L_QUANTITY").unwrap();
+    let defs = [
+        "define sma li_min select min(L_SHIPDATE) from LINEITEM",
+        "define sma li_max select max(L_SHIPDATE) from LINEITEM",
+        "define sma li_cnt select count(*) from LINEITEM group by L_RETURNFLAG",
+        "define sma li_qty select sum(L_QUANTITY) from LINEITEM group by L_RETURNFLAG",
+    ];
+    for clustering in [
+        Clustering::SortedByShipdate,
+        Clustering::diagonal_default(),
+        Clustering::Uniform,
+        Clustering::Shuffled,
+    ] {
+        let generated = generate_lineitem_table(&GenConfig {
+            orders: 60,
+            ..GenConfig::tiny(clustering)
+        });
+        let rows: Vec<Tuple> = generated
+            .scan()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let cutoff = match &rows[rows.len() / 2][shipdate] {
+            Value::Date(d) => *d,
+            other => panic!("L_SHIPDATE is a date, got {other:?}"),
+        };
+        let query = AggregateQuery {
+            pred: BucketPred::cmp(shipdate, CmpOp::Le, Value::Date(cutoff)),
+            group_by: vec![flag],
+            specs: vec![
+                AggSpec::CountStar,
+                AggSpec::Sum(col(qty)),
+                AggSpec::Avg(col(qty)),
+            ],
+        };
+
+        // Bulk reference: every row inserted into a sealed warehouse.
+        let mut bulk = Warehouse::new();
+        bulk.register(Table::in_memory(
+            "LINEITEM",
+            lineitem_schema(),
+            generated.bucket_pages(),
+        ))
+        .unwrap();
+        for stmt in defs {
+            bulk.define_sma(stmt).unwrap();
+        }
+        for t in &rows {
+            bulk.insert("LINEITEM", t).unwrap();
+        }
+        let want = bulk.query("LINEITEM", query.clone()).unwrap();
+
+        for seed in seeds() {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1A7E57);
+            let dir = scratch_path(&format!("ingest-prop-{seed}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut w = Warehouse::new();
+            w.register(Table::in_memory(
+                "LINEITEM",
+                lineitem_schema(),
+                generated.bucket_pages(),
+            ))
+            .unwrap();
+            for stmt in defs {
+                w.define_sma(stmt).unwrap();
+            }
+            let mut sw = StreamingWarehouse::create(&dir, w, 0).unwrap();
+            let mut checked_mid_stream = false;
+            for (i, t) in rows.iter().enumerate() {
+                sw.insert("LINEITEM", t).unwrap();
+                // Seeded flush points: on average every ~40 inserts.
+                if rng.next_u64().is_multiple_of(40) {
+                    sw.flush().unwrap();
+                }
+                // One seeded mid-stream probe per run: the sealed segments
+                // plus live memtable must answer like a bulk load of the
+                // prefix streamed so far.
+                if !checked_mid_stream && i >= rows.len() / 2 && rng.next_u64().is_multiple_of(8) {
+                    let mut prefix = Warehouse::new();
+                    prefix
+                        .register(Table::in_memory(
+                            "LINEITEM",
+                            lineitem_schema(),
+                            generated.bucket_pages(),
+                        ))
+                        .unwrap();
+                    for stmt in defs {
+                        prefix.define_sma(stmt).unwrap();
+                    }
+                    for t in &rows[..=i] {
+                        prefix.insert("LINEITEM", t).unwrap();
+                    }
+                    let want_prefix = prefix.query("LINEITEM", query.clone()).unwrap();
+                    let got = sw.query("LINEITEM", query.clone()).unwrap();
+                    assert_eq!(
+                        got.rows, want_prefix.rows,
+                        "{clustering:?} seed {seed}: mid-stream at row {i}"
+                    );
+                    checked_mid_stream = true;
+                }
+            }
+            sw.flush().unwrap();
+
+            // Fully flushed: answers, plan choice, degradation, and the
+            // physical layout all match the bulk load exactly.
+            let got = sw.query("LINEITEM", query.clone()).unwrap();
+            assert_eq!(got.rows, want.rows, "{clustering:?} seed {seed}");
+            assert_eq!(got.plan_kind, want.plan_kind, "{clustering:?} seed {seed}");
+            assert_eq!(
+                format!("{}", got.degradation),
+                format!("{}", want.degradation),
+                "{clustering:?} seed {seed}"
+            );
+            let streamed_table = sw.warehouse().table("LINEITEM").unwrap();
+            let bulk_table = bulk.table("LINEITEM").unwrap();
+            assert_eq!(
+                streamed_table.page_count(),
+                bulk_table.page_count(),
+                "{clustering:?} seed {seed}: page-for-page identical layout"
+            );
+            assert_eq!(
+                streamed_table.bucket_count(),
+                bulk_table.bucket_count(),
+                "{clustering:?} seed {seed}"
+            );
+
+            // And it all survives a restart.
+            drop(sw);
+            let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+            assert!(report.is_clean(), "{clustering:?} seed {seed}");
+            let got = sw.query("LINEITEM", query.clone()).unwrap();
+            assert_eq!(got.rows, want.rows, "{clustering:?} seed {seed}: reopened");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+// ------------------------------------------------------------ torn tail
+
+/// A bit flip inside the last WAL frame (a torn final record) costs
+/// exactly that record — which was never fsync-acknowledged in the torn
+/// scenario — and nothing before it.
+#[test]
+fn torn_wal_tail_loses_only_the_final_record() {
+    let dir = scratch_path("ingest-torn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+    let mut last_start = 0;
+    for i in 0..10 {
+        last_start = sw.wal_tail_bytes();
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    drop(sw);
+    // Corrupt the last frame's payload, as a power cut mid-write would.
+    smadb::storage::test_util::flip_bit_in_file(
+        &dir.join(WAL_FILE),
+        PAGE_SIZE as u64 + last_start + 9,
+        3,
+    )
+    .unwrap();
+    let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+    assert!(report.torn_tail, "the cut must be detected");
+    assert_eq!(report.replayed, 9, "everything before the tear survives");
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    let expected: Vec<Tuple> =
+        bulk_reference(&(0..9).map(small_tuple).collect::<Vec<_>>(), i64::MAX);
+    assert_eq!(got.rows, expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Auto-flush by threshold: inserts trigger flushes on their own, epochs
+/// advance, the WAL stays bounded, and answers never change.
+#[test]
+fn threshold_flushes_are_transparent() {
+    let dir = scratch_path("ingest-thresh");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 8).unwrap();
+    let all: Vec<Tuple> = (0..50).map(small_tuple).collect();
+    for t in &all {
+        sw.insert("S", t).unwrap();
+    }
+    assert!(sw.epoch() >= 5, "50 inserts at threshold 8 must flush");
+    assert!(sw.buffered() < 8, "memtable stays under the threshold");
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&all, i64::MAX));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
