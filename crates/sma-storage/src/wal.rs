@@ -135,8 +135,14 @@ impl<S: PageStore> Wal<S> {
         let mut last_seq: Option<u64> = None;
         loop {
             let mut head = [0u8; 8];
-            if wal.read_bytes(off, &mut head).is_err() {
-                break; // ran off the store: clean end
+            match wal.read_bytes(off, &mut head) {
+                Ok(()) => {}
+                // Ran off the allocated pages: clean end of the log.
+                Err(StoreError::OutOfRange { .. }) => break,
+                // Anything else is a real device fault, not the shape of
+                // the log — swallowing it would silently truncate every
+                // acknowledged record behind the bad page.
+                Err(e) => return Err(e),
             }
             let len = bytes::get_u32_le(&head, 0).unwrap_or(0);
             let want_crc = bytes::get_u32_le(&head, 4).unwrap_or(0);
@@ -148,9 +154,18 @@ impl<S: PageStore> Wal<S> {
                 break;
             }
             let mut payload = vec![0u8; len as usize];
-            if wal.read_bytes(off + FRAME_HEADER, &mut payload).is_err() {
-                replay.torn_tail = true;
-                break;
+            match wal.read_bytes(off + FRAME_HEADER, &mut payload) {
+                Ok(()) => {}
+                // The length field promised more bytes than the store
+                // holds: the frame was cut mid-append.
+                Err(StoreError::OutOfRange { .. }) => {
+                    replay.torn_tail = true;
+                    break;
+                }
+                // A hard I/O error mid-frame proves nothing about the
+                // frame; propagating it keeps the acknowledged record
+                // intact instead of zeroing its header below.
+                Err(e) => return Err(e),
             }
             if crc32(&payload) != want_crc {
                 replay.torn_tail = true;
@@ -462,6 +477,30 @@ mod tests {
         let (_, replay2) = Wal::open(wal2.into_store(), 99).unwrap();
         assert!(!replay2.torn_tail);
         assert_eq!(replay2.records.len(), 3);
+    }
+
+    #[test]
+    fn hard_read_error_mid_log_propagates_instead_of_truncating() {
+        use crate::test_util::{FlakyStore, READ_FAILURE};
+        use std::sync::atomic::Ordering;
+        // Budget 2: header page + first frame header read fine, then the
+        // device dies mid-payload. Budget 3: the device dies on the second
+        // frame's header read. Both are hard faults over perfectly valid
+        // acknowledged frames — treating them as end-of-log (or worse,
+        // zeroing the "torn" frame) would silently destroy the log's tail.
+        for budget in [2u64, 3] {
+            let mut wal = Wal::create(FlakyStore::new(u64::MAX), 1).unwrap();
+            for seq in 1..=40u64 {
+                wal.append(&rec(1, seq)).unwrap();
+            }
+            wal.sync().unwrap();
+            let store = wal.into_store();
+            store.budget_handle().store(budget, Ordering::Relaxed);
+            match Wal::open(store, 1) {
+                Ok(_) => panic!("budget {budget}: the device fault was swallowed"),
+                Err(e) => assert!(e.to_string().contains(READ_FAILURE), "budget {budget}: {e}"),
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::warehouse::{
     WarehouseError,
 };
 use sma_exec::AggregateQuery;
-use sma_storage::{make_wal_record, FileStore, Memtable, StoreError, Wal};
+use sma_storage::{make_wal_record, FileStore, Memtable, PageStore, StoreError, Wal};
 use sma_types::{CodecError, Tuple};
 
 /// File name of the ingest write-ahead log inside the warehouse directory.
@@ -188,10 +188,10 @@ impl IngestRecoveryReport {
 /// assert_eq!(s.query("S", q).unwrap().rows[0][0], Value::Int(10));
 /// # std::fs::remove_dir_all(&dir).ok();
 /// ```
-pub struct StreamingWarehouse {
+pub struct StreamingWarehouse<S: PageStore = FileStore> {
     warehouse: Warehouse,
     dir: PathBuf,
-    wal: Wal<FileStore>,
+    wal: Wal<S>,
     memtable: Memtable,
     next_seq: u64,
     flush_threshold: usize,
@@ -212,16 +212,7 @@ impl StreamingWarehouse {
         let dir = dir.as_ref().to_path_buf();
         warehouse.save_to_dir(&dir)?;
         let store = FileStore::create(dir.join(WAL_FILE))?;
-        let wal = Wal::create(store, warehouse.epoch())?;
-        let next_seq = warehouse.watermark() + 1;
-        Ok(StreamingWarehouse {
-            warehouse,
-            dir,
-            wal,
-            memtable: Memtable::new(),
-            next_seq,
-            flush_threshold,
-        })
+        StreamingWarehouse::with_wal_store(dir, warehouse, flush_threshold, store)
     }
 
     /// Reopens a streaming warehouse after a shutdown or crash.
@@ -301,6 +292,49 @@ impl StreamingWarehouse {
             report,
         ))
     }
+}
+
+impl<S: PageStore> StreamingWarehouse<S> {
+    /// Like [`StreamingWarehouse::create`], but the WAL lives on a
+    /// caller-supplied page store instead of a file beside the sealed
+    /// segments — the seam the fault-injection tests use to put a seeded
+    /// chaos store under the log. The sealed generation is still written
+    /// to `dir`.
+    pub fn create_with_wal_store(
+        dir: impl AsRef<Path>,
+        warehouse: Warehouse,
+        flush_threshold: usize,
+        store: S,
+    ) -> Result<StreamingWarehouse<S>, IngestError> {
+        let dir = dir.as_ref().to_path_buf();
+        warehouse.save_to_dir(&dir)?;
+        StreamingWarehouse::with_wal_store(dir, warehouse, flush_threshold, store)
+    }
+
+    /// Wraps an already-sealed warehouse and a fresh WAL on `store`.
+    fn with_wal_store(
+        dir: PathBuf,
+        warehouse: Warehouse,
+        flush_threshold: usize,
+        store: S,
+    ) -> Result<StreamingWarehouse<S>, IngestError> {
+        let wal = Wal::create(store, warehouse.epoch())?;
+        let next_seq = warehouse.watermark() + 1;
+        Ok(StreamingWarehouse {
+            warehouse,
+            dir,
+            wal,
+            memtable: Memtable::new(),
+            next_seq,
+            flush_threshold,
+        })
+    }
+
+    /// Consumes the front end, returning the WAL's backing store — fault
+    /// tests replay it to audit exactly what became durable.
+    pub fn into_wal_store(self) -> S {
+        self.wal.into_store()
+    }
 
     /// Durably inserts one tuple and returns its WAL sequence number.
     ///
@@ -317,11 +351,17 @@ impl StreamingWarehouse {
             .clone();
         let seq = self.next_seq;
         let rec = make_wal_record(self.wal.epoch(), seq, relation, &schema, tuple)?;
+        // Burn the sequence number before touching the log: a failed
+        // append or sync may still have written (or durably half-written)
+        // a frame carrying `seq`, and a later frame reusing it would end
+        // replay at the duplicate, cutting off every acknowledged record
+        // behind it. Gaps are harmless — replay only requires strictly
+        // increasing sequence numbers.
+        self.next_seq = seq + 1;
         self.wal.append(&rec)?;
         self.wal.sync()?;
         // Durable from here: a crash on any later line replays this tuple.
         self.memtable.insert(relation, seq, tuple.clone());
-        self.next_seq = seq + 1;
         if self.flush_threshold > 0 && self.memtable.len() >= self.flush_threshold {
             self.flush()?;
         }
@@ -383,12 +423,25 @@ impl StreamingWarehouse {
         }
         // Stage 1: fold buffered tuples into the sealed tables in arrival
         // order through the ordinary insert path, so bucket layout and SMA
-        // maintenance are identical to a bulk load.
+        // maintenance are identical to a bulk load. The drain is
+        // provisional: if an insert fails, the failed row and every row
+        // after it go back into the memtable, so the watermark a later
+        // flush publishes never covers a row that was silently dropped.
         let drained = self.memtable.drain();
-        for (relation, rows) in &drained {
-            for (_seq, tuple) in rows {
-                self.warehouse.insert(relation, tuple)?;
+        let mut failure: Option<IngestError> = None;
+        for (relation, rows) in drained {
+            for (seq, tuple) in rows {
+                if failure.is_none() {
+                    match self.warehouse.insert(&relation, &tuple) {
+                        Ok(_) => continue,
+                        Err(e) => failure = Some(e.into()),
+                    }
+                }
+                self.memtable.insert(&relation, seq, tuple);
             }
+        }
+        if let Some(e) = failure {
+            return Err(e);
         }
         if stage == FlushStage::Applied {
             return Ok(());
@@ -474,4 +527,79 @@ fn remove_unreferenced(dir: &Path) -> Result<Vec<String>, IngestError> {
     }
     removed.sort();
     Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_core::{BucketPred, CmpOp};
+    use sma_exec::AggSpec;
+    use sma_storage::Table;
+    use sma_types::{Column, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smadb-ingest-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn warehouse_with_s() -> Warehouse {
+        let schema = Arc::new(Schema::new(vec![Column::new("X", DataType::Int)]));
+        let mut w = Warehouse::new();
+        w.register(Table::in_memory("S", schema, 1)).unwrap();
+        w
+    }
+
+    fn count_all() -> AggregateQuery {
+        AggregateQuery {
+            pred: BucketPred::cmp(0, CmpOp::Ge, i64::MIN),
+            group_by: vec![],
+            specs: vec![AggSpec::CountStar],
+        }
+    }
+
+    /// Regression: when an insert fails mid-apply, every row the
+    /// warehouse did not absorb — the failed one and everything after it
+    /// — must go back into the memtable. Dropping them while
+    /// `Memtable::max_seq` survives would let a later flush publish a
+    /// watermark over rows that were never applied and then truncate the
+    /// WAL frames that could have replayed them.
+    #[test]
+    fn failed_apply_restores_unapplied_rows_to_the_memtable() {
+        // "AA_MISSING" sorts before "S", so the apply loop fails before
+        // any "S" row reaches the warehouse: all three rows must survive.
+        let dir = scratch("apply-fail-first");
+        let mut sw = StreamingWarehouse::create(&dir, warehouse_with_s(), 0).unwrap();
+        sw.insert("S", &vec![Value::Int(1)]).unwrap();
+        sw.insert("S", &vec![Value::Int(2)]).unwrap();
+        // The only way warehouse.insert can fail today: wedge a row for a
+        // relation the warehouse does not know straight into the
+        // memtable, standing in for any mid-apply error.
+        sw.memtable.insert("AA_MISSING", 99, vec![Value::Int(3)]);
+        let err = sw.flush().unwrap_err();
+        assert!(matches!(err, IngestError::Warehouse(_)), "{err}");
+        assert_eq!(sw.buffered(), 3, "no drained row may be dropped");
+        let got = sw.query("S", count_all()).unwrap();
+        assert_eq!(got.rows[0][0], Value::Int(2), "overlay still sees both");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_apply_keeps_already_applied_rows_exactly_once() {
+        // "Z_MISSING" sorts after "S": the "S" rows are folded into the
+        // sealed tables before the failure, so only the poison row may
+        // remain buffered — and the applied rows must not double-count.
+        let dir = scratch("apply-fail-last");
+        let mut sw = StreamingWarehouse::create(&dir, warehouse_with_s(), 0).unwrap();
+        sw.insert("S", &vec![Value::Int(1)]).unwrap();
+        sw.insert("S", &vec![Value::Int(2)]).unwrap();
+        sw.memtable.insert("Z_MISSING", 99, vec![Value::Int(3)]);
+        let err = sw.flush().unwrap_err();
+        assert!(matches!(err, IngestError::Warehouse(_)), "{err}");
+        assert_eq!(sw.buffered(), 1, "only the unapplied row stays");
+        let got = sw.query("S", count_all()).unwrap();
+        assert_eq!(got.rows[0][0], Value::Int(2), "applied exactly once");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

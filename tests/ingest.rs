@@ -21,7 +21,7 @@ use std::sync::Arc;
 use smadb::exec::{AggSpec, AggregateQuery};
 use smadb::ingest::{FlushStage, StreamingWarehouse, WAL_FILE};
 use smadb::sma::{col, BucketPred, CmpOp};
-use smadb::storage::test_util::{scratch_path, CrashStore};
+use smadb::storage::test_util::{scratch_path, CrashStore, FaultConfig};
 use smadb::storage::{Table, Wal, PAGE_SIZE};
 use smadb::tpcd::{generate_lineitem_table, lineitem_schema, Clustering, GenConfig};
 use smadb::types::{Column, DataType, Schema, StdRng, Tuple, Value, WalRecord};
@@ -456,6 +456,70 @@ fn torn_wal_tail_loses_only_the_final_record() {
         bulk_reference(&(0..9).map(small_tuple).collect::<Vec<_>>(), i64::MAX);
     assert_eq!(got.rows, expected);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------- sync storms
+
+/// Regression: an insert whose fsync fails must burn its sequence
+/// number. The failed frame may already sit (durably, even) in the WAL
+/// tail, so a later insert reusing the seq would write a duplicate frame
+/// — and replay stops at the first non-increasing seq, silently cutting
+/// off every acknowledged record behind it.
+#[test]
+fn failed_sync_burns_its_sequence_number() {
+    for seed in seeds() {
+        let config = FaultConfig::seeded(seed).with_sync_faults(30);
+        let dir = scratch_path(&format!("ingest-syncstorm-{seed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sw = StreamingWarehouse::create_with_wal_store(
+            &dir,
+            small_warehouse(),
+            0,
+            CrashStore::with_config(config),
+        );
+        let mut sw = match sw {
+            Ok(sw) => sw,
+            Err(_) => {
+                // The device failed the WAL's very first fsync: the log
+                // was never born, nothing was ever acknowledged. Legal.
+                std::fs::remove_dir_all(&dir).unwrap();
+                continue;
+            }
+        };
+        let epoch = sw.epoch();
+        let mut acked: Vec<(u64, Tuple)> = Vec::new();
+        let mut failed = 0usize;
+        for i in 0..60 {
+            match sw.insert("S", &small_tuple(i)) {
+                Ok(seq) => acked.push((seq, small_tuple(i))),
+                Err(_) => failed += 1,
+            }
+        }
+        assert!(failed > 0, "seed {seed}: 30% over 60 draws must fire");
+        assert!(!acked.is_empty(), "seed {seed}: some syncs must land");
+
+        // Despite the storm, queries see exactly the acknowledged tuples.
+        let acked_tuples: Vec<Tuple> = acked.iter().map(|(_, t)| t.clone()).collect();
+        let got = sw.query("S", small_query(i64::MAX)).unwrap();
+        assert_eq!(
+            got.rows,
+            bulk_reference(&acked_tuples, i64::MAX),
+            "seed {seed}"
+        );
+
+        // The crash: replay the raw WAL store. Every acknowledged record
+        // must survive — a reused seq would end replay at the duplicate
+        // frame and lose everything acknowledged after it.
+        let (_, replay) = Wal::open(sw.into_wal_store(), epoch).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        for (seq, _) in &acked {
+            assert!(
+                seqs.contains(seq),
+                "seed {seed}: acked seq {seq} lost in replay (got {seqs:?})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 /// Auto-flush by threshold: inserts trigger flushes on their own, epochs
