@@ -18,7 +18,8 @@
 //! * `e10` — zero-copy scan kernels vs their materializing predecessors
 //!   (also writes `BENCH_scan_kernels.json` at the repo root)
 //! * `e11` — durable streaming ingest: WAL overhead per acked insert and
-//!   memtable-overlay query interference (writes `BENCH_ingest.json`)
+//!   memtable-overlay query interference, plus the E12 group-commit batch
+//!   sweep (writes `BENCH_ingest.json`)
 //!
 //! Scale with `SMA_SF` (default 0.002). Shapes, not absolute numbers, are
 //! the reproduction target: the paper ran on 1997 SCSI disks at SF 1.
@@ -117,12 +118,37 @@ fn e11_ingest() {
         r.wal_overhead(),
         r.overlay_penalty()
     );
+
+    println!("\n--- E12: group commit — the fsync amortized over the batch ---");
+    let points = sma_bench::ingest::group_commit_timings(9, &[1, 8, 64]);
+    println!(
+        "{:>12} {:>18} {:>14}",
+        "batch_rows", "insert (median)", "wal overhead"
+    );
+    let mut e12_entries = String::new();
+    for p in &points {
+        println!(
+            "{:>12} {:>14}/row {:>13.2}x",
+            p.batch_rows,
+            sma_bench::harness::fmt_ns(p.streamed_insert_ns as f64),
+            p.wal_overhead_factor
+        );
+        if !e12_entries.is_empty() {
+            e12_entries.push_str(",\n");
+        }
+        e12_entries.push_str(&format!(
+            "    {{\"batch_rows\": {}, \"streamed_insert_ns_per_row\": {}, \"wal_overhead_factor\": {:.3}}}",
+            p.batch_rows, p.streamed_insert_ns, p.wal_overhead_factor
+        ));
+    }
+
     let json = format!(
         "{{\n  \"experiment\": \"ingest\",\n  \"rows\": {},\n  \
          \"streamed_insert_ns_per_row\": {},\n  \"bulk_insert_ns_per_row\": {},\n  \
          \"wal_overhead_factor\": {:.3},\n  \"overlay_query_ns\": {},\n  \
          \"flushed_query_ns\": {},\n  \"overlay_penalty_factor\": {:.3},\n  \
-         \"flush_ns\": {},\n  \"recovery_replay_ns\": {}\n}}\n",
+         \"flush_ns\": {},\n  \"recovery_replay_ns\": {},\n  \
+         \"e12_group_commit\": [\n{}\n  ]\n}}\n",
         r.rows,
         r.streamed_insert_ns,
         r.bulk_insert_ns,
@@ -131,7 +157,8 @@ fn e11_ingest() {
         r.flushed_query_ns,
         r.overlay_penalty(),
         r.flush_ns,
-        r.recovery_ns
+        r.recovery_ns,
+        e12_entries
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
     match std::fs::write(path, json) {

@@ -22,10 +22,11 @@
 //! answer of a plain bulk load, so the numbers compare equals.
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use smadb::compact::CompactionPolicy;
 use smadb::exec::{AggSpec, AggregateQuery};
-use smadb::ingest::StreamingWarehouse;
+use smadb::ingest::{CommitPolicy, StreamingWarehouse};
 use smadb::sma::{col, BucketPred, CmpOp};
 use smadb::storage::Table;
 use smadb::tpcd::{generate_lineitem_table, lineitem_schema, Clustering, GenConfig};
@@ -266,4 +267,84 @@ pub fn ingest_timings(samples: usize) -> IngestReport {
         flush_ns,
         recovery_ns,
     }
+}
+
+/// One group-commit batch size, measured for E12.
+#[derive(Debug, Clone)]
+pub struct GroupCommitPoint {
+    /// Rows per commit group ([`CommitPolicy::batch_rows`]).
+    pub batch_rows: usize,
+    /// Per-row cost of a streamed acknowledged insert under that policy
+    /// (the trailing open group is committed inside the timed region, so
+    /// every row is durable when the clock stops).
+    pub streamed_insert_ns: u64,
+    /// Durability price against the no-WAL bulk baseline.
+    pub wal_overhead_factor: f64,
+}
+
+/// Times streamed ingest under each group-commit batch size against the
+/// bulk baseline — the E12 claim that one fsync per group amortizes the
+/// durability price across the whole group.
+///
+/// Before timing, each batch size is run once through the full machinery —
+/// threshold flushes cutting delta segments and the automatic compactor
+/// merging them — and asserted byte-identical to the bulk answer, so the
+/// numbers describe a configuration whose correctness was just proved.
+pub fn group_commit_timings(samples: usize, batches: &[usize]) -> Vec<GroupCommitPoint> {
+    let fx = IngestFixture::new("group-commit", 150);
+    let n = fx.rows.len().max(1) as u64;
+    let expected = fx.bulk_answer();
+    let bulk_insert_ns = median_ns(samples, || {
+        let mut w = fx.fresh_warehouse();
+        for t in &fx.rows {
+            w.insert("LINEITEM", t).expect("insert");
+        }
+        std::hint::black_box(&w);
+    }) / n;
+
+    batches
+        .iter()
+        .map(|&batch| {
+            let policy = CommitPolicy {
+                batch_rows: batch,
+                max_delay: Duration::ZERO,
+            };
+            // Correctness first: stream with threshold flushes and the
+            // compactor running, and demand the bulk answer.
+            let check_dir = fx.sample_dir(&format!("batch-{batch}-check"));
+            let mut sw =
+                StreamingWarehouse::create(&check_dir, fx.fresh_warehouse(), 64).expect("create");
+            sw.set_commit_policy(policy);
+            sw.set_compaction_policy(CompactionPolicy { max_segments: 4 });
+            for t in &fx.rows {
+                sw.insert("LINEITEM", t).expect("insert");
+                assert!(sw.take_flush_error().is_none(), "threshold flush failed");
+            }
+            sw.flush().expect("final flush");
+            assert_eq!(
+                sw.query("LINEITEM", fx.query.clone()).expect("query").rows,
+                expected,
+                "batch {batch}: group commit + compaction must not change answers"
+            );
+            drop(sw);
+
+            // Then the timed path: pure ingest, one fsync per group.
+            let dir = fx.sample_dir(&format!("batch-{batch}"));
+            let streamed_insert_ns = median_ns(samples, || {
+                let mut sw =
+                    StreamingWarehouse::create(&dir, fx.fresh_warehouse(), 0).expect("create");
+                sw.set_commit_policy(policy);
+                for t in &fx.rows {
+                    sw.insert("LINEITEM", t).expect("insert");
+                }
+                sw.commit().expect("trailing group");
+                std::hint::black_box(&sw);
+            }) / n;
+            GroupCommitPoint {
+                batch_rows: batch,
+                streamed_insert_ns,
+                wal_overhead_factor: streamed_insert_ns as f64 / bulk_insert_ns.max(1) as f64,
+            }
+        })
+        .collect()
 }

@@ -708,6 +708,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_overlay_is_a_true_noop_for_every_plan_kind() {
+        // `with_overlay(vec![])` must leave the plan exactly as planned —
+        // same kind, same rows, same Avg→Sum/Count rewrite, no merge
+        // layer — so a fully-flushed streaming warehouse is
+        // indistinguishable from a bulk-loaded one.
+        let t = make_table(60, true);
+        let set = full_set(&t);
+        let q = AggregateQuery {
+            pred: BucketPred::cmp(0, CmpOp::Le, 10),
+            group_by: vec![1],
+            specs: vec![
+                AggSpec::CountStar,
+                AggSpec::Sum(col(2)),
+                AggSpec::Avg(col(2)),
+            ],
+        };
+        let baseline = plan(&t, q.clone(), Some(&set), &PlannerConfig::default());
+        let kind = baseline.kind;
+        let want = baseline.execute().unwrap();
+        let wrapped =
+            plan(&t, q.clone(), Some(&set), &PlannerConfig::default()).with_overlay(Vec::new());
+        assert_eq!(
+            wrapped.kind, kind,
+            "an empty overlay must not change the plan kind"
+        );
+        assert_eq!(wrapped.execute().unwrap(), want);
+    }
+
+    #[test]
     fn overlay_only_groups_and_empty_overlay() {
         // Groups that exist only in the overlay must appear; an overlay
         // none of whose tuples pass the predicate must change nothing.

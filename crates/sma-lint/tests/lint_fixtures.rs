@@ -183,6 +183,17 @@ fn d3_raw_fsync_outside_store_module() {
 }
 
 #[test]
+fn d3_covers_the_compactor_module() {
+    // The compaction workers write whole segment files; their fsyncs must
+    // still go through the storage-layer seam like everyone else's.
+    let src = "pub fn merge(f: &std::fs::File) -> std::io::Result<()> {\n\
+               \tf.sync_all()\n\
+               }\n";
+    let got = fire("src/compact.rs", src);
+    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
+}
+
+#[test]
 fn d3_silent_in_store_module_and_tests() {
     let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
                \tf.sync_all()\n\

@@ -5,6 +5,8 @@
 //! * [`page`] — slotted 4 KiB pages,
 //! * [`store`] — page stores ([`MemStore`], [`FileStore`]),
 //! * [`pool`] — LRU buffer pool with I/O accounting (cold vs. warm),
+//! * [`segment`] — layered read-only segments + copy-on-write overlay for
+//!   incrementally-flushed tables,
 //! * [`table`] — heap tables with positional *buckets*, the SMA granularity,
 //! * [`cost`] — deterministic pricing of observed I/O patterns,
 //! * [`wal`] / [`memtable`] — the durable streaming-ingest pair: an
@@ -28,6 +30,7 @@ pub mod cost;
 pub mod memtable;
 pub mod page;
 pub mod pool;
+pub mod segment;
 pub mod store;
 pub mod table;
 pub mod test_util;
@@ -38,6 +41,7 @@ pub use cost::{CostModel, Stopwatch};
 pub use memtable::{MemRow, Memtable};
 pub use page::{SlotId, SlottedPage, MAX_TUPLE_BYTES, PAGE_FOOTER_LEN, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, RetryPolicy};
+pub use segment::SegmentedStore;
 pub use store::{atomic_write_file, sync_dir, FileStore, MemStore, PageNo, PageStore, StoreError};
 pub use table::{BucketNo, PageVerification, Table, TableError, TupleId};
 pub use test_util::{FaultConfig, FaultPlan};

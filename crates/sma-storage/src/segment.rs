@@ -1,0 +1,227 @@
+//! Layered page store for incrementally-flushed tables.
+//!
+//! A streaming flush appends a *delta segment* — a file holding only the
+//! pages written since the previous flush — instead of rewriting the
+//! whole table (see `smadb::ingest`). [`SegmentedStore`] reassembles the
+//! table from the committed segment set: each segment is a read-only page
+//! file covering a contiguous page range `[start, start + pages)`, later
+//! segments shadowing earlier ones where ranges overlap (the one shared
+//! boundary page a delta re-exports because appends top it up).
+//!
+//! All writes land in an in-memory copy-on-write overlay, never in the
+//! segment files: a committed generation is immutable by protocol, and a
+//! mutated base file would corrupt the previous commit point *before* the
+//! next manifest rename. Durability for overlay pages comes from the WAL
+//! until the next flush exports them into a fresh delta segment, so
+//! [`SegmentedStore`]'s `sync` is deliberately a no-op.
+
+use std::collections::BTreeMap;
+
+use crate::page::PAGE_SIZE;
+use crate::store::{PageNo, PageStore, StoreError};
+
+/// One read-only base segment: a page store whose page `i` holds the
+/// table's page `start + i`.
+struct Segment {
+    store: Box<dyn PageStore>,
+    start: PageNo,
+    pages: PageNo,
+}
+
+/// A table page store assembled from immutable base segments plus a
+/// copy-on-write overlay for every page written after open.
+pub struct SegmentedStore {
+    /// Base segments in commit order — later entries shadow earlier ones
+    /// on overlapping page ranges.
+    segments: Vec<Segment>,
+    /// Pages written since open; shadows every base segment.
+    overlay: BTreeMap<PageNo, Box<[u8; PAGE_SIZE]>>,
+    /// Logical page count (max segment end, grown by `allocate`).
+    pages: PageNo,
+}
+
+impl SegmentedStore {
+    /// Assembles a store from `(store, start, pages)` base segments, in
+    /// commit order. Fails if a segment's backing store does not hold
+    /// exactly the page count the (checksummed) manifest recorded for it
+    /// — a truncated or swapped segment file must not open quietly.
+    pub fn new(
+        segments: Vec<(Box<dyn PageStore>, PageNo, PageNo)>,
+    ) -> Result<SegmentedStore, StoreError> {
+        let mut out = Vec::with_capacity(segments.len());
+        let mut pages: PageNo = 0;
+        for (store, start, declared) in segments {
+            let actual = store.page_count();
+            if actual != declared {
+                return Err(StoreError::Corrupt {
+                    page: start,
+                    detail: format!(
+                        "segment at page {start} holds {actual} pages, manifest says {declared}"
+                    ),
+                });
+            }
+            pages = pages.max(start + declared);
+            out.push(Segment {
+                store,
+                start,
+                pages: declared,
+            });
+        }
+        Ok(SegmentedStore {
+            segments: out,
+            overlay: BTreeMap::new(),
+            pages,
+        })
+    }
+
+    /// Number of base segments (not counting the overlay).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Pages currently resident in the copy-on-write overlay.
+    pub fn overlay_pages(&self) -> usize {
+        self.overlay.len()
+    }
+}
+
+impl PageStore for SegmentedStore {
+    fn page_count(&self) -> PageNo {
+        self.pages
+    }
+
+    fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+        if no >= self.pages {
+            return Err(StoreError::OutOfRange {
+                page: no,
+                count: self.pages,
+            });
+        }
+        if let Some(img) = self.overlay.get(&no) {
+            buf.copy_from_slice(&img[..]);
+            return Ok(());
+        }
+        // Later segments shadow earlier ones, so resolve newest-first.
+        for seg in self.segments.iter().rev() {
+            if no >= seg.start && no < seg.start + seg.pages {
+                return seg.store.read_page(no - seg.start, buf);
+            }
+        }
+        Err(StoreError::Corrupt {
+            page: no,
+            detail: "page not covered by any committed segment".into(),
+        })
+    }
+
+    fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+        if no >= self.pages {
+            return Err(StoreError::OutOfRange {
+                page: no,
+                count: self.pages,
+            });
+        }
+        let mut img = Box::new([0u8; PAGE_SIZE]);
+        img.copy_from_slice(buf);
+        self.overlay.insert(no, img);
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> Result<PageNo, StoreError> {
+        let no = self.pages;
+        self.overlay.insert(no, Box::new([0u8; PAGE_SIZE]));
+        self.pages += 1;
+        Ok(no)
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        // Overlay pages are WAL-protected until the next flush exports
+        // them into a delta segment; the base segments are immutable.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn page_of(byte: u8) -> [u8; PAGE_SIZE] {
+        [byte; PAGE_SIZE]
+    }
+
+    fn seg(fill: &[u8]) -> Box<dyn PageStore> {
+        let mut s = MemStore::new();
+        for &b in fill {
+            let no = s.allocate().unwrap();
+            s.write_page(no, &page_of(b)).unwrap();
+        }
+        Box::new(s)
+    }
+
+    #[test]
+    fn later_segments_shadow_earlier_on_overlap() {
+        // Base covers pages 0..3 as [1,2,3]; a delta re-exports pages
+        // 2..4 as [9,4]: the boundary page 2 must read from the delta.
+        let store =
+            SegmentedStore::new(vec![(seg(&[1, 2, 3]), 0, 3), (seg(&[9, 4]), 2, 2)]).unwrap();
+        assert_eq!(store.page_count(), 4);
+        assert_eq!(store.segment_count(), 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        for (no, want) in [(0u32, 1u8), (1, 2), (2, 9), (3, 4)] {
+            store.read_page(no, &mut buf).unwrap();
+            assert_eq!(buf[0], want, "page {no}");
+        }
+    }
+
+    #[test]
+    fn writes_go_to_the_overlay_not_the_segments() {
+        let base = seg(&[1, 2]);
+        let mut store = SegmentedStore::new(vec![(base, 0, 2)]).unwrap();
+        store.write_page(1, &page_of(7)).unwrap();
+        let no = store.allocate().unwrap();
+        assert_eq!(no, 2);
+        store.write_page(2, &page_of(8)).unwrap();
+        assert_eq!(store.overlay_pages(), 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "unwritten page still served by the base");
+        store.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 7, "overlay shadows the base");
+        store.read_page(2, &mut buf).unwrap();
+        assert_eq!(buf[0], 8);
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn page_count_mismatch_is_corruption() {
+        let err = match SegmentedStore::new(vec![(seg(&[1, 2]), 0, 3)]) {
+            Err(e) => e,
+            Ok(_) => panic!("page-count mismatch must not open"),
+        };
+        assert!(matches!(err, StoreError::Corrupt { page: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_and_uncovered_pages_fail_loudly() {
+        // A hole: segment starts at page 1, nothing covers page 0.
+        let store = SegmentedStore::new(vec![(seg(&[5]), 1, 1)]).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            store.read_page(0, &mut buf),
+            Err(StoreError::Corrupt { page: 0, .. })
+        ));
+        assert!(matches!(
+            store.read_page(9, &mut buf),
+            Err(StoreError::OutOfRange { page: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn allocate_extends_past_the_base_segments() {
+        let mut store = SegmentedStore::new(vec![(seg(&[1]), 0, 1)]).unwrap();
+        assert_eq!(store.allocate().unwrap(), 1);
+        let mut buf = [0xFFu8; PAGE_SIZE];
+        store.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "fresh page reads zeroed");
+    }
+}

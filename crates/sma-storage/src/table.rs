@@ -111,6 +111,10 @@ pub struct Table {
     pool: BufferPool,
     bucket_pages: u32,
     live_tuples: u64,
+    /// Lowest page mutated since the last [`Table::seal`] — the start of
+    /// the range an incremental flush must export. `None` means sealed:
+    /// every page is covered by the committed segment set.
+    min_dirty: Option<PageNo>,
 }
 
 impl fmt::Debug for Table {
@@ -144,6 +148,7 @@ impl Table {
             pool: BufferPool::new(store, pool_capacity),
             bucket_pages,
             live_tuples: 0,
+            min_dirty: None,
         }
     }
 
@@ -222,10 +227,12 @@ impl Table {
             })??;
             if let Some(slot) = slot {
                 self.live_tuples += 1;
+                self.note_dirty(last);
                 return Ok(TupleId { page: last, slot });
             }
         }
         let no = self.pool.allocate()?;
+        self.note_dirty(no);
         let slot = self.pool.with_page_mut(no, |buf| {
             let mut page = SlottedPage::new();
             let slot = page.insert(&image);
@@ -274,6 +281,7 @@ impl Table {
             return Err(TableError::NotFound(tid));
         }
         self.live_tuples -= 1;
+        self.note_dirty(tid.page);
         Ok(())
     }
 
@@ -304,7 +312,32 @@ impl Table {
                 None => Err(TableError::UpdateWouldMove(tid)),
             }
         })?;
+        if result.is_ok() {
+            self.note_dirty(tid.page);
+        }
         result
+    }
+
+    fn note_dirty(&mut self, page: PageNo) {
+        self.min_dirty = Some(match self.min_dirty {
+            Some(p) => p.min(page),
+            None => page,
+        });
+    }
+
+    /// The first page not covered by the last [`Table::seal`] — the start
+    /// of the range an incremental flush must export. Equals
+    /// [`Table::page_count`] when nothing changed since sealing.
+    pub fn unsealed_from(&self) -> PageNo {
+        self.min_dirty.unwrap_or_else(|| self.page_count())
+    }
+
+    /// Marks every current page as covered by the committed segment set.
+    /// Called by the flush path *after* its manifest commit succeeds —
+    /// sealing earlier would let a failed flush silently drop the pages a
+    /// retry still needs to export.
+    pub fn seal(&mut self) {
+        self.min_dirty = None;
     }
 
     /// Visits every live tuple image on `page_no` in slot order, borrowed
@@ -419,17 +452,36 @@ impl Table {
         Ok(())
     }
 
-    /// Copies every page image into `dest`, flushing first so the exported
-    /// images carry valid checksum footers. `dest` ends up with exactly
-    /// this table's pages (it must start empty).
+    /// Copies every page image into `dest` (which must start empty).
+    ///
+    /// The source store is never written: dirty pool frames are read in
+    /// place and each exported image is re-stamped with its checksum
+    /// footer before it leaves. Exporting used to flush the pool first,
+    /// which silently mutated the table's *own* backing file — for a
+    /// table reopened from a committed generation that rewrote committed
+    /// state before the next commit point, breaking crash atomicity.
     pub fn export_to_store(&self, dest: &mut dyn PageStore) -> Result<(), TableError> {
-        self.flush()?;
-        for no in 0..self.page_count() {
-            let image = self.pool.with_page(no, |buf| *buf)?;
-            while dest.page_count() <= no {
+        self.export_page_range(dest, 0)
+    }
+
+    /// Copies pages `from..page_count` into `dest`, renumbered from zero
+    /// (page `from + i` of this table becomes page `i` of `dest`) — the
+    /// delta-segment export for incremental flushes. `dest` must start
+    /// empty; the source store is never written (see
+    /// [`Table::export_to_store`]).
+    pub fn export_page_range(
+        &self,
+        dest: &mut dyn PageStore,
+        from: PageNo,
+    ) -> Result<(), TableError> {
+        for no in from..self.page_count() {
+            let mut image = self.pool.with_page(no, |buf| *buf)?;
+            crate::page::stamp_page(&mut image);
+            let local = no - from;
+            while dest.page_count() <= local {
                 dest.allocate()?;
             }
-            dest.write_page(no, &image[..])?;
+            dest.write_page(local, &image[..])?;
         }
         dest.sync()?;
         Ok(())
@@ -753,5 +805,70 @@ mod tests {
             assert_eq!(rows[9].1[0], Value::Int(9));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seal_and_range_export_reassemble_through_segments() {
+        use crate::segment::SegmentedStore;
+        let mut t = Table::in_memory("t", schema(), 1);
+        let long = "x".repeat(900);
+        for k in 0..12 {
+            t.append(&tuple(k, &long)).unwrap();
+        }
+        assert_eq!(t.unsealed_from(), 0, "never sealed: everything is dirty");
+        // Export the full base, seal, then append more rows.
+        let mut base = MemStore::new();
+        t.export_to_store(&mut base).unwrap();
+        let sealed_pages = t.page_count();
+        t.seal();
+        assert_eq!(
+            t.unsealed_from(),
+            sealed_pages,
+            "sealed table has no dirty range"
+        );
+        for k in 12..20 {
+            t.append(&tuple(k, &long)).unwrap();
+        }
+        let from = t.unsealed_from();
+        assert!(from < t.page_count());
+        assert!(
+            from + 1 >= sealed_pages,
+            "delta starts at the sealed boundary page, not earlier"
+        );
+        let mut delta = MemStore::new();
+        t.export_page_range(&mut delta, from).unwrap();
+        assert_eq!(delta.page_count(), t.page_count() - from);
+        // Reassemble: base shadowed by the delta reproduces the table.
+        let delta_pages = t.page_count() - from;
+        let store = SegmentedStore::new(vec![
+            (Box::new(base) as Box<dyn PageStore>, 0, sealed_pages),
+            (Box::new(delta), from, delta_pages),
+        ])
+        .unwrap();
+        let back = Table::new("t", schema(), Box::new(store), 64, 1);
+        let keys: Vec<i64> = back
+            .scan()
+            .unwrap()
+            .iter()
+            .map(|(_, tu)| tu[0].as_int().unwrap())
+            .collect();
+        assert_eq!(keys, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn export_never_writes_the_source_store() {
+        let mut t = Table::in_memory("t", schema(), 1);
+        let long = "x".repeat(900);
+        for k in 0..12 {
+            t.append(&tuple(k, &long)).unwrap();
+        }
+        t.reset_io_stats();
+        let mut dest = MemStore::new();
+        t.export_to_store(&mut dest).unwrap();
+        assert_eq!(
+            t.io_stats().physical_writes,
+            0,
+            "export must copy pages without flushing them into the source"
+        );
     }
 }

@@ -4,17 +4,31 @@
 //! survives crashes at any byte:
 //!
 //! 1. **Log** — every insert is framed into the write-ahead log
-//!    ([`sma_storage::Wal`]) and fsynced; only then is it acknowledged.
+//!    ([`sma_storage::Wal`]). A [`CommitPolicy`] groups frames: the log is
+//!    fsynced once per group (every `batch_rows` rows, or when `max_delay`
+//!    expires), and every row of the group is acknowledged together behind
+//!    that single sync. The default policy (`batch_rows = 1`) syncs and
+//!    acknowledges each insert individually.
 //! 2. **Buffer** — acknowledged tuples live in a [`Memtable`] and are
 //!    visible to queries immediately: plans run over the sealed segments
 //!    and merge the memtable as an overlay, producing byte-identical
-//!    results to a bulk-loaded equivalent.
+//!    results to a bulk-loaded equivalent. Rows of a still-open group are
+//!    *staged*: appended to the log but neither acknowledged nor visible
+//!    until the group's sync lands.
 //! 3. **Flush** — when the memtable reaches its threshold (or on demand)
 //!    the buffered tuples are folded into the sealed tables through the
 //!    ordinary insert path, so SMAs are maintained online and the physical
-//!    bucket layout matches a bulk load. The new generation is written to
-//!    fresh `.e{epoch}` segment files, committed by atomically replacing
-//!    the manifest, and only then is the WAL truncated.
+//!    bucket layout matches a bulk load. The flush exports only the pages
+//!    written since the previous flush into a fresh `.e{epoch}` *delta
+//!    segment* per touched table (plus that generation's SMA images),
+//!    commits by atomically replacing the manifest — whose per-table
+//!    segment lists a reopen reassembles through
+//!    [`sma_storage::SegmentedStore`] — and only then truncates the WAL.
+//! 4. **Compaction** — delta segments accumulate until a
+//!    [`CompactionPolicy`](crate::compact::CompactionPolicy) threshold
+//!    triggers a [`compact`](StreamingWarehouse::compact): a full rewrite
+//!    that merges every table back to a single segment and rebuilds
+//!    hierarchical SMAs (see [`crate::compact`]).
 //!
 //! The flush protocol's commit point is the manifest rename. Every earlier
 //! step only adds files the old manifest does not reference; every later
@@ -22,20 +36,26 @@
 //! any stage therefore recovers to exactly one committed generation plus
 //! the WAL suffix past its watermark — no acknowledged tuple is lost, none
 //! is applied twice. [`StreamingWarehouse::flush_until`] exposes each stage
-//! so the crash tests can stop the protocol at every seam.
+//! so the crash tests can stop the protocol at every seam, and a
+//! `pending` checkpoint remembers post-commit stages that still owe
+//! cleanup, so an error after the commit point is finished by the next
+//! flush instead of leaking debris until restart.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
+use crate::compact::CompactionPolicy;
 use crate::warehouse::{
     commit_manifest, manifest_files, CommitMeta, QueryResult, RecoveryReport, Warehouse,
     WarehouseError,
 };
+use sma_core::HierarchicalMinMax;
 use sma_exec::AggregateQuery;
-use sma_storage::{make_wal_record, FileStore, Memtable, PageStore, StoreError, Wal};
+use sma_storage::{make_wal_record, FileStore, Memtable, PageStore, Stopwatch, StoreError, Wal};
 use sma_types::{CodecError, Tuple};
 
 /// File name of the ingest write-ahead log inside the warehouse directory.
@@ -126,6 +146,35 @@ pub enum FlushStage {
     Complete,
 }
 
+/// When staged WAL frames are made durable (one `Wal::sync`) and their
+/// rows acknowledged as a group.
+///
+/// The group closes — sync, acknowledge, clear — when it holds
+/// `batch_rows` rows, or earlier when `max_delay` has elapsed since its
+/// first row was staged. The default (`batch_rows = 1`) preserves the
+/// one-fsync-per-insert contract; larger batches amortize the fsync over
+/// the whole group at the cost of rows riding unacknowledged (and
+/// query-invisible) until the group boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitPolicy {
+    /// Rows per group; `0` is treated as `1`. Each group costs one fsync.
+    pub batch_rows: usize,
+    /// Close the group early once this much wall-clock time has passed
+    /// since its first row was staged. `Duration::ZERO` disables the
+    /// deadline (groups close on `batch_rows` alone or an explicit
+    /// [`StreamingWarehouse::commit`]).
+    pub max_delay: Duration,
+}
+
+impl Default for CommitPolicy {
+    fn default() -> CommitPolicy {
+        CommitPolicy {
+            batch_rows: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
 /// What [`StreamingWarehouse::open_with_recovery`] found and did.
 #[derive(Debug, Default)]
 pub struct IngestRecoveryReport {
@@ -189,12 +238,37 @@ impl IngestRecoveryReport {
 /// # std::fs::remove_dir_all(&dir).ok();
 /// ```
 pub struct StreamingWarehouse<S: PageStore = FileStore> {
-    warehouse: Warehouse,
-    dir: PathBuf,
+    pub(crate) warehouse: Warehouse,
+    pub(crate) dir: PathBuf,
     wal: Wal<S>,
     memtable: Memtable,
     next_seq: u64,
     flush_threshold: usize,
+    commit_policy: CommitPolicy,
+    /// Rows of the open commit group: appended to the WAL but not yet
+    /// covered by a sync — not acknowledged, not query-visible.
+    staged: Vec<(String, u64, Tuple)>,
+    /// Started when the open group's first row was staged; drives
+    /// [`CommitPolicy::max_delay`].
+    group_timer: Option<Stopwatch>,
+    /// Highest sequence number covered by a successful group sync — the
+    /// acknowledgment frontier.
+    durable_seq: u64,
+    /// Error from a threshold-triggered flush inside `insert`. The insert
+    /// itself succeeded (its row is durable and acknowledged), so the
+    /// flush failure is surfaced here instead of on the insert's result.
+    pending_flush_error: Option<IngestError>,
+    /// Checkpoint of an unfinished flush protocol run: the last stage
+    /// that completed before an early return or an error. The next flush
+    /// resumes from here even when the memtable is empty — without it, an
+    /// error after the commit point would strand old-generation debris
+    /// and a stale WAL epoch until restart.
+    pending: Option<FlushStage>,
+    /// When background compaction fires (see [`crate::compact`]).
+    pub(crate) compaction: CompactionPolicy,
+    /// Hierarchical min/max SMAs rebuilt by the last compaction, keyed
+    /// `"RELATION:min_name/max_name"`.
+    pub(crate) hierarchies: BTreeMap<String, HierarchicalMinMax>,
 }
 
 impl StreamingWarehouse {
@@ -206,11 +280,11 @@ impl StreamingWarehouse {
     /// [`StreamingWarehouse::insert`]; `0` disables automatic flushing.
     pub fn create(
         dir: impl AsRef<Path>,
-        warehouse: Warehouse,
+        mut warehouse: Warehouse,
         flush_threshold: usize,
     ) -> Result<StreamingWarehouse, IngestError> {
         let dir = dir.as_ref().to_path_buf();
-        warehouse.save_to_dir(&dir)?;
+        seal_initial_generation(&mut warehouse, &dir)?;
         let store = FileStore::create(dir.join(WAL_FILE))?;
         StreamingWarehouse::with_wal_store(dir, warehouse, flush_threshold, store)
     }
@@ -248,10 +322,10 @@ impl StreamingWarehouse {
             // The log vanished entirely. By protocol it only ever holds
             // unflushed acknowledged records, so this loses whatever was
             // buffered — report it as a reset rather than failing hard.
-            let wal = Wal::create(FileStore::create(&wal_path)?, warehouse.epoch())?;
+            let wal = Wal::create(FileStore::create(&wal_path)?, warehouse.wal_epoch())?;
             (wal, sma_storage::WalReplay::default())
         } else {
-            Wal::open(FileStore::open(&wal_path)?, warehouse.epoch())?
+            Wal::open(FileStore::open(&wal_path)?, warehouse.wal_epoch())?
         };
         report.torn_tail = replay.torn_tail;
         report.wal_reset = replay.header_reset || wal_missing;
@@ -259,7 +333,11 @@ impl StreamingWarehouse {
         let mut memtable = Memtable::new();
         let mut next_seq = warehouse.watermark() + 1;
         for rec in &replay.records {
-            if rec.epoch != warehouse.epoch() || rec.seq <= warehouse.watermark() {
+            // Filter on the *WAL* epoch, not the catalog epoch: a
+            // compaction advances the catalog epoch without truncating
+            // the log, and records appended between the compaction and a
+            // crash are acknowledged — dropping them would lose data.
+            if rec.epoch != warehouse.wal_epoch() || rec.seq <= warehouse.watermark() {
                 // Stale epoch or already folded into the sealed
                 // generation: applying it again would duplicate the tuple.
                 report.skipped += 1;
@@ -273,13 +351,14 @@ impl StreamingWarehouse {
             next_seq = rec.seq + 1;
             report.replayed += 1;
         }
-        if wal.epoch() != warehouse.epoch() {
+        if wal.epoch() != warehouse.wal_epoch() {
             // Crash after manifest commit, before WAL truncation: finish
             // the interrupted protocol now.
-            wal.truncate(warehouse.epoch())?;
+            wal.truncate(warehouse.wal_epoch())?;
             report.wal_realigned = true;
         }
 
+        let durable_seq = next_seq - 1;
         Ok((
             StreamingWarehouse {
                 warehouse,
@@ -288,10 +367,33 @@ impl StreamingWarehouse {
                 memtable,
                 next_seq,
                 flush_threshold,
+                commit_policy: CommitPolicy::default(),
+                staged: Vec::new(),
+                group_timer: None,
+                durable_seq,
+                pending_flush_error: None,
+                pending: None,
+                compaction: CompactionPolicy::default(),
+                hierarchies: BTreeMap::new(),
             },
             report,
         ))
     }
+}
+
+/// Seals `warehouse` into `dir` as the initial committed generation:
+/// full single-segment export, manifest commit, then the segment lists
+/// are installed so later flushes can append deltas against them.
+fn seal_initial_generation(warehouse: &mut Warehouse, dir: &Path) -> Result<(), IngestError> {
+    let meta = CommitMeta {
+        epoch: warehouse.epoch(),
+        watermark: warehouse.watermark(),
+        wal_epoch: warehouse.wal_epoch(),
+    };
+    let (stream, lists) = warehouse.save_generation(dir, meta, "")?;
+    commit_manifest(dir, &stream)?;
+    warehouse.install_segments(lists);
+    Ok(())
 }
 
 impl<S: PageStore> StreamingWarehouse<S> {
@@ -302,12 +404,12 @@ impl<S: PageStore> StreamingWarehouse<S> {
     /// to `dir`.
     pub fn create_with_wal_store(
         dir: impl AsRef<Path>,
-        warehouse: Warehouse,
+        mut warehouse: Warehouse,
         flush_threshold: usize,
         store: S,
     ) -> Result<StreamingWarehouse<S>, IngestError> {
         let dir = dir.as_ref().to_path_buf();
-        warehouse.save_to_dir(&dir)?;
+        seal_initial_generation(&mut warehouse, &dir)?;
         StreamingWarehouse::with_wal_store(dir, warehouse, flush_threshold, store)
     }
 
@@ -318,15 +420,23 @@ impl<S: PageStore> StreamingWarehouse<S> {
         flush_threshold: usize,
         store: S,
     ) -> Result<StreamingWarehouse<S>, IngestError> {
-        let wal = Wal::create(store, warehouse.epoch())?;
+        let wal = Wal::create(store, warehouse.wal_epoch())?;
         let next_seq = warehouse.watermark() + 1;
         Ok(StreamingWarehouse {
+            durable_seq: next_seq - 1,
             warehouse,
             dir,
             wal,
             memtable: Memtable::new(),
             next_seq,
             flush_threshold,
+            commit_policy: CommitPolicy::default(),
+            staged: Vec::new(),
+            group_timer: None,
+            pending_flush_error: None,
+            pending: None,
+            compaction: CompactionPolicy::default(),
+            hierarchies: BTreeMap::new(),
         })
     }
 
@@ -336,12 +446,22 @@ impl<S: PageStore> StreamingWarehouse<S> {
         self.wal.into_store()
     }
 
-    /// Durably inserts one tuple and returns its WAL sequence number.
+    /// Inserts one tuple and returns its WAL sequence number.
     ///
-    /// The tuple is acknowledged — and this method returns `Ok` — only
-    /// after its WAL frame is written *and* fsynced. It is immediately
-    /// visible to [`StreamingWarehouse::query`]. If the memtable has
-    /// reached the flush threshold, a flush runs before returning.
+    /// Under the default [`CommitPolicy`] the tuple is durable — WAL frame
+    /// written *and* fsynced — and query-visible when this returns. With
+    /// `batch_rows > 1` the row is *staged*: `Ok(seq)` means it will be
+    /// durable and visible when its group commits (at the group boundary,
+    /// on an explicit [`StreamingWarehouse::commit`], or at the next
+    /// flush); [`StreamingWarehouse::durable_seq`] tracks the
+    /// acknowledgment frontier. An `Err` from a group sync means the whole
+    /// group was dropped — none of its rows are durable.
+    ///
+    /// A threshold-triggered flush failing does **not** fail the insert:
+    /// the row is already durable and acknowledged at that point, and a
+    /// caller retrying a "failed" insert would duplicate it. The flush
+    /// error is deferred to [`StreamingWarehouse::take_flush_error`] and
+    /// the flush itself retried by the next flush.
     pub fn insert(&mut self, relation: &str, tuple: &Tuple) -> Result<u64, IngestError> {
         let schema = self
             .warehouse
@@ -359,13 +479,58 @@ impl<S: PageStore> StreamingWarehouse<S> {
         // increasing sequence numbers.
         self.next_seq = seq + 1;
         self.wal.append(&rec)?;
-        self.wal.sync()?;
-        // Durable from here: a crash on any later line replays this tuple.
-        self.memtable.insert(relation, seq, tuple.clone());
+        if self.staged.is_empty() {
+            self.group_timer = Some(Stopwatch::start());
+        }
+        self.staged.push((relation.to_string(), seq, tuple.clone()));
+        let batch = self.commit_policy.batch_rows.max(1);
+        let timed_out = !self.commit_policy.max_delay.is_zero()
+            && self
+                .group_timer
+                .as_ref()
+                .map(|t| t.elapsed() >= self.commit_policy.max_delay)
+                .unwrap_or(false);
+        if self.staged.len() >= batch || timed_out {
+            self.commit_group()?;
+        }
         if self.flush_threshold > 0 && self.memtable.len() >= self.flush_threshold {
-            self.flush()?;
+            // The row is durable and acknowledged; a flush failure here
+            // must not be reported as an insert failure (the caller would
+            // retry and double-insert). Stash it instead.
+            if let Err(e) = self.flush() {
+                self.pending_flush_error = Some(e);
+            }
         }
         Ok(seq)
+    }
+
+    /// Commits the open group now: one `Wal::sync` makes every staged row
+    /// durable, acknowledged and query-visible. A no-op when nothing is
+    /// staged. On a sync failure the whole group is dropped (sequence
+    /// numbers stay burned) and none of its rows are durable — exactly the
+    /// per-insert failure contract, applied to the batch.
+    pub fn commit(&mut self) -> Result<(), IngestError> {
+        self.commit_group()
+    }
+
+    fn commit_group(&mut self) -> Result<(), IngestError> {
+        self.group_timer = None;
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        if let Err(e) = self.wal.sync() {
+            // The group's frames may be durably half-written; dropping
+            // the rows (with their seqs burned) keeps replay consistent:
+            // whatever prefix survived the crash sits below `durable_seq`
+            // of a *later* group or is cut at the torn frame.
+            self.staged.clear();
+            return Err(e.into());
+        }
+        for (relation, seq, tuple) in std::mem::take(&mut self.staged) {
+            self.durable_seq = self.durable_seq.max(seq);
+            self.memtable.insert(&relation, seq, tuple);
+        }
+        Ok(())
     }
 
     /// Plans and runs an aggregate query over the union of the sealed
@@ -382,13 +547,19 @@ impl<S: PageStore> StreamingWarehouse<S> {
             .iter()
             .map(|(_, t)| t.clone())
             .collect();
-        let chosen = sma_exec::plan(
+        let base = sma_exec::plan(
             table,
             query,
             self.warehouse.catalog().set_for(relation),
             self.warehouse.planner(),
-        )
-        .with_overlay(overlay);
+        );
+        // A fully-flushed relation must plan *identically* to a
+        // bulk-loaded warehouse — don't wrap an empty overlay.
+        let chosen = if overlay.is_empty() {
+            base
+        } else {
+            base.with_overlay(overlay)
+        };
         let (rows, degradation) = chosen.execute_with_report().map_err(WarehouseError::from)?;
         Ok(QueryResult {
             rows,
@@ -398,9 +569,13 @@ impl<S: PageStore> StreamingWarehouse<S> {
     }
 
     /// Folds the memtable into the sealed tables and commits a new
-    /// generation to disk. Equivalent to `flush_until(FlushStage::Complete)`.
+    /// generation to disk, then lets the compaction policy merge segments
+    /// if their count crossed its threshold. Equivalent to
+    /// `flush_until(FlushStage::Complete)` + a possible
+    /// [`StreamingWarehouse::compact`].
     pub fn flush(&mut self) -> Result<(), IngestError> {
-        self.flush_until(FlushStage::Complete)
+        self.flush_until(FlushStage::Complete)?;
+        self.maybe_compact()
     }
 
     /// Runs the flush protocol up to and including `stage`, then stops.
@@ -414,11 +589,18 @@ impl<S: PageStore> StreamingWarehouse<S> {
     ///
     /// Stopping early leaves a *consistent but unfinished* state: the
     /// in-memory warehouse has absorbed the tuples, the WAL still covers
-    /// them, and the next flush or recovery completes the job. An `Err`
-    /// from any stage leaves the same guarantee — nothing acknowledged can
-    /// be lost, because the WAL is only truncated after the commit point.
+    /// them, and the `pending` checkpoint makes the next flush (or
+    /// recovery) complete the job — including the post-commit cleanup
+    /// stages, which have no memtable rows left to announce themselves
+    /// with. An `Err` from any stage leaves the same guarantee: nothing
+    /// acknowledged can be lost, because the WAL is only truncated after
+    /// the commit point.
     pub fn flush_until(&mut self, stage: FlushStage) -> Result<(), IngestError> {
-        if self.memtable.is_empty() {
+        // Close the open commit group first: its frames sit in the log
+        // un-synced, and the truncation at stage 5 would destroy them
+        // even though their inserts already returned.
+        self.commit_group()?;
+        if self.memtable.is_empty() && self.pending.is_none() {
             return Ok(());
         }
         // Stage 1: fold buffered tuples into the sealed tables in arrival
@@ -427,48 +609,72 @@ impl<S: PageStore> StreamingWarehouse<S> {
         // provisional: if an insert fails, the failed row and every row
         // after it go back into the memtable, so the watermark a later
         // flush publishes never covers a row that was silently dropped.
-        let drained = self.memtable.drain();
-        let mut failure: Option<IngestError> = None;
-        for (relation, rows) in drained {
-            for (seq, tuple) in rows {
-                if failure.is_none() {
-                    match self.warehouse.insert(&relation, &tuple) {
-                        Ok(_) => continue,
-                        Err(e) => failure = Some(e.into()),
+        if !self.memtable.is_empty() {
+            let drained = self.memtable.drain();
+            let mut failure: Option<IngestError> = None;
+            for (relation, rows) in drained {
+                for (seq, tuple) in rows {
+                    if failure.is_none() {
+                        match self.warehouse.insert(&relation, &tuple) {
+                            Ok(_) => continue,
+                            Err(e) => failure = Some(e.into()),
+                        }
                     }
+                    self.memtable.insert(&relation, seq, tuple);
                 }
-                self.memtable.insert(&relation, seq, tuple);
             }
-        }
-        if let Some(e) = failure {
-            return Err(e);
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            // New rows entered the sealed tables: whatever a previous run
+            // had committed, this run owes a fresh commit.
+            self.pending = Some(FlushStage::Applied);
         }
         if stage == FlushStage::Applied {
             return Ok(());
         }
-        // Stage 2: write the new generation's segments under fresh
-        // `.e{epoch}` names. The old generation's files are never opened.
-        let watermark = self.memtable.max_seq();
-        let epoch = self.warehouse.begin_flush_generation(watermark);
-        let suffix = format!(".e{epoch}");
-        let meta = CommitMeta { epoch, watermark };
-        let manifest = self.warehouse.save_generation(&self.dir, meta, &suffix)?;
-        if stage == FlushStage::SegmentsWritten {
+        if self.pending == Some(FlushStage::Applied) {
+            // Stage 2: export the unsealed page range of every touched
+            // table into fresh `.e{epoch}` delta segments. Committed
+            // files are never opened for writing.
+            let watermark = self.memtable.max_seq();
+            let epoch = self.warehouse.begin_flush_generation(watermark);
+            let suffix = format!(".e{epoch}");
+            let meta = CommitMeta {
+                epoch,
+                watermark,
+                wal_epoch: epoch,
+            };
+            let (manifest, lists) = self
+                .warehouse
+                .save_delta_generation(&self.dir, meta, &suffix)?;
+            if stage == FlushStage::SegmentsWritten {
+                return Ok(());
+            }
+            // Stage 3: the commit point. Only after it may the tables be
+            // sealed — seal earlier and a failed commit would lose the
+            // dirty-range information its retry still needs.
+            commit_manifest(&self.dir, &manifest)?;
+            self.warehouse.install_segments(lists);
+            self.pending = Some(FlushStage::Committed);
+        }
+        if stage <= FlushStage::Committed {
             return Ok(());
         }
-        // Stage 3: the commit point.
-        commit_manifest(&self.dir, &manifest)?;
-        if stage == FlushStage::Committed {
-            return Ok(());
+        if self.pending == Some(FlushStage::Committed) {
+            // Stage 4: the old generation is now unreferenced debris.
+            remove_unreferenced(&self.dir)?;
+            self.pending = Some(FlushStage::Cleaned);
         }
-        // Stage 4: the old generation is now unreferenced debris.
-        remove_unreferenced(&self.dir)?;
         if stage == FlushStage::Cleaned {
             return Ok(());
         }
-        // Stage 5: everything at or below the watermark is sealed; reset
-        // the log to the new epoch.
-        self.wal.truncate(epoch)?;
+        if self.pending == Some(FlushStage::Cleaned) {
+            // Stage 5: everything at or below the watermark is sealed;
+            // reset the log to the committed WAL epoch.
+            self.wal.truncate(self.warehouse.wal_epoch())?;
+            self.pending = None;
+        }
         Ok(())
     }
 
@@ -480,6 +686,43 @@ impl<S: PageStore> StreamingWarehouse<S> {
     /// Tuples buffered in the memtable, not yet flushed.
     pub fn buffered(&self) -> usize {
         self.memtable.len()
+    }
+
+    /// Rows staged in the open commit group — appended to the WAL but not
+    /// yet durable or query-visible.
+    pub fn staged_rows(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Highest sequence number acknowledged durable (covered by a group
+    /// sync). Rows with `seq > durable_seq()` are still staged.
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// Takes the error of a threshold-triggered flush that failed inside
+    /// [`StreamingWarehouse::insert`], if one is stashed. The insert
+    /// itself succeeded; the failed flush retries on the next
+    /// [`StreamingWarehouse::flush`].
+    pub fn take_flush_error(&mut self) -> Option<IngestError> {
+        self.pending_flush_error.take()
+    }
+
+    /// Checkpoint of an unfinished flush protocol run, if any — the last
+    /// stage that completed before an early stop or error.
+    pub fn pending_stage(&self) -> Option<FlushStage> {
+        self.pending
+    }
+
+    /// The group-commit policy in force.
+    pub fn commit_policy(&self) -> CommitPolicy {
+        self.commit_policy
+    }
+
+    /// Replaces the group-commit policy. An open group keeps its staged
+    /// rows; the new policy governs from the next boundary check.
+    pub fn set_commit_policy(&mut self, policy: CommitPolicy) {
+        self.commit_policy = policy;
     }
 
     /// The committed generation number.
@@ -512,7 +755,7 @@ impl<S: PageStore> StreamingWarehouse<S> {
 /// does not reference, plus abandoned `.tmp` files. Quarantined SMA images
 /// (`*.quarantined`) are kept for post-mortems. Returns the sorted names
 /// of the files removed.
-fn remove_unreferenced(dir: &Path) -> Result<Vec<String>, IngestError> {
+pub(crate) fn remove_unreferenced(dir: &Path) -> Result<Vec<String>, IngestError> {
     let keep: BTreeSet<String> = manifest_files(dir)?.into_iter().collect();
     let mut removed = Vec::new();
     for entry in fs::read_dir(dir)? {
@@ -600,6 +843,39 @@ mod tests {
         assert_eq!(sw.buffered(), 1, "only the unapplied row stays");
         let got = sw.query("S", count_all()).unwrap();
         assert_eq!(got.rows[0][0], Value::Int(2), "applied exactly once");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a threshold-triggered flush failing inside `insert`
+    /// must not fail the insert. The row is already durable and
+    /// acknowledged when the flush starts; reporting the flush error on
+    /// the insert's result invites the caller to retry a row that did not
+    /// fail — a duplicate. The error surfaces via `take_flush_error`.
+    #[test]
+    fn threshold_flush_failure_defers_its_error_and_never_double_counts() {
+        let dir = scratch("deferred-flush-error");
+        let mut sw = StreamingWarehouse::create(&dir, warehouse_with_s(), 3).unwrap();
+        sw.insert("S", &vec![Value::Int(1)]).unwrap();
+        sw.insert("S", &vec![Value::Int(2)]).unwrap();
+        // Poison the memtable (seq 0 keeps the watermark honest) so the
+        // threshold flush the next insert triggers fails mid-apply.
+        sw.memtable.insert("AA_MISSING", 0, vec![Value::Int(0)]);
+        let seq = sw
+            .insert("S", &vec![Value::Int(3)])
+            .expect("the row is durable and acked; the insert must succeed");
+        assert_eq!(seq, 3);
+        let err = sw.take_flush_error().expect("the flush error is deferred");
+        assert!(matches!(err, IngestError::Warehouse(_)), "{err}");
+        assert!(sw.take_flush_error().is_none(), "taken exactly once");
+        // The "failed" insert was NOT retried: exactly three rows, in the
+        // live overlay and through crash recovery alike.
+        let got = sw.query("S", count_all()).unwrap();
+        assert_eq!(got.rows[0][0], Value::Int(3));
+        drop(sw);
+        let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+        assert_eq!(report.replayed, 3, "one WAL frame per acknowledged row");
+        let got = sw.query("S", count_all()).unwrap();
+        assert_eq!(got.rows[0][0], Value::Int(3));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -12,9 +12,10 @@
 //! * [`cube`] — the comparators (materialized data cube, B+ tree).
 //!
 //! The umbrella crate itself contributes the durability layer:
-//! [`warehouse`] (named tables + SMAs + crash-safe persistence) and
-//! [`ingest`] (WAL + memtable streaming ingest with crash-recoverable
-//! flush).
+//! [`warehouse`] (named tables + SMAs + crash-safe persistence),
+//! [`ingest`] (WAL + memtable streaming ingest with group commit and
+//! crash-recoverable incremental flush), and [`compact`] (background
+//! segment compaction with hierarchical-SMA rebuild).
 //!
 //! # Quickstart
 //!
@@ -35,10 +36,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod compact;
 pub mod ingest;
 pub mod warehouse;
 
-pub use ingest::{FlushStage, IngestError, IngestRecoveryReport, StreamingWarehouse, WAL_FILE};
+pub use compact::{CompactStage, CompactionPolicy, CompactionReport};
+pub use ingest::{
+    CommitPolicy, FlushStage, IngestError, IngestRecoveryReport, StreamingWarehouse, WAL_FILE,
+};
 pub use sma_core as sma;
 pub use sma_cube as cube;
 pub use sma_exec as exec;

@@ -27,7 +27,8 @@ use sma_core::persist::{decode_definition, encode_definition, load_sma_file, sav
 use sma_core::{Sma, SmaDefinition, SmaError, SmaSet};
 use sma_exec::{plan, AggregateQuery, DegradationReport, ExecError, PlanKind, PlannerConfig};
 use sma_storage::{
-    atomic_write_file, crc32, sync_dir, FileStore, PageNo, StoreError, Table, TableError, TupleId,
+    atomic_write_file, crc32, sync_dir, FileStore, PageNo, PageStore, SegmentedStore, StoreError,
+    Table, TableError, TupleId,
 };
 use sma_types::{Column, DataType, Schema, Tuple};
 
@@ -169,6 +170,16 @@ pub struct Warehouse {
     /// persisted in the manifest so recovery can skip already-applied
     /// records (streaming-ingest idempotence). 0 for bulk-loaded data.
     watermark: u64,
+    /// WAL epoch the streaming log was last truncated to. Tracked
+    /// separately from the catalog epoch because compaction advances the
+    /// catalog epoch *without* touching the WAL: replay filtering on the
+    /// catalog epoch would silently drop acked records appended between a
+    /// compaction and a crash.
+    wal_epoch: u64,
+    /// The committed segment set per table: which on-disk files, in commit
+    /// order, reassemble each table (see [`SegmentedStore`]). Empty for
+    /// in-memory warehouses that were never saved.
+    segments: SegmentLists,
 }
 
 impl Warehouse {
@@ -221,12 +232,54 @@ impl Warehouse {
         self.watermark
     }
 
+    /// WAL epoch the streaming log was last truncated to (see the
+    /// `wal_epoch` field — compaction advances the catalog epoch without
+    /// touching this one).
+    pub fn wal_epoch(&self) -> u64 {
+        self.wal_epoch
+    }
+
+    /// Number of committed segment files backing `relation` (1 after a
+    /// bulk save or a compaction; grows by one per incremental flush that
+    /// touched the table).
+    pub fn segment_count(&self, relation: &str) -> usize {
+        self.segments.get(relation).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Largest per-table segment count — what a compaction policy
+    /// compares against its threshold.
+    pub fn max_segment_count(&self) -> usize {
+        self.segments.values().map(Vec::len).max().unwrap_or(0)
+    }
+
     /// Bumps the flush generation and records the new watermark — called
     /// by the streaming flush path just before it persists the new
-    /// segment generation.
+    /// segment generation. A flush truncates the WAL when it completes,
+    /// so the WAL epoch follows the catalog epoch here.
     pub(crate) fn begin_flush_generation(&mut self, watermark: u64) -> u64 {
         self.watermark = watermark;
+        let epoch = self.catalog.advance_epoch();
+        self.wal_epoch = epoch;
+        epoch
+    }
+
+    /// Bumps the flush generation for a compaction, which rewrites
+    /// segment files but neither applies WAL records nor truncates the
+    /// log — the watermark and WAL epoch stay put so crash replay still
+    /// accepts every record appended since the last flush.
+    pub(crate) fn begin_compaction_generation(&mut self) -> u64 {
         self.catalog.advance_epoch()
+    }
+
+    /// Adopts `lists` as the committed segment set and seals every table:
+    /// called after the manifest naming these segments has been atomically
+    /// committed, never before (sealing early would lose the dirty-range
+    /// information a failed flush still needs for its retry).
+    pub(crate) fn install_segments(&mut self, lists: SegmentLists) {
+        self.segments = lists;
+        for table in self.tables.values_mut() {
+            table.seal();
+        }
     }
 
     /// The planner configuration this warehouse queries with.
@@ -401,18 +454,21 @@ impl Warehouse {
         let meta = CommitMeta {
             epoch: self.catalog.epoch(),
             watermark: self.watermark,
+            wal_epoch: self.wal_epoch,
         };
         let dir = dir.as_ref();
-        let stream = self.save_generation(dir, meta, "")?;
+        let (stream, _lists) = self.save_generation(dir, meta, "")?;
         commit_manifest(dir, &stream)
     }
 
     /// The segment-writing half of [`Warehouse::save_to_dir`], with an
     /// explicit commit point and a filename `suffix` spliced in before
-    /// each `.tbl`/`.sma` extension. Every table and SMA file is fully
-    /// written, fsynced and renamed into place; the manifest stream that
-    /// names them is *returned*, not written — nothing is committed until
-    /// the caller passes it to [`commit_manifest`].
+    /// each `.tbl`/`.sma` extension. Every table is fully exported into a
+    /// single fresh segment file; the manifest stream naming them is
+    /// *returned* (along with the single-segment lists), not written —
+    /// nothing is committed until the caller passes it to
+    /// [`commit_manifest`], then adopts the lists via
+    /// [`Warehouse::install_segments`].
     ///
     /// The streaming flush path saves every generation under a distinct
     /// suffix (`.e1`, `.e2`, …): segment files of the previous generation
@@ -425,13 +481,10 @@ impl Warehouse {
         dir: impl AsRef<Path>,
         meta: CommitMeta,
         suffix: &str,
-    ) -> Result<Vec<u8>, WarehouseError> {
+    ) -> Result<(Vec<u8>, SegmentLists), WarehouseError> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
-        let mut manifest = Vec::new();
-        put_u64(&mut manifest, meta.epoch);
-        put_u64(&mut manifest, meta.watermark);
-        put_u32(&mut manifest, self.tables.len() as u32);
+        let mut lists = SegmentLists::new();
         for (name, table) in &self.tables {
             // Table and SMA names come from the SQL parser (identifiers:
             // alphanumerics and underscores), so they are filename-safe.
@@ -441,8 +494,97 @@ impl Warehouse {
             table.export_to_store(&mut store)?;
             drop(store);
             fs::rename(&tmp, dir.join(&tbl_file))?;
+            lists.insert(
+                name.clone(),
+                vec![SegmentMeta {
+                    file: tbl_file,
+                    start: 0,
+                    pages: table.page_count(),
+                }],
+            );
+        }
+        let stream = self.encode_generation(dir, meta, suffix, &lists)?;
+        Ok((stream, lists))
+    }
+
+    /// Like [`Warehouse::save_generation`] but *incremental*: each table
+    /// exports only its unsealed page range (everything written since the
+    /// last committed generation) into a small `.e{epoch}` delta segment,
+    /// extending its previous segment list instead of replacing it. An
+    /// untouched table writes no file at all and keeps its list verbatim.
+    /// SMA images are always rewritten whole — they are tiny by the
+    /// paper's premise, and their bucket entries shift on every append.
+    pub(crate) fn save_delta_generation(
+        &self,
+        dir: impl AsRef<Path>,
+        meta: CommitMeta,
+        suffix: &str,
+    ) -> Result<(Vec<u8>, SegmentLists), WarehouseError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let mut lists = SegmentLists::new();
+        for (name, table) in &self.tables {
+            let old: &[SegmentMeta] = self.segments.get(name).map(Vec::as_slice).unwrap_or(&[]);
+            let covered: PageNo = old.iter().map(|s| s.start + s.pages).max().unwrap_or(0);
+            // The delta must reach back to the first dirty page, and also
+            // cover any pages the committed segments never saw (a table
+            // that grew while its list lagged behind).
+            let from = table.unsealed_from().min(covered);
+            let pages = table.page_count();
+            if from >= pages {
+                // Nothing new to persist: the committed segments already
+                // cover every page and none of them went dirty.
+                lists.insert(name.clone(), old.to_vec());
+                continue;
+            }
+            let tbl_file = format!("{name}{suffix}.tbl");
+            let tmp = dir.join(format!("{tbl_file}.tmp"));
+            let mut store = FileStore::create(&tmp)?;
+            table.export_page_range(&mut store, from)?;
+            drop(store);
+            fs::rename(&tmp, dir.join(&tbl_file))?;
+            // Segments fully shadowed by the new delta are dead weight:
+            // drop them from the list (cleanup removes their files once
+            // the manifest stops naming them).
+            let mut list: Vec<SegmentMeta> =
+                old.iter().filter(|s| s.start < from).cloned().collect();
+            list.push(SegmentMeta {
+                file: tbl_file,
+                start: from,
+                pages: pages - from,
+            });
+            lists.insert(name.clone(), list);
+        }
+        let stream = self.encode_generation(dir, meta, suffix, &lists)?;
+        Ok((stream, lists))
+    }
+
+    /// Writes this generation's SMA images into `dir` and encodes the
+    /// manifest stream naming `lists` + those images — the shared tail of
+    /// full saves, delta flushes, and compactions. The stream is returned
+    /// uncommitted; pass it to [`commit_manifest`].
+    pub(crate) fn encode_generation(
+        &self,
+        dir: &Path,
+        meta: CommitMeta,
+        suffix: &str,
+        lists: &SegmentLists,
+    ) -> Result<Vec<u8>, WarehouseError> {
+        let mut manifest = Vec::new();
+        put_u64(&mut manifest, meta.epoch);
+        put_u64(&mut manifest, meta.watermark);
+        put_u64(&mut manifest, meta.wal_epoch);
+        put_u32(&mut manifest, self.tables.len() as u32);
+        for (name, table) in &self.tables {
             put_str(&mut manifest, name);
-            put_str(&mut manifest, &tbl_file);
+            let empty = Vec::new();
+            let list = lists.get(name).unwrap_or(&empty);
+            put_u32(&mut manifest, list.len() as u32);
+            for seg in list {
+                put_str(&mut manifest, &seg.file);
+                put_u32(&mut manifest, seg.start);
+                put_u32(&mut manifest, seg.pages);
+            }
             put_u32(&mut manifest, table.bucket_pages());
             let cols = table.schema().columns();
             put_u32(&mut manifest, cols.len() as u32);
@@ -506,13 +648,19 @@ impl Warehouse {
         let mut w = Warehouse::new();
         w.catalog.set_epoch(meta.epoch);
         w.watermark = meta.watermark;
+        w.wal_epoch = meta.wal_epoch;
         let mut report = RecoveryReport {
             epoch: meta.epoch,
             watermark: meta.watermark,
             ..RecoveryReport::default()
         };
         for entry in entries {
-            let store = FileStore::open(dir.join(&entry.file))?;
+            let mut segs: Vec<(Box<dyn PageStore>, PageNo, PageNo)> = Vec::new();
+            for seg in &entry.segments {
+                let store = FileStore::open(dir.join(&seg.file))?;
+                segs.push((Box::new(store), seg.start, seg.pages));
+            }
+            let store = SegmentedStore::new(segs)?;
             let schema = Arc::new(Schema::new(entry.columns));
             let mut table = Table::new(
                 &entry.name,
@@ -521,6 +669,7 @@ impl Warehouse {
                 POOL_CAPACITY,
                 entry.bucket_pages,
             );
+            w.segments.insert(entry.name.clone(), entry.segments);
             let verification = table.verify_pages()?;
             report.pages_scanned += verification.scanned as u64;
             for p in verification.corrupt {
@@ -605,7 +754,28 @@ pub struct CommitMeta {
     /// Highest WAL sequence number applied to the sealed state — replay
     /// skips records at or below it.
     pub watermark: u64,
+    /// Epoch stamped into the WAL header at its last truncation. Replay
+    /// filters on *this* value, not `epoch`: compactions advance the
+    /// catalog epoch without touching the log, and records appended in
+    /// between must still be accepted after a crash.
+    pub wal_epoch: u64,
 }
+
+/// One committed segment file of a table: pages `[start, start + pages)`
+/// of the logical table, stored renumbered from zero in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SegmentMeta {
+    /// Segment file name within the warehouse directory.
+    pub(crate) file: String,
+    /// First logical table page the segment covers.
+    pub(crate) start: PageNo,
+    /// Number of pages in the segment.
+    pub(crate) pages: PageNo,
+}
+
+/// Per-table committed segment lists, in commit order (later segments
+/// shadow earlier ones on overlap).
+pub(crate) type SegmentLists = BTreeMap<String, Vec<SegmentMeta>>;
 
 /// Buffer-pool pages for tables reopened from disk (matches
 /// `Table::in_memory`'s generous default).
@@ -681,7 +851,7 @@ struct ManifestSma {
 
 struct ManifestTable {
     name: String,
-    file: String,
+    segments: Vec<SegmentMeta>,
     bucket_pages: u32,
     columns: Vec<Column>,
     smas: Vec<ManifestSma>,
@@ -836,12 +1006,20 @@ fn decode_manifest(bytes: &[u8]) -> Result<(CommitMeta, Vec<ManifestTable>), War
     let meta = CommitMeta {
         epoch: c.u64()?,
         watermark: c.u64()?,
+        wal_epoch: c.u64()?,
     };
     let n_tables = c.u32()? as usize;
     let mut tables = Vec::with_capacity(n_tables.min(1024));
     for _ in 0..n_tables {
         let name = c.string()?;
-        let file = c.string()?;
+        let n_segments = c.u32()? as usize;
+        let mut segments = Vec::with_capacity(n_segments.min(1024));
+        for _ in 0..n_segments {
+            let file = c.string()?;
+            let start = c.u32()?;
+            let pages = c.u32()?;
+            segments.push(SegmentMeta { file, start, pages });
+        }
         let bucket_pages = c.u32()?;
         if bucket_pages == 0 {
             return Err(WarehouseError::CorruptManifest(format!(
@@ -878,7 +1056,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<(CommitMeta, Vec<ManifestTable>), War
         }
         tables.push(ManifestTable {
             name,
-            file,
+            segments,
             bucket_pages,
             columns,
             smas,
@@ -910,7 +1088,9 @@ pub(crate) fn manifest_files(dir: &Path) -> Result<Vec<String>, WarehouseError> 
     let (_, entries) = decode_manifest(&bytes)?;
     let mut files = Vec::new();
     for entry in entries {
-        files.push(entry.file);
+        for seg in entry.segments {
+            files.push(seg.file);
+        }
         for sma in entry.smas {
             files.push(sma.file);
         }

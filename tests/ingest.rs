@@ -17,9 +17,11 @@
 //! the flush protocol (via [`StreamingWarehouse::flush_until`]).
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use smadb::compact::CompactionPolicy;
 use smadb::exec::{AggSpec, AggregateQuery};
-use smadb::ingest::{FlushStage, StreamingWarehouse, WAL_FILE};
+use smadb::ingest::{CommitPolicy, FlushStage, StreamingWarehouse, WAL_FILE};
 use smadb::sma::{col, BucketPred, CmpOp};
 use smadb::storage::test_util::{scratch_path, CrashStore, FaultConfig};
 use smadb::storage::{Table, Wal, PAGE_SIZE};
@@ -134,6 +136,221 @@ fn wal_crash_at_every_byte_offset_recovers_the_exact_prefix() {
             assert!(replay.header_reset, "cut at byte {cut}");
         }
         assert_eq!(wal.epoch(), 7, "cut at byte {cut}");
+    }
+}
+
+// ----------------------------------------------------------- group commit
+
+/// Power cut at EVERY byte offset of a group-committed WAL (batch = 4):
+/// recovery yields exactly the longest frame prefix the bytes contain, and
+/// — the group-commit ack rule — every row acknowledged behind a group
+/// fsync the cut preserves must be in that prefix. Rows of the open group
+/// were never acknowledged, so losing them is legal at any cut.
+#[test]
+fn group_commit_crash_at_every_wal_byte_offset() {
+    let dir = scratch_path("ingest-group-sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw =
+        StreamingWarehouse::create_with_wal_store(&dir, small_warehouse(), 0, CrashStore::new())
+            .unwrap();
+    sw.set_commit_policy(CommitPolicy {
+        batch_rows: 4,
+        max_delay: Duration::ZERO,
+    });
+    let mut appended_seqs = Vec::new();
+    // (absolute byte offset the group's fsync covered, seq it acked through)
+    let mut group_ends = Vec::new();
+    for i in 0..22 {
+        let seq = sw.insert("S", &small_tuple(i)).unwrap();
+        appended_seqs.push(seq);
+        if sw.staged_rows() == 0 {
+            group_ends.push((PAGE_SIZE as u64 + sw.wal_tail_bytes(), sw.durable_seq()));
+            assert_eq!(sw.durable_seq(), seq, "group boundary acks through {seq}");
+        } else {
+            assert!(
+                sw.durable_seq() < seq,
+                "row {i} is staged, must not be acked"
+            );
+        }
+    }
+    assert_eq!(
+        sw.staged_rows(),
+        2,
+        "22 rows at batch 4 leave an open group"
+    );
+    assert_eq!(sw.durable_seq(), 20);
+    // Staged rows are not query-visible: only the five committed groups.
+    let visible: Vec<Tuple> = (0..20).map(small_tuple).collect();
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&visible, i64::MAX));
+
+    let full = sw.into_wal_store();
+    let total = full.len_bytes();
+    for cut in 0..=total {
+        let mut crashed = full.clone();
+        crashed.truncate_at(cut);
+        let (_, replay) = Wal::open(crashed, 0).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(
+            seqs,
+            appended_seqs[..seqs.len()],
+            "cut at byte {cut}: an exact frame prefix, never torn or reordered"
+        );
+        let acked = group_ends
+            .iter()
+            .filter(|&&(end, _)| end <= cut)
+            .map(|&(_, s)| s)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            seqs.len() as u64 >= acked,
+            "cut at byte {cut}: acked through seq {acked}, only {} records survive",
+            seqs.len()
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The group-commit visibility contract end to end: staged rows are
+/// invisible and unacknowledged until `commit`; `flush` closes the open
+/// group before truncating anything; a restart finds a pristine log.
+#[test]
+fn group_commit_acks_and_publishes_only_at_the_group_boundary() {
+    let dir = scratch_path("ingest-group-basic");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+    sw.set_commit_policy(CommitPolicy {
+        batch_rows: 10,
+        max_delay: Duration::ZERO,
+    });
+    for i in 0..3 {
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    assert_eq!(sw.staged_rows(), 3);
+    assert_eq!(sw.buffered(), 0, "staged rows are not in the memtable");
+    assert_eq!(sw.durable_seq(), 0, "nothing acknowledged yet");
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(
+        got.rows,
+        bulk_reference(&[], i64::MAX),
+        "staged is invisible"
+    );
+
+    sw.commit().unwrap();
+    assert_eq!(sw.staged_rows(), 0);
+    assert_eq!(sw.durable_seq(), 3);
+    let three: Vec<Tuple> = (0..3).map(small_tuple).collect();
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&three, i64::MAX));
+
+    // flush() must close the open group before the WAL truncation at the
+    // end of the protocol could destroy its un-synced frames.
+    for i in 3..5 {
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    assert_eq!(sw.staged_rows(), 2);
+    sw.flush().unwrap();
+    assert_eq!(sw.staged_rows(), 0);
+    assert_eq!(sw.buffered(), 0);
+    assert_eq!(sw.durable_seq(), 5);
+    assert_eq!(sw.watermark(), 5, "the flush sealed the whole group");
+    let five: Vec<Tuple> = (0..5).map(small_tuple).collect();
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&five, i64::MAX));
+
+    drop(sw);
+    let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(
+        report.replayed, 0,
+        "everything was sealed before the restart"
+    );
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&five, i64::MAX));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A failed group fsync drops the WHOLE group — none of its rows are
+/// durable or visible — and burns every sequence number it staged, so the
+/// log replays every acknowledged record despite the half-written frames.
+#[test]
+fn failed_group_sync_drops_the_group_and_burns_its_seqs() {
+    for seed in seeds() {
+        let config = FaultConfig::seeded(seed).with_sync_faults(30);
+        let dir = scratch_path(&format!("ingest-groupstorm-{seed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sw = StreamingWarehouse::create_with_wal_store(
+            &dir,
+            small_warehouse(),
+            0,
+            CrashStore::with_config(config),
+        );
+        let mut sw = match sw {
+            Ok(sw) => sw,
+            Err(_) => {
+                // The device failed the WAL's very first fsync. Legal.
+                std::fs::remove_dir_all(&dir).unwrap();
+                continue;
+            }
+        };
+        sw.set_commit_policy(CommitPolicy {
+            batch_rows: 3,
+            max_delay: Duration::ZERO,
+        });
+        let epoch = sw.epoch();
+        let mut group: Vec<(u64, Tuple)> = Vec::new();
+        let mut acked: Vec<(u64, Tuple)> = Vec::new();
+        let mut dropped_groups = 0usize;
+        for i in 0..60 {
+            let t = small_tuple(i);
+            match sw.insert("S", &t) {
+                Ok(seq) => {
+                    group.push((seq, t));
+                    if sw.staged_rows() == 0 {
+                        // The boundary fsync landed: the group is acked.
+                        assert_eq!(sw.durable_seq(), seq, "seed {seed}");
+                        acked.append(&mut group);
+                    }
+                }
+                Err(_) => {
+                    // Only a boundary insert syncs, so the error means the
+                    // group sync failed: all staged rows must be gone.
+                    assert_eq!(sw.staged_rows(), 0, "seed {seed}");
+                    group.clear();
+                    dropped_groups += 1;
+                }
+            }
+        }
+        assert!(
+            dropped_groups > 0,
+            "seed {seed}: the storm must drop a group"
+        );
+        assert!(!acked.is_empty(), "seed {seed}: some groups must land");
+
+        // Queries see exactly the acknowledged groups, nothing staged or
+        // dropped.
+        let acked_tuples: Vec<Tuple> = acked.iter().map(|(_, t)| t.clone()).collect();
+        let got = sw.query("S", small_query(i64::MAX)).unwrap();
+        assert_eq!(
+            got.rows,
+            bulk_reference(&acked_tuples, i64::MAX),
+            "seed {seed}"
+        );
+
+        // Replay the raw store: burned seqs keep the log strictly
+        // increasing, so every acknowledged record survives the storm.
+        let (_, replay) = Wal::open(sw.into_wal_store(), epoch).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        for w in seqs.windows(2) {
+            assert!(w[0] < w[1], "seed {seed}: replay seqs strictly increase");
+        }
+        for (seq, _) in &acked {
+            assert!(
+                seqs.contains(seq),
+                "seed {seed}: acked seq {seq} lost in replay (got {seqs:?})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 
@@ -275,6 +492,88 @@ fn wal_replay_after_partial_flush_is_idempotent() {
     }
 }
 
+/// Regression: an error (or early stop) AFTER the commit point used to
+/// strand the post-commit cleanup until a restart — the memtable is empty,
+/// so the next `flush()` early-returned and the superseded generation's
+/// files plus the stale WAL tail survived indefinitely. The `pending`
+/// checkpoint makes the next flush finish stages 4 and 5 in-process.
+#[test]
+fn interrupted_post_commit_cleanup_resumes_on_the_next_flush() {
+    let dir = scratch_path("ingest-resume-cleanup");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+    for i in 0..12 {
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    sw.flush().unwrap(); // generation 1: SMA images named *.e1.sma
+    for i in 12..20 {
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    // Stop right after the commit point: generation 2 is live, but the
+    // superseded images and the now-covered WAL records are still there.
+    sw.flush_until(FlushStage::Committed).unwrap();
+    assert_eq!(sw.pending_stage(), Some(FlushStage::Committed));
+    assert_eq!(sw.buffered(), 0, "nothing left to announce the debt");
+    assert!(
+        dir.join("S.s_min.e1.sma").exists(),
+        "superseded image still on disk"
+    );
+    assert!(sw.wal_tail_bytes() > 0, "WAL not yet truncated");
+
+    sw.flush().unwrap();
+    assert_eq!(sw.pending_stage(), None);
+    assert!(
+        !dir.join("S.s_min.e1.sma").exists(),
+        "cleanup resumed from the checkpoint"
+    );
+    assert_eq!(sw.wal_tail_bytes(), 0, "WAL truncated");
+
+    // Nothing left for recovery to repair.
+    drop(sw);
+    let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let all: Vec<Tuple> = (0..20).map(small_tuple).collect();
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&all, i64::MAX));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Regression: `query` must not wrap an empty overlay around the plan — a
+/// fully-flushed streaming warehouse must choose the same plan kind and
+/// produce the same rows (including the Avg→Sum/Count rewrite) as a
+/// bulk-loaded warehouse over the same tuples.
+#[test]
+fn fully_flushed_streaming_plans_identically_to_bulk() {
+    let dir = scratch_path("ingest-plan-identity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let all: Vec<Tuple> = (0..40).map(small_tuple).collect();
+    let mut bulk = small_warehouse();
+    for t in &all {
+        bulk.insert("S", t).unwrap();
+    }
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+    for t in &all {
+        sw.insert("S", t).unwrap();
+    }
+    sw.flush().unwrap();
+    assert_eq!(sw.buffered(), 0);
+    for hi in [i64::MIN, 7, 19, i64::MAX] {
+        let want = bulk.query("S", small_query(hi)).unwrap();
+        let got = sw.query("S", small_query(hi)).unwrap();
+        assert_eq!(
+            got.plan_kind, want.plan_kind,
+            "hi={hi}: an empty overlay must not change the plan"
+        );
+        assert_eq!(got.rows, want.rows, "hi={hi}");
+        assert_eq!(
+            format!("{}", got.degradation),
+            format!("{}", want.degradation),
+            "hi={hi}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ----------------------------------------------------- streamed == bulk
 
 /// Property test: streaming the TPC-D lineitem rows through the WAL with
@@ -355,6 +654,14 @@ fn streamed_inserts_match_bulk_load_across_clusterings() {
                 w.define_sma(stmt).unwrap();
             }
             let mut sw = StreamingWarehouse::create(&dir, w, 0).unwrap();
+            // Group commit and automatic compaction on: the equivalence
+            // must hold with rows acknowledged in batches and the
+            // compactor merging segments mid-stream.
+            sw.set_commit_policy(CommitPolicy {
+                batch_rows: 4,
+                max_delay: Duration::ZERO,
+            });
+            sw.set_compaction_policy(CompactionPolicy { max_segments: 2 });
             let mut checked_mid_stream = false;
             for (i, t) in rows.iter().enumerate() {
                 sw.insert("LINEITEM", t).unwrap();
@@ -366,6 +673,9 @@ fn streamed_inserts_match_bulk_load_across_clusterings() {
                 // plus live memtable must answer like a bulk load of the
                 // prefix streamed so far.
                 if !checked_mid_stream && i >= rows.len() / 2 && rng.next_u64().is_multiple_of(8) {
+                    // Staged rows are invisible by contract: close the
+                    // open group so the whole prefix is queryable.
+                    sw.commit().unwrap();
                     let mut prefix = Warehouse::new();
                     prefix
                         .register(Table::in_memory(
@@ -400,6 +710,10 @@ fn streamed_inserts_match_bulk_load_across_clusterings() {
                 format!("{}", got.degradation),
                 format!("{}", want.degradation),
                 "{clustering:?} seed {seed}"
+            );
+            assert!(
+                sw.warehouse().segment_count("LINEITEM") <= 2,
+                "{clustering:?} seed {seed}: the compaction policy bounds the segment list"
             );
             let streamed_table = sw.warehouse().table("LINEITEM").unwrap();
             let bulk_table = bulk.table("LINEITEM").unwrap();
