@@ -277,6 +277,7 @@ fn e9_degradation() {
     faulty.set_retry_policy(sma_storage::RetryPolicy {
         max_retries: 3,
         base_backoff_us: 0,
+        ..sma_storage::RetryPolicy::default()
     });
     let (rows, counters, secs) = run(&healthy, &faulty);
     assert_eq!(rows, expected, "retried answers must stay exact");

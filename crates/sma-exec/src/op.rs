@@ -7,7 +7,7 @@
 use std::fmt;
 
 use sma_core::{ExprError, SmaError};
-use sma_storage::TableError;
+use sma_storage::{BudgetExceeded, TableError};
 use sma_types::Tuple;
 
 /// Errors surfaced by query execution.
@@ -28,6 +28,10 @@ pub enum ExecError {
     /// Answering from such a set would silently drop or misstate groups,
     /// so execution refuses instead.
     InconsistentSma(String),
+    /// The query's [`sma_storage::QueryBudget`] was exhausted (deadline or
+    /// page cap) or cancelled. A cooperative cut-off, not a failure of the
+    /// data: re-running with a bigger budget would succeed.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for ExecError {
@@ -39,6 +43,7 @@ impl fmt::Display for ExecError {
             ExecError::MissingSma(what) => write!(f, "missing SMA: {what}"),
             ExecError::Plan(what) => write!(f, "plan error: {what}"),
             ExecError::InconsistentSma(what) => write!(f, "inconsistent SMA set: {what}"),
+            ExecError::Budget(e) => write!(f, "query budget: {e}"),
         }
     }
 }
@@ -50,6 +55,7 @@ impl std::error::Error for ExecError {
             ExecError::Sma(e) => Some(e),
             ExecError::Expr(e) => Some(e),
             ExecError::MissingSma(_) | ExecError::Plan(_) | ExecError::InconsistentSma(_) => None,
+            ExecError::Budget(e) => Some(e),
         }
     }
 }
@@ -75,6 +81,12 @@ impl From<SmaError> for ExecError {
 impl From<ExprError> for ExecError {
     fn from(e: ExprError) -> ExecError {
         ExecError::Expr(e)
+    }
+}
+
+impl From<BudgetExceeded> for ExecError {
+    fn from(e: BudgetExceeded) -> ExecError {
+        ExecError::Budget(e)
     }
 }
 

@@ -21,7 +21,7 @@ use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 use sma_core::{Accumulator, BucketPred, Classification, Grade, SmaSet};
-use sma_storage::{CostModel, Table};
+use sma_storage::{CostModel, QueryBudget, Table};
 use sma_types::{RowLayout, Tuple, Value};
 
 use crate::degrade::DegradationReport;
@@ -89,6 +89,8 @@ pub struct Plan<'a> {
     /// Unsealed tuples (a streaming memtable) unioned with the table at
     /// execution time — see [`Plan::with_overlay`].
     overlay: Vec<Tuple>,
+    /// Cooperative per-query budget — see [`Plan::with_budget`].
+    budget: Option<&'a QueryBudget>,
     /// The chosen strategy.
     pub kind: PlanKind,
     /// The estimate that drove the choice (`None` without SMAs).
@@ -109,6 +111,18 @@ impl<'a> Plan<'a> {
         self
     }
 
+    /// Attaches a cooperative [`QueryBudget`]: execution checks it at
+    /// every bucket/page boundary and charges it one unit per data page
+    /// read, so a deadline, a page cap, or an external cancellation cuts
+    /// the query off with [`ExecError::Budget`] instead of letting it run
+    /// to completion. Charges are deterministic (the page counts the
+    /// operators request), so a budget verdict reproduces exactly in a
+    /// single-threaded replay.
+    pub fn with_budget(mut self, budget: &'a QueryBudget) -> Plan<'a> {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Runs the plan to completion.
     pub fn execute(&self) -> Result<Vec<Tuple>, ExecError> {
         Ok(self.execute_with_report()?.0)
@@ -119,6 +133,12 @@ impl<'a> Plan<'a> {
     /// inconsistent SMA entries) and transient-I/O retries spent. The
     /// report is empty on a healthy run and for the SMA-less full scan.
     pub fn execute_with_report(&self) -> Result<(Vec<Tuple>, DegradationReport), ExecError> {
+        // Admission checkpoint: a budget that is already expired or
+        // cancelled refuses even plans that would touch no data page
+        // (empty tables, pure-overlay queries).
+        if let Some(b) = self.budget {
+            b.check()?;
+        }
         if self.overlay.is_empty() {
             return self.run_base(&self.query.specs);
         }
@@ -236,6 +256,9 @@ impl<'a> Plan<'a> {
                     specs.to_vec(),
                     smas,
                 )?;
+                if let Some(b) = self.budget {
+                    op = op.with_budget(b);
+                }
                 let rows = collect(&mut op)?;
                 Ok((rows, op.counters().degradation))
             }
@@ -248,6 +271,9 @@ impl<'a> Plan<'a> {
                 // leaves the page I/O pattern identical to the pipelined
                 // form (the scan does all its I/O either way).
                 let mut scan = SmaScan::new(self.table, self.query.pred.clone(), smas);
+                if let Some(b) = self.budget {
+                    scan = scan.with_budget(b);
+                }
                 let filtered = collect(&mut scan)?;
                 let report = scan.counters().degradation;
                 let mut op = HashGAggr::new(
@@ -259,7 +285,7 @@ impl<'a> Plan<'a> {
                 Ok((rows, report))
             }
             PlanKind::FullScan => {
-                let rows = full_scan_aggregate(self.table, &self.query, specs)?;
+                let rows = full_scan_aggregate(self.table, &self.query, specs, self.budget)?;
                 Ok((rows, DegradationReport::default()))
             }
         }
@@ -345,11 +371,15 @@ fn full_scan_aggregate(
     table: &Table,
     query: &AggregateQuery,
     specs: &[AggSpec],
+    budget: Option<&QueryBudget>,
 ) -> Result<Vec<Tuple>, ExecError> {
     let layout = RowLayout::new(table.schema());
     let mut dense = DenseGroups::try_new(table.schema(), &query.group_by);
     let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
     for page in 0..table.page_count() {
+        if let Some(b) = budget {
+            b.charge(1)?;
+        }
         table.for_each_on_page::<ExecError, _>(page, |_, image| {
             let row = layout.view(image)?;
             if !query.pred.eval_view(&row)? {
@@ -447,6 +477,7 @@ pub fn plan<'a>(
             smas,
             query,
             overlay: Vec::new(),
+            budget: None,
             kind: PlanKind::FullScan,
             estimate: None,
         };
@@ -502,6 +533,7 @@ pub fn plan<'a>(
         smas,
         query,
         overlay: Vec::new(),
+        budget: None,
         kind,
         estimate: Some(estimate),
     }
@@ -624,6 +656,7 @@ mod tests {
                         smas: Some(&set),
                         query: q.clone(),
                         overlay: Vec::new(),
+                        budget: None,
                         kind,
                         estimate: None,
                     };
@@ -693,6 +726,7 @@ mod tests {
                         smas: Some(&set),
                         query: q.clone(),
                         overlay: Vec::new(),
+                        budget: None,
                         kind,
                         estimate: None,
                     }
@@ -820,5 +854,120 @@ mod tests {
         // Multi-page buckets amortize the seek.
         let one = bucket_read_cost(&[Ambivalent], 4, &cm, |g| g == Ambivalent);
         assert!((one - 13.0).abs() < 1e-9);
+    }
+    #[test]
+    fn budget_page_cap_cuts_off_every_plan_kind() {
+        use sma_storage::BudgetExceeded;
+        // Cutoff 30 on sorted data leaves an ambivalent bucket, so even
+        // the SMA plan must touch at least one data page; a zero-page cap
+        // therefore trips every strategy with a structured error.
+        let t = make_table(60, true);
+        let set = full_set(&t);
+        let q = query(30);
+        for kind in [
+            PlanKind::SmaGAggr,
+            PlanKind::SmaScanGAggr,
+            PlanKind::FullScan,
+        ] {
+            let budget = QueryBudget::unbounded().with_page_cap(0);
+            let p = Plan {
+                table: &t,
+                smas: Some(&set),
+                query: q.clone(),
+                overlay: Vec::new(),
+                budget: None,
+                kind,
+                estimate: None,
+            }
+            .with_budget(&budget);
+            let err = p.execute().unwrap_err();
+            assert!(
+                matches!(err, ExecError::Budget(BudgetExceeded::Pages { .. })),
+                "{kind:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_deadline_and_cancel_cut_off_every_plan_kind() {
+        use sma_storage::BudgetExceeded;
+        use std::time::Duration;
+        let t = make_table(60, true);
+        let set = full_set(&t);
+        for kind in [
+            PlanKind::SmaGAggr,
+            PlanKind::SmaScanGAggr,
+            PlanKind::FullScan,
+        ] {
+            let expired = QueryBudget::unbounded().with_deadline(Duration::ZERO);
+            let p = Plan {
+                table: &t,
+                smas: Some(&set),
+                query: query(30),
+                overlay: Vec::new(),
+                budget: None,
+                kind,
+                estimate: None,
+            }
+            .with_budget(&expired);
+            let err = p.execute().unwrap_err();
+            assert!(
+                matches!(err, ExecError::Budget(BudgetExceeded::Deadline { .. })),
+                "{kind:?}: {err}"
+            );
+
+            let cancelled = QueryBudget::unbounded();
+            cancelled.cancel();
+            let p = Plan {
+                table: &t,
+                smas: Some(&set),
+                query: query(30),
+                overlay: Vec::new(),
+                budget: None,
+                kind,
+                estimate: None,
+            }
+            .with_budget(&cancelled);
+            let err = p.execute().unwrap_err();
+            assert!(
+                matches!(err, ExecError::Budget(BudgetExceeded::Cancelled)),
+                "{kind:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_is_invisible_and_charges_match_pages() {
+        let t = make_table(60, true);
+        let set = full_set(&t);
+        let q = query(30);
+        let budget = QueryBudget::unbounded();
+        let with_budget = Plan {
+            table: &t,
+            smas: Some(&set),
+            query: q.clone(),
+            overlay: Vec::new(),
+            budget: None,
+            kind: PlanKind::FullScan,
+            estimate: None,
+        }
+        .with_budget(&budget)
+        .execute()
+        .unwrap();
+        let bare = Plan {
+            table: &t,
+            smas: Some(&set),
+            query: q,
+            overlay: Vec::new(),
+            budget: None,
+            kind: PlanKind::FullScan,
+            estimate: None,
+        }
+        .execute()
+        .unwrap();
+        assert_eq!(with_budget, bare);
+        // A full scan charges exactly one unit per data page: the same
+        // logical-page count IoStats would tally single-threaded.
+        assert_eq!(budget.pages_charged(), u64::from(t.page_count()));
     }
 }

@@ -6,7 +6,7 @@
 //! ambivalent buckets pay per-tuple predicate evaluation.
 
 use sma_core::{BucketPred, Grade, SmaSet};
-use sma_storage::{Table, TupleId};
+use sma_storage::{QueryBudget, Table, TupleId};
 use sma_types::{RowLayout, Tuple};
 
 use crate::degrade::DegradationReport;
@@ -57,6 +57,9 @@ pub struct SmaScan<'a> {
     /// Pool retry counter at `open`, so `counters` reports only the
     /// retries this execution spent.
     retries_at_open: u64,
+    /// Cooperative per-query budget, checked once per bucket and charged
+    /// for every data page the scan is about to read.
+    budget: Option<&'a QueryBudget>,
 }
 
 impl<'a> SmaScan<'a> {
@@ -76,6 +79,7 @@ impl<'a> SmaScan<'a> {
             parallelism: Parallelism::default(),
             grades: Vec::new(),
             retries_at_open: 0,
+            budget: None,
         }
     }
 
@@ -86,6 +90,16 @@ impl<'a> SmaScan<'a> {
     /// output, counters, and I/O trace are identical at any setting.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> SmaScan<'a> {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a cooperative budget. The scan checks it at every bucket
+    /// boundary (so deadlines and cancellation are honored even across
+    /// long disqualified runs) and charges it the bucket's page count
+    /// before reading a qualifying or ambivalent bucket — the same unit
+    /// the pool's `logical_reads` counter tallies.
+    pub fn with_budget(mut self, budget: &'a QueryBudget) -> SmaScan<'a> {
+        self.budget = Some(budget);
         self
     }
 
@@ -103,6 +117,9 @@ impl<'a> SmaScan<'a> {
             }
             let bucket = self.next_bucket;
             self.next_bucket += 1;
+            if let Some(b) = self.budget {
+                b.check()?;
+            }
             self.curr_grade = match self.grades.get(bucket as usize) {
                 Some(&g) => g,
                 None => self.pred.grade(bucket, self.smas),
@@ -124,6 +141,10 @@ impl<'a> SmaScan<'a> {
             }
             self.buffer.clear();
             self.pos = 0;
+            if let Some(b) = self.budget {
+                // Both branches below read the whole bucket.
+                b.charge(self.table.bucket_range(bucket).len() as u64)?;
+            }
             if self.curr_grade == Grade::Qualifies {
                 // Every tuple is wanted: plain materializing read.
                 for page in self.table.bucket_range(bucket) {

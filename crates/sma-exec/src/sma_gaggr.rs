@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 
 use sma_core::{BucketPred, Grade, Sma, SmaSet};
+use sma_storage::QueryBudget;
 use sma_types::{RowLayout, Tuple, Value};
 
 use crate::gaggr::{AggSpec, DenseGroups, GroupState};
@@ -44,6 +45,9 @@ pub struct SmaGAggr<'a> {
     pos: usize,
     counters: ScanCounters,
     parallelism: Parallelism,
+    /// Cooperative per-query budget, shared by all morsel workers (its
+    /// state is atomic): checked once per bucket, charged per page read.
+    budget: Option<&'a QueryBudget>,
 }
 
 fn resolve<'a>(
@@ -118,6 +122,7 @@ impl<'a> SmaGAggr<'a> {
             pos: 0,
             counters: ScanCounters::default(),
             parallelism: Parallelism::default(),
+            budget: None,
         })
     }
 
@@ -126,6 +131,15 @@ impl<'a> SmaGAggr<'a> {
     /// identical at any setting.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> SmaGAggr<'a> {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a cooperative budget. Every morsel worker checks it at
+    /// each bucket boundary and charges it the bucket's page count before
+    /// an ambivalent (or demoted) base-table read; qualifying buckets are
+    /// answered from in-memory SMA entries and charge nothing.
+    pub fn with_budget(mut self, budget: &'a QueryBudget) -> SmaGAggr<'a> {
+        self.budget = Some(budget);
         self
     }
 
@@ -206,6 +220,9 @@ impl<'a> SmaGAggr<'a> {
         // is commutative, so the deferred fold changes nothing.
         let mut dense = DenseGroups::try_new(self.table.schema(), &self.group_by);
         for bucket in range {
+            if let Some(b) = self.budget {
+                b.check()?;
+            }
             match self.pred.grade(bucket, self.smas) {
                 Grade::Qualifies => {
                     if self.aggregate_entries_quarantined(bucket) {
@@ -257,6 +274,9 @@ impl<'a> SmaGAggr<'a> {
         groups: &mut BTreeMap<Vec<Value>, GroupState>,
         dense: &mut Option<DenseGroups>,
     ) -> Result<(), ExecError> {
+        if let Some(b) = self.budget {
+            b.charge(self.table.bucket_range(bucket).len() as u64)?;
+        }
         self.table
             .for_each_in_bucket::<ExecError, _>(bucket, |_, image| {
                 let row = self.layout.view(image)?;

@@ -121,6 +121,16 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no `as` narrowing casts in codec/view/checksum/persist modules — use try_from or the checked helpers in sma_types::bytes",
     },
     RuleInfo {
+        id: "N1-socket-confinement",
+        severity: Severity::Error,
+        summary: "network/socket APIs (TcpListener, TcpStream, UdpSocket, Unix sockets) are confined to sma-server — lower layers must stay transport-free",
+    },
+    RuleInfo {
+        id: "N2-unbounded-queue",
+        severity: Severity::Error,
+        summary: "no unbounded queues (mpsc::channel, VecDeque, LinkedList) in sma-server non-test code — overload must shed, not buffer; use bounded structures or sync_channel",
+    },
+    RuleInfo {
         id: "A1-bare-allow",
         severity: Severity::Error,
         summary: "sma-lint: allow(...) directives require a `-- justification`; bare allows do not suppress anything",
@@ -167,6 +177,7 @@ const PRODUCT_CRATES: &[&str] = &[
     "sma-exec",
     "sma-tpcd",
     "sma-cube",
+    "sma-server",
 ];
 
 /// Modules allowed to do raw little/big-endian byte codec work (L2) —
@@ -373,6 +384,35 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                 {
                     diags.push(diag("L3-type-deps", &rel, line,
                         format!("`{name}` named inside sma-types — the type layer must not know upper layers")));
+                }
+                // --- N1: socket confinement -------------------------------
+                // The transport layer is sma-server's whole job; a socket
+                // named anywhere below it is a layering leak that would
+                // let storage or exec block on a network peer.
+                if class.crate_name != "sma-server"
+                    && class.product
+                    && matches!(class.target, Target::Lib | Target::Bin)
+                    && !in_test.get(i).copied().unwrap_or(false)
+                    && matches!(
+                        name.as_str(),
+                        "TcpListener" | "TcpStream" | "UdpSocket" | "UnixListener" | "UnixStream"
+                    )
+                {
+                    diags.push(diag("N1-socket-confinement", &rel, line,
+                        format!("`{name}` outside sma-server — network transport is confined to the server crate")));
+                }
+                // --- N2: unbounded queues in the server -------------------
+                // The admission design sheds overload with Busy; an
+                // unbounded queue would silently re-introduce the failure
+                // mode (memory growth + creeping latency) the server
+                // exists to prevent.
+                if class.crate_name == "sma-server"
+                    && matches!(class.target, Target::Lib | Target::Bin)
+                    && !in_test.get(i).copied().unwrap_or(false)
+                    && matches!(name.as_str(), "channel" | "VecDeque" | "LinkedList")
+                {
+                    diags.push(diag("N2-unbounded-queue", &rel, line,
+                        format!("`{name}` in sma-server — overload must shed (Busy), not queue; use a bounded structure or sync_channel")));
                 }
                 // --- U3: narrowing casts in codec modules -----------------
                 if codec_strict && !in_test.get(i).copied().unwrap_or(false) && name == "as" {

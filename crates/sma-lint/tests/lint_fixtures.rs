@@ -310,3 +310,63 @@ fn json_report_counts_by_rule() {
     let clean = sma_lint::json_report(&[]);
     assert!(clean.contains("\"clean\": true"));
 }
+// --- N1: socket confinement ----------------------------------------------
+
+#[test]
+fn n1_socket_outside_sma_server() {
+    let src = "use std::net::TcpStream;\n\
+               pub fn dial(addr: &str) {\n\
+               \tlet _ = TcpStream::connect(addr);\n\
+               }\n";
+    let got = fire("crates/sma-storage/src/rogue.rs", src);
+    assert_eq!(
+        got,
+        vec![("N1-socket-confinement", 1), ("N1-socket-confinement", 3)]
+    );
+}
+
+#[test]
+fn n1_listener_in_core_bin_target() {
+    let src = "fn main() { let _ = std::net::TcpListener::bind(\"x\"); }\n";
+    let got = fire("crates/sma-core/src/bin/rogue.rs", src);
+    assert_eq!(got, vec![("N1-socket-confinement", 1)]);
+}
+
+#[test]
+fn n1_silent_inside_sma_server_and_tests() {
+    let src = "pub fn serve() { let _ = std::net::TcpListener::bind(\"x\"); }\n";
+    assert!(fire("crates/sma-server/src/server.rs", src).is_empty());
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n\tfn t() { let _ = std::net::TcpStream::connect(\"x\"); }\n}\n";
+    assert!(fire("crates/sma-storage/src/x.rs", test_src)
+        .iter()
+        .all(|(rule, _)| *rule != "N1-socket-confinement"));
+}
+
+// --- N2: unbounded queues in the server ----------------------------------
+
+#[test]
+fn n2_unbounded_queue_in_sma_server() {
+    let src = "use std::collections::VecDeque;\n\
+               use std::sync::mpsc::channel;\n\
+               pub fn q() { let _: VecDeque<u8> = VecDeque::new(); }\n";
+    let got = fire("crates/sma-server/src/rogue.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("N2-unbounded-queue", 1),
+            ("N2-unbounded-queue", 2),
+            ("N2-unbounded-queue", 3),
+            ("N2-unbounded-queue", 3),
+        ]
+    );
+}
+
+#[test]
+fn n2_sync_channel_and_other_crates_are_fine() {
+    let src = "use std::sync::mpsc::sync_channel;\n\
+               pub fn q() { let _ = sync_channel::<u8>(4); }\n";
+    assert!(fire("crates/sma-server/src/bounded.rs", src).is_empty());
+    let elsewhere = "pub fn q() { let _: std::collections::VecDeque<u8> = Default::default(); }\n";
+    assert!(fire("crates/sma-core/src/queue.rs", elsewhere).is_empty());
+}

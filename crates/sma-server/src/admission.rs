@@ -1,0 +1,119 @@
+//! Bounded admission: a fixed-capacity counting gate.
+//!
+//! The server takes one [`Permit`] per connection (session gate) and one
+//! per executing query (inflight gate). `try_acquire` either succeeds
+//! immediately or fails immediately — there is no wait queue at all, so
+//! overload degrades into explicit `Busy` responses instead of unbounded
+//! memory growth or creeping latency. The permit releases its slot on
+//! `Drop`, which makes leak-freedom structural: a panicking session
+//! thread still unwinds its permit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A fixed-capacity counting gate (a semaphore that never blocks).
+#[derive(Debug)]
+pub struct Admission {
+    limit: usize,
+    active: AtomicUsize,
+}
+
+impl Admission {
+    /// A gate admitting at most `limit` concurrent holders. `limit == 0`
+    /// means "admit nothing" — useful for tests and maintenance mode.
+    pub fn new(limit: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            limit,
+            active: AtomicUsize::new(0),
+        })
+    }
+
+    /// Attempts to take a slot; `None` means the caller must shed load.
+    pub fn try_acquire(self: &Arc<Admission>) -> Option<Permit> {
+        let mut current = self.active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.limit {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(Permit {
+                        gate: Arc::clone(self),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Currently admitted holders.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+/// An admitted slot; releases on drop.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<Admission>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.active.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_enforced_and_released() {
+        let gate = Admission::new(2);
+        let a = gate.try_acquire().unwrap();
+        let _b = gate.try_acquire().unwrap();
+        assert!(gate.try_acquire().is_none(), "the gate is full");
+        assert_eq!(gate.active(), 2);
+        drop(a);
+        assert_eq!(gate.active(), 1);
+        assert!(gate.try_acquire().is_some(), "the slot came back");
+    }
+
+    #[test]
+    fn zero_capacity_admits_nothing() {
+        let gate = Admission::new(0);
+        assert!(gate.try_acquire().is_none());
+    }
+
+    #[test]
+    fn concurrent_acquire_never_oversubscribes() {
+        let gate = Admission::new(3);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        if let Some(_p) = gate.try_acquire() {
+                            let seen = gate.active();
+                            peak.fetch_max(seen, Ordering::Relaxed);
+                            assert!(seen <= 3, "oversubscribed: {seen}");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.active(), 0, "every permit was returned");
+        assert!(peak.load(Ordering::Relaxed) >= 1);
+    }
+}

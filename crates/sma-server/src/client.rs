@@ -1,0 +1,47 @@
+//! A minimal blocking client: one statement out, one response in.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, ProtoError, Response, MAX_FRAME_BYTES};
+
+/// A blocking connection to an `sma-server`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ProtoError> {
+        let stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
+        stream.set_nodelay(true).map_err(ProtoError::Io)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long [`Client::request`] waits for a reply (`None` =
+    /// wait forever). The chaos tests use this as their no-hang proof.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ProtoError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(ProtoError::Io)
+    }
+
+    /// Sends one statement and blocks for its response.
+    pub fn request(&mut self, statement: &str) -> Result<Response, ProtoError> {
+        if statement.len() > MAX_FRAME_BYTES {
+            return Err(ProtoError::FrameTooLarge {
+                len: statement.len(),
+                max: MAX_FRAME_BYTES,
+            });
+        }
+        write_frame(&mut self.stream, statement.as_bytes())?;
+        let payload = read_frame(&mut self.stream).map_err(|e| match e {
+            ProtoError::Io(io_err) if io_err.kind() == io::ErrorKind::WouldBlock => ProtoError::Io(
+                io::Error::new(io::ErrorKind::TimedOut, "timed out waiting for a response"),
+            ),
+            other => other,
+        })?;
+        Response::decode(&payload)
+    }
+}

@@ -1,0 +1,386 @@
+//! The wire protocol: length-prefixed frames and the response codec.
+//!
+//! A frame is `u32` little-endian payload length followed by the
+//! payload, capped at [`MAX_FRAME_BYTES`] in both directions — an
+//! oversized length is a protocol error, not an allocation. Requests
+//! carry a UTF-8 statement; responses carry:
+//!
+//! ```text
+//! status   u8                  Ok | Degraded | Busy | Error | ShuttingDown
+//! epoch    u64 LE              catalog epoch the request observed
+//! info     u32 LE + bytes      plan name, message, or error text
+//! rows     u32 LE row count, then per row:
+//!            u32 LE column count, then per column: u32 LE + UTF-8 text
+//! ```
+//!
+//! The payload of a successful query (`epoch` + `info` + `rows`) is
+//! deterministic — no timings, no retry counters — so the chaos tests
+//! can demand byte-identical replies between a concurrent run and a
+//! single-client replay. Degradation is reported in the status byte
+//! alone.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use sma_types::bytes::{get_u32_le, get_u64_le, put_u32_le, put_u64_le};
+
+/// Hard bound on a frame payload, both directions.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request succeeded on the healthy fast path.
+    Ok,
+    /// The request succeeded but the resilience layer degraded (bucket
+    /// demotions or transient-I/O retries along the way).
+    Degraded,
+    /// Admission control shed the request; retry later.
+    Busy,
+    /// The request failed with the structured message in `info`.
+    Error,
+    /// The server is draining; the connection closes after this reply.
+    ShuttingDown,
+}
+
+impl Status {
+    fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Degraded => 1,
+            Status::Busy => 2,
+            Status::Error => 3,
+            Status::ShuttingDown => 4,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Status> {
+        match c {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Degraded),
+            2 => Some(Status::Busy),
+            3 => Some(Status::Error),
+            4 => Some(Status::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome class.
+    pub status: Status,
+    /// Catalog epoch the request observed (0 when not applicable).
+    pub epoch: u64,
+    /// Plan name, informational message, or error text.
+    pub info: String,
+    /// Result rows, every value rendered as text.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Response {
+    /// A result-less reply.
+    pub fn status_only(status: Status, epoch: u64, info: impl Into<String>) -> Response {
+        Response {
+            status,
+            epoch,
+            info: info.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// An [`Status::Error`] reply carrying a structured message.
+    pub fn error(epoch: u64, info: impl Into<String>) -> Response {
+        Response::status_only(Status::Error, epoch, info)
+    }
+
+    /// Encodes the response payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.status.code());
+        put_u64_le(&mut out, self.epoch);
+        put_str(&mut out, &self.info);
+        put_u32_le(&mut out, clamp_u32(self.rows.len()));
+        for row in &self.rows {
+            put_u32_le(&mut out, clamp_u32(row.len()));
+            for v in row {
+                put_str(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// Decodes a response payload (no frame header).
+    pub fn decode(buf: &[u8]) -> Result<Response, ProtoError> {
+        let mut off = 0usize;
+        let status = Status::from_code(take_u8(buf, &mut off)?)
+            .ok_or(ProtoError::Malformed("unknown status byte"))?;
+        let epoch = take_u64(buf, &mut off)?;
+        let info = take_str(buf, &mut off)?;
+        let nrows = take_u32(buf, &mut off)? as usize;
+        if nrows > MAX_FRAME_BYTES {
+            return Err(ProtoError::Malformed("row count exceeds frame bound"));
+        }
+        let mut rows = Vec::with_capacity(nrows.min(1024));
+        for _ in 0..nrows {
+            let ncols = take_u32(buf, &mut off)? as usize;
+            if ncols > MAX_FRAME_BYTES {
+                return Err(ProtoError::Malformed("column count exceeds frame bound"));
+            }
+            let mut row = Vec::with_capacity(ncols.min(64));
+            for _ in 0..ncols {
+                row.push(take_str(buf, &mut off)?);
+            }
+            rows.push(row);
+        }
+        if off != buf.len() {
+            return Err(ProtoError::Malformed("trailing bytes after response"));
+        }
+        Ok(Response {
+            status,
+            epoch,
+            info,
+            rows,
+        })
+    }
+}
+
+/// Protocol-layer failure.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A frame announced a payload larger than [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// The bound it violated.
+        max: usize,
+    },
+    /// The payload did not decode.
+    Malformed(&'static str),
+    /// The peer closed the connection mid-frame.
+    ConnectionClosed,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "socket: {e}"),
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::ConnectionClosed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one frame (header + payload) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::FrameTooLarge {
+            len: payload.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut header = Vec::with_capacity(4);
+    put_u32_le(&mut header, clamp_u32(payload.len()));
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Blocking read of one full frame from `r` (client side).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut header = [0u8; 4];
+    read_exact_or_closed(r, &mut header)?;
+    let len = get_u32_le(&header, 0).ok_or(ProtoError::Malformed("short header"))? as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_closed(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Pops one complete frame off an accumulation buffer (server side —
+/// the session loop appends whatever the socket yields and drains
+/// complete frames here). `Ok(None)` means "not enough bytes yet".
+pub fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, ProtoError> {
+    let Some(len) = get_u32_le(buf, 0) else {
+        return Ok(None);
+    };
+    let len = len as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(payload))
+}
+
+fn read_exact_or_closed(r: &mut impl Read, out: &mut [u8]) -> Result<(), ProtoError> {
+    r.read_exact(out).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::ConnectionClosed
+        } else {
+            ProtoError::Io(e)
+        }
+    })
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32_le(out, clamp_u32(s.len()));
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_u8(buf: &[u8], off: &mut usize) -> Result<u8, ProtoError> {
+    let b = *buf
+        .get(*off)
+        .ok_or(ProtoError::Malformed("short payload"))?;
+    *off += 1;
+    Ok(b)
+}
+
+fn take_u32(buf: &[u8], off: &mut usize) -> Result<u32, ProtoError> {
+    let v = get_u32_le(buf, *off).ok_or(ProtoError::Malformed("short payload"))?;
+    *off += 4;
+    Ok(v)
+}
+
+fn take_u64(buf: &[u8], off: &mut usize) -> Result<u64, ProtoError> {
+    let v = get_u64_le(buf, *off).ok_or(ProtoError::Malformed("short payload"))?;
+    *off += 8;
+    Ok(v)
+}
+
+fn take_str(buf: &[u8], off: &mut usize) -> Result<String, ProtoError> {
+    let len = take_u32(buf, off)? as usize;
+    let end = off
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or(ProtoError::Malformed("string runs past payload"))?;
+    let s = String::from_utf8(buf[*off..end].to_vec())
+        .map_err(|_| ProtoError::Malformed("non-UTF-8 string"))?;
+    *off = end;
+    Ok(s)
+}
+
+/// Saturating length clamp — frame bounds keep real values far below.
+fn clamp_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_roundtrips() {
+        let r = Response {
+            status: Status::Degraded,
+            epoch: 42,
+            info: "SmaGAggr".into(),
+            rows: vec![vec!["A".into(), "7".into()], vec!["B".into(), "9".into()]],
+        };
+        let bytes = r.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn every_status_roundtrips() {
+        for s in [
+            Status::Ok,
+            Status::Degraded,
+            Status::Busy,
+            Status::Error,
+            Status::ShuttingDown,
+        ] {
+            let r = Response::status_only(s, 1, "x");
+            assert_eq!(Response::decode(&r.encode()).unwrap().status, s);
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let r = Response::status_only(Status::Ok, 3, "hello");
+        let bytes = r.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Response::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Response::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn take_frame_handles_partial_and_multiple_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+
+        let mut buf = Vec::new();
+        // Feed byte-by-byte: take_frame must never yield a torn frame.
+        let mut got = Vec::new();
+        for b in wire {
+            buf.push(b);
+            while let Some(frame) = take_frame(&mut buf).unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, u32::MAX);
+        assert!(matches!(
+            take_frame(&mut buf),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &huge),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,528 @@
+//! The text statement language the server speaks.
+//!
+//! One statement per request frame. Keywords are case-insensitive,
+//! identifiers are case-sensitive, string literals use single quotes:
+//!
+//! ```text
+//! ping | epoch | flush | shutdown
+//! create table L (SHIPDATE date, PRICE decimal, DISCOUNT decimal)
+//! define sma l_min select min(PRICE) from L
+//! insert into L values ('1994-03-15', 17.25, 0.05)
+//! select count(*), sum(PRICE) from L where SHIPDATE >= '1994-01-01'
+//!     and DISCOUNT <= 0.07 group by RETURNFLAG
+//! ```
+//!
+//! Parsing is pure: column names and literals stay textual here and are
+//! bound against the relation's schema by the server, under the same
+//! lock as execution — the parser cannot race a concurrent `create
+//! table`. A parse failure is an `Err(String)` that becomes a
+//! structured `Error` response; nothing panics.
+
+use sma_core::CmpOp;
+use sma_types::DataType;
+
+/// One comparison in a `where` conjunction, unbound: `column op literal`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredAst {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Raw literal text (quotes stripped).
+    pub literal: String,
+}
+
+/// One aggregate in a `select` list, unbound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggAst {
+    /// `count(*)`
+    CountStar,
+    /// `min(column)`
+    Min(String),
+    /// `max(column)`
+    Max(String),
+    /// `sum(column)`
+    Sum(String),
+    /// `avg(column)`
+    Avg(String),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// Liveness probe.
+    Ping,
+    /// Report the catalog epoch.
+    Epoch,
+    /// Fold the memtable into the sealed generation now.
+    Flush,
+    /// Begin graceful shutdown: drain, commit, flush, stop accepting.
+    Shutdown,
+    /// Register a new relation.
+    CreateTable {
+        /// Relation name.
+        name: String,
+        /// Column name/type pairs, in declaration order.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `define sma …` — passed through verbatim to the warehouse, which
+    /// owns that grammar.
+    DefineSma {
+        /// The full statement text.
+        raw: String,
+    },
+    /// Append one tuple.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Raw literal texts, in column order.
+        values: Vec<String>,
+    },
+    /// An aggregate query.
+    Select {
+        /// Aggregate list.
+        aggs: Vec<AggAst>,
+        /// Source relation.
+        relation: String,
+        /// `where` conjunction (empty = all rows).
+        predicates: Vec<PredAst>,
+        /// `group by` column names.
+        group_by: Vec<String>,
+    },
+}
+
+impl Statement {
+    /// Parses one statement or returns a human-readable error.
+    pub fn parse(text: &str) -> Result<Statement, String> {
+        let toks = tokenize(text)?;
+        let mut p = Parser { toks, pos: 0 };
+        let stmt = p.statement(text)?;
+        if !p.at_end() {
+            return Err(format!("unexpected `{}` after statement", p.peek_text()));
+        }
+        Ok(stmt)
+    }
+}
+
+// ------------------------------------------------------------- tokenizer
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Identifier, keyword, or unquoted literal (`1994-01-01`, `17.25`).
+    Word(String),
+    /// Single-quoted string, quotes stripped.
+    Quoted(String),
+    /// `( ) , *` and comparison operators.
+    Punct(String),
+}
+
+impl Tok {
+    fn text(&self) -> &str {
+        match self {
+            Tok::Word(s) | Tok::Quoted(s) | Tok::Punct(s) => s,
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err("unterminated string literal".into()),
+                }
+            }
+            toks.push(Tok::Quoted(s));
+        } else if matches!(c, '(' | ')' | ',' | '*') {
+            chars.next();
+            toks.push(Tok::Punct(c.to_string()));
+        } else if matches!(c, '<' | '>' | '=' | '!') {
+            chars.next();
+            let mut op = c.to_string();
+            if chars.peek() == Some(&'=') {
+                chars.next();
+                op.push('=');
+            }
+            toks.push(Tok::Punct(op));
+        } else if c.is_alphanumeric() || matches!(c, '_' | '.' | '-' | '+') {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_alphanumeric() || matches!(ch, '_' | '.' | '-' | '+') {
+                    s.push(ch);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Word(s));
+        } else {
+            return Err(format!("unexpected character `{c}`"));
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek_text(&self) -> &str {
+        self.toks.get(self.pos).map_or("end of input", Tok::text)
+    }
+
+    /// Peeks a keyword (case-insensitive word match).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.toks.get(self.pos), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected `{kw}`, found `{}`", self.peek_text()))
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), String> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Punct(s)) if s == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(format!("expected `{p}`, found `{}`", self.peek_text())),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        match self.toks.get(self.pos) {
+            Some(Tok::Punct(s)) if s == p => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Any word token (identifier position).
+    fn ident(&mut self) -> Result<String, String> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(format!("expected identifier, found `{}`", self.peek_text())),
+        }
+    }
+
+    /// A literal: quoted string or bare word.
+    fn literal(&mut self) -> Result<String, String> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            Some(Tok::Quoted(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(format!("expected literal, found `{}`", self.peek_text())),
+        }
+    }
+
+    fn statement(&mut self, raw: &str) -> Result<Statement, String> {
+        if self.eat_kw("ping") {
+            Ok(Statement::Ping)
+        } else if self.eat_kw("epoch") {
+            Ok(Statement::Epoch)
+        } else if self.eat_kw("flush") {
+            Ok(Statement::Flush)
+        } else if self.eat_kw("shutdown") {
+            Ok(Statement::Shutdown)
+        } else if self.peek_kw("create") {
+            self.create_table()
+        } else if self.peek_kw("define") {
+            // The warehouse owns the `define sma` grammar; validate the
+            // head here, pass the text through untouched.
+            self.pos = self.toks.len();
+            Ok(Statement::DefineSma {
+                raw: raw.trim().to_string(),
+            })
+        } else if self.peek_kw("insert") {
+            self.insert()
+        } else if self.peek_kw("select") {
+            self.select()
+        } else {
+            Err(format!("unknown statement `{}`", self.peek_text()))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, String> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.expect_punct(")")?;
+            break;
+        }
+        if columns.is_empty() {
+            return Err("a table needs at least one column".into());
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> Result<DataType, String> {
+        let w = self.ident()?;
+        match w.to_ascii_lowercase().as_str() {
+            "int" | "integer" => Ok(DataType::Int),
+            "decimal" => Ok(DataType::Decimal),
+            "date" => Ok(DataType::Date),
+            "char" => Ok(DataType::Char),
+            "str" | "text" | "varchar" => Ok(DataType::Str),
+            other => Err(format!(
+                "unknown type `{other}` (expected int, decimal, date, char, or str)"
+            )),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, String> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let relation = self.ident()?;
+        self.expect_kw("values")?;
+        self.expect_punct("(")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.literal()?);
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.expect_punct(")")?;
+            break;
+        }
+        Ok(Statement::Insert { relation, values })
+    }
+
+    fn select(&mut self) -> Result<Statement, String> {
+        self.expect_kw("select")?;
+        let mut aggs = Vec::new();
+        loop {
+            aggs.push(self.aggregate()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let relation = self.ident()?;
+        let mut predicates = Vec::new();
+        if self.eat_kw("where") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_kw("and") {
+                    break;
+                }
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        Ok(Statement::Select {
+            aggs,
+            relation,
+            predicates,
+            group_by,
+        })
+    }
+
+    fn aggregate(&mut self) -> Result<AggAst, String> {
+        let f = self.ident()?;
+        self.expect_punct("(")?;
+        let agg = match f.to_ascii_lowercase().as_str() {
+            "count" => {
+                self.expect_punct("*")?;
+                self.expect_punct(")")?;
+                return Ok(AggAst::CountStar);
+            }
+            "min" => AggAst::Min(self.ident()?),
+            "max" => AggAst::Max(self.ident()?),
+            "sum" => AggAst::Sum(self.ident()?),
+            "avg" => AggAst::Avg(self.ident()?),
+            other => return Err(format!("unknown aggregate `{other}`")),
+        };
+        self.expect_punct(")")?;
+        Ok(agg)
+    }
+
+    fn predicate(&mut self) -> Result<PredAst, String> {
+        let column = self.ident()?;
+        let op = match self.toks.get(self.pos) {
+            Some(Tok::Punct(p)) => match p.as_str() {
+                "=" => CmpOp::Eq,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => return Err(format!("unknown operator `{other}`")),
+            },
+            _ => return Err(format!("expected operator, found `{}`", self.peek_text())),
+        };
+        self.pos += 1;
+        let literal = self.literal()?;
+        Ok(PredAst {
+            column,
+            op,
+            literal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_statements_parse() {
+        assert_eq!(Statement::parse("ping").unwrap(), Statement::Ping);
+        assert_eq!(Statement::parse("  EPOCH ").unwrap(), Statement::Epoch);
+        assert_eq!(Statement::parse("flush").unwrap(), Statement::Flush);
+        assert_eq!(Statement::parse("Shutdown").unwrap(), Statement::Shutdown);
+    }
+
+    #[test]
+    fn create_table_parses_all_types() {
+        let s =
+            Statement::parse("create table L (A int, B decimal, C date, D char, E str)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "L".into(),
+                columns: vec![
+                    ("A".into(), DataType::Int),
+                    ("B".into(), DataType::Decimal),
+                    ("C".into(), DataType::Date),
+                    ("D".into(), DataType::Char),
+                    ("E".into(), DataType::Str),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn define_sma_is_passed_through_verbatim() {
+        let raw = "define sma l_min select min(PRICE) from L";
+        assert_eq!(
+            Statement::parse(raw).unwrap(),
+            Statement::DefineSma { raw: raw.into() }
+        );
+    }
+
+    #[test]
+    fn insert_parses_quoted_and_bare_literals() {
+        let s = Statement::parse("insert into L values ('1994-03-15', 17.25, -3, 'x y')").unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                relation: "L".into(),
+                values: vec![
+                    "1994-03-15".into(),
+                    "17.25".into(),
+                    "-3".into(),
+                    "x y".into()
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn select_parses_full_query() {
+        let s = Statement::parse(
+            "select count(*), sum(PRICE), avg(PRICE) from L \
+             where SHIPDATE >= '1994-01-01' and DISCOUNT <= 0.07 group by FLAG, STATUS",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            Statement::Select {
+                aggs: vec![
+                    AggAst::CountStar,
+                    AggAst::Sum("PRICE".into()),
+                    AggAst::Avg("PRICE".into()),
+                ],
+                relation: "L".into(),
+                predicates: vec![
+                    PredAst {
+                        column: "SHIPDATE".into(),
+                        op: CmpOp::Ge,
+                        literal: "1994-01-01".into(),
+                    },
+                    PredAst {
+                        column: "DISCOUNT".into(),
+                        op: CmpOp::Le,
+                        literal: "0.07".into(),
+                    },
+                ],
+                group_by: vec!["FLAG".into(), "STATUS".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_is_an_error_never_a_panic() {
+        for bad in [
+            "",
+            "explode",
+            "select from L",
+            "select count(* from L",
+            "create table X ()",
+            "create table X (A blob)",
+            "insert into L values (",
+            "select count(*) from L where A ! 3",
+            "ping ping",
+            "'unterminated",
+        ] {
+            assert!(Statement::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-query execution budgets: deadline, logical-page cap, cancellation.
+//!
+//! A [`QueryBudget`] is created per query by whoever admits it (the query
+//! server, a test harness) and threaded by reference into the executor,
+//! which *checks* it at bucket/page boundaries and *charges* it for every
+//! data page it is about to read. All state is atomic, so the morsel
+//! workers of a parallel operator share one budget without locks.
+//!
+//! Charges are deterministic, not sampled from the shared buffer pool's
+//! counters: an operator charges exactly the logical page count it
+//! requests (the same unit [`crate::IoStats::logical_reads`] tallies).
+//! Under concurrency the pool's counters mix all in-flight queries
+//! together, so metering from their deltas would bill one query for
+//! another's I/O; deterministic charges keep every budget verdict
+//! reproducible in a single-threaded replay.
+//!
+//! Exhaustion is reported as a structured [`BudgetExceeded`] — never a
+//! panic, never a poisoned lock — so a budget-capped query degrades into
+//! an ordinary error response.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cost::Stopwatch;
+
+/// Why a query was cut off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// Time spent when the violation was detected, in microseconds.
+        elapsed_us: u64,
+        /// The configured deadline, in microseconds.
+        limit_us: u64,
+    },
+    /// The logical-page cap was hit.
+    Pages {
+        /// Pages charged so far (including the charge that tripped).
+        charged: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The budget was cancelled from outside (e.g. server shutdown).
+    Cancelled,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Deadline {
+                elapsed_us,
+                limit_us,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_us} us elapsed of a {limit_us} us budget"
+            ),
+            BudgetExceeded::Pages { charged, limit } => {
+                write!(
+                    f,
+                    "page budget exceeded: {charged} pages charged of {limit}"
+                )
+            }
+            BudgetExceeded::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A cooperative per-query budget.
+///
+/// The clock starts when the budget is constructed (admission time), so
+/// queueing and planning count against the deadline too. A default budget
+/// is unbounded: `check`/`charge` never fail until someone `cancel`s it.
+#[derive(Debug)]
+pub struct QueryBudget {
+    clock: Stopwatch,
+    deadline: Option<Duration>,
+    page_cap: Option<u64>,
+    pages: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl Default for QueryBudget {
+    fn default() -> QueryBudget {
+        QueryBudget::unbounded()
+    }
+}
+
+impl QueryBudget {
+    /// A budget that never trips on its own (it can still be cancelled).
+    pub fn unbounded() -> QueryBudget {
+        QueryBudget {
+            clock: Stopwatch::start(),
+            deadline: None,
+            page_cap: None,
+            pages: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds a wall-clock deadline, measured from construction.
+    pub fn with_deadline(mut self, deadline: Duration) -> QueryBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Adds a logical-page cap: the query may charge at most `pages`
+    /// data pages before it is cut off.
+    pub fn with_page_cap(mut self, pages: u64) -> QueryBudget {
+        self.page_cap = Some(pages);
+        self
+    }
+
+    /// Marks the budget cancelled; every later `check`/`charge` fails
+    /// with [`BudgetExceeded::Cancelled`]. Safe from any thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`QueryBudget::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Pages charged so far.
+    pub fn pages_charged(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint: fails if the budget was cancelled or the deadline has
+    /// passed. Cheap enough to call once per bucket.
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if self.is_cancelled() {
+            return Err(BudgetExceeded::Cancelled);
+        }
+        if let Some(limit) = self.deadline {
+            let elapsed = self.clock.elapsed();
+            if elapsed >= limit {
+                return Err(BudgetExceeded::Deadline {
+                    elapsed_us: duration_us(elapsed),
+                    limit_us: duration_us(limit),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `pages` logical page reads, then runs every check. The
+    /// charge sticks even when the result is an error, so an exhausted
+    /// budget reports the full tally it was cut off at.
+    pub fn charge(&self, pages: u64) -> Result<(), BudgetExceeded> {
+        let charged = self.pages.fetch_add(pages, Ordering::Relaxed) + pages;
+        if let Some(limit) = self.page_cap {
+            if charged > limit {
+                return Err(BudgetExceeded::Pages { charged, limit });
+            }
+        }
+        self.check()
+    }
+}
+
+/// Saturating microseconds of a `Duration` (for error payloads).
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_trips() {
+        let b = QueryBudget::unbounded();
+        for _ in 0..1000 {
+            b.charge(1_000_000).unwrap();
+        }
+        b.check().unwrap();
+        assert_eq!(b.pages_charged(), 1_000_000_000);
+    }
+
+    #[test]
+    fn page_cap_trips_with_the_full_tally() {
+        let b = QueryBudget::unbounded().with_page_cap(10);
+        b.charge(6).unwrap();
+        b.charge(4).unwrap(); // exactly at the cap: still fine
+        let err = b.charge(1).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExceeded::Pages {
+                charged: 11,
+                limit: 10
+            }
+        );
+        // The charge stuck; the budget stays tripped.
+        assert_eq!(b.pages_charged(), 11);
+        assert!(b.charge(0).is_err());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let b = QueryBudget::unbounded().with_deadline(Duration::ZERO);
+        let err = b.check().unwrap_err();
+        assert!(matches!(err, BudgetExceeded::Deadline { .. }), "{err}");
+        assert!(matches!(
+            b.charge(1),
+            Err(BudgetExceeded::Deadline { .. } | BudgetExceeded::Pages { .. })
+        ));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = QueryBudget::unbounded().with_deadline(Duration::from_secs(3600));
+        b.check().unwrap();
+        b.charge(5).unwrap();
+    }
+
+    #[test]
+    fn cancel_wins_from_any_thread() {
+        let b = QueryBudget::unbounded().with_page_cap(1_000);
+        std::thread::scope(|s| {
+            s.spawn(|| b.cancel());
+        });
+        assert_eq!(b.check().unwrap_err(), BudgetExceeded::Cancelled);
+        assert_eq!(b.charge(1).unwrap_err(), BudgetExceeded::Cancelled);
+    }
+
+    #[test]
+    fn concurrent_charges_are_exact() {
+        let b = QueryBudget::unbounded();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        b.charge(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.pages_charged(), 8_000);
+    }
+
+    #[test]
+    fn errors_render_structured_messages() {
+        let d = BudgetExceeded::Deadline {
+            elapsed_us: 20,
+            limit_us: 10,
+        };
+        assert!(d.to_string().contains("deadline exceeded"));
+        let p = BudgetExceeded::Pages {
+            charged: 11,
+            limit: 10,
+        };
+        assert!(p.to_string().contains("page budget exceeded"));
+        assert!(BudgetExceeded::Cancelled.to_string().contains("cancelled"));
+    }
+}

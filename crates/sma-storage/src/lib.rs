@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod checksum;
 pub mod cost;
 pub mod memtable;
@@ -36,6 +37,7 @@ pub mod table;
 pub mod test_util;
 pub mod wal;
 
+pub use budget::{BudgetExceeded, QueryBudget};
 pub use checksum::crc32;
 pub use cost::{CostModel, Stopwatch};
 pub use memtable::{MemRow, Memtable};

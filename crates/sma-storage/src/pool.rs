@@ -84,11 +84,15 @@ impl IoStats {
 /// How the pool reacts to [`StoreError::Transient`] read faults.
 ///
 /// The schedule is deterministic: retry `k` (1-based) sleeps
-/// `base_backoff_us << (k - 1)` microseconds, so a given policy always
-/// issues the same attempt sequence — fault-injection tests replay
-/// byte-identically. Non-transient errors (corruption, out-of-range,
-/// unclassified I/O) are never retried: retrying cannot fix them and would
-/// only hide the diagnosis.
+/// `base_backoff_us << (k - 1)` microseconds, capped at `max_backoff_us`,
+/// plus an optional *seeded* jitter — a pure function of
+/// `(jitter_seed, k)` — so a given policy always issues the same attempt
+/// sequence and fault-injection tests replay byte-identically. The cap
+/// keeps a long retry budget from sleeping into the seconds; the jitter
+/// decorrelates concurrent sessions hammering the same faulty device
+/// without sacrificing replayability. Non-transient errors (corruption,
+/// out-of-range, unclassified I/O) are never retried: retrying cannot fix
+/// them and would only hide the diagnosis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries allowed after the first failed attempt (`0` = fail fast).
@@ -96,16 +100,27 @@ pub struct RetryPolicy {
     /// Backoff before the first retry, in microseconds; doubles each
     /// further retry. `0` disables sleeping (useful in tests).
     pub base_backoff_us: u64,
+    /// Ceiling on the exponential schedule, in microseconds; `0` means
+    /// uncapped. Jitter is added on top (at most a quarter of the capped
+    /// backoff), so the true upper bound is `max_backoff_us * 5 / 4`.
+    pub max_backoff_us: u64,
+    /// Seed for the deterministic jitter; `0` disables jitter entirely,
+    /// reproducing the bare exponential schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
-    /// Three retries with a 50 µs initial backoff: rides out momentary
-    /// device hiccups (a few hundred µs total) without stalling a query
-    /// noticeably when the fault turns out to be permanent.
+    /// Three retries with a 50 µs initial backoff, capped at 5 ms: rides
+    /// out momentary device hiccups (a few hundred µs total) without
+    /// stalling a query noticeably when the fault turns out to be
+    /// permanent. No jitter — callers that fan out many sessions (the
+    /// query server) seed it per pool.
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_retries: 3,
             base_backoff_us: 50,
+            max_backoff_us: 5_000,
+            jitter_seed: 0,
         }
     }
 }
@@ -116,16 +131,46 @@ impl RetryPolicy {
         RetryPolicy {
             max_retries: 0,
             base_backoff_us: 0,
+            max_backoff_us: 0,
+            jitter_seed: 0,
         }
     }
 
-    /// The deterministic pause before retry `attempt` (1-based).
+    /// Seeds the deterministic jitter (builder form).
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The deterministic pause before retry `attempt` (1-based):
+    /// `min(base << (attempt-1), cap) + jitter(seed, attempt)`.
     pub fn backoff_before(&self, attempt: u32) -> std::time::Duration {
-        let us = self.base_backoff_us.saturating_mul(
+        let exp = self.base_backoff_us.saturating_mul(
             1u64.checked_shl(attempt.saturating_sub(1))
                 .unwrap_or(u64::MAX),
         );
-        std::time::Duration::from_micros(us)
+        let capped = if self.max_backoff_us > 0 {
+            exp.min(self.max_backoff_us)
+        } else {
+            exp
+        };
+        std::time::Duration::from_micros(capped.saturating_add(self.jitter_us(attempt, capped)))
+    }
+
+    /// Jitter for retry `attempt`, in `[0, capped/4]` — a pure splitmix64
+    /// hash of `(jitter_seed, attempt)`, so two pools with the same seed
+    /// sleep identically and different seeds decorrelate.
+    fn jitter_us(&self, attempt: u32, capped: u64) -> u64 {
+        if self.jitter_seed == 0 || capped == 0 {
+            return 0;
+        }
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z % (capped / 4 + 1)
     }
 }
 
@@ -708,6 +753,7 @@ mod tests {
         p.set_retry_policy(RetryPolicy {
             max_retries: 3,
             base_backoff_us: 0,
+            ..RetryPolicy::default()
         });
         for no in 0..8 {
             p.with_page(no, |_| ()).unwrap();
@@ -737,6 +783,7 @@ mod tests {
         p.set_retry_policy(RetryPolicy {
             max_retries: burst as u32 - 1,
             base_backoff_us: 0,
+            ..RetryPolicy::default()
         });
         let before = p.stats();
         let err = p.with_page(victim, |_| ()).unwrap_err();
@@ -753,18 +800,108 @@ mod tests {
     }
 
     /// Retry policies are deterministic: the backoff schedule is a pure
-    /// function of the attempt number.
+    /// function of the attempt number (and the jitter seed).
     #[test]
     fn retry_policy_backoff_schedule() {
         let p = RetryPolicy {
             max_retries: 3,
             base_backoff_us: 50,
+            max_backoff_us: 5_000,
+            jitter_seed: 0,
         };
         assert_eq!(p.backoff_before(1).as_micros(), 50);
         assert_eq!(p.backoff_before(2).as_micros(), 100);
         assert_eq!(p.backoff_before(3).as_micros(), 200);
         assert_eq!(RetryPolicy::none().max_retries, 0);
         assert!(RetryPolicy::none().backoff_before(1).is_zero());
+    }
+
+    /// The exponential schedule saturates at `max_backoff_us` instead of
+    /// doubling without bound, and `0` means uncapped.
+    #[test]
+    fn retry_policy_backoff_is_capped() {
+        let p = RetryPolicy {
+            max_retries: 20,
+            base_backoff_us: 50,
+            max_backoff_us: 400,
+            jitter_seed: 0,
+        };
+        assert_eq!(p.backoff_before(3).as_micros(), 200);
+        assert_eq!(p.backoff_before(4).as_micros(), 400, "first capped step");
+        assert_eq!(p.backoff_before(16).as_micros(), 400, "stays capped");
+        let uncapped = RetryPolicy {
+            max_backoff_us: 0,
+            ..p
+        };
+        assert_eq!(uncapped.backoff_before(10).as_micros(), 25_600);
+        // Overflow-safe far past any realistic attempt count.
+        assert!(uncapped.backoff_before(200).as_micros() > 0);
+    }
+
+    /// Jitter is deterministic per (seed, attempt), bounded by a quarter
+    /// of the capped backoff, and absent when the seed is zero.
+    #[test]
+    fn retry_policy_jitter_is_seeded_and_bounded() {
+        let base = RetryPolicy {
+            max_retries: 8,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+            jitter_seed: 0,
+        };
+        let a = base.with_jitter_seed(0xC0FFEE);
+        let b = base.with_jitter_seed(0xC0FFEE);
+        let c = base.with_jitter_seed(17);
+        let mut diverged = false;
+        for attempt in 1..=8 {
+            let bare = base.backoff_before(attempt).as_micros();
+            let ja = a.backoff_before(attempt).as_micros();
+            assert_eq!(
+                ja,
+                b.backoff_before(attempt).as_micros(),
+                "same seed, same sleep"
+            );
+            assert!(ja >= bare, "jitter only adds");
+            assert!(ja <= bare + bare / 4, "jitter bounded by a quarter");
+            if ja != c.backoff_before(attempt).as_micros() {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds must decorrelate somewhere");
+    }
+
+    /// Regression against the seeded chaos store: a capped, jittered
+    /// policy absorbs exactly the same planned fault bursts as the bare
+    /// exponential one — the schedule shapes only the sleeps, never the
+    /// attempt sequence — and the counters stay byte-identical.
+    #[test]
+    fn jittered_policy_matches_bare_policy_under_seeded_faults() {
+        use crate::test_util::{FaultConfig, FaultPlan};
+        let mut runs = Vec::new();
+        for seed in [0u64, 0x5EED] {
+            let mut store = FaultPlan::new(
+                MemStore::new(),
+                FaultConfig::seeded(31337).with_transient(100, 3),
+            );
+            for _ in 0..8 {
+                store.allocate().unwrap();
+            }
+            let planned: u64 = (0..8).map(|no| store.transient_burst(no)).sum();
+            let p = BufferPool::new(Box::new(store), 8);
+            p.set_retry_policy(RetryPolicy {
+                max_retries: 3,
+                base_backoff_us: 1,
+                max_backoff_us: 2,
+                jitter_seed: seed,
+            });
+            for no in 0..8 {
+                p.with_page(no, |_| ()).unwrap();
+            }
+            let s = p.stats();
+            assert_eq!(s.retried_reads, planned, "seed {seed}");
+            assert_eq!(s.gaveup_reads, 0, "seed {seed}");
+            runs.push(s);
+        }
+        assert_eq!(runs[0], runs[1], "jitter changes sleeps, not outcomes");
     }
 
     /// Eight threads hammer a sharded pool with reads and dirty writes,

@@ -38,6 +38,7 @@ fn main() {
     faulty.set_retry_policy(RetryPolicy {
         max_retries: 3,
         base_backoff_us: 0,
+        ..RetryPolicy::default()
     });
     let run = run_query1(&faulty, None, &Query1Config::default()).expect("survives faults");
     assert_eq!(run.rows, baseline.rows);

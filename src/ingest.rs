@@ -55,7 +55,9 @@ use crate::warehouse::{
 };
 use sma_core::HierarchicalMinMax;
 use sma_exec::AggregateQuery;
-use sma_storage::{make_wal_record, FileStore, Memtable, PageStore, Stopwatch, StoreError, Wal};
+use sma_storage::{
+    make_wal_record, FileStore, Memtable, PageStore, QueryBudget, Stopwatch, StoreError, Table, Wal,
+};
 use sma_types::{CodecError, Tuple};
 
 /// File name of the ingest write-ahead log inside the warehouse directory.
@@ -537,6 +539,29 @@ impl<S: PageStore> StreamingWarehouse<S> {
     /// segments and the live memtable. Results are byte-identical to the
     /// same query against a warehouse bulk-loaded with the same tuples.
     pub fn query(&self, relation: &str, query: AggregateQuery) -> Result<QueryResult, IngestError> {
+        self.query_inner(relation, query, None)
+    }
+
+    /// [`StreamingWarehouse::query`] under a cooperative [`QueryBudget`]:
+    /// deadline, page cap, and cancellation are enforced at every
+    /// bucket/page boundary of the underlying plan, so a budget-capped
+    /// heavy scan degrades into a structured error instead of starving
+    /// concurrent queries.
+    pub fn query_with_budget(
+        &self,
+        relation: &str,
+        query: AggregateQuery,
+        budget: &QueryBudget,
+    ) -> Result<QueryResult, IngestError> {
+        self.query_inner(relation, query, Some(budget))
+    }
+
+    fn query_inner(
+        &self,
+        relation: &str,
+        query: AggregateQuery,
+        budget: Option<&QueryBudget>,
+    ) -> Result<QueryResult, IngestError> {
         let table = self
             .warehouse
             .table(relation)
@@ -555,11 +580,14 @@ impl<S: PageStore> StreamingWarehouse<S> {
         );
         // A fully-flushed relation must plan *identically* to a
         // bulk-loaded warehouse — don't wrap an empty overlay.
-        let chosen = if overlay.is_empty() {
+        let mut chosen = if overlay.is_empty() {
             base
         } else {
             base.with_overlay(overlay)
         };
+        if let Some(b) = budget {
+            chosen = chosen.with_budget(b);
+        }
         let (rows, degradation) = chosen.execute_with_report().map_err(WarehouseError::from)?;
         Ok(QueryResult {
             rows,
@@ -576,6 +604,58 @@ impl<S: PageStore> StreamingWarehouse<S> {
     pub fn flush(&mut self) -> Result<(), IngestError> {
         self.flush_until(FlushStage::Complete)?;
         self.maybe_compact()
+    }
+
+    /// Registers a new (empty) relation on the live warehouse and
+    /// durably commits the catalog change: the flush writes a generation
+    /// whose manifest names the new table, so an insert acknowledged
+    /// after `register` returns survives a crash — WAL replay always
+    /// finds the relation.
+    pub fn register(&mut self, table: Table) -> Result<(), IngestError> {
+        self.warehouse.register(table).map_err(IngestError::from)?;
+        // The catalog changed even if no tuple did: mark a commit as
+        // owed, or an empty-memtable flush would no-op and a crash
+        // would forget the relation while the WAL still references it.
+        self.pending = Some(FlushStage::Applied);
+        self.flush()
+    }
+
+    /// Parses and installs a `define sma …` statement on the live
+    /// warehouse, then durably commits the new catalog generation, so
+    /// the SMA (like a freshly registered table) survives a crash.
+    pub fn define_sma(&mut self, statement: &str) -> Result<(), IngestError> {
+        self.warehouse.define_sma(statement)?;
+        self.pending = Some(FlushStage::Applied);
+        self.flush()
+    }
+
+    /// Shuts the warehouse down cleanly: commits the open group-commit
+    /// batch (making every staged row durable and acknowledged), runs a
+    /// full flush, and surfaces any deferred background-flush error. On
+    /// success nothing is left for recovery to redo: no staged rows, no
+    /// memtable, no unfinished flush checkpoint.
+    ///
+    /// # Drop semantics
+    ///
+    /// `StreamingWarehouse` deliberately has **no** `Drop` impl — drop
+    /// never does I/O, so it cannot fail, block, or mask a panic.
+    /// Dropping the handle without `close()` loses nothing that was
+    /// acknowledged: every row covered by a successful `insert`/`commit`
+    /// is already durable in the WAL and is replayed by
+    /// [`StreamingWarehouse::open_with_recovery`]. What a plain drop
+    /// abandons is (a) the open commit group — staged rows that were
+    /// never acknowledged, which callers must already treat as not
+    /// written — and (b) the memtable-to-segment flush work, which the
+    /// next open simply redoes from the log. `close()` upgrades both:
+    /// staged rows become durable, and segments are written now rather
+    /// than at the next recovery.
+    pub fn close(mut self) -> Result<(), IngestError> {
+        self.commit()?;
+        self.flush()?;
+        if let Some(e) = self.take_flush_error() {
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Runs the flush protocol up to and including `stage`, then stops.
@@ -636,8 +716,10 @@ impl<S: PageStore> StreamingWarehouse<S> {
         if self.pending == Some(FlushStage::Applied) {
             // Stage 2: export the unsealed page range of every touched
             // table into fresh `.e{epoch}` delta segments. Committed
-            // files are never opened for writing.
-            let watermark = self.memtable.max_seq();
+            // files are never opened for writing. A catalog-only commit
+            // (DDL with an empty memtable) must not regress the
+            // published watermark, so keep at least the committed one.
+            let watermark = self.memtable.max_seq().max(self.warehouse.watermark());
             let epoch = self.warehouse.begin_flush_generation(watermark);
             let suffix = format!(".e{epoch}");
             let meta = CommitMeta {

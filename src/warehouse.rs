@@ -27,8 +27,8 @@ use sma_core::persist::{decode_definition, encode_definition, load_sma_file, sav
 use sma_core::{Sma, SmaDefinition, SmaError, SmaSet};
 use sma_exec::{plan, AggregateQuery, DegradationReport, ExecError, PlanKind, PlannerConfig};
 use sma_storage::{
-    atomic_write_file, crc32, sync_dir, FileStore, PageNo, PageStore, SegmentedStore, StoreError,
-    Table, TableError, TupleId,
+    atomic_write_file, crc32, sync_dir, FileStore, PageNo, PageStore, QueryBudget, SegmentedStore,
+    StoreError, Table, TableError, TupleId,
 };
 use sma_types::{Column, DataType, Schema, Tuple};
 
@@ -416,11 +416,37 @@ impl Warehouse {
         relation: &str,
         query: AggregateQuery,
     ) -> Result<QueryResult, WarehouseError> {
+        self.query_inner(relation, query, None)
+    }
+
+    /// [`Warehouse::query`] under a cooperative [`QueryBudget`]: the
+    /// executor checks the budget at every bucket/page boundary, so a
+    /// deadline, page cap, or cancellation cuts the query off with a
+    /// structured [`sma_exec::ExecError::Budget`] instead of letting a
+    /// heavy scan run unchecked.
+    pub fn query_with_budget(
+        &self,
+        relation: &str,
+        query: AggregateQuery,
+        budget: &QueryBudget,
+    ) -> Result<QueryResult, WarehouseError> {
+        self.query_inner(relation, query, Some(budget))
+    }
+
+    fn query_inner(
+        &self,
+        relation: &str,
+        query: AggregateQuery,
+        budget: Option<&QueryBudget>,
+    ) -> Result<QueryResult, WarehouseError> {
         let table = self
             .tables
             .get(relation)
             .ok_or_else(|| WarehouseError::UnknownTable(relation.to_string()))?;
-        let chosen = plan(table, query, self.catalog.set_for(relation), &self.planner);
+        let mut chosen = plan(table, query, self.catalog.set_for(relation), &self.planner);
+        if let Some(b) = budget {
+            chosen = chosen.with_budget(b);
+        }
         let (rows, degradation) = chosen.execute_with_report()?;
         Ok(QueryResult {
             rows,

@@ -53,6 +53,7 @@ fn fast_retries(max_retries: u32) -> RetryPolicy {
     RetryPolicy {
         max_retries,
         base_backoff_us: 0,
+        ..RetryPolicy::default()
     }
 }
 

@@ -92,6 +92,72 @@ fn bulk_reference(rows: &[Tuple], hi: i64) -> Vec<Tuple> {
     w.query("S", small_query(hi)).unwrap().rows
 }
 
+// ----------------------------------------------------------------- close()
+
+/// `close()` commits the open group-commit batch and flushes, so staged
+/// rows a plain drop would abandon become durable, sealed rows — and the
+/// reopened warehouse has nothing to replay.
+#[test]
+fn close_commits_the_open_group_and_flushes() {
+    let dir = scratch_path("ingest-close");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+    sw.set_commit_policy(CommitPolicy {
+        batch_rows: 100,
+        max_delay: Duration::ZERO,
+    });
+    for i in 0..7 {
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    assert_eq!(sw.staged_rows(), 7, "the group is still open");
+    assert_eq!(sw.durable_seq(), 0, "nothing acknowledged yet");
+    sw.close().unwrap();
+
+    let (sw, report) = StreamingWarehouse::open_with_recovery(&dir, 0).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(report.replayed, 0, "close sealed everything");
+    assert_eq!(sw.buffered(), 0);
+    assert_eq!(sw.staged_rows(), 0);
+    let seven: Vec<Tuple> = (0..7).map(small_tuple).collect();
+    let got = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(got.rows, bulk_reference(&seven, i64::MAX));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A streaming query under a generous budget answers identically to the
+/// unbudgeted path (overlay included); an exhausted budget degrades into
+/// a structured error instead of a wrong answer.
+#[test]
+fn streaming_query_respects_budgets() {
+    use smadb::storage::QueryBudget;
+    let dir = scratch_path("ingest-budget");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut sw = StreamingWarehouse::create(&dir, small_warehouse(), 0).unwrap();
+    for i in 0..20 {
+        sw.insert("S", &small_tuple(i)).unwrap();
+    }
+    sw.flush().unwrap();
+    for i in 20..25 {
+        sw.insert("S", &small_tuple(i)).unwrap(); // live overlay rows
+    }
+
+    let generous = QueryBudget::unbounded().with_page_cap(1_000_000);
+    let budgeted = sw
+        .query_with_budget("S", small_query(i64::MAX), &generous)
+        .unwrap();
+    let bare = sw.query("S", small_query(i64::MAX)).unwrap();
+    assert_eq!(budgeted.rows, bare.rows);
+    assert_eq!(budgeted.plan_kind, bare.plan_kind);
+
+    let exhausted = QueryBudget::unbounded().with_deadline(Duration::ZERO);
+    let err = sw
+        .query_with_budget("S", small_query(i64::MAX), &exhausted)
+        .unwrap_err();
+    assert!(err.to_string().contains("deadline exceeded"), "{err}");
+    sw.close().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ---------------------------------------------------------------- WAL sweep
 
 /// Power cut at EVERY byte offset of the WAL file: recovery yields exactly
