@@ -168,21 +168,24 @@ fn e11_ingest() {
 }
 
 /// E10 — scan-kernel comparison (not in the paper): the zero-copy view
-/// kernels against their materializing predecessors, on a table dialed to
+/// kernels against their materializing predecessors, plus the columnar
+/// batch kernels against the zero-copy row path, on a table dialed to
 /// all-ambivalent for Query 1 — the case where per-tuple costs dominate.
 /// Each pair is asserted to compute the identical answer before being
-/// timed; medians land in `BENCH_scan_kernels.json` at the repo root.
+/// timed; medians are *appended* as a dated run to
+/// `BENCH_scan_kernels.json` at the repo root, so the optimization
+/// trajectory across PRs stays on record (see `PERF_HISTORY.md`).
 fn e10_scan_kernels() {
-    println!("--- E10: zero-copy scan kernels vs materialized ---");
+    println!("--- E10: scan kernels — materialized vs zero-copy vs columnar ---");
     let timings = sma_bench::kernels::scan_kernel_timings(15);
     println!(
-        "{:>32} {:>14} {:>14} {:>9}",
-        "kernel", "materialized", "zero-copy", "speedup"
+        "{:>38} {:>14} {:>14} {:>9}",
+        "kernel", "baseline", "kernel", "speedup"
     );
     let mut entries = String::new();
     for t in &timings {
         println!(
-            "{:>32} {:>12}ns {:>12}ns {:>8.2}x",
+            "{:>38} {:>12}ns {:>12}ns {:>8.2}x",
             t.name,
             t.materialized_ns,
             t.zero_copy_ns,
@@ -192,23 +195,64 @@ fn e10_scan_kernels() {
             entries.push_str(",\n");
         }
         entries.push_str(&format!(
-            "    {{\"name\": \"{}\", \"materialized_ns\": {}, \"zero_copy_ns\": {}, \"speedup\": {:.3}}}",
+            "        {{\"name\": \"{}\", \"materialized_ns\": {}, \"zero_copy_ns\": {}, \"speedup\": {:.3}}}",
             t.name,
             t.materialized_ns,
             t.zero_copy_ns,
             t.speedup()
         ));
     }
-    let json = format!(
-        "{{\n  \"experiment\": \"scan_kernels\",\n  \"scale_factor\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+    let run = format!(
+        "    {{\n      \"date\": \"{}\",\n      \"git\": \"{}\",\n      \"scale_factor\": {},\n      \"kernels\": [\n{}\n      ]\n    }}",
+        command_line("date", &["+%F"]),
+        command_line(
+            "git",
+            &[
+                "-C",
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../.."),
+                "describe",
+                "--always",
+                "--dirty",
+            ],
+        ),
         bench_scale_factor(),
         entries
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan_kernels.json");
-    match std::fs::write(path, json) {
-        Ok(()) => println!("  wrote {path}"),
+    match append_run(path, "scan_kernels", &run) {
+        Ok(()) => println!("  appended run to {path}"),
         Err(e) => println!("  could not write {path}: {e}"),
     }
+}
+
+/// One line of a helper command's stdout, or `"unknown"` when the
+/// command is unavailable or fails — bench runs must not depend on the
+/// host having `git` or `date`.
+fn command_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Appends `run` to the `runs` array of the benchmark file at `path`,
+/// preserving every earlier run. A missing file (or one in a format
+/// without a `runs` array) starts a fresh history with this run only.
+fn append_run(path: &str, experiment: &str, run: &str) -> std::io::Result<()> {
+    const TAIL: &str = "\n  ]\n}";
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let json = match existing.rfind(TAIL) {
+        Some(cut) if existing.contains("\"runs\": [") => {
+            format!("{},\n{}{}\n", &existing[..cut], run, TAIL)
+        }
+        _ => format!("{{\n  \"experiment\": \"{experiment}\",\n  \"runs\": [\n{run}{TAIL}\n"),
+    };
+    std::fs::write(path, json)
 }
 
 /// E9 — degraded-path overhead (not in the paper): Query 1 through

@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use sma_types::{DataType, Value};
+use sma_types::{DataType, Decimal, Value};
 
 /// The aggregate functions a SMA may materialize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +89,74 @@ impl Accumulator {
             AggFn::Max => self.state = self.state.max_value(v),
             AggFn::Sum => self.state = saturating_sum(&self.state, v),
         }
+    }
+
+    /// Sequentially folds raw decimal cents into a `sum` accumulator —
+    /// exactly one [`Accumulator::update`] with
+    /// `Value::Decimal(Decimal::from_cents(v))` per item (`None` items
+    /// are `Null` inputs, ignored), minus the `Value` boxing and enum
+    /// dispatch. The batch aggregation kernels call this per group with
+    /// the compiled expression's per-row cents.
+    pub fn fold_sum_dec(&mut self, items: impl IntoIterator<Item = Option<i64>>) {
+        debug_assert_eq!(self.agg, AggFn::Sum);
+        let items = items.into_iter();
+        let mut state = match &self.state {
+            Value::Null => None,
+            Value::Decimal(d) => Some(d.cents()),
+            _ => {
+                // Type-mismatched running state (unreachable after schema
+                // validation): keep the per-value fold, which ignores it.
+                for item in items {
+                    let v = item.map_or(Value::Null, |c| Value::Decimal(Decimal::from_cents(c)));
+                    self.update(&v);
+                }
+                return;
+            }
+        };
+        for item in items {
+            let Some(c) = item else { continue };
+            state = Some(match state {
+                None => c,
+                Some(s) => (Decimal::from_cents(s) + Decimal::from_cents(c)).cents(),
+            });
+        }
+        self.state = state.map_or(Value::Null, |c| Value::Decimal(Decimal::from_cents(c)));
+    }
+
+    /// The `Int` twin of [`Accumulator::fold_sum_dec`]: per-step checked
+    /// addition saturating at the `i64` endpoints, exactly like the
+    /// per-value path.
+    pub fn fold_sum_int(&mut self, items: impl IntoIterator<Item = Option<i64>>) {
+        debug_assert_eq!(self.agg, AggFn::Sum);
+        let items = items.into_iter();
+        let mut state = match &self.state {
+            Value::Null => None,
+            Value::Int(n) => Some(*n),
+            _ => {
+                for item in items {
+                    self.update(&item.map_or(Value::Null, Value::Int));
+                }
+                return;
+            }
+        };
+        for item in items {
+            let Some(v) = item else { continue };
+            state = Some(match state {
+                None => v,
+                Some(s) => s.checked_add(v).unwrap_or_else(|| s.saturating_add(v)),
+            });
+        }
+        self.state = state.map_or(Value::Null, Value::Int);
+    }
+
+    /// Counts `n` rows at once — identical to `n` single
+    /// [`Accumulator::update`] calls because saturating increments are
+    /// monotone: both end at `start + n` clamped to `i64::MAX`.
+    pub fn fold_count(&mut self, n: usize) {
+        debug_assert_eq!(self.agg, AggFn::Count);
+        let start = self.state.as_int().unwrap_or(0);
+        let add = i64::try_from(n).unwrap_or(i64::MAX);
+        self.state = Value::Int(start.saturating_add(add));
     }
 
     /// Folds in an already-aggregated value (e.g. a SMA entry for a whole

@@ -66,7 +66,7 @@ pub mod validate;
 pub use agg::{Accumulator, AggFn, RetractError};
 pub use catalog::{CatalogError, SmaCatalog};
 pub use def::{DefError, SmaDefinition};
-pub use expr::{col, dec_lit, lit, ExprError, ScalarExpr};
+pub use expr::{col, dec_lit, lit, DecProgram, ExprError, IntProgram, ScalarExpr};
 pub use file::SmaFile;
 pub use grade::{BucketPred, Classification, CmpOp, Grade, NoStats, StatsProvider};
 pub use hierarchical::{HierarchicalMinMax, HierarchicalPrune};
@@ -78,5 +78,5 @@ pub use persist::{
 };
 pub use projection::ProjectionIndex;
 pub use set::{merge_bucket_into_group, SmaSet};
-pub use sma::{build_many, build_many_parallel, GroupKey, Sma, SmaError};
+pub use sma::{block_bucket_accs, build_many, build_many_parallel, GroupKey, Sma, SmaError};
 pub use validate::{check_set, check_sma, debug_check_sma, Violation};

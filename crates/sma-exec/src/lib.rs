@@ -2,6 +2,7 @@
 //!
 //! * [`op`] — the iterator-model operator interface,
 //! * [`basic`] — `SeqScan`, `Filter`, `Project` (the SMA-less baselines),
+//! * [`colkernel`] — selection-vector batch kernels over columnar buckets,
 //! * [`scan`] — `SmaScan` (Fig. 6),
 //! * [`gaggr`] — Dayal-style grouping/aggregation (`HashGAggr`),
 //! * [`sma_gaggr`] — `SmaGAggr` (Fig. 7),
@@ -16,6 +17,7 @@
 #![deny(missing_docs)]
 
 pub mod basic;
+pub mod colkernel;
 pub mod degrade;
 pub mod gaggr;
 pub mod op;
@@ -31,6 +33,7 @@ pub mod sma_gaggr;
 pub mod sort;
 
 pub use basic::{Filter, Project, SeqScan};
+pub use colkernel::{filter_block, SelectionVector};
 pub use degrade::DegradationReport;
 pub use gaggr::{AggSpec, HashGAggr};
 pub use op::{collect, ExecError, PhysicalOp};

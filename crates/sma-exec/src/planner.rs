@@ -376,27 +376,49 @@ fn full_scan_aggregate(
     let layout = RowLayout::new(table.schema());
     let mut dense = DenseGroups::try_new(table.schema(), &query.group_by);
     let mut groups: BTreeMap<Vec<Value>, GroupState> = BTreeMap::new();
-    for page in 0..table.page_count() {
-        if let Some(b) = budget {
-            b.charge(1)?;
+    // Bucket-wise so columnar buckets run through the batch kernels;
+    // bucket ranges tile `0..page_count`, and a columnar bucket charges
+    // its whole range at once while a row bucket charges page by page,
+    // so the budget total is exactly one unit per data page either way.
+    for bucket in 0..table.bucket_count() {
+        let range = table.bucket_range(bucket);
+        if let Some(block) = table.columnar_bucket(bucket)? {
+            if let Some(b) = budget {
+                b.charge(range.len() as u64)?;
+            }
+            let sel = crate::colkernel::filter_block(&block, &query.pred);
+            crate::colkernel::aggregate_block(
+                &block,
+                &sel,
+                &query.group_by,
+                specs,
+                &mut groups,
+                &mut dense,
+            )?;
+            continue;
         }
-        table.for_each_on_page::<ExecError, _>(page, |_, image| {
-            let row = layout.view(image)?;
-            if !query.pred.eval_view(&row)? {
-                return Ok(());
+        for page in range {
+            if let Some(b) = budget {
+                b.charge(1)?;
             }
-            if let Some(d) = &mut dense {
-                return d.update(specs, &row);
-            }
-            let mut key = Vec::with_capacity(query.group_by.len());
-            for &g in &query.group_by {
-                key.push(row.get(g)?);
-            }
-            groups
-                .entry(key)
-                .or_insert_with(|| GroupState::new(specs))
-                .update_view(specs, &row)
-        })?;
+            table.for_each_on_page::<ExecError, _>(page, |_, image| {
+                let row = layout.view(image)?;
+                if !query.pred.eval_view(&row)? {
+                    return Ok(());
+                }
+                if let Some(d) = &mut dense {
+                    return d.update(specs, &row);
+                }
+                let mut key = Vec::with_capacity(query.group_by.len());
+                for &g in &query.group_by {
+                    key.push(row.get(g)?);
+                }
+                groups
+                    .entry(key)
+                    .or_insert_with(|| GroupState::new(specs))
+                    .update_view(specs, &row)
+            })?;
+        }
     }
     if let Some(d) = dense {
         absorb_groups(&mut groups, d.into_groups());
@@ -804,6 +826,52 @@ mod tests {
             .execute()
             .unwrap();
         assert_eq!(filtered, narrow);
+    }
+
+    /// A full scan over a columnar-converted table must produce the same
+    /// rows as before conversion and charge the budget exactly one unit
+    /// per data page (columnar buckets charge their range at once, row
+    /// buckets page by page — the totals tile `0..page_count` either
+    /// way). Every plan kind keeps agreeing after conversion.
+    #[test]
+    fn columnar_buckets_preserve_full_scan_answers_and_charges() {
+        let mut t = make_table(60, true);
+        let set = full_set(&t);
+        let q = query(30);
+        let expected = plan(&t, q.clone(), None, &PlannerConfig::default())
+            .execute()
+            .unwrap();
+        let converted = t.convert_buckets_from(0).unwrap();
+        assert!(!converted.is_empty());
+        let budget = QueryBudget::unbounded();
+        let p = Plan {
+            table: &t,
+            smas: None,
+            query: q.clone(),
+            overlay: Vec::new(),
+            budget: None,
+            kind: PlanKind::FullScan,
+            estimate: None,
+        }
+        .with_budget(&budget);
+        assert_eq!(p.execute().unwrap(), expected);
+        assert_eq!(budget.pages_charged(), u64::from(t.page_count()));
+        for kind in [
+            PlanKind::SmaGAggr,
+            PlanKind::SmaScanGAggr,
+            PlanKind::FullScan,
+        ] {
+            let p = Plan {
+                table: &t,
+                smas: Some(&set),
+                query: q.clone(),
+                overlay: Vec::new(),
+                budget: None,
+                kind,
+                estimate: None,
+            };
+            assert_eq!(p.execute().unwrap(), expected, "{kind:?}");
+        }
     }
 
     #[test]

@@ -131,6 +131,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no unbounded queues (mpsc::channel, VecDeque, LinkedList) in sma-server non-test code — overload must shed, not buffer; use bounded structures or sync_channel",
     },
     RuleInfo {
+        id: "C1-columnar-confinement",
+        severity: Severity::Error,
+        summary: "columnar chunk primitives (chunk_pages/read_chunk/assemble_blob/is_columnar_page/COLUMNAR_MARKER*) are confined to the columnar codec modules — elsewhere go through Table::columnar_bucket and the typed ColumnarBucket API",
+    },
+    RuleInfo {
         id: "A1-bare-allow",
         severity: Severity::Error,
         summary: "sma-lint: allow(...) directives require a `-- justification`; bare allows do not suppress anything",
@@ -196,9 +201,22 @@ const CODEC_STRICT: &[&str] = &[
     "crates/sma-types/src/view.rs",
     "crates/sma-types/src/value.rs",
     "crates/sma-types/src/bytes.rs",
+    "crates/sma-types/src/colblock.rs",
     "crates/sma-storage/src/page.rs",
     "crates/sma-storage/src/checksum.rs",
+    "crates/sma-storage/src/columnar.rs",
     "crates/sma-core/src/persist.rs",
+];
+
+/// The only modules allowed to name the columnar chunk primitives (C1):
+/// the block codec, the page chunker, and the table layer that glues them
+/// to the buffer pool. Everyone else gets the typed, checked
+/// `ColumnarBucket` API — a fourth caller of `read_chunk` would be a new
+/// raw-byte reinterpretation site outside the audited codec surface.
+const COLUMNAR_HOME: &[&str] = &[
+    "crates/sma-types/src/colblock.rs",
+    "crates/sma-storage/src/columnar.rs",
+    "crates/sma-storage/src/table.rs",
 ];
 
 /// Classifies a workspace-relative path (`crates/sma-core/src/sma.rs`).
@@ -254,6 +272,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     };
     let codec_home = CODEC_HOME.iter().any(|p| rel.starts_with(p));
     let codec_strict = CODEC_STRICT.contains(&rel.as_str());
+    let columnar_home = COLUMNAR_HOME.contains(&rel.as_str());
 
     let toks = &lexed.tokens;
     let get = |i: usize| -> Option<&Token> { toks.get(i) };
@@ -374,6 +393,27 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                             "raw `{name}` outside the codec modules — use sma_types::bytes helpers"
                         ),
                     ));
+                }
+                // --- C1: columnar codec confinement -----------------------
+                // The chunk primitives hand out raw page bytes; every
+                // caller added outside the audited trio is a new place
+                // torn or hostile bytes could be misread as data.
+                if !columnar_home
+                    && class.product
+                    && matches!(class.target, Target::Lib | Target::Bin)
+                    && !in_test.get(i).copied().unwrap_or(false)
+                    && matches!(
+                        name.as_str(),
+                        "chunk_pages"
+                            | "read_chunk"
+                            | "assemble_blob"
+                            | "is_columnar_page"
+                            | "COLUMNAR_MARKER0"
+                            | "COLUMNAR_MARKER1"
+                    )
+                {
+                    diags.push(diag("C1-columnar-confinement", &rel, line,
+                        format!("`{name}` outside the columnar codec modules — use Table::columnar_bucket / ColumnarBucket instead of raw chunk bytes")));
                 }
                 // --- L3: sma-types upward deps ----------------------------
                 if class.crate_name == "sma-types"

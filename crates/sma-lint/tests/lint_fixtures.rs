@@ -370,3 +370,58 @@ fn n2_sync_channel_and_other_crates_are_fine() {
     let elsewhere = "pub fn q() { let _: std::collections::VecDeque<u8> = Default::default(); }\n";
     assert!(fire("crates/sma-core/src/queue.rs", elsewhere).is_empty());
 }
+
+// --- C1: columnar codec confinement ---------------------------------------
+
+#[test]
+fn c1_chunk_primitives_outside_the_codec_trio() {
+    let src = "//! docs\n\
+               use sma_storage::columnar::{is_columnar_page, read_chunk};\n\
+               pub fn sniff(buf: &[u8]) -> bool {\n\
+               \tis_columnar_page(buf)\n\
+               }\n";
+    let got = fire("crates/sma-exec/src/rogue.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("C1-columnar-confinement", 2),
+            ("C1-columnar-confinement", 2),
+            ("C1-columnar-confinement", 4),
+        ]
+    );
+}
+
+#[test]
+fn c1_marker_bytes_count_as_primitives() {
+    let src = "pub fn looks_columnar(b: &[u8]) -> bool {\n\
+               \tb.first() == Some(&COLUMNAR_MARKER0)\n\
+               }\n";
+    let got = fire("src/rogue.rs", src);
+    assert_eq!(got, vec![("C1-columnar-confinement", 2)]);
+}
+
+#[test]
+fn c1_silent_inside_the_codec_trio_and_tests() {
+    let src = "pub fn go(buf: &[u8]) -> bool { is_columnar_page(buf) }\n";
+    assert!(fire("crates/sma-storage/src/columnar.rs", src).is_empty());
+    assert!(fire("crates/sma-storage/src/table.rs", src).is_empty());
+    assert!(fire("crates/sma-types/src/colblock.rs", src).is_empty());
+    // Tests and benches probe layouts freely.
+    assert!(fire("crates/sma-storage/tests/probe.rs", src).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n\
+                   \tfn go(b: &[u8]) -> bool { super::is_columnar_page(b) }\n\
+                   }\n";
+    assert!(fire("crates/sma-exec/src/rogue.rs", in_test).is_empty());
+}
+
+#[test]
+fn c1_columnar_codec_is_in_the_strict_index_scope() {
+    // colblock.rs and columnar.rs joined CODEC_STRICT: literal indexing
+    // and narrowing casts are the dangerous class there too.
+    let src = "pub fn b0(buf: &[u8]) -> u8 { buf[0] }\n";
+    let got = fire("crates/sma-types/src/colblock.rs", src);
+    assert_eq!(got, vec![("P4-literal-index", 1)]);
+    let src = "pub fn lo(v: u64) -> u16 { v as u16 }\n";
+    let got = fire("crates/sma-storage/src/columnar.rs", src);
+    assert_eq!(got, vec![("U3-narrowing-cast", 1)]);
+}

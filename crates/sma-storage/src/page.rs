@@ -47,7 +47,7 @@ pub const PAGE_SIZE: usize = 4096;
 pub const PAGE_FOOTER_LEN: usize = 8;
 
 /// End of the slotted payload region (tuple images live below this).
-const PAYLOAD_END: usize = PAGE_SIZE - PAGE_FOOTER_LEN;
+pub(crate) const PAYLOAD_END: usize = PAGE_SIZE - PAGE_FOOTER_LEN;
 
 const HEADER_LEN: usize = 4; // n_slots: u16, free_end: u16
 const SLOT_LEN: usize = 4; // offset: u16, len: u16

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 
 pub mod bytes;
+pub mod colblock;
 pub mod date;
 pub mod decimal;
 pub mod rng;
@@ -24,6 +25,7 @@ pub mod value;
 pub mod view;
 pub mod walrec;
 
+pub use colblock::{ColBlockError, ColumnArray, ColumnarBucket};
 pub use date::{Date, DateError};
 pub use decimal::{Decimal, DecimalError};
 pub use rng::StdRng;

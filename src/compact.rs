@@ -144,6 +144,20 @@ impl<S: PageStore> StreamingWarehouse<S> {
         for name in &names {
             self.warehouse.refresh_smas(name)?;
         }
+        // Under the columnar policy, compaction is the catch-all
+        // conversion point: it rewrites every table wholesale, so convert
+        // every eligible sealed bucket (not just the ones above the last
+        // flush watermark). The exports below then persist chunk pages,
+        // and recovery reclassifies them from the page markers.
+        if self.columnar {
+            for name in &names {
+                if let Some(table) = self.warehouse.table_mut(name) {
+                    table
+                        .convert_buckets_from(0)
+                        .map_err(WarehouseError::from)?;
+                }
+            }
+        }
         // A compaction generation: catalog epoch advances (fresh file
         // names, fresh SMA images), watermark and WAL epoch do not — the
         // log is not truncated and its records must keep replaying.

@@ -268,6 +268,12 @@ pub struct StreamingWarehouse<S: PageStore = FileStore> {
     pending: Option<FlushStage>,
     /// When background compaction fires (see [`crate::compact`]).
     pub(crate) compaction: CompactionPolicy,
+    /// Whether flush and compaction convert sealed buckets to the
+    /// columnar (PAX) layout before exporting them. Off by default: row
+    /// layout everywhere, byte-identical to previous releases. Turning it
+    /// on never changes query results — only the physical layout of
+    /// sealed buckets (see `Table::convert_bucket_to_columnar`).
+    pub(crate) columnar: bool,
     /// Hierarchical min/max SMAs rebuilt by the last compaction, keyed
     /// `"RELATION:min_name/max_name"`.
     pub(crate) hierarchies: BTreeMap<String, HierarchicalMinMax>,
@@ -376,6 +382,7 @@ impl StreamingWarehouse {
                 pending_flush_error: None,
                 pending: None,
                 compaction: CompactionPolicy::default(),
+                columnar: false,
                 hierarchies: BTreeMap::new(),
             },
             report,
@@ -438,6 +445,7 @@ impl<S: PageStore> StreamingWarehouse<S> {
             pending_flush_error: None,
             pending: None,
             compaction: CompactionPolicy::default(),
+            columnar: false,
             hierarchies: BTreeMap::new(),
         })
     }
@@ -719,6 +727,30 @@ impl<S: PageStore> StreamingWarehouse<S> {
             // files are never opened for writing. A catalog-only commit
             // (DDL with an empty memtable) must not regress the
             // published watermark, so keep at least the committed one.
+            //
+            // Columnar policy: buckets wholly inside the dirty range are
+            // converted to the PAX layout first, so the delta segments
+            // carry column-major pages. Converting only above the dirty
+            // boundary keeps the delta incremental; the tail bucket (the
+            // one appends land in) is skipped by the converter itself.
+            // A crash before the manifest commit is harmless — recovery
+            // reloads the committed row-major segments and replays the
+            // WAL, and the next flush simply converts again.
+            if self.columnar {
+                for name in self
+                    .warehouse
+                    .table_names()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+                {
+                    if let Some(table) = self.warehouse.table_mut(&name) {
+                        let from = table.unsealed_from();
+                        table
+                            .convert_buckets_from(from)
+                            .map_err(WarehouseError::from)?;
+                    }
+                }
+            }
             let watermark = self.memtable.max_seq().max(self.warehouse.watermark());
             let epoch = self.warehouse.begin_flush_generation(watermark);
             let suffix = format!(".e{epoch}");
@@ -805,6 +837,20 @@ impl<S: PageStore> StreamingWarehouse<S> {
     /// rows; the new policy governs from the next boundary check.
     pub fn set_commit_policy(&mut self, policy: CommitPolicy) {
         self.commit_policy = policy;
+    }
+
+    /// Whether sealed buckets are rewritten to the columnar layout.
+    pub fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// Enables or disables columnar conversion of sealed buckets. Flush
+    /// and compaction convert full buckets below the segment watermark;
+    /// query results are byte-identical either way — only the physical
+    /// page layout (and scan/aggregate kernel choice) changes. Buckets
+    /// already converted stay columnar when the policy is turned off.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
     }
 
     /// The committed generation number.

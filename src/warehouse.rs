@@ -211,6 +211,13 @@ impl Warehouse {
         self.tables.get(name)
     }
 
+    /// Mutable access to the registered table named `name` — the seam the
+    /// flush/compaction paths use to convert sealed buckets to the
+    /// columnar layout before exporting them.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
     /// Registered table names.
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
         self.tables.keys().map(String::as_str)
@@ -600,7 +607,11 @@ impl Warehouse {
         put_u64(&mut manifest, meta.epoch);
         put_u64(&mut manifest, meta.watermark);
         put_u64(&mut manifest, meta.wal_epoch);
-        put_u32(&mut manifest, self.tables.len() as u32);
+        // Manifest v3: the table-count high bit signals that each table
+        // entry carries a layout byte after bucket_pages. v2 readers never
+        // see v3 manifests (upgrades are forward-only); this v3 reader
+        // still accepts v2 manifests, whose tables are all row-major.
+        put_u32(&mut manifest, MANIFEST_V3_FLAG | (self.tables.len() as u32));
         for (name, table) in &self.tables {
             put_str(&mut manifest, name);
             let empty = Vec::new();
@@ -612,6 +623,7 @@ impl Warehouse {
                 put_u32(&mut manifest, seg.pages);
             }
             put_u32(&mut manifest, table.bucket_pages());
+            manifest.push(u8::from(!table.columnar_buckets().is_empty()));
             let cols = table.schema().columns();
             put_u32(&mut manifest, cols.len() as u32);
             for c in cols {
@@ -701,6 +713,10 @@ impl Warehouse {
             for p in verification.corrupt {
                 report.pages_corrupt.push((entry.name.clone(), p));
             }
+            if entry.columnar {
+                report.columnar_tables += 1;
+            }
+            report.columnar_buckets += table.columnar_buckets().len() as u64;
             for sma_entry in entry.smas {
                 let sma = recover_sma(dir, &entry.name, &sma_entry, &table, &mut report)?;
                 w.catalog.install(&entry.name, sma);
@@ -769,6 +785,11 @@ pub const MANIFEST_FILE: &str = "catalog.smac";
 
 const MANIFEST_MAGIC: &[u8; 4] = b"SMAC";
 
+/// High bit of the manifest's table count: set by v3 writers to signal
+/// that each table entry carries a per-table layout byte (0 = row-only,
+/// 1 = may contain columnar buckets) after `bucket_pages`.
+const MANIFEST_V3_FLAG: u32 = 0x8000_0000;
+
 /// The commit point a manifest records for the streaming ingest path:
 /// which flush generation the sealed files belong to and the highest WAL
 /// sequence number folded into them. Bulk-loaded warehouses carry the
@@ -833,6 +854,12 @@ pub struct RecoveryReport {
     pub epoch: u64,
     /// Highest WAL sequence number the sealed state covers.
     pub watermark: u64,
+    /// Tables whose manifest entry declared the columnar layout (v3).
+    pub columnar_tables: usize,
+    /// Columnar buckets rediscovered from their self-describing chunk
+    /// markers during page verification. The markers are authoritative;
+    /// the manifest flag is advisory (see `ManifestTable::columnar`).
+    pub columnar_buckets: u64,
 }
 
 impl RecoveryReport {
@@ -879,6 +906,12 @@ struct ManifestTable {
     name: String,
     segments: Vec<SegmentMeta>,
     bucket_pages: u32,
+    /// Manifest v3 layout flag: the table may contain columnar buckets.
+    /// Advisory — the chunk markers on the CRC-verified pages are
+    /// authoritative at recovery (a converted bucket that fails
+    /// verification is reported corrupt and drops out of the set, so the
+    /// flag can legitimately overclaim).
+    columnar: bool,
     columns: Vec<Column>,
     smas: Vec<ManifestSma>,
 }
@@ -1034,7 +1067,9 @@ fn decode_manifest(bytes: &[u8]) -> Result<(CommitMeta, Vec<ManifestTable>), War
         watermark: c.u64()?,
         wal_epoch: c.u64()?,
     };
-    let n_tables = c.u32()? as usize;
+    let raw_tables = c.u32()?;
+    let v3 = raw_tables & MANIFEST_V3_FLAG != 0;
+    let n_tables = (raw_tables & !MANIFEST_V3_FLAG) as usize;
     let mut tables = Vec::with_capacity(n_tables.min(1024));
     for _ in 0..n_tables {
         let name = c.string()?;
@@ -1052,6 +1087,19 @@ fn decode_manifest(bytes: &[u8]) -> Result<(CommitMeta, Vec<ManifestTable>), War
                 "table {name:?} has zero bucket_pages"
             )));
         }
+        let columnar = if v3 {
+            match c.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(WarehouseError::CorruptManifest(format!(
+                        "table {name:?} has unknown layout tag {tag}"
+                    )))
+                }
+            }
+        } else {
+            false
+        };
         let n_cols = c.u32()? as usize;
         let mut columns = Vec::with_capacity(n_cols.min(1024));
         for _ in 0..n_cols {
@@ -1084,6 +1132,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<(CommitMeta, Vec<ManifestTable>), War
             name,
             segments,
             bucket_pages,
+            columnar,
             columns,
             smas,
         });

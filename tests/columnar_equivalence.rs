@@ -1,0 +1,262 @@
+//! Equivalence of the columnar (PAX) bucket layout and its batch kernels
+//! with the row-slotted layout and the zero-copy row kernels: answer
+//! rows, I/O page counts, and degradation reports must be byte-identical
+//! whichever layout holds the data, at any parallelism, healthy or under
+//! seeded fault injection.
+//!
+//! The conversion always leaves the tail bucket row-major (appends land
+//! there), so every columnar table here is the *mixed* layout the
+//! converter actually produces — the sweep exercises row and columnar
+//! buckets inside one plan, not a purely columnar special case.
+
+use smadb::exec::{
+    collect, cutoff, query1_query, query6_sma_definitions, run_query1, run_query6, Parallelism,
+    PlannerConfig, Q6Params, Query1Config, SmaGAggr, SmaScan,
+};
+use smadb::sma::SmaSet;
+use smadb::storage::test_util::{FaultConfig, FaultPlan};
+use smadb::storage::{MemStore, RetryPolicy, Table};
+use smadb::tpcd::{generate_lineitem_table, lineitem_schema, Clustering, GenConfig};
+use smadb::types::StdRng;
+
+/// All four clustering models of the generator.
+fn clusterings() -> [Clustering; 4] {
+    [
+        Clustering::SortedByShipdate,
+        Clustering::diagonal_default(),
+        Clustering::Uniform,
+        Clustering::Shuffled,
+    ]
+}
+
+/// An instant-retry policy so fault sweeps never sleep in backoff.
+fn fast_retries(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_backoff_us: 0,
+        ..RetryPolicy::default()
+    }
+}
+
+/// Re-seals `clean`'s pages into a fresh table and converts every
+/// eligible bucket to the columnar layout — the same data in the mixed
+/// row+columnar form, cold and with zeroed I/O counters.
+fn columnar_twin(clean: &Table) -> Table {
+    let mut dest = MemStore::new();
+    clean
+        .export_to_store(&mut dest)
+        .expect("export clean pages");
+    let mut t = Table::new(
+        clean.name().to_string(),
+        lineitem_schema(),
+        Box::new(dest),
+        2048,
+        clean.bucket_pages(),
+    );
+    let converted = t.convert_buckets_from(0).expect("convert");
+    assert!(!converted.is_empty(), "conversion must do real work");
+    assert!(
+        !t.is_columnar_bucket(t.bucket_count() - 1),
+        "the tail bucket must stay row-major (mixed layout)"
+    );
+    t.flush().expect("persist converted pages");
+    t.make_cold().expect("cold start");
+    t.reset_io_stats();
+    t
+}
+
+/// Same as [`columnar_twin`] but behind a seeded [`FaultPlan`], with the
+/// retry budget installed before conversion so the conversion scan
+/// absorbs any bursts it meets. I/O counters are NOT reset: a burst is
+/// consumed by the first read of its page, wherever that read happens,
+/// so "retries fired iff planned" is only meaningful over the whole
+/// history of the clone.
+fn faulty_columnar_twin(clean: &Table, config: FaultConfig, max_retries: u32) -> Table {
+    let mut dest = MemStore::new();
+    clean
+        .export_to_store(&mut dest)
+        .expect("export clean pages");
+    let mut t = Table::new(
+        clean.name().to_string(),
+        lineitem_schema(),
+        Box::new(FaultPlan::new(dest, config)),
+        2048,
+        clean.bucket_pages(),
+    );
+    t.set_retry_policy(fast_retries(max_retries));
+    let converted = t
+        .convert_buckets_from(0)
+        .expect("conversion absorbs transient bursts within budget");
+    assert!(!converted.is_empty());
+    t.flush().expect("persist converted pages");
+    t.make_cold().expect("cold start");
+    t
+}
+
+/// Randomized delta sweep over all four clusterings: `SmaScan`, Query 1
+/// (with and without SMAs), and Query 6 answer byte-identically on the
+/// row table and its columnar twin, and the cold `SmaScan` I/O trace is
+/// page-for-page identical — the columnar chunk occupies exactly the
+/// bucket's page range, so the batch kernels earn their speedup from CPU
+/// work, not from reading less.
+#[test]
+fn randomized_sweep_row_and_columnar_agree_on_rows_and_io() {
+    let mut rng = StdRng::seed_from_u64(0xC01_5EED);
+    for clustering in clusterings() {
+        let row = generate_lineitem_table(&GenConfig::tiny(clustering));
+        let row_smas = SmaSet::build_query1_set(&row).unwrap();
+        let col = columnar_twin(&row);
+        // Built over the columnar table, so SMA construction itself goes
+        // through the columnwise build path; values must match anyway.
+        let col_smas = SmaSet::build_query1_set(&col).unwrap();
+
+        let mut deltas = vec![90, 2300];
+        deltas.extend((0..4).map(|_| rng.random_range(0i64..2500) as i32));
+        for delta in deltas {
+            let pred = query1_query(&row, cutoff(delta)).unwrap().pred;
+
+            row.make_cold().unwrap();
+            row.reset_io_stats();
+            let mut scan = SmaScan::new(&row, pred.clone(), &row_smas);
+            let row_rows = collect(&mut scan).unwrap();
+            let row_io = row.io_stats();
+
+            col.make_cold().unwrap();
+            col.reset_io_stats();
+            let mut scan = SmaScan::new(&col, pred.clone(), &col_smas);
+            let col_rows = collect(&mut scan).unwrap();
+            let col_io = col.io_stats();
+
+            assert_eq!(col_rows, row_rows, "{clustering:?} delta {delta}: rows");
+            assert_eq!(
+                col_io, row_io,
+                "{clustering:?} delta {delta}: cold I/O page counts"
+            );
+
+            let with_row = run_query1(&row, Some(&row_smas), &Query1Config::default()).unwrap();
+            let with_col = run_query1(&col, Some(&col_smas), &Query1Config::default()).unwrap();
+            assert_eq!(
+                with_col.rows, with_row.rows,
+                "{clustering:?} delta {delta}: Q1 with SMAs"
+            );
+            let bare_row = run_query1(&row, None, &Query1Config::default()).unwrap();
+            let bare_col = run_query1(&col, None, &Query1Config::default()).unwrap();
+            assert_eq!(
+                bare_col.rows, bare_row.rows,
+                "{clustering:?} delta {delta}: Q1 full scan"
+            );
+        }
+
+        let q6_row_smas = SmaSet::build(&row, query6_sma_definitions(&row).unwrap()).unwrap();
+        let q6_col_smas = SmaSet::build(&col, query6_sma_definitions(&col).unwrap()).unwrap();
+        let p = Q6Params::default();
+        let planner = PlannerConfig::default();
+        let q6_row = run_query6(&row, Some(&q6_row_smas), &p, &planner).unwrap();
+        let q6_col = run_query6(&col, Some(&q6_col_smas), &p, &planner).unwrap();
+        assert_eq!(q6_col.revenue, q6_row.revenue, "{clustering:?}: Q6 revenue");
+    }
+}
+
+/// Quarantine damage on the columnar table: the batch-kernel `SmaGAggr`
+/// produces byte-identical rows and counters at 1/2/8 threads, the
+/// degradation report matches the row table's under the same damage, and
+/// the demoted buckets take the (columnar) base-scan path without
+/// changing the answer.
+#[test]
+fn columnar_kernels_identical_at_every_parallelism_even_degraded() {
+    let row = generate_lineitem_table(&GenConfig::tiny(Clustering::SortedByShipdate));
+    let col = columnar_twin(&row);
+    let q = query1_query(&row, cutoff(90)).unwrap();
+
+    let damage = |t: &Table| {
+        let mut smas = SmaSet::build_query1_set(t).unwrap();
+        smas.quarantine_bucket(0);
+        smas.quarantine_bucket(t.bucket_count() / 2);
+        smas
+    };
+    let row_smas = damage(&row);
+    let col_smas = damage(&col);
+
+    let run = |t: &Table, smas: &SmaSet, threads: usize| {
+        let mut op = SmaGAggr::new(t, q.pred.clone(), q.group_by.clone(), q.specs.clone(), smas)
+            .unwrap()
+            .with_parallelism(Parallelism::new(threads));
+        let rows = collect(&mut op).unwrap();
+        (rows, op.counters())
+    };
+
+    let (expected_rows, row_counters) = run(&row, &row_smas, 1);
+    let (col_rows, col_counters) = run(&col, &col_smas, 1);
+    assert_eq!(col_rows, expected_rows, "row vs columnar under quarantine");
+    assert!(
+        !col_counters.degradation.is_empty(),
+        "quarantine must force demotions through the columnar scan"
+    );
+    assert_eq!(
+        col_counters.degradation, row_counters.degradation,
+        "identical damage must yield identical degradation reports"
+    );
+    for threads in [2, 8] {
+        let (rows, c) = run(&col, &col_smas, threads);
+        assert_eq!(rows, expected_rows, "{threads} threads: rows");
+        assert_eq!(c, col_counters, "{threads} threads: counters");
+    }
+}
+
+/// Seeded transient fault injection against the columnar twin at 1/2/8
+/// threads: answers stay byte-identical to the fault-free row baseline,
+/// nothing gives up or demotes within the retry budget, the degradation
+/// report is identical at every thread count, and retries fired iff the
+/// schedule planned any. A fresh clone per thread count keeps the
+/// per-page burst schedule deterministic across runs.
+#[test]
+fn columnar_answers_survive_transient_faults_at_every_parallelism() {
+    for clustering in clusterings() {
+        let clean = generate_lineitem_table(&GenConfig::tiny(clustering));
+        let baseline = run_query1(&clean, None, &Query1Config::default()).unwrap();
+        for seed in [0xC0FFEE_u64, 4242] {
+            let config = FaultConfig::seeded(seed).with_transient(40, 3);
+            let probe = FaultPlan::new(MemStore::new(), config);
+            let planned = probe.any_fault_planned(clean.page_count());
+
+            let mut reports = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let faulty = faulty_columnar_twin(&clean, config, 3);
+                let smas = SmaSet::build_query1_set(&faulty).unwrap();
+                let q = query1_query(&faulty, cutoff(90)).unwrap();
+                let mut op = SmaGAggr::new(&faulty, q.pred, q.group_by, q.specs, &smas)
+                    .unwrap()
+                    .with_parallelism(Parallelism::new(threads));
+                let rows = collect(&mut op).unwrap();
+                assert_eq!(
+                    rows, baseline.rows,
+                    "{clustering:?} seed {seed} threads {threads}: rows"
+                );
+                let counters = op.counters();
+                assert!(
+                    counters.degradation.demoted_buckets.is_empty(),
+                    "{clustering:?} seed {seed} threads {threads}: \
+                     transient faults must not demote: {}",
+                    counters.degradation
+                );
+                let io = faulty.io_stats();
+                assert_eq!(
+                    io.gaveup_reads, 0,
+                    "{clustering:?} seed {seed} threads {threads}"
+                );
+                assert_eq!(
+                    io.retried_reads > 0,
+                    planned,
+                    "{clustering:?} seed {seed} threads {threads}: \
+                     retries fired iff planned (over conversion + query)"
+                );
+                reports.push(counters.degradation);
+            }
+            assert!(
+                reports.windows(2).all(|w| w[0] == w[1]),
+                "{clustering:?} seed {seed}: degradation report must not \
+                 depend on parallelism: {reports:?}"
+            );
+        }
+    }
+}
