@@ -49,6 +49,9 @@ pub struct AllowDirective {
     /// Whether a non-empty justification follows the closing paren
     /// (after a `--` separator). Bare allows are themselves a violation.
     pub justified: bool,
+    /// The justification text (empty when `justified` is false). Carried
+    /// into reports as `allow_reason`.
+    pub reason: String,
 }
 
 /// Result of lexing one source file.
@@ -378,15 +381,16 @@ fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
         .collect();
     let tail = body.get(close + 1..).unwrap_or("").trim_start();
     // A justification is required: `-- <non-empty text>`.
-    let justified = tail
+    let reason = tail
         .strip_prefix("--")
-        .map(|j| !j.trim().is_empty())
-        .unwrap_or(false);
+        .map(|j| j.trim().trim_end_matches("*/").trim().to_string())
+        .unwrap_or_default();
     if !ids.is_empty() {
         out.push(AllowDirective {
             line,
             rules: ids,
-            justified,
+            justified: !reason.is_empty(),
+            reason,
         });
     }
 }

@@ -12,17 +12,29 @@
 //!
 //! Violations are suppressed only by an inline
 //! `// sma-lint: allow(rule-id) -- justification` directive; a bare allow
-//! without justification is itself a violation (`A1-bare-allow`).
+//! without justification is itself a violation (`W1-bare-allow`), and a
+//! justified allow that no longer suppresses anything is stale
+//! (`W2-stale-allow`).
+//!
+//! `--analyze` runs the call-graph + dataflow passes ([`analyze`], built
+//! on the item parser [`parse`] and the approximate call graph [`graph`]):
+//! lock-order consistency (A1), QueryBudget completeness (A2),
+//! error-swallowing (A3), and fsync confinement v2 (A4). See DESIGN.md
+//! §14 for the engine design and each rule's invariant.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analyze;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use analyze::{analyze_workspace, AnalyzeConfig, Finding};
 pub use rules::{classify, lint_source, Diagnostic, RuleInfo, Severity, RULES};
 
 /// Directories never descended into.
@@ -56,7 +68,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     Ok(diags)
 }
 
-fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+pub(crate) fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let rel = dir
         .strip_prefix(root)
         .map(|p| p.to_string_lossy().replace('\\', "/"))
@@ -135,7 +147,7 @@ pub fn json_report(diags: &[Diagnostic]) -> String {
         }
         first = false;
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
             json_escape(d.rule),
             d.severity.label(),
             json_escape(&d.file),
@@ -150,7 +162,7 @@ pub fn json_report(diags: &[Diagnostic]) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,6 +1,6 @@
 //! CLI entry point for `sma-lint`.
 //!
-//! Usage: `cargo run -p sma-lint [-- --json] [path]`
+//! Usage: `cargo run -p sma-lint [-- --json] [--analyze] [path]`
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` internal error
 //! (bad arguments, unreadable workspace).
@@ -8,16 +8,29 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sma_lint::{find_workspace_root, json_report, lint_workspace, Severity, RULES};
+use sma_lint::analyze::{analyze_json_report, baseline_json, finding_key, parse_baseline};
+use sma_lint::{
+    analyze_workspace, find_workspace_root, json_report, lint_workspace, Severity, RULES,
+};
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut show_rules = false;
+    let mut analyze = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut want_baseline_path = false;
     let mut root_arg: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
+        if want_baseline_path {
+            baseline = Some(PathBuf::from(&arg));
+            want_baseline_path = false;
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
             "--rules" => show_rules = true,
+            "--analyze" => analyze = true,
+            "--baseline" => want_baseline_path = true,
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -28,6 +41,10 @@ fn main() -> ExitCode {
             }
             path => root_arg = Some(PathBuf::from(path)),
         }
+    }
+    if want_baseline_path {
+        eprintln!("sma-lint: --baseline requires a path");
+        return ExitCode::from(2);
     }
 
     if show_rules {
@@ -54,6 +71,10 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    if analyze {
+        return run_analyze(&root, json, baseline.as_deref());
+    }
 
     let diags = match lint_workspace(&root) {
         Ok(d) => d,
@@ -91,15 +112,93 @@ fn main() -> ExitCode {
     }
 }
 
+/// Runs the analysis passes; with `--baseline FILE`, only findings whose
+/// keys are NOT in the baseline fail the run (known findings are reported
+/// but tolerated until fixed).
+fn run_analyze(root: &std::path::Path, json: bool, baseline: Option<&std::path::Path>) -> ExitCode {
+    let (findings, stats) = match analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sma-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let known = match baseline {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => parse_baseline(&text),
+            Err(e) => {
+                eprintln!("sma-lint: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Default::default(),
+    };
+    let new_errors: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error && !known.contains(&finding_key(f)))
+        .collect();
+
+    if json {
+        print!("{}", analyze_json_report(&findings, &stats));
+    } else {
+        for f in &findings {
+            let loc = if f.line == 0 {
+                f.file.clone()
+            } else {
+                format!("{}:{}", f.file, f.line)
+            };
+            let reason = f
+                .allow_reason
+                .as_deref()
+                .map(|r| format!(" (allowed: {r})"))
+                .unwrap_or_default();
+            println!(
+                "{}[{}] {}: {}{}",
+                f.severity.label(),
+                f.rule,
+                loc,
+                f.message,
+                reason
+            );
+        }
+        let errors = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count();
+        println!(
+            "sma-analyze: {} file(s), {} fn(s), {} edge(s) in {} ms — {} finding(s), {} error(s), {} new vs baseline",
+            stats.files,
+            stats.functions,
+            stats.edges,
+            stats.elapsed_ms,
+            findings.len(),
+            errors,
+            new_errors.len()
+        );
+        if errors > 0 && new_errors.is_empty() {
+            println!("sma-analyze: all errors are in the committed baseline; to regenerate it:");
+            println!("{}", baseline_json(&findings));
+        }
+    }
+
+    if new_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn print_help() {
     println!(
         "sma-lint: architectural lint wall for the SMA workspace\n\
          \n\
-         USAGE: sma-lint [--json] [--rules] [root]\n\
+         USAGE: sma-lint [--json] [--rules] [--analyze [--baseline FILE]] [root]\n\
          \n\
-         --json    emit a machine-readable JSON report\n\
-         --rules   list the rule catalog\n\
-         root      workspace root (default: nearest [workspace] above cwd)\n\
+         --json             emit a machine-readable JSON report\n\
+         --rules            list the rule catalog\n\
+         --analyze          run the call-graph + dataflow passes (A1-A4)\n\
+         --baseline FILE    tolerate analysis findings listed in FILE\n\
+         root               workspace root (default: nearest [workspace] above cwd)\n\
          \n\
          Exit codes: 0 clean, 1 violations, 2 internal error.\n\
          Suppress a finding with `// sma-lint: allow(rule-id) -- justification`."

@@ -101,11 +101,6 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no HashMap/HashSet in exec/core paths whose iteration can feed output ordering — use BTreeMap/BTreeSet or an explicit sort",
     },
     RuleInfo {
-        id: "D3-fsync-confinement",
-        severity: Severity::Error,
-        summary: "no raw sync_all/sync_data outside sma-storage's store.rs — durability barriers go through PageStore::sync, atomic_write_file, or the WAL",
-    },
-    RuleInfo {
         id: "U1-crate-header",
         severity: Severity::Error,
         summary: "library crates must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]",
@@ -136,9 +131,37 @@ pub const RULES: &[RuleInfo] = &[
         summary: "columnar chunk primitives (chunk_pages/read_chunk/assemble_blob/is_columnar_page/COLUMNAR_MARKER*) are confined to the columnar codec modules — elsewhere go through Table::columnar_bucket and the typed ColumnarBucket API",
     },
     RuleInfo {
-        id: "A1-bare-allow",
+        id: "W1-bare-allow",
         severity: Severity::Error,
         summary: "sma-lint: allow(...) directives require a `-- justification`; bare allows do not suppress anything",
+    },
+    RuleInfo {
+        id: "W2-stale-allow",
+        severity: Severity::Error,
+        summary: "a justified allow (inline or analyze-config) that suppresses nothing is stale — drop it so the allowlist only points at live code",
+    },
+    // Analysis rules (call-graph + dataflow passes; `--analyze`). Listed
+    // here so `--rules` shows the full catalog and allow directives naming
+    // them are recognized; the checks live in `crate::analyze`.
+    RuleInfo {
+        id: "A1-lock-order",
+        severity: Severity::Error,
+        summary: "analyze: lock acquisition order must be consistent workspace-wide, and no fsync/socket I/O may be reachable while a lock guard is live",
+    },
+    RuleInfo {
+        id: "A2-budget-charging",
+        severity: Severity::Error,
+        summary: "analyze: every query-serving function reaching a page-read primitive must thread a QueryBudget or be on the ingest/recovery allowlist",
+    },
+    RuleInfo {
+        id: "A3-error-swallowing",
+        severity: Severity::Error,
+        summary: "analyze: no `let _ =` on a Result, `Err(_) =>` payload discards, or bare `.ok();` — intentional sinks carry an inline allow with a reason",
+    },
+    RuleInfo {
+        id: "A4-fsync-confinement",
+        severity: Severity::Error,
+        summary: "analyze: raw sync_all/sync_data only inside the approved wrappers, and every call path to a wrapper must pass a WAL/flush/compaction commit point",
     },
 ];
 
@@ -335,19 +358,6 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                     diags.push(diag("D1-wall-clock", &rel, line,
                         format!("`{name}` outside cost.rs/bench harness — use sma_storage::cost::Stopwatch")));
                 }
-                // --- D3: raw fsync outside the blessed durability core ----
-                // An unaudited fsync is how "crash-safe" claims rot: every
-                // barrier must be one the recovery protocol accounts for.
-                if class.product
-                    && is_lib_code
-                    && !class.test_support
-                    && !in_test.get(i).copied().unwrap_or(false)
-                    && rel != "crates/sma-storage/src/store.rs"
-                    && matches!(name.as_str(), "sync_all" | "sync_data")
-                {
-                    diags.push(diag("D3-fsync-confinement", &rel, line,
-                        format!("raw `{name}` outside store.rs — use PageStore::sync, atomic_write_file, or the WAL's sync")));
-                }
                 // --- D2: hash-ordered collections in exec/core ------------
                 if matches!(class.crate_name.as_str(), "sma-exec" | "sma-core")
                     && is_lib_code
@@ -539,8 +549,10 @@ fn has_inner_attr(toks: &[Token], outer: &str, inner: &str) -> bool {
 
 /// Computes, for every token index, whether it lies inside `#[cfg(test)]`
 /// gated code (the attribute's item, brace-matched) — also covers
-/// `#[cfg(any(test, ...))]`.
-fn test_spans(toks: &[Token]) -> Vec<bool> {
+/// `#[cfg(any(test, ...))]`. Shared with the item parser ([`crate::parse`])
+/// so the analysis passes see the same test-code boundary the lexical
+/// rules do.
+pub(crate) fn test_spans(toks: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -657,23 +669,33 @@ fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
 
 /// Applies allow directives: a justified directive on line N suppresses
 /// matching diagnostics on lines N and N+1; a bare directive suppresses
-/// nothing and fires `A1-bare-allow`.
+/// nothing and fires `W1-bare-allow`; a justified directive naming a
+/// token rule that suppresses nothing is stale and fires `W2-stale-allow`
+/// (directives naming analysis rules are validated by `crate::analyze`,
+/// which is the pass that produces those findings).
 fn apply_allows(diags: Vec<Diagnostic>, allows: &[AllowDirective], rel: &str) -> Vec<Diagnostic> {
     let mut out: Vec<Diagnostic> = Vec::new();
+    // (directive index, rule index) pairs that suppressed something.
+    let mut used: Vec<(usize, usize)> = Vec::new();
     for d in diags {
-        let suppressed = allows.iter().any(|a| {
-            a.justified
-                && (a.line == d.line || a.line + 1 == d.line)
-                && a.rules.iter().any(|r| r == d.rule)
-        });
+        let mut suppressed = false;
+        for (ai, a) in allows.iter().enumerate() {
+            if !a.justified || !(a.line == d.line || a.line + 1 == d.line) {
+                continue;
+            }
+            if let Some(ri) = a.rules.iter().position(|r| r == d.rule) {
+                used.push((ai, ri));
+                suppressed = true;
+            }
+        }
         if !suppressed {
             out.push(d);
         }
     }
-    for a in allows {
+    for (ai, a) in allows.iter().enumerate() {
         if !a.justified {
             out.push(diag(
-                "A1-bare-allow",
+                "W1-bare-allow",
                 rel,
                 a.line,
                 format!(
@@ -681,6 +703,22 @@ fn apply_allows(diags: Vec<Diagnostic>, allows: &[AllowDirective], rel: &str) ->
                     a.rules.join(", ")
                 ),
             ));
+            continue;
+        }
+        for (ri, rule) in a.rules.iter().enumerate() {
+            if crate::analyze::ANALYSIS_RULE_IDS.contains(&rule.as_str()) {
+                continue;
+            }
+            if !used.contains(&(ai, ri)) {
+                out.push(diag(
+                    "W2-stale-allow",
+                    rel,
+                    a.line,
+                    format!(
+                        "allow({rule}) suppresses nothing — the violation it excused is gone; drop the directive"
+                    ),
+                ));
+            }
         }
     }
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));

@@ -164,43 +164,24 @@ fn d2_not_enforced_outside_exec_core() {
     assert!(fire("crates/sma-tpcd/src/rogue.rs", src).is_empty());
 }
 
-// --- D3: fsync confinement --------------------------------------------------
+// --- fsync confinement moved to the analysis pass --------------------------
 
 #[test]
-fn d3_raw_fsync_outside_store_module() {
+fn fsync_confinement_is_no_longer_a_token_rule() {
+    // Token rule D3 (file-path fsync confinement) was replaced by
+    // A4-fsync-confinement, a call-graph proof in `--analyze`: the lexical
+    // pass no longer fires on raw sync tokens anywhere.
     let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
                \tf.sync_all()\n\
                }\n";
-    let got = fire("src/warehouse.rs", src);
-    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
-    let got = fire("crates/sma-storage/src/wal.rs", src);
-    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
-    let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
-               \tf.sync_data()\n\
-               }\n";
-    let got = fire("crates/sma-core/src/persist.rs", src);
-    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
-}
-
-#[test]
-fn d3_covers_the_compactor_module() {
-    // The compaction workers write whole segment files; their fsyncs must
-    // still go through the storage-layer seam like everyone else's.
-    let src = "pub fn merge(f: &std::fs::File) -> std::io::Result<()> {\n\
-               \tf.sync_all()\n\
-               }\n";
-    let got = fire("src/compact.rs", src);
-    assert_eq!(got, vec![("D3-fsync-confinement", 2)]);
-}
-
-#[test]
-fn d3_silent_in_store_module_and_tests() {
-    let src = "pub fn persist(f: &std::fs::File) -> std::io::Result<()> {\n\
-               \tf.sync_all()\n\
-               }\n";
-    assert!(fire("crates/sma-storage/src/store.rs", src).is_empty());
-    assert!(fire("tests/ingest.rs", src).is_empty());
-    assert!(fire("crates/sma-storage/src/test_util.rs", src).is_empty());
+    assert!(fire("src/warehouse.rs", src).is_empty());
+    assert!(fire("crates/sma-storage/src/wal.rs", src).is_empty());
+    assert!(sma_lint::RULES
+        .iter()
+        .all(|r| r.id != "D3-fsync-confinement"));
+    assert!(sma_lint::RULES
+        .iter()
+        .any(|r| r.id == "A4-fsync-confinement"));
 }
 
 // --- U1: crate headers ------------------------------------------------------
@@ -256,13 +237,15 @@ fn justified_allow_suppresses_same_and_next_line() {
 
 #[test]
 fn justified_allow_does_not_reach_two_lines_down() {
+    // The directive is out of range, so the unwrap still fires AND the
+    // allow itself is flagged stale — it suppresses nothing.
     let src = "pub fn f(x: Option<u8>) -> u8 {\n\
                \t// sma-lint: allow(P1-unwrap) -- too far away to matter\n\
                \tlet y = x;\n\
                \ty.unwrap()\n\
                }\n";
     let got = fire("crates/sma-core/src/rogue.rs", src);
-    assert_eq!(got, vec![("P1-unwrap", 4)]);
+    assert_eq!(got, vec![("W2-stale-allow", 2), ("P1-unwrap", 4)]);
 }
 
 #[test]
@@ -272,17 +255,38 @@ fn allow_only_suppresses_the_named_rule() {
                \tx.unwrap()\n\
                }\n";
     let got = fire("crates/sma-core/src/rogue.rs", src);
-    assert_eq!(got, vec![("P1-unwrap", 3)]);
+    assert_eq!(got, vec![("W2-stale-allow", 2), ("P1-unwrap", 3)]);
 }
 
 #[test]
-fn a1_bare_allow_is_rejected_and_suppresses_nothing() {
+fn w1_bare_allow_is_rejected_and_suppresses_nothing() {
     let src = "pub fn f(x: Option<u8>) -> u8 {\n\
                \t// sma-lint: allow(P1-unwrap)\n\
                \tx.unwrap()\n\
                }\n";
     let got = fire("crates/sma-core/src/rogue.rs", src);
-    assert_eq!(got, vec![("A1-bare-allow", 2), ("P1-unwrap", 3)]);
+    assert_eq!(got, vec![("W1-bare-allow", 2), ("P1-unwrap", 3)]);
+}
+
+#[test]
+fn w2_stale_justified_allow_is_an_error() {
+    let src = "pub fn f(x: Option<u8>) -> Option<u8> {\n\
+               \t// sma-lint: allow(P1-unwrap) -- the unwrap below was removed\n\
+               \tx\n\
+               }\n";
+    let got = fire("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(got, vec![("W2-stale-allow", 2)]);
+}
+
+#[test]
+fn allows_naming_analysis_rules_are_not_lint_stale() {
+    // Directives naming A1..A4 are validated by `--analyze` (which owns
+    // those findings), not by the token pass.
+    let src = "pub fn f() {\n\
+               \t// sma-lint: allow(A3-error-swallowing) -- analyze owns this\n\
+               \tlet _ = 1;\n\
+               }\n";
+    assert!(fire("crates/sma-core/src/rogue.rs", src).is_empty());
 }
 
 // --- Lexer soundness: strings and comments are not code ----------------------
@@ -309,6 +313,27 @@ fn json_report_counts_by_rule() {
     assert!(json.contains("\"P1-unwrap\": 1"));
     let clean = sma_lint::json_report(&[]);
     assert!(clean.contains("\"clean\": true"));
+}
+
+#[test]
+fn json_report_snapshot_normalized_schema() {
+    // Diagnostics serialize as {rule, severity, file, line, msg} — the
+    // exact shape CI and external tooling consume. Full-output snapshot so
+    // schema drift is a deliberate, reviewed change.
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let diags = lint_source("crates/sma-core/src/rogue.rs", src);
+    let json = sma_lint::json_report(&diags);
+    let expected = "{\n\
+         \x20 \"clean\": false,\n\
+         \x20 \"total\": 1,\n\
+         \x20 \"counts\": {\n\
+         \x20   \"P1-unwrap\": 1\n\
+         \x20 },\n\
+         \x20 \"diagnostics\": [\n\
+         \x20   {\"rule\": \"P1-unwrap\", \"severity\": \"error\", \"file\": \"crates/sma-core/src/rogue.rs\", \"line\": 1, \"msg\": \"`.unwrap()` in library non-test code — convert to the crate's error enum\"}\n\
+         \x20 ]\n\
+         }\n";
+    assert_eq!(json, expected);
 }
 // --- N1: socket confinement ----------------------------------------------
 
