@@ -370,22 +370,38 @@ impl BufferPool {
     }
 
     /// Writes back every dirty frame, in global page order, then syncs.
+    ///
+    /// The shard guards are dropped before the fsync: `sync` can stall
+    /// for milliseconds, and nothing in it touches the frames — holding
+    /// every shard across it would block all page traffic for the fsync
+    /// duration. The sync still covers every write-back because the
+    /// store writes happened before the guards were released.
     pub fn flush_all(&self) -> Result<(), StoreError> {
-        let mut guards: Vec<_> = self.shards.iter().map(lock_shard).collect();
-        self.flush_locked(&mut guards)?;
+        {
+            let mut guards: Vec<_> = self.shards.iter().map(lock_shard).collect();
+            self.flush_locked(&mut guards)?;
+        }
         self.write_store().sync()
     }
 
     /// Flushes and then empties the cache — the next access pattern is
     /// fully cold. Resets the sequential-read tracker too.
+    ///
+    /// Like [`BufferPool::flush_all`], the fsync runs after the shard
+    /// guards are dropped. Clearing the frames before the sync is safe:
+    /// a re-fetch in the window reads the store's already-written (if
+    /// not yet durable) bytes, which is exactly what it would have read
+    /// from the frame.
     pub fn clear_cache(&self) -> Result<(), StoreError> {
-        let mut guards: Vec<_> = self.shards.iter().map(lock_shard).collect();
-        self.flush_locked(&mut guards)?;
-        self.write_store().sync()?;
-        for shard in guards.iter_mut() {
-            shard.frames.clear();
-            shard.map.clear();
+        {
+            let mut guards: Vec<_> = self.shards.iter().map(lock_shard).collect();
+            self.flush_locked(&mut guards)?;
+            for shard in guards.iter_mut() {
+                shard.frames.clear();
+                shard.map.clear();
+            }
         }
+        self.write_store().sync()?;
         self.last_physical.store(NO_LAST, Ordering::Relaxed);
         Ok(())
     }
@@ -614,6 +630,98 @@ mod tests {
         assert_eq!(s.physical_reads, 4, "cold pass all misses");
         assert_eq!(s.sequential_reads, 3);
         assert_eq!(s.random_reads, 1, "first read after cold start seeks");
+    }
+
+    /// A store whose `sync` parks until the test says go, recording
+    /// whether it gave up waiting — proves the pool drops its shard
+    /// guards before the fsync (an fsync stall must not block cached
+    /// page traffic).
+    struct GateSyncStore {
+        inner: MemStore,
+        entered: std::sync::Arc<(Mutex<bool>, std::sync::Condvar)>,
+        release: std::sync::Arc<(Mutex<bool>, std::sync::Condvar)>,
+        timed_out: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl PageStore for GateSyncStore {
+        fn page_count(&self) -> PageNo {
+            self.inner.page_count()
+        }
+        fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<(), StoreError> {
+            self.inner.read_page(no, buf)
+        }
+        fn write_page(&mut self, no: PageNo, buf: &[u8]) -> Result<(), StoreError> {
+            self.inner.write_page(no, buf)
+        }
+        fn allocate(&mut self) -> Result<PageNo, StoreError> {
+            self.inner.allocate()
+        }
+        fn sync(&mut self) -> Result<(), StoreError> {
+            let (m, cv) = &*self.entered;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+            let (m, cv) = &*self.release;
+            let mut go = m.lock().unwrap();
+            while !*go {
+                let (g, t) = cv
+                    .wait_timeout(go, std::time::Duration::from_secs(10))
+                    .unwrap();
+                go = g;
+                if t.timed_out() {
+                    self.timed_out.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn flush_all_releases_shards_before_sync() {
+        use std::sync::{atomic::AtomicBool, Arc, Condvar};
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let timed_out = Arc::new(AtomicBool::new(false));
+        let store = GateSyncStore {
+            inner: MemStore::new(),
+            entered: entered.clone(),
+            release: release.clone(),
+            timed_out: timed_out.clone(),
+        };
+        let p = Arc::new(BufferPool::new(Box::new(store), 8));
+        let no = p.allocate().unwrap();
+        p.with_page_mut(no, |d| d[0] = 7).unwrap();
+
+        let flusher = {
+            let p = p.clone();
+            std::thread::spawn(move || p.flush_all())
+        };
+        // Wait for the fsync to begin (it parks inside the store).
+        {
+            let (m, cv) = &*entered;
+            let mut e = m.lock().unwrap();
+            while !*e {
+                e = cv
+                    .wait_timeout(e, std::time::Duration::from_secs(10))
+                    .unwrap()
+                    .0;
+            }
+        }
+        // The fsync is parked and still holds the store lock; a cached
+        // read needs only its shard mutex, which flush_all must have
+        // released. If flush_all still held the shards, this would block
+        // until the store's wait times out — which the flag records.
+        assert_eq!(p.with_page(no, |d| d[0]).unwrap(), 7);
+        {
+            let (m, cv) = &*release;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        flusher.join().unwrap().unwrap();
+        assert!(
+            !timed_out.load(Ordering::SeqCst),
+            "cached read had to wait for the fsync: shard guards were held across sync"
+        );
     }
 
     #[test]
