@@ -4,7 +4,7 @@
 //! SMAs" comparison points.
 
 use sma_core::{BucketPred, ScalarExpr};
-use sma_storage::{Table, TupleId};
+use sma_storage::{QueryBudget, Table, TupleId};
 use sma_types::Tuple;
 
 use crate::op::{ExecError, PhysicalOp};
@@ -16,6 +16,9 @@ pub struct SeqScan<'a> {
     buffer_pos: usize,
     next_page: u32,
     opened: bool,
+    /// Cooperative per-query budget, checked and charged one page at a
+    /// time — the scan's read unit.
+    budget: Option<&'a QueryBudget>,
 }
 
 impl<'a> SeqScan<'a> {
@@ -27,7 +30,16 @@ impl<'a> SeqScan<'a> {
             buffer_pos: 0,
             next_page: 0,
             opened: false,
+            budget: None,
         }
+    }
+
+    /// Attaches a cooperative budget. The scan checks it before every
+    /// page read and charges one page per read — the same unit the
+    /// pool's `logical_reads` counter tallies.
+    pub fn with_budget(mut self, budget: &'a QueryBudget) -> SeqScan<'a> {
+        self.budget = Some(budget);
+        self
     }
 }
 
@@ -50,6 +62,10 @@ impl PhysicalOp for SeqScan<'_> {
             }
             if self.next_page >= self.table.page_count() {
                 return Ok(None);
+            }
+            if let Some(b) = self.budget {
+                b.check()?;
+                b.charge(1)?;
             }
             self.buffer.clear();
             self.buffer_pos = 0;
@@ -187,6 +203,26 @@ mod tests {
         let mut s = SeqScan::new(&t);
         assert_eq!(collect(&mut s).unwrap().len(), 3);
         assert_eq!(collect(&mut s).unwrap().len(), 3, "re-open restarts");
+    }
+
+    #[test]
+    fn seqscan_stops_at_page_cap() {
+        let t = table(&(0..64).collect::<Vec<_>>());
+        assert!(t.page_count() > 1, "need a multi-page table");
+        let budget = QueryBudget::unbounded().with_page_cap(0);
+        let mut s = SeqScan::new(&t).with_budget(&budget);
+        let err = collect(&mut s).unwrap_err();
+        assert!(matches!(err, ExecError::Budget(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn seqscan_under_generous_budget_charges_all_pages() {
+        let t = table(&(0..64).collect::<Vec<_>>());
+        let budget = QueryBudget::unbounded();
+        let mut s = SeqScan::new(&t).with_budget(&budget);
+        let rows = collect(&mut s).unwrap();
+        assert_eq!(rows.len(), 64);
+        assert_eq!(budget.pages_charged(), u64::from(t.page_count()));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub struct Q3Execution {
     pub elapsed: std::time::Duration,
 }
 
-/// Runs Query 3. The SMA sets may be empty (naive full scans).
+/// Runs Query 3. The SMA sets may be empty (naive full scans). A budget,
+/// when given, is checked and charged on every page read across all
+/// three relations.
 pub fn run_query3(
     customer: &Table,
     orders: &Table,
@@ -61,6 +63,7 @@ pub fn run_query3(
     orders_smas: &SmaSet,
     lineitem_smas: &SmaSet,
     p: &Q3Params,
+    budget: Option<&sma_storage::QueryBudget>,
 ) -> Result<Q3Execution, ExecError> {
     let need = |t: &Table, name: &str| -> Result<usize, ExecError> {
         t.schema()
@@ -84,6 +87,10 @@ pub fn run_query3(
     let mut seg_customers: BTreeSet<i64> = BTreeSet::new();
     let mut rows = Vec::new();
     for page in 0..customer.page_count() {
+        if let Some(b) = budget {
+            b.check()?;
+            b.charge(1)?;
+        }
         rows.clear();
         customer.scan_page_into(page, &mut rows)?;
         for (_, t) in &rows {
@@ -98,6 +105,9 @@ pub fn run_query3(
     // Build side 2: open orders via SMA-graded date scan of ORDERS.
     let open_pred = BucketPred::cmp(o_orderdate, CmpOp::Lt, Value::Date(p.date));
     let mut o_scan = SmaScan::new(orders, open_pred, orders_smas);
+    if let Some(b) = budget {
+        o_scan = o_scan.with_budget(b);
+    }
     let mut open_orders: BTreeMap<i64, (Date, i64)> = BTreeMap::new();
     o_scan.open()?;
     while let Some(t) = o_scan.next()? {
@@ -122,6 +132,9 @@ pub fn run_query3(
     // Probe side: SMA-graded shipdate scan of LINEITEM, accumulate revenue.
     let ship_pred = BucketPred::cmp(l_shipdate, CmpOp::Gt, Value::Date(p.date));
     let mut l_scan = SmaScan::new(lineitem, ship_pred, lineitem_smas);
+    if let Some(b) = budget {
+        l_scan = l_scan.with_budget(b);
+    }
     let mut revenue: BTreeMap<i64, Decimal> = BTreeMap::new();
     l_scan.open()?;
     while let Some(t) = l_scan.next()? {
@@ -315,6 +328,7 @@ mod tests {
             &s.orders_smas,
             &s.lineitem_smas,
             &p,
+            None,
         )
         .unwrap();
         let oracle = q3_reference(
@@ -346,6 +360,7 @@ mod tests {
             &s.orders_smas,
             &s.lineitem_smas,
             &Q3Params::default(),
+            None,
         )
         .unwrap();
         // O_ORDERDATE < 1995-03-15: roughly half of a 1992–1998 window —
@@ -379,10 +394,37 @@ mod tests {
             &s.orders_smas,
             &s.lineitem_smas,
             &p,
+            None,
         )
         .unwrap();
-        let slow = run_query3(&s.customer, &s.orders, &s.lineitem, &empty, &empty, &p).unwrap();
+        let slow = run_query3(
+            &s.customer,
+            &s.orders,
+            &s.lineitem,
+            &empty,
+            &empty,
+            &p,
+            None,
+        )
+        .unwrap();
         assert_eq!(fast.rows, slow.rows);
+    }
+
+    #[test]
+    fn budget_cap_aborts_the_query() {
+        let s = setup(Clustering::Uniform);
+        let budget = sma_storage::QueryBudget::unbounded().with_page_cap(0);
+        let err = run_query3(
+            &s.customer,
+            &s.orders,
+            &s.lineitem,
+            &s.orders_smas,
+            &s.lineitem_smas,
+            &Q3Params::default(),
+            Some(&budget),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Budget(_)), "got {err:?}");
     }
 
     #[test]
@@ -399,6 +441,7 @@ mod tests {
             &s.orders_smas,
             &s.lineitem_smas,
             &p,
+            None,
         )
         .unwrap();
         assert!(run.rows.len() <= 3);

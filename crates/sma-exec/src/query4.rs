@@ -74,13 +74,15 @@ pub struct Q4Execution {
 /// Runs Query 4. `lineitem_smas` should hold min/max SMAs on
 /// `L_COMMITDATE`/`L_RECEIPTDATE`; `orders_smas` min/max on `O_ORDERDATE`.
 /// Pass empty sets to run the naive plan — the operators degrade to full
-/// scans (every bucket ambivalent).
+/// scans (every bucket ambivalent). A budget, when given, is checked and
+/// charged on every page read on both tables.
 pub fn run_query4(
     orders: &Table,
     lineitem: &Table,
     orders_smas: &SmaSet,
     lineitem_smas: &SmaSet,
     p: &Q4Params,
+    budget: Option<&sma_storage::QueryBudget>,
 ) -> Result<Q4Execution, ExecError> {
     let o_schema = orders.schema();
     let l_schema = lineitem.schema();
@@ -104,6 +106,9 @@ pub fn run_query4(
     // L_COMMITDATE < L_RECEIPTDATE (the §3.1 A < B rule).
     let late_pred = BucketPred::col_cmp(l_commit, CmpOp::Lt, l_receipt);
     let mut l_scan = SmaScan::new(lineitem, late_pred, lineitem_smas);
+    if let Some(b) = budget {
+        l_scan = l_scan.with_budget(b);
+    }
     let mut late: BTreeSet<i64> = BTreeSet::new();
     l_scan.open()?;
     while let Some(t) = l_scan.next()? {
@@ -131,6 +136,10 @@ pub fn run_query4(
             }
             Grade::Qualifies => orders_counters.qualified += 1,
             Grade::Ambivalent => orders_counters.ambivalent += 1,
+        }
+        if let Some(bg) = budget {
+            bg.check()?;
+            bg.charge(orders.bucket_range(b).len() as u64)?;
         }
         for (_, t) in orders.scan_bucket(b)? {
             if grade != Grade::Qualifies && !window.eval_tuple(&t) {
@@ -225,7 +234,7 @@ mod tests {
     fn matches_the_oracle() {
         let (ot, lt, osmas, lsmas, orders, items) = setup(Clustering::SortedByShipdate);
         let p = Q4Params::default();
-        let run = run_query4(&ot, &lt, &osmas, &lsmas, &p).unwrap();
+        let run = run_query4(&ot, &lt, &osmas, &lsmas, &p, None).unwrap();
         let oracle = q4_reference(&orders, &items, &sma_tpcd::Q4Params { date: p.date });
         let got: Vec<(String, i64)> = run.rows.clone();
         let want: Vec<(String, i64)> = oracle
@@ -238,7 +247,7 @@ mod tests {
     #[test]
     fn orders_window_skips_buckets() {
         let (ot, lt, osmas, lsmas, _, _) = setup(Clustering::SortedByShipdate);
-        let run = run_query4(&ot, &lt, &osmas, &lsmas, &Q4Params::default()).unwrap();
+        let run = run_query4(&ot, &lt, &osmas, &lsmas, &Q4Params::default(), None).unwrap();
         let c = run.orders_scan;
         // A 3-month window over a 6.5-year ordered file: ~96 % skipped.
         assert!(
@@ -251,12 +260,28 @@ mod tests {
     fn empty_smas_degrade_to_full_scans_with_same_answer() {
         let (ot, lt, osmas, lsmas, _, _) = setup(Clustering::Uniform);
         let p = Q4Params::default();
-        let fast = run_query4(&ot, &lt, &osmas, &lsmas, &p).unwrap();
+        let fast = run_query4(&ot, &lt, &osmas, &lsmas, &p, None).unwrap();
         let empty = SmaSet::new();
-        let slow = run_query4(&ot, &lt, &empty, &empty, &p).unwrap();
+        let slow = run_query4(&ot, &lt, &empty, &empty, &p, None).unwrap();
         assert_eq!(fast.rows, slow.rows);
         assert_eq!(slow.orders_scan.disqualified, 0);
         assert!(fast.io.logical_reads <= slow.io.logical_reads);
+    }
+
+    #[test]
+    fn budget_cap_aborts_the_query() {
+        let (ot, lt, osmas, lsmas, _, _) = setup(Clustering::Uniform);
+        let budget = sma_storage::QueryBudget::unbounded().with_page_cap(0);
+        let err = run_query4(
+            &ot,
+            &lt,
+            &osmas,
+            &lsmas,
+            &Q4Params::default(),
+            Some(&budget),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Budget(_)), "got {err:?}");
     }
 
     #[test]
@@ -265,7 +290,7 @@ mod tests {
         let p = Q4Params {
             date: sma_types::Date::from_ymd(2005, 1, 1).unwrap(),
         };
-        let run = run_query4(&ot, &lt, &osmas, &lsmas, &p).unwrap();
+        let run = run_query4(&ot, &lt, &osmas, &lsmas, &p, None).unwrap();
         assert!(run.rows.is_empty());
         assert_eq!(run.orders_scan.disqualified, ot.bucket_count() as u64);
     }

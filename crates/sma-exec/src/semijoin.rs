@@ -14,7 +14,7 @@
 use std::collections::BTreeSet;
 
 use sma_core::{semijoin_prune, CmpOp, Grade, MinimaxOf, SmaSet};
-use sma_storage::Table;
+use sma_storage::{QueryBudget, Table};
 use sma_types::{Tuple, Value};
 
 use crate::op::{ExecError, PhysicalOp};
@@ -38,6 +38,9 @@ pub struct SemiJoin<'a> {
     pos: usize,
     curr_grade: Grade,
     counters: ScanCounters,
+    /// Cooperative per-query budget: checked at every bucket boundary,
+    /// charged per page for both the S build pass and the R probe pass.
+    budget: Option<&'a QueryBudget>,
 }
 
 impl<'a> SemiJoin<'a> {
@@ -65,7 +68,16 @@ impl<'a> SemiJoin<'a> {
             pos: 0,
             curr_grade: Grade::Ambivalent,
             counters: ScanCounters::default(),
+            budget: None,
         }
+    }
+
+    /// Attaches a cooperative budget. Charged one page per read on both
+    /// sides of the join (S's build pass and R's probe pass), checked at
+    /// every bucket boundary so cancellation lands promptly.
+    pub fn with_budget(mut self, budget: &'a QueryBudget) -> SemiJoin<'a> {
+        self.budget = Some(budget);
+        self
     }
 
     /// Bucket counters (meaningful once drained).
@@ -97,11 +109,19 @@ impl PhysicalOp for SemiJoin<'_> {
         self.buffer.clear();
         self.pos = 0;
         // One pass over S for its minimax (and value set for `=`).
+        if let Some(b) = self.budget {
+            b.check()?;
+            b.charge(u64::from(self.s.page_count()))?;
+        }
         let mm = MinimaxOf::scan(self.s, self.b_col)?;
         if self.theta == CmpOp::Eq {
             self.eq_set.clear();
             let mut rows = Vec::new();
             for page in 0..self.s.page_count() {
+                if let Some(b) = self.budget {
+                    b.check()?;
+                    b.charge(1)?;
+                }
                 rows.clear();
                 self.s.scan_page_into(page, &mut rows)?;
                 for (_, t) in &rows {
@@ -139,6 +159,9 @@ impl PhysicalOp for SemiJoin<'_> {
                 }
                 let b = self.bucket;
                 self.bucket += 1;
+                if let Some(bg) = self.budget {
+                    bg.check()?;
+                }
                 self.curr_grade = self.grades[b as usize];
                 match self.curr_grade {
                     Grade::Disqualifies => {
@@ -148,6 +171,9 @@ impl PhysicalOp for SemiJoin<'_> {
                         self.counters.qualified += 1;
                         self.buffer.clear();
                         self.pos = 0;
+                        if let Some(bg) = self.budget {
+                            bg.charge(self.r.bucket_range(b).len() as u64)?;
+                        }
                         for page in self.r.bucket_range(b) {
                             self.r.scan_page_into(page, &mut self.buffer)?;
                         }
@@ -157,6 +183,9 @@ impl PhysicalOp for SemiJoin<'_> {
                         self.counters.ambivalent += 1;
                         self.buffer.clear();
                         self.pos = 0;
+                        if let Some(bg) = self.budget {
+                            bg.charge(self.r.bucket_range(b).len() as u64)?;
+                        }
                         for page in self.r.bucket_range(b) {
                             self.r.scan_page_into(page, &mut self.buffer)?;
                         }
@@ -265,6 +294,29 @@ mod tests {
         let mut naive = SemiJoin::new(&r, 0, CmpOp::Ge, &s, 0, None);
         collect(&mut naive).unwrap();
         assert_eq!(naive.counters().ambivalent, 20);
+    }
+
+    #[test]
+    fn budget_cap_stops_the_join() {
+        let r = int_table("R", &(0..30).collect::<Vec<_>>());
+        let s = int_table("S", &[7, 12]);
+        let budget = QueryBudget::unbounded().with_page_cap(0);
+        let mut j = SemiJoin::new(&r, 0, CmpOp::Eq, &s, 0, None).with_budget(&budget);
+        let err = collect(&mut j).unwrap_err();
+        assert!(matches!(err, ExecError::Budget(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn budget_charges_both_sides() {
+        let r = int_table("R", &(0..30).collect::<Vec<_>>());
+        let s = int_table("S", &[7, 12]);
+        let budget = QueryBudget::unbounded();
+        let mut j = SemiJoin::new(&r, 0, CmpOp::Eq, &s, 0, None).with_budget(&budget);
+        collect(&mut j).unwrap();
+        // The minimax pass and eq-set build each cover S once; the naive
+        // probe covers all of R.
+        let expected = u64::from(s.page_count()) * 2 + u64::from(r.page_count());
+        assert_eq!(budget.pages_charged(), expected);
     }
 
     #[test]

@@ -155,6 +155,66 @@ impl AnalyzeConfig {
                     func: "StreamingWarehouse::query",
                     reason: "documented unbudgeted convenience API; the server path uses query_with_budget",
                 },
+                Allow {
+                    func: "export_merged_segment",
+                    reason: "compaction helper: re-reads the tables it is merging; bounded by segment size and CompactionPolicy cadence, not query traffic",
+                },
+                Allow {
+                    func: "StreamingWarehouse::create",
+                    reason: "one-time warehouse creation seals the initial generation; runs before any query is admitted",
+                },
+                Allow {
+                    func: "StreamingWarehouse::create_with_wal_store",
+                    reason: "one-time warehouse creation seals the initial generation; runs before any query is admitted",
+                },
+                Allow {
+                    func: "StreamingWarehouse::open_with_recovery",
+                    reason: "recovery path: WAL replay and segment verification read pages to rebuild committed state before queries start",
+                },
+                Allow {
+                    func: "seal_initial_generation",
+                    reason: "create-time helper: exports the empty base generation exactly once",
+                },
+                Allow {
+                    func: "StreamingWarehouse::define_sma",
+                    reason: "DDL: building a new SMA scans the sealed segments once; administrative, not query-serving",
+                },
+                Allow {
+                    func: "Warehouse::define_sma",
+                    reason: "DDL: building a new SMA scans the table once; administrative, not query-serving",
+                },
+                Allow {
+                    func: "Warehouse::insert",
+                    reason: "ingest: appending re-reads the tail page to pack tuples and refreshes the tail SMA entry; write-path cost, not query-serving",
+                },
+                Allow {
+                    func: "Warehouse::delete",
+                    reason: "ingest: deletion locates the victim tuple and refreshes affected SMA entries; write-path cost, not query-serving",
+                },
+                Allow {
+                    func: "Warehouse::refresh_smas",
+                    reason: "maintenance: recomputing stale SMA entries rescans dirty buckets by design (the paper's §5 update discussion)",
+                },
+                Allow {
+                    func: "Warehouse::heal",
+                    reason: "maintenance: healing a damaged SMA entry rescans its bucket; administrative repair, not query-serving",
+                },
+                Allow {
+                    func: "Warehouse::heal_all",
+                    reason: "maintenance: full-set repair over heal(); administrative, not query-serving",
+                },
+                Allow {
+                    func: "Warehouse::save_generation",
+                    reason: "bulk persistence: exporting a generation reads every live page once; checkpoint-time operation",
+                },
+                Allow {
+                    func: "Warehouse::save_delta_generation",
+                    reason: "bulk persistence: delta export reads the appended page range once; checkpoint-time operation",
+                },
+                Allow {
+                    func: "recover_sma",
+                    reason: "recovery helper: rebuilds an SMA from table pages when its image fails CRC; runs under open_with_recovery",
+                },
             ],
             a1_allow: vec![],
             a4_wrappers: vec!["FileStore::sync", "sync_dir", "atomic_write_file"],
