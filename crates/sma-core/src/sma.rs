@@ -483,6 +483,7 @@ pub fn build_many_parallel(
             .into_iter()
             .map(|h| match h.join() {
                 Ok(r) => r,
+                // sma-lint: allow(A3-error-swallowing) -- join's payload is Box<dyn Any>, not an error; it is converted to a typed error here
                 Err(_) => Err(SmaError::Corrupt(
                     "parallel SMA build worker panicked".into(),
                 )),

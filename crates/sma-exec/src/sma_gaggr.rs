@@ -348,6 +348,7 @@ impl PhysicalOp for SmaGAggr<'_> {
                     .into_iter()
                     .map(|h| match h.join() {
                         Ok(r) => r,
+                        // sma-lint: allow(A3-error-swallowing) -- join's payload is Box<dyn Any>, not an error; it is converted to a typed error here
                         Err(_) => Err(ExecError::Plan("bucket worker panicked".into())),
                     })
                     .collect()

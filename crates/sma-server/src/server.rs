@@ -218,6 +218,7 @@ impl Drop for ServerHandle {
         // A dropped handle still shuts the server down (best effort) so
         // tests and callers cannot leak the accept thread.
         self.shared.shutdown.store(true, Ordering::Release);
+        // sma-lint: allow(A3-error-swallowing) -- Drop cannot propagate; explicit shutdown() reports the join error
         let _ = self.join_accept();
     }
 }
@@ -232,6 +233,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Result<(), ServerE
                 sessions.retain(|h| !h.is_finished());
                 let Some(permit) = shared.sessions.try_acquire() else {
                     // Session cap: answer Busy and close — never queue.
+                    // sma-lint: allow(A3-error-swallowing) -- best-effort refusal to a peer that may already be gone
                     let _ = reply_and_close(stream, Status::Busy, "session limit reached");
                     continue;
                 };
@@ -242,6 +244,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Result<(), ServerE
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            // sma-lint: allow(A3-error-swallowing) -- transient accept errors (EMFILE, ECONNABORTED) must not kill the accept loop; back off and retry
             Err(_) => thread::sleep(ACCEPT_POLL),
         }
     }
@@ -301,6 +304,7 @@ fn session_loop(mut stream: TcpStream, shared: &Shared) {
                     // Oversized frame: structured refusal, then close —
                     // the stream offset is unrecoverable.
                     let resp = Response::error(0, format!("protocol: {e}"));
+                    // sma-lint: allow(A3-error-swallowing) -- best-effort refusal on a connection being torn down
                     let _ = write_frame(&mut stream, &resp.encode());
                     return;
                 }
@@ -316,6 +320,7 @@ fn session_loop(mut stream: TcpStream, shared: &Shared) {
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
+            // sma-lint: allow(A3-error-swallowing) -- peer I/O failure ends the session; there is nobody left to report to
             Err(_) => return,
         }
     }

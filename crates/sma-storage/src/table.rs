@@ -560,10 +560,15 @@ impl Table {
         let tuples: Vec<Tuple> = rows.into_iter().map(|(_, t)| t).collect();
         let block =
             ColumnarBucket::from_rows(&self.schema, &tuples).map_err(TableError::ColBlock)?;
-        let images = match chunk_pages(&block.encode(), range.len()) {
-            Ok(images) => images,
-            Err(_) => return Ok(false),
-        };
+        let blob = block.encode();
+        // Fit is the one expected skip: the columnar encoding can be
+        // larger than the slotted one. Any other chunking failure is a
+        // real error and must surface, not silently leave the bucket
+        // row-major.
+        if blob.len() > range.len().saturating_mul(crate::columnar::CHUNK_CAPACITY) {
+            return Ok(false);
+        }
+        let images = chunk_pages(&blob, range.len())?;
         for (no, image) in range.clone().zip(images.iter()) {
             self.pool
                 .with_page_mut(no, |buf| buf.copy_from_slice(&image[..]))?;
@@ -1139,6 +1144,30 @@ mod tests {
             assert_eq!(rows, expect, "bucket {b}");
         }
         assert_eq!(t.live_tuples(), 40);
+    }
+
+    #[test]
+    fn oversized_columnar_block_skips_conversion_without_error() {
+        // Eight Str columns sized so slotted pages pack with zero waste
+        // (4 x 1021-byte rows fill a page exactly) while each column's
+        // heap tops 64 KiB, forcing u32 columnar offsets: 4 bytes per
+        // value against the slotted 2-byte length slot. The block cannot
+        // fit the bucket's page extent, so conversion must decline
+        // (Ok(false)) and leave the bucket row-major and scannable.
+        let cols: Vec<Column> = (0..8)
+            .map(|i| Column::new(format!("S{i}"), DataType::Str))
+            .collect();
+        let schema = Arc::new(Schema::new(cols));
+        let mut t = Table::in_memory("t", schema, 140);
+        let row: Tuple = (0..8).map(|_| Value::Str("v".repeat(125))).collect();
+        while t.page_count() <= 140 {
+            t.append(&row).unwrap();
+        }
+        let before = t.scan_bucket(0).unwrap();
+        assert_eq!(before.len(), 560, "4 rows per page, 140 pages");
+        assert!(!t.convert_bucket_to_columnar(0).unwrap(), "must decline");
+        assert!(!t.is_columnar_bucket(0));
+        assert_eq!(t.scan_bucket(0).unwrap(), before);
     }
 
     #[test]

@@ -173,6 +173,7 @@ impl<S: PageStore> Wal<S> {
             }
             let rec = match decode_wal_record(&payload) {
                 Ok(r) => r,
+                // sma-lint: allow(A3-error-swallowing) -- an undecodable record after a valid CRC is a torn tail by design: replay stops and reports it
                 Err(_) => {
                     replay.torn_tail = true;
                     break;

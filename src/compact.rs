@@ -183,6 +183,7 @@ impl<S: PageStore> StreamingWarehouse<S> {
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(r) => r,
+                    // sma-lint: allow(A3-error-swallowing) -- join's payload is Box<dyn Any>, not an error; it is converted to a typed error here
                     Err(_) => Err(IngestError::Io(io::Error::other(
                         "compaction worker panicked",
                     ))),
