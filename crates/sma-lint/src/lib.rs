@@ -114,7 +114,13 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Renders diagnostics as a JSON report:
-/// `{"clean":bool,"total":n,"counts":{rule:n},"diagnostics":[...]}`.
+/// `{"clean":bool,"errors":n,"total":n,"counts":{rule:n},"diagnostics":[...]}`.
+///
+/// Every diagnostic is `{rule, severity, file, line, msg}` plus an
+/// `allow_reason` key when an inline allow downgraded it — the same
+/// normalized shape `--analyze --json` emits, so one consumer parses
+/// both reports. `clean` means no *error*-severity diagnostics (allowed
+/// findings stay visible at `warn`).
 ///
 /// Hand-rolled (std-only crate); all emitted strings are escaped.
 pub fn json_report(diags: &[Diagnostic]) -> String {
@@ -122,9 +128,14 @@ pub fn json_report(diags: &[Diagnostic]) -> String {
     for d in diags {
         *counts.entry(d.rule).or_insert(0) += 1;
     }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"clean\": {},\n", diags.is_empty()));
+    s.push_str(&format!("  \"clean\": {},\n", errors == 0));
+    s.push_str(&format!("  \"errors\": {errors},\n"));
     s.push_str(&format!("  \"total\": {},\n", diags.len()));
     s.push_str("  \"counts\": {");
     let mut first = true;
@@ -147,13 +158,17 @@ pub fn json_report(diags: &[Diagnostic]) -> String {
         }
         first = false;
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\"",
             json_escape(d.rule),
             d.severity.label(),
             json_escape(&d.file),
             d.line,
             json_escape(&d.message)
         ));
+        if let Some(r) = &d.allow_reason {
+            s.push_str(&format!(", \"allow_reason\": \"{}\"", json_escape(r)));
+        }
+        s.push('}');
     }
     if !diags.is_empty() {
         s.push_str("\n  ");

@@ -88,19 +88,33 @@ fn main() -> ExitCode {
         print!("{}", json_report(&diags));
     } else {
         for d in &diags {
+            let reason = d
+                .allow_reason
+                .as_deref()
+                .map(|r| format!(" (allowed: {r})"))
+                .unwrap_or_default();
             println!(
-                "{}[{}] {}:{}: {}",
+                "{}[{}] {}:{}: {}{}",
                 d.severity.label(),
                 d.rule,
                 d.file,
                 d.line,
-                d.message
+                d.message,
+                reason
             );
         }
-        if diags.is_empty() {
-            println!("sma-lint: clean ({} rules enforced)", RULES.len());
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        if errors == 0 {
+            println!(
+                "sma-lint: clean ({} rules enforced, {} allowed finding(s))",
+                RULES.len(),
+                diags.len()
+            );
         } else {
-            println!("sma-lint: {} violation(s)", diags.len());
+            println!("sma-lint: {errors} violation(s)");
         }
     }
 

@@ -40,6 +40,9 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable explanation with the expected remedy.
     pub message: String,
+    /// Justification text when an inline allow suppressed this finding
+    /// (the finding is then reported at `Warn`, never dropped).
+    pub allow_reason: Option<String>,
 }
 
 /// Catalog entry describing one rule.
@@ -677,20 +680,21 @@ fn apply_allows(diags: Vec<Diagnostic>, allows: &[AllowDirective], rel: &str) ->
     let mut out: Vec<Diagnostic> = Vec::new();
     // (directive index, rule index) pairs that suppressed something.
     let mut used: Vec<(usize, usize)> = Vec::new();
-    for d in diags {
-        let mut suppressed = false;
+    for mut d in diags {
         for (ai, a) in allows.iter().enumerate() {
             if !a.justified || !(a.line == d.line || a.line + 1 == d.line) {
                 continue;
             }
             if let Some(ri) = a.rules.iter().position(|r| r == d.rule) {
                 used.push((ai, ri));
-                suppressed = true;
+                // Suppressed findings stay in the report, downgraded to
+                // Warn and carrying the justification — audit trail over
+                // silence.
+                d.severity = Severity::Warn;
+                d.allow_reason = Some(a.reason.clone());
             }
         }
-        if !suppressed {
-            out.push(d);
-        }
+        out.push(d);
     }
     for (ai, a) in allows.iter().enumerate() {
         if !a.justified {
@@ -737,5 +741,6 @@ fn diag(rule: &'static str, file: &str, line: u32, message: String) -> Diagnosti
         file: file.to_string(),
         line,
         message,
+        allow_reason: None,
     }
 }

@@ -232,7 +232,16 @@ fn justified_allow_suppresses_same_and_next_line() {
                \t// sma-lint: allow(P1-unwrap) -- fixture exercises the suppression path\n\
                \tx.unwrap()\n\
                }\n";
-    assert!(fire("crates/sma-core/src/rogue.rs", src).is_empty());
+    // Suppressed findings stay in the report: downgraded to Warn,
+    // carrying the justification, never failing the run.
+    let diags = lint_source("crates/sma-core/src/rogue.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "P1-unwrap");
+    assert_eq!(diags[0].severity, sma_lint::Severity::Warn);
+    assert_eq!(
+        diags[0].allow_reason.as_deref(),
+        Some("fixture exercises the suppression path")
+    );
 }
 
 #[test]
@@ -317,20 +326,27 @@ fn json_report_counts_by_rule() {
 
 #[test]
 fn json_report_snapshot_normalized_schema() {
-    // Diagnostics serialize as {rule, severity, file, line, msg} — the
+    // Diagnostics serialize as {rule, severity, file, line, msg} plus
+    // allow_reason when an inline allow downgraded the finding — the
     // exact shape CI and external tooling consume. Full-output snapshot so
     // schema drift is a deliberate, reviewed change.
-    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               pub fn g(x: Option<u8>) -> u8 {\n\
+               \t// sma-lint: allow(P1-unwrap) -- snapshot exercises the allow_reason key\n\
+               \tx.unwrap()\n\
+               }\n";
     let diags = lint_source("crates/sma-core/src/rogue.rs", src);
     let json = sma_lint::json_report(&diags);
     let expected = "{\n\
          \x20 \"clean\": false,\n\
-         \x20 \"total\": 1,\n\
+         \x20 \"errors\": 1,\n\
+         \x20 \"total\": 2,\n\
          \x20 \"counts\": {\n\
-         \x20   \"P1-unwrap\": 1\n\
+         \x20   \"P1-unwrap\": 2\n\
          \x20 },\n\
          \x20 \"diagnostics\": [\n\
-         \x20   {\"rule\": \"P1-unwrap\", \"severity\": \"error\", \"file\": \"crates/sma-core/src/rogue.rs\", \"line\": 1, \"msg\": \"`.unwrap()` in library non-test code — convert to the crate's error enum\"}\n\
+         \x20   {\"rule\": \"P1-unwrap\", \"severity\": \"error\", \"file\": \"crates/sma-core/src/rogue.rs\", \"line\": 1, \"msg\": \"`.unwrap()` in library non-test code — convert to the crate's error enum\"},\n\
+         \x20   {\"rule\": \"P1-unwrap\", \"severity\": \"warn\", \"file\": \"crates/sma-core/src/rogue.rs\", \"line\": 4, \"msg\": \"`.unwrap()` in library non-test code — convert to the crate's error enum\", \"allow_reason\": \"snapshot exercises the allow_reason key\"}\n\
          \x20 ]\n\
          }\n";
     assert_eq!(json, expected);
